@@ -1,0 +1,86 @@
+"""Ablation A7 — MSA strategies on top of FastLSA.
+
+Application-level benchmark of the MSA subpackage: center-star vs
+progressive (UPGMA + profile-profile) on synthetic families, comparing
+sum-of-pairs quality, alignment width, conserved columns and wall time.
+Both heuristics run their pairwise work through FastLSA, so this is also
+an end-to-end stress of the core under many small alignments.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.msa import build_profile, center_star_msa, progressive_msa
+from repro.workloads import evolve, random_sequence
+
+from common import default_scheme, report, scale
+
+LENGTH = scale(150, 600)
+FAMILY_SIZES = scale((4, 8), (6, 12, 20))
+
+
+def make_family(size, length, divergence, seed):
+    rng = np.random.default_rng(seed)
+    anc = random_sequence(length, "ACGT", rng, name="anc")
+    return [anc] + [
+        evolve(anc, sub_rate=divergence * (0.5 + i / size), indel_rate=0.02,
+               rng=rng, alphabet="ACGT", name=f"d{i}")
+        for i in range(1, size)
+    ]
+
+
+def test_report_a7():
+    scheme = default_scheme()
+    rows = []
+    for size in FAMILY_SIZES:
+        family = make_family(size, LENGTH, 0.12, seed=size)
+        results = {}
+        for label, fn in (("center-star", center_star_msa),
+                          ("progressive", progressive_msa)):
+            t0 = time.perf_counter()
+            msa = fn(family, scheme)
+            dt = time.perf_counter() - t0
+            results[label] = msa
+            rows.append(
+                {
+                    "family": size,
+                    "method": label,
+                    "wall_s": round(dt, 3),
+                    "width": msa.width,
+                    "conserved": msa.conserved_columns(),
+                    "sum_of_pairs": msa.sum_of_pairs_score(scheme),
+                }
+            )
+        # Quality parity: both heuristics in the same league.
+        sp_star = results["center-star"].sum_of_pairs_score(scheme)
+        sp_prog = results["progressive"].sum_of_pairs_score(scheme)
+        assert sp_prog >= 0.85 * sp_star, (size, sp_star, sp_prog)
+        assert sp_star >= 0.85 * sp_prog, (size, sp_star, sp_prog)
+    report("a7_msa", rows, title=f"A7: MSA strategies, {LENGTH} bp families")
+
+
+def test_profile_search_separation():
+    """A profile built from the MSA must separate members from noise."""
+    from repro.msa import align_to_profile
+
+    scheme = default_scheme()
+    family = make_family(6, LENGTH, 0.1, seed=3)
+    msa = center_star_msa(family, scheme)
+    prof = build_profile(msa, scheme)
+    rng = np.random.default_rng(9)
+    member = evolve(family[0], sub_rate=0.1, indel_rate=0.02, rng=rng,
+                    alphabet="ACGT", name="member")
+    stranger = random_sequence(LENGTH, "ACGT", rng, name="stranger")
+    s_member = align_to_profile(member, prof, scheme).score
+    s_stranger = align_to_profile(stranger, prof, scheme).score
+    assert s_member > s_stranger
+
+
+@pytest.mark.parametrize("method", ["center-star", "progressive"])
+def test_bench_msa(benchmark, method):
+    scheme = default_scheme()
+    family = make_family(FAMILY_SIZES[0], LENGTH, 0.12, seed=1)
+    fn = center_star_msa if method == "center-star" else progressive_msa
+    benchmark.pedantic(fn, args=(family, scheme), rounds=2, iterations=1)

@@ -1,0 +1,55 @@
+"""Experiment E36 — Theorem 4's bound (paper Equations 28–36).
+
+Sweeps ``(k, P)`` and verifies the simulated Parallel FastLSA time never
+exceeds the closed-form bound
+
+    WT(m,n,k,P) <= (m·n/P)·(1 + (P²−P)/(R·C))·(k/(k−1))²
+
+with ``R = k·u``, ``C = k·v`` (zero overhead — the bound's setting).
+"""
+
+import pytest
+
+from repro.parallel import simulated_parallel_fastlsa, wt_bound
+
+from common import bench_pair, default_scheme, report, scale
+
+N = scale(768, 4096)
+CONFIGS = [
+    (2, 2), (2, 8),
+    (4, 2), (4, 8),
+    (6, 4), (6, 8), (6, 16),
+    (8, 8),
+]
+
+
+def test_report_e36():
+    scheme = default_scheme()
+    a, b = bench_pair(N)
+    rows = []
+    for k, P in CONFIGS:
+        _, rep = simulated_parallel_fastlsa(
+            a, b, scheme, P=P, k=k, base_cells=16 * 1024, overhead=0
+        )
+        bound = wt_bound(len(a), len(b), k, P, rep.u, rep.v)
+        rows.append(
+            {
+                "k": k,
+                "P": P,
+                "u_v": f"{rep.u}x{rep.v}",
+                "par_mcells": round(rep.par_time / 1e6, 3),
+                "wt_bound_mcells": round(bound / 1e6, 3),
+                "slack": round(bound / rep.par_time, 2),
+                "holds": rep.par_time <= bound,
+            }
+        )
+    report("e36_model_bound", rows,
+           title=f"E36: Theorem 4 bound check, {len(a)}x{len(b)}, overhead=0")
+    for row in rows:
+        assert row["holds"], row
+    # The bound should be reasonably tight (within ~4x), not vacuous.
+    assert all(row["slack"] < 4.0 for row in rows)
+
+
+def test_bench_bound_evaluation(benchmark):
+    benchmark(wt_bound, 10_000, 10_000, 6, 8, 2, 3)

@@ -1,0 +1,55 @@
+"""Experiment F10 — parallel efficiency vs sequence size (Section 6).
+
+"The efficiency of Parallel FastLSA increases with the size of the
+sequences that are aligned": with a fixed per-tile dispatch overhead,
+larger problems have larger tiles and amortise it better.
+"""
+
+import pytest
+
+from repro.parallel import simulated_parallel_fastlsa
+
+from common import bench_pair, default_scheme, report, scale
+
+SIZES = scale((256, 512, 1024, 2048), (1024, 4096, 16384, 32768))
+P = 8
+K = 6
+OVERHEAD = 100
+
+
+def test_report_f10():
+    scheme = default_scheme()
+    rows = []
+    for n in SIZES:
+        a, b = bench_pair(n)
+        _, rep = simulated_parallel_fastlsa(
+            a, b, scheme, P=P, k=K, base_cells=16 * 1024, overhead=OVERHEAD
+        )
+        rows.append(
+            {
+                "n": n,
+                "P": P,
+                "speedup": round(rep.speedup, 2),
+                "efficiency": round(rep.efficiency, 3),
+                "seq_mcells": round(rep.seq_time / 1e6, 2),
+                "par_mcells": round(rep.par_time / 1e6, 2),
+            }
+        )
+    report("f10_efficiency", rows,
+           title=f"F10: efficiency vs sequence size (P={P}, k={K}, overhead={OVERHEAD})")
+    effs = [r["efficiency"] for r in rows]
+    # Paper shape: efficiency grows with size (largest must beat smallest
+    # clearly; the top of the curve may wobble within a few percent as the
+    # recursion structure shifts).
+    assert effs[-1] > effs[0]
+    assert effs[-1] >= 0.95 * max(effs)
+
+
+def test_bench_efficiency_point(benchmark):
+    scheme = default_scheme()
+    a, b = bench_pair(SIZES[1])
+    benchmark.pedantic(
+        simulated_parallel_fastlsa, args=(a, b, scheme),
+        kwargs={"P": P, "k": K, "overhead": OVERHEAD, "base_cells": 16 * 1024},
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,59 @@
+"""Experiment F11 — parallel speedup vs ``k`` (Section 6).
+
+The paper's lesson on parameter interaction: "the selected value for
+parameter k has a significant impact on the parallel speedups".  Small
+``k`` starves the wavefront (few tiles per region); very large ``k``
+shrinks tiles until overhead and ramp phases dominate.  The sweet spot
+sits in between — while the *sequential* optimum pushes toward large
+``k``, which is the performance trade-off the paper highlights.
+"""
+
+import pytest
+
+from repro.parallel import simulated_parallel_fastlsa
+
+from common import bench_pair, default_scheme, report, scale
+
+N = scale(1024, 8192)
+P = 8
+K_VALUES = (2, 3, 4, 6, 8, 12)
+OVERHEAD = 100
+
+
+def test_report_f11():
+    scheme = default_scheme()
+    a, b = bench_pair(N)
+    rows = []
+    for k in K_VALUES:
+        al, rep = simulated_parallel_fastlsa(
+            a, b, scheme, P=P, k=k, base_cells=4096, overhead=OVERHEAD
+        )
+        rows.append(
+            {
+                "k": k,
+                "u_v": f"{rep.u}x{rep.v}",
+                "speedup": round(rep.speedup, 2),
+                "efficiency": round(rep.efficiency, 3),
+                "seq_ratio": round(rep.seq_time / (len(a) * len(b)), 3),
+                "regions": rep.n_regions,
+            }
+        )
+    report("f11_parallel_k", rows,
+           title=f"F11: speedup vs k ({N}x{N}, P={P}, overhead={OVERHEAD})")
+    speedups = {r["k"]: r["speedup"] for r in rows}
+    # Every configuration still parallelises usefully...
+    assert min(speedups.values()) > 2.0
+    # ...and the best k beats the extremes (the paper's trade-off).
+    best = max(speedups.values())
+    assert best >= speedups[K_VALUES[0]]
+    assert best >= speedups[K_VALUES[-1]]
+
+
+@pytest.mark.parametrize("k", [2, 6])
+def test_bench_parallel_k(benchmark, k):
+    scheme = default_scheme()
+    a, b = bench_pair(scale(512, 2048))
+    benchmark.pedantic(
+        simulated_parallel_fastlsa, args=(a, b, scheme),
+        kwargs={"P": P, "k": k, "base_cells": 4096}, rounds=2, iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""Experiment F13 — the three wavefront phases (paper Figure 13).
+
+Reproduces the paper's exact example configuration — ``P = 8``, ``k = 6``,
+``u = 2``, ``v = 3`` (so ``R = 12``, ``C = 18``) — and checks the Section
+5.1 accounting: ramp-up computes ``P(P−1)/2`` tiles in ``P−1`` stages,
+the steady phase at least ``R·C − P² + P`` tiles (Eq. 29), and the
+simulated makespan respects the per-phase bounds summed into Eq. 31.
+"""
+
+import pytest
+
+from repro.core import Grid
+from repro.core.fastlsa import initial_problem
+from repro.parallel import (
+    build_fill_tiles,
+    pfillcache_time,
+    phase_model,
+    simulate_schedule,
+    three_phases,
+)
+
+from common import default_scheme, report, scale
+
+M = N = scale(1200, 9600)
+P, K, U, V = 8, 6, 2, 3
+
+
+@pytest.fixture(scope="module")
+def fill_tiles():
+    grid = Grid(initial_problem(M, N, default_scheme()), K, affine=False)
+    return build_fill_tiles(grid, U, V)
+
+
+def test_report_f13(fill_tiles):
+    tg = fill_tiles
+    measured = three_phases(tg, P)
+    model = phase_model(M, N, K, P, U, V)
+    sim = simulate_schedule(tg, P)
+    rows = [
+        {"quantity": "total tiles", "measured": measured.total_tiles,
+         "paper_model": model.total_tiles},
+        {"quantity": "ramp-up tiles", "measured": measured.ramp_up_tiles,
+         "paper_model": model.ramp_up_tiles},
+        {"quantity": "ramp-up stages", "measured": measured.ramp_up_stages,
+         "paper_model": P - 1},
+        {"quantity": "steady tiles", "measured": measured.steady_tiles,
+         "paper_model": f">= {model.steady_tiles}"},
+        {"quantity": "ramp-down stages", "measured": measured.ramp_down_stages,
+         "paper_model": f"<= {P - 1}"},
+        {"quantity": "makespan (cells)", "measured": int(sim.makespan),
+         "paper_model": f"<= {int(model.total_bound)} (Eq.31)"},
+    ]
+    report("f13_three_phases", rows,
+           title=f"F13: three phases, P={P} k={K} u={U} v={V} (R=12, C=18)")
+    assert measured.total_tiles == 12 * 18 - U * V
+    assert measured.ramp_up_tiles == P * (P - 1) // 2
+    assert measured.ramp_up_stages == P - 1
+    assert measured.steady_tiles >= model.steady_tiles - U * V
+    assert measured.ramp_down_stages <= P - 1 + 2
+    assert sim.makespan <= model.total_bound * 1.01
+    assert sim.makespan <= pfillcache_time(M, N, P, 12, 18) * 1.01
+
+
+def test_bench_phase_analysis(benchmark, fill_tiles):
+    benchmark(three_phases, fill_tiles, P)

@@ -1,0 +1,64 @@
+"""Experiment F14 — threaded executor sanity (real threads, this host).
+
+This container has a single CPU core, so the ThreadPool wavefront cannot
+show physical speedup (DESIGN.md §3); what it must show is (a)
+bit-identical results to the sequential algorithm, and (b) bounded
+dispatch overhead.  On a multi-core machine the same code parallelises
+for free.
+"""
+
+import pytest
+
+from repro.core import fastlsa
+from repro.parallel import parallel_fastlsa
+
+from common import bench_pair, default_scheme, report, scale
+
+N = scale(768, 4096)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    a, b = bench_pair(N)
+    return a, b, default_scheme()
+
+
+def test_report_f14(setup):
+    a, b, scheme = setup
+    seq = fastlsa(a, b, scheme, k=4, base_cells=16 * 1024)
+    rows = [
+        {
+            "variant": "sequential",
+            "P": 1,
+            "wall_s": round(seq.stats.wall_time, 4),
+            "score": seq.score,
+            "identical": True,
+        }
+    ]
+    for P in (1, 2, 4):
+        par = parallel_fastlsa(a, b, scheme, P=P, k=4, base_cells=16 * 1024)
+        rows.append(
+            {
+                "variant": "threaded",
+                "P": P,
+                "wall_s": round(par.stats.wall_time, 4),
+                "score": par.score,
+                "identical": par.gapped_a == seq.gapped_a and par.score == seq.score,
+            }
+        )
+    report("f14_threaded", rows,
+           title=f"F14: threaded executor on this host (1 physical core), {N}x{N}")
+    assert all(r["identical"] for r in rows)
+    # Dispatch overhead stays within an order of magnitude of sequential.
+    seq_t = rows[0]["wall_s"]
+    for row in rows[1:]:
+        assert row["wall_s"] < 10 * seq_t + 0.5, row
+
+
+@pytest.mark.parametrize("P", [1, 4])
+def test_bench_threaded(benchmark, setup, P):
+    a, b, scheme = setup
+    benchmark.pedantic(
+        parallel_fastlsa, args=(a, b, scheme),
+        kwargs={"P": P, "k": 4, "base_cells": 16 * 1024}, rounds=2, iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Experiment F7 — tile wavefront structure (paper Figure 7).
+
+Validates the wavefront decomposition itself: anti-diagonal line sizes,
+independence of tiles within a line, the skipped bottom-right block, and
+the dependency-correctness of the greedy schedule.
+"""
+
+import pytest
+
+from repro.core import Grid
+from repro.core.fastlsa import initial_problem
+from repro.parallel import build_fill_tiles, list_schedule
+
+from common import default_scheme, report
+
+
+@pytest.fixture(scope="module")
+def fill_tiles():
+    grid = Grid(initial_problem(600, 600, default_scheme()), 6, affine=False)
+    return build_fill_tiles(grid, 2, 3)  # paper's u=2, v=3 at k=6
+
+
+def test_report_f7(fill_tiles):
+    tg = fill_tiles
+    lines = tg.wavefront_lines()
+    rows = [
+        {
+            "wavefront_line": i,
+            "tiles": len(line),
+            "first_tile": str(line[0]),
+            "cells": sum(tg[t].cells for t in line),
+        }
+        for i, line in enumerate(lines)
+    ]
+    report("f7_wavefront_structure", rows[:30],
+           title=f"F7: wavefront lines, R={tg.R} C={tg.C} "
+                 f"(bottom-right {len(tg.skip)} tiles skipped)")
+    # Structural checks.
+    assert tg.R == 12 and tg.C == 18  # k*u x k*v
+    assert len(tg.skip) == 2 * 3
+    assert sum(len(l) for l in lines) == 12 * 18 - 6
+    # Line sizes ramp 1, 2, 3, ... at the start.
+    assert [len(l) for l in lines[:4]] == [1, 2, 3, 4]
+
+
+def test_schedule_respects_dependencies(fill_tiles):
+    _, spans = list_schedule(fill_tiles, 8, lambda t: float(fill_tiles[t].cells))
+    for tid, (start, _) in spans.items():
+        for dep in fill_tiles.dependencies(tid):
+            assert spans[dep][1] <= start
+
+
+def test_bench_schedule_construction(benchmark, fill_tiles):
+    """Scheduler throughput on the F7 tile graph."""
+    benchmark(list_schedule, fill_tiles, 8, lambda t: 1.0)

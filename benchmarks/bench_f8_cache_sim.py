@@ -1,0 +1,56 @@
+"""Experiment F8 — memory-caching effects (paper Section 4 claim).
+
+"Our experiments show that, in practice, due to memory caching effects,
+FastLSA is always as fast or faster than Hirschberg and the FM
+algorithms."  Reproduced machine-independently with the trace-driven cache
+simulator: the FM algorithm's dense matrix streams through the cache
+(≈ every written line misses once the matrix exceeds capacity) while
+FastLSA's rolling rows + grid lines + reused base buffer stay largely
+resident.
+"""
+
+import pytest
+
+from repro.memsim import CacheConfig, compare_algorithms
+
+from common import report, scale
+
+#: A small L2-like cache: 2048 cells ≈ 16 KiB of int64 DP entries.
+CACHE = CacheConfig(capacity_cells=2048, line_cells=8, assoc=8)
+SIZES = scale((32, 64, 96, 160, 256), (32, 64, 128, 256, 512, 768))
+
+
+def test_report_f8():
+    rows = []
+    for n in SIZES:
+        for row in compare_algorithms(n, n, CACHE, k=4, base_cells=1024):
+            row["miss_rate"] = round(row["miss_rate"], 4)
+            row["time"] = round(row["time"], 1)
+            rows.append(row)
+    report("f8_cache_sim", rows,
+           title="F8: simulated cache behaviour (cache = 2048 cells, line = 8)")
+    by_key = {(r["algorithm"], r["n"]): r for r in rows}
+    # Once the dense matrix clearly exceeds the cache, FastLSA's modelled
+    # time never loses.  (Right at the boundary the k = 4 grid overhead is
+    # not yet amortised — the paper tunes k to the cache; see F6.)
+    for n in SIZES:
+        if (n + 1) * (n + 1) > 4 * CACHE.capacity_cells:
+            fl = by_key[("fastlsa", n)]["time"]
+            assert fl <= by_key[("full-matrix", n)]["time"] * 1.02, n
+            assert fl <= by_key[("hirschberg", n)]["time"] * 1.02, n
+    # FM's miss rate rises with problem size; FastLSA's stays low.
+    fm_rates = [by_key[("full-matrix", n)]["miss_rate"] for n in SIZES]
+    assert fm_rates[-1] > fm_rates[0]
+    assert by_key[("fastlsa", SIZES[-1])]["miss_rate"] < fm_rates[-1] / 4
+
+
+@pytest.mark.parametrize("algorithm", ["full-matrix", "hirschberg", "fastlsa"])
+def test_bench_trace(benchmark, algorithm):
+    """Simulator throughput per algorithm trace."""
+    from repro.memsim import run_cache_experiment
+
+    n = scale(128, 512)
+    benchmark.pedantic(
+        run_cache_experiment, args=(algorithm, n, n, CACHE),
+        kwargs={"k": 4, "base_cells": 1024}, rounds=2, iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""Experiment F9 — Parallel FastLSA speedup vs processors (Section 6).
+
+"Parallel FastLSA exhibits good speedups, almost linear for 8 processors
+or less."  Run on the deterministic simulated machine (this container has
+one core — DESIGN.md §3): the real alignment executes once per
+configuration while its FillCache / Base-Case tile DAGs are scheduled on
+``P`` simulated workers.
+"""
+
+import pytest
+
+from repro.parallel import simulated_parallel_fastlsa
+
+from common import bench_pair, default_scheme, report, scale
+
+SIZES = scale((512, 1024, 2048), (2048, 8192, 16384))
+PROCS = (1, 2, 4, 8, 16)
+K = 6
+# Zero dispatch overhead: the pure algorithmic shape (Theorem 4's setting).
+# F10 studies the overhead/efficiency interaction explicitly.
+OVERHEAD = 0
+
+
+def test_report_f9():
+    scheme = default_scheme()
+    rows = []
+    for n in SIZES:
+        a, b = bench_pair(n)
+        for P in PROCS:
+            al, rep = simulated_parallel_fastlsa(
+                a, b, scheme, P=P, k=K, base_cells=16 * 1024, overhead=OVERHEAD
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "P": P,
+                    "speedup": round(rep.speedup, 2),
+                    "efficiency": round(rep.efficiency, 3),
+                    "regions": rep.n_regions,
+                    "score": al.score,
+                }
+            )
+    report("f9_speedup", rows,
+           title=f"F9: simulated Parallel FastLSA speedup (k={K}, overhead={OVERHEAD})")
+    by = {(r["n"], r["P"]): r for r in rows}
+    largest = SIZES[-1]
+    # Paper shape: almost linear up to 8 processors on large problems.
+    assert by[(largest, 8)]["speedup"] >= 0.75 * 8
+    assert by[(largest, 2)]["speedup"] >= 0.9 * 2
+    # Monotone in P for every size.
+    for n in SIZES:
+        sp = [by[(n, P)]["speedup"] for P in PROCS]
+        assert sp == sorted(sp), (n, sp)
+    # Sub-linear at 16 (the paper's speedups flatten beyond 8).
+    assert by[(largest, 16)]["efficiency"] <= by[(largest, 8)]["efficiency"] + 0.02
+
+
+@pytest.mark.parametrize("P", [1, 8])
+def test_bench_simulated_run(benchmark, P):
+    scheme = default_scheme()
+    a, b = bench_pair(SIZES[0])
+    benchmark.pedantic(
+        simulated_parallel_fastlsa, args=(a, b, scheme),
+        kwargs={"P": P, "k": K, "base_cells": 16 * 1024}, rounds=2, iterations=1,
+    )

@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module reproduces one table or figure of the paper (see
+DESIGN.md §4 for the experiment index).  Conventions:
+
+* pytest-benchmark functions measure wall time of the interesting kernels;
+* ``report`` tests print the paper-shaped rows (written through
+  :func:`emit`, which bypasses pytest's capture so the tables appear in
+  ``pytest benchmarks/ --benchmark-only`` output) and persist them as JSON
+  under ``results/`` via :class:`repro.analysis.ExperimentRecorder`;
+* sizes default to CI-scale; set ``REPRO_BENCH_SCALE=full`` for the
+  paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.analysis import ExperimentRecorder, format_rows
+from repro.scoring import ScoringScheme, dna_simple, linear_gap
+from repro.workloads import dna_pair
+
+#: Directory benchmark rows are persisted into.
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", os.path.join(os.path.dirname(__file__), "..", "results"))
+
+#: "ci" keeps every experiment under a few seconds; "full" approaches the
+#: paper's problem sizes.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+
+def scale(ci_value, full_value):
+    """Pick a parameter by benchmark scale."""
+    return full_value if SCALE == "full" else ci_value
+
+
+def emit(text: str) -> None:
+    """Print bypassing pytest capture so tables land in the tee'd log."""
+    print(text, file=sys.__stdout__, flush=True)
+    print(text)
+
+
+def default_scheme() -> ScoringScheme:
+    """The scheme used by most benchmarks: DNA +5/−4, linear gap −6
+    (linear to match the paper's experimental setting)."""
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+def bench_pair(length: int, seed: int = 42, divergence: float = 0.25):
+    """A deterministic homologous DNA pair for timing runs."""
+    return dna_pair(length, divergence=divergence, seed=seed)
+
+
+def recorder(experiment: str) -> ExperimentRecorder:
+    """Experiment recorder writing into the shared results directory."""
+    return ExperimentRecorder(experiment, out_dir=RESULTS_DIR)
+
+
+def report(experiment: str, rows, columns=None, title=None) -> None:
+    """Print rows as a table and persist them as JSON."""
+    rec = recorder(experiment)
+    rec.extend(rows)
+    path = rec.save()
+    emit("")
+    emit(format_rows(rows, columns=columns, title=title or experiment))
+    emit(f"[saved {len(rows)} rows -> {path}]")

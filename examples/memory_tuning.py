@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Tuning FastLSA's k to the memory hierarchy (the paper's case study).
+
+Walks one alignment problem across memory budgets — from "barely linear
+space" to "dense matrix fits" — showing how the planner moves k and the
+base-case buffer, how measured peak memory obeys every budget, and how the
+operations ratio approaches 1 as memory grows.  Finishes with the cache
+simulator's view of why the tuned configuration wins on real machines.
+
+Run:  python examples/memory_tuning.py
+"""
+
+from repro import ScoringScheme, dna_simple, linear_gap
+from repro.analysis import format_rows
+from repro.core import fastlsa
+from repro.core.planner import plan_alignment
+from repro.memsim import CacheConfig, compare_algorithms
+from repro.workloads import dna_pair
+
+
+def main() -> None:
+    n = 3000
+    a, b = dna_pair(n, divergence=0.2, seed=5)
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    mn = len(a) * len(b)
+
+    rows = []
+    budgets = [30_000, 100_000, 400_000, 2_000_000, 12_000_000]
+    for budget in budgets:
+        plan = plan_alignment(len(a), len(b), budget)
+        result = fastlsa(a, b, scheme, config=plan.config)
+        rows.append(
+            {
+                "budget_MB": round(budget * 8 / 1e6, 2),
+                "method": plan.method,
+                "k": plan.config.k,
+                "ops_ratio": round(result.stats.cells_computed / mn, 3),
+                "peak_MB": round(result.stats.peak_cells_resident * 8 / 1e6, 2),
+                "within": result.stats.peak_cells_resident <= budget,
+                "wall_s": round(result.stats.wall_time, 3),
+            }
+        )
+        assert result.stats.peak_cells_resident <= budget
+    print(format_rows(rows, title=f"Adaptive space/time trade-off, {n}x{n}"))
+
+    print("\nWhy tuning matters on real hardware (trace-driven cache sim,")
+    print("16 KiB cache, 64 B lines):")
+    cache = CacheConfig(capacity_cells=2048, line_cells=8, assoc=8)
+    sim_rows = compare_algorithms(256, 256, cache, k=4, base_cells=1024)
+    for r in sim_rows:
+        r["miss_rate"] = round(r["miss_rate"], 4)
+        r["time"] = round(r["time"], 0)
+    print(format_rows(sim_rows, title="256x256 problem vs 2048-cell cache"))
+    times = {r["algorithm"]: r["time"] for r in sim_rows}
+    assert times["fastlsa"] <= min(times.values()) * 1.02
+    print("\nFastLSA's tunable working set stays cache-resident — the")
+    print("paper's 'always as fast or faster' caching effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Multiple sequence alignment and profile search with FastLSA.
+
+Uses the library's MSA subpackage:
+
+1. align a family of homologous sequences with the **center-star** method
+   (all-pairs FindScore sweeps pick the center, FastLSA aligns everyone
+   to it, gaps merge under once-a-gap-always-a-gap);
+2. build a **profile** (PSSM) from the MSA;
+3. scan a mixed set of candidates against the profile — family members
+   score far above strangers.
+
+Run:  python examples/multiple_alignment.py
+"""
+
+import numpy as np
+
+from repro import ScoringScheme, dna_simple, linear_gap
+from repro.msa import align_to_profile, build_profile, center_star_msa
+from repro.workloads import evolve, random_sequence
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+
+    # A family: one ancestor, five descendants of varying divergence.
+    ancestor = random_sequence(120, "ACGT", rng, name="ancestor")
+    family = [ancestor] + [
+        evolve(ancestor, sub_rate=0.05 + 0.05 * i, indel_rate=0.03,
+               rng=rng, alphabet="ACGT", name=f"desc-{i}")
+        for i in range(1, 6)
+    ]
+    print(f"Family of {len(family)} sequences, lengths {[len(s) for s in family]}")
+
+    # ------------------------------------------------------------------
+    # 1. Center-star MSA.
+    # ------------------------------------------------------------------
+    msa = center_star_msa(family, scheme, k=4)
+    print(f"Center: {msa.sequences[msa.center_index].name}")
+    print(f"\nMultiple alignment ({len(msa)} sequences x {msa.width} columns):\n")
+    print(msa.format(width=72))
+    conserved = msa.conserved_columns()
+    print(f"\nFully conserved columns: {conserved}/{msa.width} "
+          f"({conserved / msa.width:.0%})")
+    print(f"Sum-of-pairs score: {msa.sum_of_pairs_score(scheme):,}")
+
+    # ------------------------------------------------------------------
+    # 2. Profile from the MSA.
+    # ------------------------------------------------------------------
+    profile = build_profile(msa, scheme)
+    print(f"\nProfile: {profile.width} columns; consensus starts "
+          f"{profile.consensus()[:40]}...")
+
+    # ------------------------------------------------------------------
+    # 3. Profile search over family members and strangers.
+    # ------------------------------------------------------------------
+    candidates = [
+        ("new family member",
+         evolve(ancestor, sub_rate=0.12, indel_rate=0.03, rng=rng,
+                alphabet="ACGT", name="new-member")),
+        ("distant cousin",
+         evolve(ancestor, sub_rate=0.35, indel_rate=0.05, rng=rng,
+                alphabet="ACGT", name="cousin")),
+        ("unrelated", random_sequence(120, "ACGT", rng, name="stranger")),
+    ]
+    print(f"\n{'candidate':20} {'profile score':>14}")
+    scores = {}
+    for label, seq in candidates:
+        res = align_to_profile(seq, profile, scheme)
+        scores[label] = res.score
+        print(f"{label:20} {res.score:14d}")
+    assert scores["new family member"] > scores["distant cousin"] > scores["unrelated"]
+    print("\nProfile search separates the family from the background.")
+
+
+if __name__ == "__main__":
+    main()

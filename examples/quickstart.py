@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: align two sequences with FastLSA and inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ScoringScheme,
+    align,
+    blosum62,
+    check_alignment,
+    format_alignment,
+    linear_gap,
+    paper_scheme,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The paper's worked example: Table 1 scoring, gap -10, score 82.
+    # ------------------------------------------------------------------
+    scheme = paper_scheme()
+    result = align("TLDKLLKD", "TDVLKAD", scheme)  # FastLSA by default
+    print("Paper worked example:")
+    print(format_alignment(result, scheme=scheme))
+    assert result.score == 82, "the paper's optimal score"
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Protein alignment with a standard matrix.
+    # ------------------------------------------------------------------
+    protein = ScoringScheme(blosum62(), linear_gap(-8))
+    result = align("HEAGAWGHEE", "PAWHEAE", protein, method="fastlsa", k=4)
+    print("BLOSUM62 example:")
+    print(format_alignment(result, scheme=protein))
+    ok, msg = check_alignment(result, protein)
+    assert ok, msg
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Same problem, three algorithms: identical optimal scores,
+    #    different space/time profiles.
+    # ------------------------------------------------------------------
+    a = "ACGTACGTGATTACAACGTACGT" * 20
+    b = "ACGTACGTCATTACAACCTACGT" * 20
+    from repro import dna_simple
+
+    dna = ScoringScheme(dna_simple(), linear_gap(-6))
+    print(f"{'method':18} {'score':>7} {'cells':>10} {'peak cells':>10}")
+    for method in ("needleman-wunsch", "hirschberg", "fastlsa"):
+        r = align(a, b, dna, method=method)
+        print(
+            f"{method:18} {r.score:7d} {r.stats.cells_computed:10d} "
+            f"{r.stats.peak_cells_resident:10d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` (or plain `python setup.py develop`)
+works with this shim even when PEP 660 editable-wheel builds are
+unavailable offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Sequences, paths, alignments, FASTA I/O, formatting and validation."""
+
+from .sequence import Sequence, as_sequence
+from .path import AlignmentPath, Layer, Move, PathBuilder, moves_of
+from .alignment import GAP, Alignment, AlignmentStats, alignment_from_path
+from .fasta import format_fasta, parse_fasta, read_fasta, write_fasta
+from .format import format_alignment, format_dpm
+from .validate import check_alignment, check_path_bounds, score_alignment, score_gapped
+from .cigar import cigar_operations, from_cigar, to_cigar
+from .edit_distance import edit_distance, edit_distance_alignment, unit_cost_scheme
+
+__all__ = [
+    "Sequence",
+    "as_sequence",
+    "AlignmentPath",
+    "Layer",
+    "Move",
+    "PathBuilder",
+    "moves_of",
+    "GAP",
+    "Alignment",
+    "AlignmentStats",
+    "alignment_from_path",
+    "read_fasta",
+    "parse_fasta",
+    "write_fasta",
+    "format_fasta",
+    "format_alignment",
+    "format_dpm",
+    "check_alignment",
+    "check_path_bounds",
+    "score_alignment",
+    "score_gapped",
+    "to_cigar",
+    "from_cigar",
+    "cigar_operations",
+    "edit_distance",
+    "edit_distance_alignment",
+    "unit_cost_scheme",
+]

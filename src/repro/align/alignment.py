@@ -1,0 +1,190 @@
+"""Alignment data model.
+
+An :class:`Alignment` is the user-facing result: the two gapped strings, the
+score, the path that produced them, and execution statistics.  Alignments
+can be built from a path plus the original sequences, or directly from
+gapped strings (e.g. when parsing external data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import AlignmentError
+from .path import AlignmentPath, Move
+from .sequence import Sequence, as_sequence
+
+__all__ = ["GAP", "Alignment", "AlignmentStats", "alignment_from_path"]
+
+#: The gap character used in gapped strings.
+GAP = "-"
+
+
+@dataclass
+class AlignmentStats:
+    """Execution statistics attached to an alignment result.
+
+    All counters are optional; algorithms fill in what they measure.
+
+    Attributes
+    ----------
+    cells_computed:
+        Total DP cells evaluated, including recomputation.  For an FM
+        algorithm this is ``m*n``; Hirschberg ≈ ``2*m*n``; FastLSA between
+        the two depending on ``k`` (the paper's central trade-off).
+    peak_cells_resident:
+        Peak number of DP cells simultaneously held in memory (the space
+        side of the trade-off).
+    base_case_cells:
+        Cells solved inside full-matrix base cases.
+    recursion_depth:
+        Maximum FastLSA recursion depth reached.
+    subproblems:
+        Number of recursive FastLSA invocations.
+    wall_time:
+        Seconds of wall-clock time, when measured by the driver.
+    """
+
+    cells_computed: int = 0
+    peak_cells_resident: int = 0
+    base_case_cells: int = 0
+    recursion_depth: int = 0
+    subproblems: int = 0
+    wall_time: float = 0.0
+
+    def merge(self, other: "AlignmentStats") -> None:
+        """Accumulate counters from ``other`` (max for peaks/depths)."""
+        self.cells_computed += other.cells_computed
+        self.base_case_cells += other.base_case_cells
+        self.subproblems += other.subproblems
+        self.peak_cells_resident = max(self.peak_cells_resident, other.peak_cells_resident)
+        self.recursion_depth = max(self.recursion_depth, other.recursion_depth)
+        self.wall_time += other.wall_time
+
+
+@dataclass
+class Alignment:
+    """A scored pairwise alignment.
+
+    Attributes
+    ----------
+    seq_a, seq_b:
+        The original (ungapped) sequences; ``seq_a`` indexes DPM rows.
+    gapped_a, gapped_b:
+        Equal-length strings over ``alphabet + '-'`` realising the
+        alignment.
+    score:
+        The alignment score claimed by the producing algorithm.
+    path:
+        The DP path, when the algorithm produced one.
+    algorithm:
+        Name of the producing algorithm ("fastlsa", "hirschberg", ...).
+    stats:
+        Execution statistics.
+    """
+
+    seq_a: Sequence
+    seq_b: Sequence
+    gapped_a: str
+    gapped_b: str
+    score: int
+    path: Optional[AlignmentPath] = None
+    algorithm: str = ""
+    stats: AlignmentStats = field(default_factory=AlignmentStats)
+
+    def __post_init__(self) -> None:
+        if len(self.gapped_a) != len(self.gapped_b):
+            raise AlignmentError(
+                f"gapped strings differ in length: {len(self.gapped_a)} vs {len(self.gapped_b)}"
+            )
+        if self.gapped_a.replace(GAP, "") != self.seq_a.text:
+            raise AlignmentError("gapped_a does not spell seq_a after removing gaps")
+        if self.gapped_b.replace(GAP, "") != self.seq_b.text:
+            raise AlignmentError("gapped_b does not spell seq_b after removing gaps")
+        for ca, cb in zip(self.gapped_a, self.gapped_b):
+            if ca == GAP and cb == GAP:
+                raise AlignmentError("alignment column aligns a gap with a gap")
+
+    def __len__(self) -> int:
+        """Number of alignment columns."""
+        return len(self.gapped_a)
+
+    @property
+    def num_matches(self) -> int:
+        """Columns where both symbols are present and identical."""
+        return sum(
+            1 for a, b in zip(self.gapped_a, self.gapped_b) if a == b and a != GAP
+        )
+
+    @property
+    def num_mismatches(self) -> int:
+        """Columns with two differing (non-gap) symbols."""
+        return sum(
+            1
+            for a, b in zip(self.gapped_a, self.gapped_b)
+            if a != b and a != GAP and b != GAP
+        )
+
+    @property
+    def num_gap_columns(self) -> int:
+        """Columns containing a gap symbol."""
+        return sum(1 for a, b in zip(self.gapped_a, self.gapped_b) if a == GAP or b == GAP)
+
+    @property
+    def identity(self) -> float:
+        """Fraction of columns that are identical matches."""
+        return self.num_matches / len(self.gapped_a) if self.gapped_a else 1.0
+
+    def columns(self):
+        """Iterate alignment columns as ``(a_char, b_char)`` pairs."""
+        return zip(self.gapped_a, self.gapped_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Alignment({self.seq_a.name}/{self.seq_b.name}, score={self.score}, "
+            f"columns={len(self.gapped_a)}, algorithm={self.algorithm!r})"
+        )
+
+
+def alignment_from_path(
+    seq_a, seq_b, path: AlignmentPath, score: int, algorithm: str = "",
+    stats: Optional[AlignmentStats] = None,
+) -> Alignment:
+    """Materialise gapped strings from a complete DP path.
+
+    The path must span ``(0, 0) → (len(a), len(b))``.
+    """
+    a = as_sequence(seq_a, "a")
+    b = as_sequence(seq_b, "b")
+    if not path.is_complete(len(a), len(b)):
+        raise AlignmentError(
+            f"path spans {path.start}..{path.end}, expected (0, 0)..({len(a)}, {len(b)})"
+        )
+    ga: list[str] = []
+    gb: list[str] = []
+    i = j = 0
+    for move in path.moves():
+        if move is Move.DIAG:
+            ga.append(a.text[i])
+            gb.append(b.text[j])
+            i += 1
+            j += 1
+        elif move is Move.DOWN:
+            ga.append(a.text[i])
+            gb.append(GAP)
+            i += 1
+        else:  # RIGHT
+            ga.append(GAP)
+            gb.append(b.text[j])
+            j += 1
+    return Alignment(
+        seq_a=a,
+        seq_b=b,
+        gapped_a="".join(ga),
+        gapped_b="".join(gb),
+        score=int(score),
+        path=path,
+        algorithm=algorithm,
+        stats=stats or AlignmentStats(),
+    )

@@ -1,0 +1,92 @@
+"""CIGAR conversion for alignments.
+
+CIGAR strings are the standard compact encoding of pairwise alignments
+(SAM/BAM convention): run-length-encoded operations where, reading the
+*row* sequence as the query,
+
+* ``M`` — alignment column with both residues (match or mismatch;
+  ``=``/``X`` distinguish them in extended mode),
+* ``I`` — insertion to the query (gap in the column sequence → DOWN move),
+* ``D`` — deletion from the query (gap in the row sequence → RIGHT move).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from ..errors import AlignmentError
+from .alignment import GAP, Alignment
+from .path import AlignmentPath, Move
+from .sequence import as_sequence
+
+__all__ = ["to_cigar", "from_cigar", "cigar_operations"]
+
+_CIGAR_RE = re.compile(r"(\d+)([MIDX=])")
+
+#: Move → CIGAR op (basic mode).
+_OP_OF_MOVE = {Move.DIAG: "M", Move.DOWN: "I", Move.RIGHT: "D"}
+
+
+def cigar_operations(alignment: Alignment, extended: bool = False) -> List[Tuple[int, str]]:
+    """Run-length operation list of an alignment.
+
+    With ``extended=True``, diagonal columns split into ``=`` (identical)
+    and ``X`` (substitution) instead of plain ``M``.
+    """
+    ops: List[Tuple[int, str]] = []
+    for ca, cb in alignment.columns():
+        if ca == GAP:
+            op = "D"
+        elif cb == GAP:
+            op = "I"
+        elif extended:
+            op = "=" if ca == cb else "X"
+        else:
+            op = "M"
+        if ops and ops[-1][1] == op:
+            ops[-1] = (ops[-1][0] + 1, op)
+        else:
+            ops.append((1, op))
+    return ops
+
+
+def to_cigar(alignment: Alignment, extended: bool = False) -> str:
+    """Render an alignment as a CIGAR string (``8M2I12M`` style)."""
+    return "".join(f"{n}{op}" for n, op in cigar_operations(alignment, extended))
+
+
+def from_cigar(seq_a, seq_b, cigar: str, score: int = 0, algorithm: str = "cigar") -> Alignment:
+    """Reconstruct an :class:`Alignment` from sequences plus a CIGAR.
+
+    Accepts ``M``, ``=``, ``X``, ``I`` and ``D`` operations; the operation
+    lengths must exactly consume both sequences.
+    """
+    a = as_sequence(seq_a, "a")
+    b = as_sequence(seq_b, "b")
+    consumed = _CIGAR_RE.sub("", cigar)
+    if consumed:
+        raise AlignmentError(f"invalid CIGAR {cigar!r}: unparsed {consumed!r}")
+    points = [(0, 0)]
+    i = j = 0
+    for count_s, op in _CIGAR_RE.findall(cigar):
+        count = int(count_s)
+        if count < 1:
+            raise AlignmentError(f"invalid CIGAR run length in {cigar!r}")
+        for _ in range(count):
+            if op in ("M", "=", "X"):
+                i += 1
+                j += 1
+            elif op == "I":
+                i += 1
+            else:  # D
+                j += 1
+            points.append((i, j))
+    if i != len(a) or j != len(b):
+        raise AlignmentError(
+            f"CIGAR consumes ({i}, {j}) residues; sequences have "
+            f"({len(a)}, {len(b)})"
+        )
+    from .alignment import alignment_from_path
+
+    return alignment_from_path(a, b, AlignmentPath(points), score, algorithm=algorithm)

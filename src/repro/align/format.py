@@ -1,0 +1,101 @@
+"""Human-readable rendering of alignments and DP matrices.
+
+``format_alignment`` produces the classic two-row view with a match line
+(``*`` under identical columns, matching the paper's Section 1 examples).
+``format_dpm`` renders a small dynamic-programming matrix in the style of
+Figure 1, with the optimal path marked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .alignment import GAP, Alignment
+from .path import AlignmentPath
+
+__all__ = ["format_alignment", "format_dpm", "MATCH_CHAR", "SIMILAR_CHAR"]
+
+#: Marker placed under identical alignment columns (paper uses ``*``).
+MATCH_CHAR = "*"
+#: Marker placed under positively-scoring non-identical columns.
+SIMILAR_CHAR = "+"
+
+
+def format_alignment(
+    alignment: Alignment,
+    width: int = 60,
+    scheme=None,
+    show_header: bool = True,
+) -> str:
+    """Render an alignment as wrapped two-row blocks with a match line.
+
+    When a ``scheme`` is given, non-identical pairs with positive similarity
+    (e.g. L/V under the Dayhoff table) are marked with ``+``.
+    """
+    lines: list[str] = []
+    if show_header:
+        lines.append(
+            f"# {alignment.seq_a.name} x {alignment.seq_b.name}  "
+            f"score={alignment.score}  columns={len(alignment)}  "
+            f"identity={alignment.identity:.1%}  algorithm={alignment.algorithm or '?'}"
+        )
+    marks = []
+    for ca, cb in alignment.columns():
+        if ca == cb and ca != GAP:
+            marks.append(MATCH_CHAR)
+        elif (
+            scheme is not None
+            and ca != GAP
+            and cb != GAP
+            and scheme.score_pair(ca, cb) > 0
+        ):
+            marks.append(SIMILAR_CHAR)
+        else:
+            marks.append(" ")
+    mark_line = "".join(marks)
+    a, b = alignment.gapped_a, alignment.gapped_b
+    for start in range(0, len(a), width):
+        stop = min(start + width, len(a))
+        lines.append(a[start:stop])
+        lines.append(b[start:stop])
+        lines.append(mark_line[start:stop])
+        if stop < len(a):
+            lines.append("")
+    return "\n".join(lines)
+
+
+def format_dpm(
+    matrix: np.ndarray,
+    row_labels: str,
+    col_labels: str,
+    path: Optional[AlignmentPath] = None,
+    cell_width: int = 6,
+) -> str:
+    """Render a full DP matrix in Figure-1 style.
+
+    ``matrix`` is the ``(m+1) × (n+1)`` score matrix; ``row_labels`` /
+    ``col_labels`` are the sequences (length ``m`` / ``n``).  Entries on
+    ``path`` are suffixed with ``*``.
+    """
+    m1, n1 = matrix.shape
+    if len(row_labels) != m1 - 1 or len(col_labels) != n1 - 1:
+        raise ValueError(
+            f"labels ({len(row_labels)}, {len(col_labels)}) do not match matrix shape {matrix.shape}"
+        )
+    on_path = set(path.points) if path is not None else set()
+
+    def cell(i: int, j: int) -> str:
+        text = str(int(matrix[i, j]))
+        if (i, j) in on_path:
+            text += "*"
+        return text.rjust(cell_width)
+
+    header = " " * (cell_width + 2)
+    header += "".join((" " * (cell_width - 1) + c) for c in (" " + col_labels))
+    lines = [header]
+    for i in range(m1):
+        label = " " if i == 0 else row_labels[i - 1]
+        lines.append(f"{label} " + "".join(cell(i, j) for j in range(n1)))
+    return "\n".join(lines)

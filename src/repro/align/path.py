@@ -1,0 +1,170 @@
+"""Dynamic-programming paths through the logical DPM.
+
+A *path* is the object FastLSA threads through its recursion: an ordered
+sequence of DPM entries ``(i, j)`` with ``0 <= i <= m`` and ``0 <= j <= n``,
+each consecutive pair differing by exactly one DP move.  Paths are built
+**backwards** (bottom-right towards top-left, the direction FindPath works
+in) and finalised into forward order for consumption.
+
+For affine gap models the head of a partial path additionally carries the
+Gotoh *layer* it is currently in (``H`` main, ``E`` horizontal-gap, ``F``
+vertical-gap) so that a traceback interrupted at a sub-problem boundary can
+resume mid-gap.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable, Iterator, List, Sequence as Seq, Tuple
+
+from ..errors import PathError
+
+__all__ = ["Layer", "Move", "PathBuilder", "AlignmentPath", "moves_of"]
+
+Point = Tuple[int, int]
+
+
+class Layer(IntEnum):
+    """Gotoh DP layer of a path head.
+
+    ``H`` is the main (match/mismatch) layer; ``E`` is the horizontal-gap
+    layer (a gap run in the *row* sequence, consuming column symbols); ``F``
+    is the vertical-gap layer.  Linear-gap paths always live in ``H``.
+    """
+
+    H = 0
+    E = 1
+    F = 2
+
+
+class Move(IntEnum):
+    """A single DP step, read in forward (top-left → bottom-right) order."""
+
+    DIAG = 0   # consume one symbol of each sequence (match/mismatch)
+    DOWN = 1   # consume a row symbol, gap in the column sequence
+    RIGHT = 2  # consume a column symbol, gap in the row sequence
+
+
+class PathBuilder:
+    """Mutable backwards path under construction.
+
+    Points are appended in traceback order (decreasing ``i + j``); the
+    *head* is the most recently appended point.  ``finalize()`` produces an
+    immutable forward-ordered :class:`AlignmentPath`.
+    """
+
+    __slots__ = ("_points", "layer")
+
+    def __init__(self, start: Point, layer: Layer = Layer.H) -> None:
+        self._points: List[Point] = [tuple(start)]
+        self.layer = layer
+
+    @property
+    def head(self) -> Point:
+        """The current (up-left-most) endpoint."""
+        return self._points[-1]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, point: Point) -> None:
+        """Extend the path one DP move up/left from the current head."""
+        i, j = point
+        hi, hj = self._points[-1]
+        di, dj = hi - i, hj - j
+        if (di, dj) not in ((1, 1), (1, 0), (0, 1)):
+            raise PathError(
+                f"illegal path step from {self._points[-1]} to {point}: "
+                f"must move up, left, or diagonally by one"
+            )
+        self._points.append((i, j))
+
+    def extend(self, points: Iterable[Point]) -> None:
+        """Append several points in traceback order."""
+        for p in points:
+            self.append(p)
+
+    def finalize(self) -> "AlignmentPath":
+        """Freeze into a forward-ordered immutable path."""
+        return AlignmentPath(tuple(reversed(self._points)))
+
+
+class AlignmentPath:
+    """An immutable forward-ordered DP path.
+
+    The first point is the path origin (``(0, 0)`` for a complete global
+    alignment), the last point the terminus (``(m, n)``).
+    """
+
+    __slots__ = ("_points",)
+
+    def __init__(self, points: Seq[Point]) -> None:
+        pts = tuple((int(i), int(j)) for i, j in points)
+        if not pts:
+            raise PathError("a path must contain at least one point")
+        for (i0, j0), (i1, j1) in zip(pts, pts[1:]):
+            if (i1 - i0, j1 - j0) not in ((1, 1), (1, 0), (0, 1)):
+                raise PathError(
+                    f"illegal path step from {(i0, j0)} to {(i1, j1)}"
+                )
+        self._points = pts
+
+    @property
+    def points(self) -> Tuple[Point, ...]:
+        """The path points in forward order."""
+        return self._points
+
+    @property
+    def start(self) -> Point:
+        """First (top-left-most) point."""
+        return self._points[0]
+
+    @property
+    def end(self) -> Point:
+        """Last (bottom-right-most) point."""
+        return self._points[-1]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    def __getitem__(self, idx):
+        return self._points[idx]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AlignmentPath) and self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def moves(self) -> List[Move]:
+        """Forward move list (length ``len(self) - 1``)."""
+        return moves_of(self._points)
+
+    def is_complete(self, m: int, n: int) -> bool:
+        """Whether the path spans the full ``(0,0) → (m,n)`` DPM."""
+        return self.start == (0, 0) and self.end == (m, n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if len(self._points) <= 6:
+            return f"AlignmentPath({list(self._points)})"
+        head = ", ".join(map(str, self._points[:3]))
+        return f"AlignmentPath([{head}, ..., {self._points[-1]}], len={len(self._points)})"
+
+
+def moves_of(points: Seq[Point]) -> List[Move]:
+    """Convert consecutive forward-ordered points into :class:`Move` steps."""
+    out: List[Move] = []
+    for (i0, j0), (i1, j1) in zip(points, points[1:]):
+        d = (i1 - i0, j1 - j0)
+        if d == (1, 1):
+            out.append(Move.DIAG)
+        elif d == (1, 0):
+            out.append(Move.DOWN)
+        elif d == (0, 1):
+            out.append(Move.RIGHT)
+        else:
+            raise PathError(f"illegal step {d} between {(i0, j0)} and {(i1, j1)}")
+    return out

@@ -1,0 +1,107 @@
+"""Alignment and path validation / re-scoring.
+
+These routines are the library's ground truth: every algorithm's output is
+checked against them in the test suite.  ``score_alignment`` recomputes the
+score of a gapped alignment directly from the scoring scheme (handling
+affine gap runs), independently of any DP machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import AlignmentError, PathError
+from ..scoring.scheme import ScoringScheme
+from .alignment import GAP, Alignment
+from .path import AlignmentPath, Move
+
+__all__ = ["score_alignment", "score_gapped", "check_alignment", "check_path_bounds"]
+
+
+def score_gapped(gapped_a: str, gapped_b: str, scheme: ScoringScheme) -> int:
+    """Score a pair of gapped strings under ``scheme``.
+
+    Gap runs are charged with the scheme's gap model: a maximal run of
+    ``L`` consecutive gap symbols *in the same sequence* costs
+    ``open + (L−1)·extend``.  Two adjacent runs in different sequences are
+    charged separately (the DP recurrences never merge them).
+    """
+    if len(gapped_a) != len(gapped_b):
+        raise AlignmentError("gapped strings differ in length")
+    score = 0
+    run_a = 0  # current run of gaps in a (i.e. consuming b symbols)
+    run_b = 0
+    for ca, cb in zip(gapped_a, gapped_b):
+        if ca == GAP and cb == GAP:
+            raise AlignmentError("alignment column aligns a gap with a gap")
+        if ca == GAP:
+            run_a += 1
+            run_b = 0
+            score += scheme.gap.open if run_a == 1 else scheme.gap.extend
+        elif cb == GAP:
+            run_b += 1
+            run_a = 0
+            score += scheme.gap.open if run_b == 1 else scheme.gap.extend
+        else:
+            run_a = run_b = 0
+            score += scheme.score_pair(ca, cb)
+    return score
+
+
+def score_alignment(alignment: Alignment, scheme: ScoringScheme) -> int:
+    """Recompute the score of an :class:`Alignment` from first principles."""
+    return score_gapped(alignment.gapped_a, alignment.gapped_b, scheme)
+
+
+def check_path_bounds(path: AlignmentPath, m: int, n: int) -> None:
+    """Verify a path lies inside the ``(m+1) × (n+1)`` DPM."""
+    for i, j in path:
+        if not (0 <= i <= m and 0 <= j <= n):
+            raise PathError(f"path point ({i}, {j}) outside DPM of size ({m}+1, {n}+1)")
+
+
+def check_alignment(alignment: Alignment, scheme: ScoringScheme) -> Tuple[bool, str]:
+    """Full consistency check of an alignment under ``scheme``.
+
+    Returns ``(ok, message)``; ``message`` describes the first failure.
+    Checks performed:
+
+    1. gapped strings spell the original sequences (done on construction,
+       re-verified here);
+    2. the claimed score matches an independent re-scoring;
+    3. if a path is attached, it is complete, in bounds, and its moves
+       reproduce the gapped strings.
+    """
+    m, n = len(alignment.seq_a), len(alignment.seq_b)
+    if alignment.gapped_a.replace(GAP, "") != alignment.seq_a.text:
+        return False, "gapped_a does not spell seq_a"
+    if alignment.gapped_b.replace(GAP, "") != alignment.seq_b.text:
+        return False, "gapped_b does not spell seq_b"
+    recomputed = score_alignment(alignment, scheme)
+    if recomputed != alignment.score:
+        return False, f"claimed score {alignment.score} != recomputed {recomputed}"
+    if alignment.path is not None:
+        if not alignment.path.is_complete(m, n):
+            return False, (
+                f"path spans {alignment.path.start}..{alignment.path.end}, "
+                f"expected (0,0)..({m},{n})"
+            )
+        try:
+            check_path_bounds(alignment.path, m, n)
+        except PathError as exc:
+            return False, str(exc)
+        ga, gb = [], []
+        i = j = 0
+        for move in alignment.path.moves():
+            if move is Move.DIAG:
+                ga.append(alignment.seq_a.text[i]); gb.append(alignment.seq_b.text[j])
+                i += 1; j += 1
+            elif move is Move.DOWN:
+                ga.append(alignment.seq_a.text[i]); gb.append(GAP)
+                i += 1
+            else:
+                ga.append(GAP); gb.append(alignment.seq_b.text[j])
+                j += 1
+        if "".join(ga) != alignment.gapped_a or "".join(gb) != alignment.gapped_b:
+            return False, "path moves do not reproduce the gapped strings"
+    return True, "ok"

@@ -1,0 +1,16 @@
+"""Experiment analysis: metrics, table rendering, result recording."""
+
+from .metrics import cells_per_second, efficiency, geomean, ops_ratio, speedup
+from .tables import format_rows, format_table
+from .recorder import ExperimentRecorder
+
+__all__ = [
+    "cells_per_second",
+    "efficiency",
+    "geomean",
+    "ops_ratio",
+    "speedup",
+    "format_rows",
+    "format_table",
+    "ExperimentRecorder",
+]

@@ -1,0 +1,48 @@
+"""Derived metrics for experiment reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import ConfigError
+
+__all__ = ["speedup", "efficiency", "geomean", "ops_ratio", "cells_per_second"]
+
+
+def speedup(t1: float, tp: float) -> float:
+    """Classic speedup ``T(1) / T(P)``."""
+    if tp <= 0:
+        raise ConfigError(f"parallel time must be > 0, got {tp}")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, p: int) -> float:
+    """Parallel efficiency ``speedup / P``."""
+    if p < 1:
+        raise ConfigError(f"P must be >= 1, got {p}")
+    return speedup(t1, tp) / p
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional aggregate for ratio metrics)."""
+    vals = list(values)
+    if not vals:
+        raise ConfigError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ConfigError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ops_ratio(cells_computed: int, m: int, n: int) -> float:
+    """Operations relative to the FM algorithm's ``m·n`` cells."""
+    if m <= 0 or n <= 0:
+        raise ConfigError("ops_ratio needs positive sequence lengths")
+    return cells_computed / (m * n)
+
+
+def cells_per_second(cells: int, seconds: float) -> float:
+    """Throughput of a DP computation."""
+    if seconds <= 0:
+        raise ConfigError(f"seconds must be > 0, got {seconds}")
+    return cells / seconds

@@ -1,0 +1,80 @@
+"""JSON experiment recorder.
+
+Each benchmark writes its rows here so EXPERIMENTS.md can be regenerated
+and runs can be compared over time.  Results land under
+``results/<experiment>.json`` with a stable schema:
+
+.. code-block:: json
+
+    {"experiment": "f9_speedup", "created": "...", "rows": [{...}, ...]}
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["ExperimentRecorder"]
+
+
+@dataclass
+class ExperimentRecorder:
+    """Accumulates rows for one experiment and persists them as JSON."""
+
+    experiment: str
+    out_dir: str = "results"
+    rows: List[Dict] = field(default_factory=list)
+
+    def add(self, **row) -> Dict:
+        """Append one result row; returns it for chaining."""
+        clean = {k: _jsonable(v) for k, v in row.items()}
+        self.rows.append(clean)
+        return clean
+
+    def extend(self, rows: List[Mapping]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add(**row)
+
+    @property
+    def path(self) -> str:
+        """Destination file path."""
+        return os.path.join(self.out_dir, f"{self.experiment}.json")
+
+    def save(self) -> str:
+        """Write the accumulated rows to disk; returns the path."""
+        os.makedirs(self.out_dir, exist_ok=True)
+        payload = {
+            "experiment": self.experiment,
+            "created": _dt.datetime.now().isoformat(timespec="seconds"),
+            "rows": self.rows,
+        }
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        return self.path
+
+    @classmethod
+    def load(cls, experiment: str, out_dir: str = "results") -> Optional["ExperimentRecorder"]:
+        """Load a previously-saved experiment, or ``None`` if absent."""
+        rec = cls(experiment=experiment, out_dir=out_dir)
+        try:
+            with open(rec.path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        rec.rows = list(payload.get("rows", []))
+        return rec
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other non-JSON types."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value

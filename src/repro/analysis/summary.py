@@ -1,0 +1,82 @@
+"""Experiment summary tool.
+
+Re-renders every recorded benchmark result (``results/*.json``) as the
+ASCII tables the harness printed, so a finished run can be inspected —
+or EXPERIMENTS.md cross-checked — without re-running anything:
+
+.. code-block:: console
+
+    $ python -m repro.analysis.summary results/
+    $ python -m repro.analysis.summary results/ --experiment f9_speedup
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .tables import format_rows
+
+__all__ = ["summarize_file", "summarize_dir", "main"]
+
+#: Display order (experiment id prefix -> sort key); unknown ids go last.
+_ORDER = [
+    "t1", "t2", "t3",
+    "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f13", "f14",
+    "e36",
+    "a1", "a2", "a3", "a4", "a5", "a6",
+]
+
+
+def _sort_key(path: str) -> tuple:
+    name = os.path.basename(path).split("_")[0]
+    try:
+        return (0, _ORDER.index(name), path)
+    except ValueError:
+        return (1, 0, path)
+
+
+def summarize_file(path: str) -> str:
+    """Render one result file as a table."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    rows = payload.get("rows", [])
+    title = f"{payload.get('experiment', os.path.basename(path))} " \
+            f"({payload.get('created', '?')}, {len(rows)} rows)"
+    return format_rows(rows, title=title)
+
+
+def summarize_dir(directory: str, experiment: Optional[str] = None) -> str:
+    """Render every (or one selected) result file in a directory."""
+    pattern = f"{experiment}.json" if experiment else "*.json"
+    paths = sorted(glob.glob(os.path.join(directory, pattern)), key=_sort_key)
+    if not paths:
+        raise FileNotFoundError(
+            f"no result files matching {pattern!r} under {directory!r}"
+        )
+    return "\n\n".join(summarize_file(p) for p in paths)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.summary",
+        description="Render recorded benchmark results as tables.",
+    )
+    parser.add_argument("directory", nargs="?", default="results")
+    parser.add_argument("--experiment", default=None, help="one experiment id")
+    args = parser.parse_args(argv)
+    try:
+        print(summarize_dir(args.directory, args.experiment))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

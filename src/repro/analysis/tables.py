@@ -1,0 +1,59 @@
+"""ASCII table rendering for experiment reports.
+
+The benchmark harness prints rows in the same shape as the paper's tables
+and figure series; this module handles the formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_rows"]
+
+
+def _fmt(value, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.{float_digits}e}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(v, float_digits) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render a list of dict rows; columns default to first-row key order."""
+    if not rows:
+        return f"== {title} ==\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    body = [[row.get(c, "") for c in cols] for row in rows]
+    return format_table(cols, body, title=title, float_digits=float_digits)

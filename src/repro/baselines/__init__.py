@@ -1,0 +1,23 @@
+"""Baseline alignment algorithms the paper compares FastLSA against.
+
+* :func:`needleman_wunsch` — full-matrix global alignment (``O(mn)`` space);
+* :func:`smith_waterman` — full-matrix local alignment;
+* :func:`hirschberg` — linear-space global alignment (≈ 2× operations).
+"""
+
+from .needleman_wunsch import needleman_wunsch, nw_score_matrix
+from .smith_waterman import LocalAlignment, smith_waterman, sw_matrix_linear, sw_matrices_affine
+from .hirschberg import DEFAULT_BASE_CELLS, hirschberg
+from .myers_miller import myers_miller
+
+__all__ = [
+    "needleman_wunsch",
+    "nw_score_matrix",
+    "LocalAlignment",
+    "smith_waterman",
+    "sw_matrix_linear",
+    "sw_matrices_affine",
+    "hirschberg",
+    "myers_miller",
+    "DEFAULT_BASE_CELLS",
+]

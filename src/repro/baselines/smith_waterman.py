@@ -1,0 +1,240 @@
+"""Smith–Waterman full-matrix local alignment.
+
+The local-alignment counterpart of the FM baseline: the recurrence clamps
+every cell at zero (an empty local alignment may start anywhere), the
+optimum is the maximum cell, and traceback stops at the first zero cell.
+
+Uses the same prefix-max scan as the global kernels; clamping composes with
+the scan because a chain restarted at a clamped zero can never beat the
+clamp available at the current cell (see the analysis in the module body).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..align.alignment import Alignment, AlignmentStats, alignment_from_path
+from ..align.path import AlignmentPath, Layer, PathBuilder
+from ..align.sequence import as_sequence
+from ..errors import PathError
+from ..kernels.affine import NEG_INF
+from ..kernels.ops import KernelInstruments
+from ..scoring.scheme import ScoringScheme
+
+__all__ = ["LocalAlignment", "smith_waterman", "sw_matrix_linear", "sw_matrices_affine"]
+
+
+@dataclass
+class LocalAlignment:
+    """Result of a local alignment.
+
+    Attributes
+    ----------
+    alignment:
+        Global-style :class:`Alignment` over the matched *subsequences*.
+    a_start, a_end:
+        Half-open residue range of the row sequence that is aligned.
+    b_start, b_end:
+        Half-open range of the column sequence.
+    score:
+        The local alignment score (``>= 0``).
+    """
+
+    alignment: Alignment
+    a_start: int
+    a_end: int
+    b_start: int
+    b_end: int
+    score: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LocalAlignment(score={self.score}, a[{self.a_start}:{self.a_end}], "
+            f"b[{self.b_start}:{self.b_end}])"
+        )
+
+
+def sw_matrix_linear(a_codes, b_codes, table, gap: int, counter=None) -> np.ndarray:
+    """Dense clamped (local) H matrix under a linear gap."""
+    M, N = len(a_codes), len(b_codes)
+    gap = int(gap)
+    if counter is not None:
+        counter.add_cells(M * N)
+    H = np.zeros((M + 1, N + 1), dtype=np.int64)
+    if M == 0 or N == 0:
+        return H
+    t = np.empty(N + 1, dtype=np.int64)
+    gj = np.arange(N + 1, dtype=np.int64) * gap
+    for i in range(1, M + 1):
+        s = table[a_codes[i - 1]][b_codes]
+        prev = H[i - 1]
+        v = np.maximum(prev[:-1] + s, prev[1:] + gap)
+        np.maximum(v, 0, out=v)  # restart is always available
+        t[0] = 0  # zero boundary column doubles as a restart source
+        np.subtract(v, gj[1:], out=t[1:])
+        np.maximum.accumulate(t, out=t)
+        row = H[i]
+        np.add(t, gj, out=row)
+        row[0] = 0
+    return H
+
+
+def sw_matrices_affine(
+    a_codes, b_codes, table, open_: int, extend: int, counter=None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense clamped (local) Gotoh matrices."""
+    M, N = len(a_codes), len(b_codes)
+    open_, extend = int(open_), int(extend)
+    if counter is not None:
+        counter.add_cells(M * N)
+    H = np.zeros((M + 1, N + 1), dtype=np.int64)
+    E = np.full((M + 1, N + 1), NEG_INF, dtype=np.int64)
+    F = np.full((M + 1, N + 1), NEG_INF, dtype=np.int64)
+    if M == 0 or N == 0:
+        return H, E, F
+    t = np.empty(N, dtype=np.int64)
+    ej = np.arange(N + 1, dtype=np.int64) * extend
+    for i in range(1, M + 1):
+        s = table[a_codes[i - 1]][b_codes]
+        prev_h = H[i - 1]
+        np.maximum(prev_h + open_, F[i - 1] + extend, out=F[i])
+        F[i, 0] = NEG_INF
+        v = np.maximum(prev_h[:-1] + s, F[i, 1:])
+        np.maximum(v, 0, out=v)
+        t[0] = open_ - extend  # source: clamped zero at the boundary column
+        if N > 1:
+            np.subtract(v[:-1] + (open_ - extend), ej[1:N], out=t[1:])
+        np.maximum.accumulate(t, out=t)
+        E[i, 1:] = t + ej[1:]
+        np.maximum(v, E[i, 1:], out=H[i, 1:])
+        H[i, 0] = 0
+    return H, E, F
+
+
+def _trace_local_linear(H, a_codes, b_codes, table, gap, i, j):
+    pts = [(i, j)]
+    while H[i, j] > 0:
+        h = H[i, j]
+        if i > 0 and j > 0 and h == H[i - 1, j - 1] + table[a_codes[i - 1], b_codes[j - 1]]:
+            i -= 1
+            j -= 1
+        elif i > 0 and h == H[i - 1, j] + gap:
+            i -= 1
+        elif j > 0 and h == H[i, j - 1] + gap:
+            j -= 1
+        else:
+            raise PathError(f"local traceback stuck at ({i}, {j})")
+        pts.append((i, j))
+    return pts
+
+
+def _trace_local_affine(H, E, F, a_codes, b_codes, table, open_, extend, i, j):
+    pts = [(i, j)]
+    layer = Layer.H
+    while not (layer is Layer.H and H[i, j] == 0):
+        if layer is Layer.H:
+            h = H[i, j]
+            if i > 0 and j > 0 and h == H[i - 1, j - 1] + table[a_codes[i - 1], b_codes[j - 1]]:
+                i -= 1
+                j -= 1
+                pts.append((i, j))
+            elif h == E[i, j]:
+                layer = Layer.E
+            elif h == F[i, j]:
+                layer = Layer.F
+            else:
+                raise PathError(f"local affine traceback stuck at ({i}, {j}) in H")
+        elif layer is Layer.E:
+            e = E[i, j]
+            if j > 0 and e == H[i, j - 1] + open_:
+                layer = Layer.H
+            elif j > 0 and e == E[i, j - 1] + extend:
+                pass
+            else:
+                raise PathError(f"local affine traceback stuck at ({i}, {j}) in E")
+            j -= 1
+            pts.append((i, j))
+        else:
+            f = F[i, j]
+            if i > 0 and f == H[i - 1, j] + open_:
+                layer = Layer.H
+            elif i > 0 and f == F[i - 1, j] + extend:
+                pass
+            else:
+                raise PathError(f"local affine traceback stuck at ({i}, {j}) in F")
+            i -= 1
+            pts.append((i, j))
+    return pts
+
+
+def smith_waterman(
+    seq_a,
+    seq_b,
+    scheme: ScoringScheme,
+    instruments: Optional[KernelInstruments] = None,
+) -> LocalAlignment:
+    """Locally align two sequences with the full-matrix algorithm.
+
+    Returns the best-scoring local alignment; an empty alignment (score 0,
+    empty ranges) when nothing scores positively.
+    """
+    a = as_sequence(seq_a, "a")
+    b = as_sequence(seq_b, "b")
+    inst = instruments or KernelInstruments()
+    t0 = time.perf_counter()
+    a_codes = scheme.encode(a.text)
+    b_codes = scheme.encode(b.text)
+    table = scheme.matrix.table
+    m, n = len(a), len(b)
+
+    if scheme.is_linear:
+        H = sw_matrix_linear(a_codes, b_codes, table, scheme.gap_open, inst.ops)
+        layers = 1
+    else:
+        H, E, F = sw_matrices_affine(
+            a_codes, b_codes, table, scheme.gap_open, scheme.gap_extend, inst.ops
+        )
+        layers = 3
+    inst.mem.alloc(H.size * layers)
+
+    flat = int(np.argmax(H))
+    bi, bj = divmod(flat, n + 1)
+    score = int(H[bi, bj])
+    if score == 0:
+        inst.mem.free(H.size * layers)
+        empty = alignment_from_path(
+            a.slice(0, 0), b.slice(0, 0), AlignmentPath([(0, 0)]), 0,
+            algorithm="smith-waterman",
+        )
+        return LocalAlignment(empty, 0, 0, 0, 0, 0)
+
+    if scheme.is_linear:
+        pts = _trace_local_linear(H, a_codes, b_codes, table, scheme.gap_open, bi, bj)
+    else:
+        pts = _trace_local_affine(
+            H, E, F, a_codes, b_codes, table, scheme.gap_open, scheme.gap_extend, bi, bj
+        )
+    inst.mem.free(H.size * layers)
+    i0, j0 = pts[-1]
+
+    sub_a = a.slice(i0, bi)
+    sub_b = b.slice(j0, bj)
+    builder = PathBuilder((bi - i0, bj - j0), Layer.H)
+    for (pi, pj) in pts[1:]:
+        builder.append((pi - i0, pj - j0))
+    path = builder.finalize()
+    stats = AlignmentStats(
+        cells_computed=inst.ops.cells,
+        peak_cells_resident=inst.mem.peak,
+        base_case_cells=m * n,
+        subproblems=1,
+        wall_time=time.perf_counter() - t0,
+    )
+    alignment = alignment_from_path(
+        sub_a, sub_b, path, score, algorithm="smith-waterman", stats=stats
+    )
+    return LocalAlignment(alignment, i0, bi, j0, bj, score)

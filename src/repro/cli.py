@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+``fastlsa`` (or ``python -m repro``) exposes the library's main entry
+points:
+
+* ``fastlsa align A.fasta B.fasta [--method ...] [--mode ...]`` — align
+  the first record of each file (global/local/semiglobal/overlap modes,
+  ``--score-only``, custom ``--matrix-file``);
+* ``fastlsa msa FAMILY.fasta [--method star|progressive]`` — multiple
+  alignment of all records;
+* ``fastlsa demo`` — the paper's worked example (Table 1 / Figure 1);
+* ``fastlsa plan M N MEMORY_CELLS`` — show the adaptive plan;
+* ``fastlsa matrix NAME`` — print a built-in matrix in NCBI format;
+* ``fastlsa speedup LENGTH`` — simulated parallel speedup table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .align import format_alignment, format_dpm, read_fasta
+from .align.sequence import Sequence
+from .analysis.tables import format_rows
+from .baselines import needleman_wunsch
+from .core.planner import plan_alignment
+from .errors import ReproError
+from .parallel import simulated_parallel_fastlsa
+from .scoring import (
+    ScoringScheme,
+    affine_gap,
+    blosum62,
+    dna_simple,
+    linear_gap,
+    paper_scheme,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _scheme_from_args(args) -> ScoringScheme:
+    if getattr(args, "matrix_file", None):
+        from .scoring import read_matrix
+
+        matrix = read_matrix(args.matrix_file)
+    else:
+        matrix = {"blosum62": blosum62, "dna": dna_simple}[args.matrix]()
+    if args.gap_extend is not None:
+        gap = affine_gap(args.gap_open, args.gap_extend)
+    else:
+        gap = linear_gap(args.gap_open)
+    return ScoringScheme(matrix, gap)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="fastlsa",
+        description="FastLSA sequence alignment (paper reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_align = sub.add_parser("align", help="align the first records of two FASTA files")
+    p_align.add_argument("fasta_a")
+    p_align.add_argument("fasta_b")
+    p_align.add_argument("--method", default="fastlsa",
+                         choices=["fastlsa", "needleman-wunsch", "hirschberg"])
+    p_align.add_argument("--mode", default="global",
+                         choices=["global", "local", "semiglobal", "overlap"],
+                         help="alignment mode (non-global modes are FastLSA-backed)")
+    p_align.add_argument("--matrix", default="dna", choices=["dna", "blosum62"])
+    p_align.add_argument("--matrix-file", default=None,
+                         help="NCBI-format matrix file (overrides --matrix)")
+    p_align.add_argument("--gap-open", type=int, default=-10)
+    p_align.add_argument("--gap-extend", type=int, default=None,
+                         help="affine extension penalty (omit for linear gaps)")
+    p_align.add_argument("--k", type=int, default=8, help="FastLSA k parameter")
+    p_align.add_argument("--base-cells", type=int, default=256 * 1024)
+    p_align.add_argument("--width", type=int, default=60)
+    p_align.add_argument("--score-only", action="store_true",
+                         help="print only the optimal score (single sweep)")
+    p_align.add_argument("--stats", action="store_true", help="print execution statistics")
+
+    p_matrix = sub.add_parser("matrix", help="print a built-in matrix in NCBI format")
+    p_matrix.add_argument("name", choices=["dna", "blosum62", "pam250", "table1"])
+
+    p_msa = sub.add_parser("msa", help="multiple alignment of all records in a FASTA file")
+    p_msa.add_argument("fasta")
+    p_msa.add_argument("--method", default="star", choices=["star", "progressive"])
+    p_msa.add_argument("--matrix", default="dna", choices=["dna", "blosum62"])
+    p_msa.add_argument("--gap-open", type=int, default=-6)
+    p_msa.add_argument("--gap-extend", type=int, default=None)
+    p_msa.add_argument("--width", type=int, default=72)
+
+    p_demo = sub.add_parser("demo", help="the paper's worked example")
+
+    p_plan = sub.add_parser("plan", help="adaptive parameter plan for a memory budget")
+    p_plan.add_argument("m", type=int)
+    p_plan.add_argument("n", type=int)
+    p_plan.add_argument("memory_cells", type=int)
+    p_plan.add_argument("--affine", action="store_true")
+
+    p_speed = sub.add_parser("speedup", help="simulated parallel speedup table")
+    p_speed.add_argument("length", type=int)
+    p_speed.add_argument("--k", type=int, default=6)
+    p_speed.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8])
+    p_speed.add_argument("--overhead", type=float, default=0.0)
+    return parser
+
+
+def _cmd_align(args) -> int:
+    from . import align as align_fn
+    from .core import align_score, fastlsa_local, overlap_align, semiglobal_align
+
+    scheme = _scheme_from_args(args)
+    rec_a = read_fasta(args.fasta_a)[0]
+    rec_b = read_fasta(args.fasta_b)[0]
+
+    if args.score_only:
+        print(align_score(rec_a, rec_b, scheme))
+        return 0
+
+    fastlsa_kwargs = {"k": args.k, "base_cells": args.base_cells}
+    if args.mode == "local":
+        loc = fastlsa_local(rec_a, rec_b, scheme, **fastlsa_kwargs)
+        print(
+            f"# local score={loc.score}  a[{loc.a_start}:{loc.a_end}] x "
+            f"b[{loc.b_start}:{loc.b_end}]"
+        )
+        result = loc.alignment
+    elif args.mode in ("semiglobal", "overlap"):
+        fn = semiglobal_align if args.mode == "semiglobal" else overlap_align
+        ef = fn(rec_a, rec_b, scheme, **fastlsa_kwargs)
+        print(
+            f"# {args.mode} score={ef.score}  a[{ef.a_start}:{ef.a_end}] x "
+            f"b[{ef.b_start}:{ef.b_end}]"
+        )
+        result = ef.alignment
+    else:
+        kwargs = fastlsa_kwargs if args.method == "fastlsa" else {}
+        result = align_fn(rec_a, rec_b, scheme, method=args.method, **kwargs)
+    print(format_alignment(result, width=args.width, scheme=scheme))
+    if args.stats:
+        s = result.stats
+        print(
+            f"# cells_computed={s.cells_computed} peak_cells={s.peak_cells_resident} "
+            f"subproblems={s.subproblems} depth={s.recursion_depth} "
+            f"wall_time={s.wall_time:.3f}s"
+        )
+    return 0
+
+
+def _cmd_msa(args) -> int:
+    from .msa import center_star_msa, progressive_msa
+
+    scheme = _scheme_from_args(args)
+    records = read_fasta(args.fasta)
+    fn = center_star_msa if args.method == "star" else progressive_msa
+    msa = fn(records, scheme)
+    print(f"# {args.method} MSA: {len(msa)} sequences x {msa.width} columns, "
+          f"{msa.conserved_columns()} conserved, "
+          f"sum-of-pairs {msa.sum_of_pairs_score(scheme)}")
+    print(msa.format(width=args.width))
+    return 0
+
+
+def _cmd_matrix(args) -> int:
+    from .scoring import format_matrix, pam250, table1_matrix
+
+    matrix = {
+        "dna": dna_simple,
+        "blosum62": blosum62,
+        "pam250": pam250,
+        "table1": table1_matrix,
+    }[args.name]()
+    print(format_matrix(matrix), end="")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    scheme = paper_scheme()
+    a = Sequence("TDVLKAD", name="TDVLKAD")
+    b = Sequence("TLDKLLKD", name="TLDKLLKD")
+    result = needleman_wunsch(a, b, scheme)
+    mats = __import__("repro.baselines", fromlist=["nw_score_matrix"]).nw_score_matrix(
+        a, b, scheme
+    )
+    print("Paper worked example (Table 1 scoring, gap -10).")
+    print("Figure 1 dynamic programming matrix ('*' marks the optimal path):\n")
+    print(format_dpm(mats.H, a.text, b.text, path=result.path))
+    print()
+    print(format_alignment(result, scheme=scheme))
+    print(f"\nOptimal score: {result.score} (paper: 82)")
+    return 0 if result.score == 82 else 1
+
+
+def _cmd_plan(args) -> int:
+    plan = plan_alignment(args.m, args.n, args.memory_cells, affine=args.affine)
+    print(f"method:              {plan.method}")
+    print(f"k:                   {plan.config.k}")
+    print(f"base_cells:          {plan.config.base_cells}")
+    print(f"predicted peak:      {plan.predicted_peak_cells} cells")
+    print(f"predicted ops ratio: {plan.predicted_ops_ratio:.3f} x full-matrix")
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from .workloads import dna_pair
+
+    a, b = dna_pair(args.length, seed=42)
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    rows = []
+    for p in args.procs:
+        _, rep = simulated_parallel_fastlsa(
+            a, b, scheme, P=p, k=args.k, overhead=args.overhead
+        )
+        rows.append(
+            {
+                "P": p,
+                "speedup": round(rep.speedup, 2),
+                "efficiency": round(rep.efficiency, 3),
+                "par_time_cells": int(rep.par_time),
+            }
+        )
+    print(format_rows(rows, title=f"Simulated Parallel FastLSA, {args.length}x{args.length}, k={args.k}"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "align":
+            return _cmd_align(args)
+        if args.command == "matrix":
+            return _cmd_matrix(args)
+        if args.command == "msa":
+            return _cmd_msa(args)
+        if args.command == "demo":
+            return _cmd_demo(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "speedup":
+            return _cmd_speedup(args)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

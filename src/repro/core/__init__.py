@@ -1,0 +1,57 @@
+"""FastLSA core: the paper's sequential algorithm and its planner."""
+
+from .config import DEFAULT_BASE_CELLS, DEFAULT_K, MIN_BASE_CELLS, FastLSAConfig
+from .problem import ColCache, Problem, RowCache
+from .grid import Grid, split_bounds
+from .fillcache import compute_block, fill_grid
+from .basecase import solve_base_case
+from .fastlsa import (
+    FastLSAHooks,
+    FastLSAResult,
+    fastlsa,
+    fastlsa_path,
+    initial_problem,
+)
+from .local import fastlsa_local
+from .score_only import align_score
+from .banded import BandedResult, banded_align, banded_align_auto
+from .batch import BatchHit, batch_align
+from .modes import (
+    EndsFree,
+    EndsFreeAlignment,
+    ends_free_align,
+    overlap_align,
+    semiglobal_align,
+)
+
+__all__ = [
+    "DEFAULT_BASE_CELLS",
+    "DEFAULT_K",
+    "MIN_BASE_CELLS",
+    "FastLSAConfig",
+    "ColCache",
+    "Problem",
+    "RowCache",
+    "Grid",
+    "split_bounds",
+    "compute_block",
+    "fill_grid",
+    "solve_base_case",
+    "FastLSAHooks",
+    "FastLSAResult",
+    "fastlsa",
+    "fastlsa_path",
+    "initial_problem",
+    "fastlsa_local",
+    "align_score",
+    "BandedResult",
+    "banded_align",
+    "banded_align_auto",
+    "BatchHit",
+    "batch_align",
+    "EndsFree",
+    "EndsFreeAlignment",
+    "ends_free_align",
+    "overlap_align",
+    "semiglobal_align",
+]

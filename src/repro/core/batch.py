@@ -1,0 +1,142 @@
+"""Batch alignment: one query against many targets.
+
+The homology-search workload: rank a database by alignment score, keep
+the top hits, and only materialise full alignments for those.  Scoring
+uses the ``O(n)``-memory FindScore sweep; the final alignments run under
+the configured FastLSA budget.  Mode selection covers global, local and
+the ends-free variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence as Seq
+
+from ..align.alignment import Alignment
+from ..align.sequence import Sequence, as_sequence
+from ..core.config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig
+from ..errors import ConfigError
+from ..scoring.scheme import ScoringScheme
+from .fastlsa import fastlsa
+from .local import fastlsa_local
+from .modes import overlap_align, semiglobal_align
+from .score_only import align_score
+
+__all__ = ["BatchHit", "batch_align"]
+
+_MODES = ("global", "local", "semiglobal", "overlap")
+
+
+@dataclass
+class BatchHit:
+    """One ranked database hit.
+
+    ``alignment`` is only populated for the top ``keep`` hits (scores are
+    computed for every target).  For non-global modes the alignment is
+    the matched core; offsets describe its placement.
+    """
+
+    target: Sequence
+    score: int
+    rank: int
+    alignment: Optional[Alignment] = None
+    a_range: Optional[tuple] = None
+    b_range: Optional[tuple] = None
+
+
+def _full_alignment(query, target, scheme, mode, cfg):
+    if mode == "global":
+        al = fastlsa(query, target, scheme, config=cfg)
+        return al, (0, len(query)), (0, len(target)), al.score
+    if mode == "local":
+        loc = fastlsa_local(query, target, scheme, config=cfg)
+        return loc.alignment, (loc.a_start, loc.a_end), (loc.b_start, loc.b_end), loc.score
+    fn = semiglobal_align if mode == "semiglobal" else overlap_align
+    ef = fn(query, target, scheme, config=cfg)
+    return ef.alignment, (ef.a_start, ef.a_end), (ef.b_start, ef.b_end), ef.score
+
+
+def _quick_score(query, target, scheme, mode, cfg) -> int:
+    if mode == "global":
+        return align_score(query, target, scheme)
+    if mode == "local":
+        from .local import _best_cell_local
+
+        best, _, _ = _best_cell_local(
+            scheme.encode(query.text), scheme.encode(target.text), scheme, None
+        )
+        return best
+    from .modes import EndsFree, _sweep_best
+
+    free = (
+        EndsFree(b_start=True, b_end=True)
+        if mode == "semiglobal"
+        else EndsFree(a_start=True, b_end=True)
+    )
+    best, _, _ = _sweep_best(
+        scheme.encode(query.text), scheme.encode(target.text), scheme,
+        free_a_start=free.a_start, free_b_start=free.b_start,
+        end_rows_free=free.a_end, end_cols_free=free.b_end,
+        counter=None,
+    )
+    return int(best)
+
+
+def batch_align(
+    query,
+    targets: Seq,
+    scheme: ScoringScheme,
+    mode: str = "local",
+    keep: int = 5,
+    min_score: Optional[int] = None,
+    k: int = DEFAULT_K,
+    base_cells: int = DEFAULT_BASE_CELLS,
+    config: Optional[FastLSAConfig] = None,
+) -> List[BatchHit]:
+    """Rank ``targets`` by alignment score against ``query``.
+
+    Parameters
+    ----------
+    mode:
+        ``"global"``, ``"local"`` (default), ``"semiglobal"`` or
+        ``"overlap"``.
+    keep:
+        Number of top hits to materialise full alignments for.
+    min_score:
+        Drop targets scoring below this (after ranking).
+
+    Returns hits sorted by descending score with ``rank`` starting at 1;
+    only the top ``keep`` carry alignments.
+    """
+    if mode not in _MODES:
+        raise ConfigError(f"unknown mode {mode!r}; choose from {_MODES}")
+    if keep < 0:
+        raise ConfigError(f"keep must be >= 0, got {keep}")
+    q = as_sequence(query, "query")
+    seqs = [as_sequence(t, f"target{i}") for i, t in enumerate(targets)]
+    cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
+
+    scored = []
+    for idx, target in enumerate(seqs):
+        s = _quick_score(q, target, scheme, mode, cfg)
+        scored.append((s, idx))
+    scored.sort(key=lambda t: (-t[0], t[1]))
+    if min_score is not None:
+        scored = [(s, i) for s, i in scored if s >= min_score]
+
+    hits: List[BatchHit] = []
+    for rank, (score, idx) in enumerate(scored, start=1):
+        target = seqs[idx]
+        if rank <= keep:
+            alignment, a_range, b_range, full_score = _full_alignment(
+                q, target, scheme, mode, cfg
+            )
+            if full_score != score:
+                raise AssertionError(
+                    f"quick score {score} != full score {full_score} (library bug)"
+                )
+            hits.append(BatchHit(target=target, score=score, rank=rank,
+                                 alignment=alignment, a_range=a_range, b_range=b_range))
+        else:
+            hits.append(BatchHit(target=target, score=score, rank=rank))
+    return hits

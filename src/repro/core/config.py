@@ -1,0 +1,66 @@
+"""FastLSA configuration.
+
+The two tunables the paper exposes:
+
+* ``k`` — each recursion level divides both sequences into ``k`` parts
+  (Section 3: "dividing each sequence into k parts instead of only two"),
+  storing ``k−1`` grid rows and ``k−1`` grid columns per level.  Larger
+  ``k`` uses more memory and recomputes less.
+* ``base_cells`` — the Base Case buffer ``BM``: sub-problems whose full DP
+  matrix fits in this many cells are solved with the full-matrix
+  algorithm.
+
+``k`` and ``base_cells`` are what the paper's "parameterized and tuned ...
+to take advantage of cache memory and main memory sizes" theme is about;
+:mod:`repro.core.planner` derives them from a memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["FastLSAConfig", "DEFAULT_K", "DEFAULT_BASE_CELLS", "MIN_BASE_CELLS"]
+
+#: Default number of parts each dimension is divided into.
+DEFAULT_K = 8
+
+#: Default Base Case buffer, in DP cells (≈ 2 MiB of int64 H values —
+#: roughly the L2-cache scale the paper tunes for).
+DEFAULT_BASE_CELLS = 256 * 1024
+
+#: Smallest accepted Base Case buffer.  Must hold at least a 2×2 matrix so
+#: degenerate sub-problems always fit.
+MIN_BASE_CELLS = 16
+
+
+@dataclass(frozen=True)
+class FastLSAConfig:
+    """Validated FastLSA parameters.
+
+    Attributes
+    ----------
+    k:
+        Parts per dimension per recursion level (``>= 2``).
+    base_cells:
+        Base Case buffer size in DP cells (``>= MIN_BASE_CELLS``).  For
+        affine schemes the three dense layers (H, E, F) must *all* fit, so
+        the effective threshold on ``(M+1)·(N+1)`` is ``base_cells // 3``.
+    """
+
+    k: int = DEFAULT_K
+    base_cells: int = DEFAULT_BASE_CELLS
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.k, int) or self.k < 2:
+            raise ConfigError(f"k must be an integer >= 2, got {self.k!r}")
+        if not isinstance(self.base_cells, int) or self.base_cells < MIN_BASE_CELLS:
+            raise ConfigError(
+                f"base_cells must be an integer >= {MIN_BASE_CELLS}, got {self.base_cells!r}"
+            )
+
+    def base_threshold(self, layers: int) -> int:
+        """Max ``(M+1)·(N+1)`` that fits the buffer with ``layers`` dense
+        matrices (1 for linear schemes, 3 for affine)."""
+        return max(4, self.base_cells // layers)

@@ -1,0 +1,200 @@
+"""The FastLSA Grid Cache.
+
+The general case of FastLSA divides a problem's rows and columns into at
+most ``k`` segments each and stores the DPM values along the interior
+split lines — ``k−1`` *grid rows* and ``k−1`` *grid columns* (Figure 3(c)
+of the paper).  Filling these lines is the FillCache phase; afterwards any
+block's boundary caches can be served from the grid, which is what cuts
+Hirschberg's recomputation down.
+
+For short dimensions the ``k`` splits may collide; the grid then
+degenerates gracefully to fewer segments (at least one per dimension).
+
+Storage cost per level: ``(k−1)·(N+1) + (k−1)·(M+1)`` H cells, doubled
+for affine schemes (F along rows, E along columns).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..kernels.affine import NEG_INF
+from ..kernels.ops import MemoryMeter
+from .problem import ColCache, Problem, RowCache
+
+__all__ = ["Grid", "split_bounds"]
+
+
+def split_bounds(lo: int, hi: int, k: int) -> List[int]:
+    """Split ``lo..hi`` into at most ``k`` non-empty segments.
+
+    Returns the sorted, de-duplicated boundary values, always starting with
+    ``lo`` and ending with ``hi``.  ``len(result) - 1`` is the number of
+    segments (0 when ``lo == hi``... the degenerate empty dimension yields
+    ``[lo]``).
+    """
+    if hi < lo:
+        raise ConfigError(f"invalid span {lo}..{hi}")
+    if hi == lo:
+        return [lo]
+    span = hi - lo
+    bounds = sorted({lo + round(t * span / k) for t in range(k + 1)})
+    # Rounding guarantees lo and hi are present (t = 0 and t = k).
+    return bounds
+
+
+class Grid:
+    """Interior grid lines of one FastLSA general-case invocation."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        k: int,
+        affine: bool,
+        meter: Optional[MemoryMeter] = None,
+    ) -> None:
+        self.problem = problem
+        self.affine = affine
+        self.meter = meter
+        self.row_bounds = split_bounds(problem.i0, problem.i1, k)
+        self.col_bounds = split_bounds(problem.j0, problem.j1, k)
+        width = problem.ncols + 1
+        height = problem.nrows + 1
+
+        # Interior line storage, keyed by bound index 1..len-2.
+        self._row_h: dict[int, np.ndarray] = {}
+        self._row_f: dict[int, np.ndarray] = {}
+        self._col_h: dict[int, np.ndarray] = {}
+        self._col_e: dict[int, np.ndarray] = {}
+        self._alloc_cells = 0
+        for p in range(1, len(self.row_bounds) - 1):
+            self._row_h[p] = np.empty(width, dtype=np.int64)
+            self._alloc_cells += width
+            if affine:
+                self._row_f[p] = np.full(width, NEG_INF, dtype=np.int64)
+                self._alloc_cells += width
+        for q in range(1, len(self.col_bounds) - 1):
+            self._col_h[q] = np.empty(height, dtype=np.int64)
+            self._alloc_cells += height
+            if affine:
+                self._col_e[q] = np.full(height, NEG_INF, dtype=np.int64)
+                self._alloc_cells += height
+        if meter is not None:
+            meter.alloc(self._alloc_cells)
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def n_block_rows(self) -> int:
+        """Number of block rows (``<= k``, at least 1 for non-empty dims)."""
+        return max(1, len(self.row_bounds) - 1)
+
+    @property
+    def n_block_cols(self) -> int:
+        """Number of block columns."""
+        return max(1, len(self.col_bounds) - 1)
+
+    @property
+    def cells_allocated(self) -> int:
+        """Total DP cells held by the interior lines."""
+        return self._alloc_cells
+
+    def block_extent(self, p: int, q: int) -> Tuple[int, int, int, int]:
+        """Global ``(a0, b0, a1, b1)`` rectangle of block ``(p, q)``.
+
+        For a degenerate dimension (single bound) the extent collapses to
+        that line.
+        """
+        rb, cb = self.row_bounds, self.col_bounds
+        a0 = rb[p] if len(rb) > 1 else rb[0]
+        a1 = rb[p + 1] if len(rb) > 1 else rb[0]
+        b0 = cb[q] if len(cb) > 1 else cb[0]
+        b1 = cb[q + 1] if len(cb) > 1 else cb[0]
+        return a0, b0, a1, b1
+
+    # ------------------------------------------------------------------
+    # line access
+    # ------------------------------------------------------------------
+    def row_line(self, p: int, b0: int, b1: int) -> RowCache:
+        """Cache along ``row_bounds[p]`` restricted to global cols ``b0..b1``.
+
+        ``p == 0`` serves from the problem's input ``cache_row``.
+        """
+        j0 = self.problem.j0
+        lo, hi = b0 - j0, b1 - j0
+        if p == 0:
+            return self.problem.cache_row.segment(lo, hi)
+        h = self._row_h[p][lo : hi + 1]
+        f = self._row_f[p][lo : hi + 1] if self.affine else None
+        return RowCache(h=h, f=f)
+
+    def col_line(self, q: int, a0: int, a1: int) -> ColCache:
+        """Cache along ``col_bounds[q]`` restricted to global rows ``a0..a1``."""
+        i0 = self.problem.i0
+        lo, hi = a0 - i0, a1 - i0
+        if q == 0:
+            return self.problem.cache_col.segment(lo, hi)
+        h = self._col_h[q][lo : hi + 1]
+        e = self._col_e[q][lo : hi + 1] if self.affine else None
+        return ColCache(h=h, e=e)
+
+    # ------------------------------------------------------------------
+    # line writes (FillCache stores block outputs here)
+    # ------------------------------------------------------------------
+    def store_row_segment(
+        self, p: int, b0: int, h: np.ndarray, f: Optional[np.ndarray]
+    ) -> None:
+        """Store a block's bottom row into interior grid row ``p``.
+
+        ``h`` covers global cols ``b0..b0+len(h)−1``.  The affine ``f``
+        segment skips its first (corner-sentinel) entry: the true value at
+        the corner was written by the block to the left (or stays sentinel
+        at the problem boundary, where it is never read).
+        """
+        lo = b0 - self.problem.j0
+        self._row_h[p][lo : lo + len(h)] = h
+        if self.affine and f is not None and len(f) > 1:
+            self._row_f[p][lo + 1 : lo + len(f)] = f[1:]
+
+    def store_col_segment(
+        self, q: int, a0: int, h: np.ndarray, e: Optional[np.ndarray]
+    ) -> None:
+        """Store a block's right column into interior grid column ``q``."""
+        lo = a0 - self.problem.i0
+        self._col_h[q][lo : lo + len(h)] = h
+        if self.affine and e is not None and len(e) > 1:
+            self._col_e[q][lo + 1 : lo + len(e)] = e[1:]
+
+    # ------------------------------------------------------------------
+    # UpLeft: locate the next sub-problem for a path head
+    # ------------------------------------------------------------------
+    def up_left_bounds(self, ih: int, jh: int) -> Tuple[int, int, int, int]:
+        """Grid line strictly above/left of a path head (paper's ``UpLeft``).
+
+        Returns ``(p, a0, q, b0)``: the bound indices and global
+        coordinates of the sub-problem's top-left corner — the largest
+        grid/boundary lines strictly below ``ih`` / ``jh``.
+        """
+        if ih <= self.problem.i0 or jh <= self.problem.j0:
+            raise ConfigError(f"head ({ih},{jh}) already on problem boundary")
+        p = bisect_left(self.row_bounds, ih) - 1
+        q = bisect_left(self.col_bounds, jh) - 1
+        return p, self.row_bounds[p], q, self.col_bounds[q]
+
+    # ------------------------------------------------------------------
+    def free(self) -> None:
+        """Release the grid lines (paper's ``deallocateGrid``)."""
+        if not self._freed:
+            if self.meter is not None:
+                self.meter.free(self._alloc_cells)
+            self._row_h.clear()
+            self._row_f.clear()
+            self._col_h.clear()
+            self._col_e.clear()
+            self._freed = True

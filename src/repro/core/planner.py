@@ -1,0 +1,170 @@
+"""Adaptive planner: choose FastLSA parameters from a memory budget.
+
+The paper's headline property is *adaptivity*: "FastLSA can effectively
+adapt to use either linear or quadratic space, depending on the specific
+machine" (abstract), with ``RM`` memory units available and ``BM`` of them
+reserved for the Base Case buffer (Section 3).  This module implements that
+decision procedure:
+
+* if the dense matrix fits in ``RM`` → run the full-matrix algorithm
+  (FastLSA's quadratic-space extreme: one base case, zero recomputation);
+* otherwise pick the **largest** ``k`` whose grid lines fit in the budget
+  left after reserving the Base Case buffer — larger ``k`` means fewer
+  recomputed cells (operations ratio bounded by ``(k+1)/(k−1)``);
+* if even ``k = 2`` does not fit, the problem cannot be aligned within the
+  budget and a :class:`~repro.errors.ConfigError` is raised.
+
+All quantities are in DP *cells* (multiply by 8 bytes for int64 storage),
+keeping the planner machine-independent.  ``RM`` may model a processor
+cache or main memory, matching the paper's performance-tuning story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .config import MIN_BASE_CELLS, FastLSAConfig
+
+__all__ = [
+    "Plan",
+    "plan_alignment",
+    "ops_ratio_bound",
+    "grid_cells_bound",
+    "fastlsa_peak_cells",
+]
+
+
+def ops_ratio_bound(k: int) -> float:
+    """Worst-case FastLSA operations ratio vs the FM algorithm.
+
+    Per level, FillCache computes all cells except the bottom-right block
+    (``mn·(1 − 1/k²)``) and the path crosses at most ``2k − 1`` blocks of
+    ``mn/k²`` cells each, so
+
+        T(mn) = mn·(1 − 1/k²) + (2k − 1)·T(mn/k²)
+              → ratio = (1 − 1/k²) / (1 − (2k−1)/k²) = (k + 1)/(k − 1).
+
+    ``k = 2`` gives 3.0 in the worst case; in practice paths cross far
+    fewer than ``2k − 1`` blocks and measured ratios are much lower (≈1.5
+    at ``k = 2`` — the paper's linear-space figure).  See bench T2.
+    """
+    if k < 2:
+        raise ConfigError(f"k must be >= 2, got {k}")
+    return (k + 1) / (k - 1)
+
+
+def grid_cells_bound(m: int, n: int, k: int, affine: bool) -> int:
+    """Upper bound on grid-line cells live at once across all levels.
+
+    Level 0 stores ``(k−1)·(n+1) + (k−1)·(m+1)`` H cells (doubled for
+    affine gap-state lines); level ``d`` operates on a block ``k^d`` times
+    smaller per dimension.  The geometric sum is bounded by
+    ``k/(k−1)``× the level-0 cost, i.e. ≈ ``k·(m+n+2)`` cells.
+    """
+    line_layers = 2 if affine else 1
+    level0 = (k - 1) * ((m + 1) + (n + 1)) * line_layers
+    return int(level0 * k / (k - 1)) + 1
+
+
+def fastlsa_peak_cells(m: int, n: int, k: int, base_cells: int, affine: bool) -> int:
+    """Predicted peak resident cells of a FastLSA run."""
+    sweep_rows = (6 if affine else 2) * (n + 2)  # rolling kernel rows
+    return grid_cells_bound(m, n, k, affine) + base_cells + sweep_rows
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Planner output.
+
+    Attributes
+    ----------
+    method:
+        ``"full-matrix"`` when the dense DPM fits the budget, otherwise
+        ``"fastlsa"``.
+    config:
+        FastLSA parameters (also set for ``full-matrix``, where the base
+        buffer swallows the whole problem).
+    memory_cells:
+        The budget the plan was derived from.
+    predicted_peak_cells:
+        Model estimate of peak resident DP cells.
+    predicted_ops_ratio:
+        Worst-case operations ratio vs FM (1.0 for ``full-matrix``).
+    """
+
+    method: str
+    config: FastLSAConfig
+    memory_cells: int
+    predicted_peak_cells: int
+    predicted_ops_ratio: float
+
+
+def plan_alignment(
+    m: int,
+    n: int,
+    memory_cells: int,
+    affine: bool = False,
+    max_k: int = 64,
+    base_fraction: float = 0.5,
+) -> Plan:
+    """Derive FastLSA parameters for an ``m × n`` problem in ``memory_cells``.
+
+    Parameters
+    ----------
+    m, n:
+        Sequence lengths.
+    memory_cells:
+        Available memory ``RM`` in DP cells.
+    affine:
+        Whether the scoring scheme uses affine gaps (doubles grid lines,
+        triples dense layers).
+    max_k:
+        Upper clamp on ``k`` (very large ``k`` has diminishing returns and
+        grows per-level overhead).
+    base_fraction:
+        Fraction of the budget reserved for the Base Case buffer ``BM``.
+
+    Raises
+    ------
+    ConfigError
+        If not even the ``k = 2`` linear-space configuration fits.
+    """
+    if memory_cells < MIN_BASE_CELLS:
+        raise ConfigError(f"memory budget {memory_cells} below minimum {MIN_BASE_CELLS}")
+    if not (0.0 < base_fraction < 1.0):
+        raise ConfigError(f"base_fraction must be in (0, 1), got {base_fraction}")
+    dense_layers = 3 if affine else 1
+    line_layers = 2 if affine else 1
+    dense = (m + 1) * (n + 1) * dense_layers
+    if dense <= memory_cells:
+        cfg = FastLSAConfig(k=2, base_cells=max(MIN_BASE_CELLS, int(memory_cells)))
+        return Plan(
+            method="full-matrix",
+            config=cfg,
+            memory_cells=memory_cells,
+            predicted_peak_cells=dense,
+            predicted_ops_ratio=1.0,
+        )
+
+    base_cells = max(MIN_BASE_CELLS, int(memory_cells * base_fraction))
+    per_k_unit = ((m + 1) + (n + 1)) * line_layers  # ≈ grid cells per unit of k
+    while base_cells >= MIN_BASE_CELLS:
+        budget = memory_cells - base_cells
+        k = int(min(max_k, budget // per_k_unit if per_k_unit else max_k))
+        while k >= 2 and fastlsa_peak_cells(m, n, k, base_cells, affine) > memory_cells:
+            k -= 1
+        if k >= 2:
+            return Plan(
+                method="fastlsa",
+                config=FastLSAConfig(k=k, base_cells=base_cells),
+                memory_cells=memory_cells,
+                predicted_peak_cells=fastlsa_peak_cells(m, n, k, base_cells, affine),
+                predicted_ops_ratio=ops_ratio_bound(k),
+            )
+        # Shrink the base buffer and retry with more room for grid lines.
+        base_cells //= 2
+    raise ConfigError(
+        f"cannot align a {m} x {n} problem in {memory_cells} cells: even the "
+        f"k=2 linear-space configuration needs ≈ {2 * per_k_unit + MIN_BASE_CELLS} cells"
+    )

@@ -1,0 +1,147 @@
+"""Logical DPM sub-problems and their boundary caches.
+
+A :class:`Problem` is the paper's "logical dynamic programming matrix": a
+rectangle of the global DPM whose first row and first column values are
+known (the *cached* values passed into each ``FastLSA`` call) and whose
+remaining entries are only computed on demand.
+
+Global coordinates are used throughout: the rectangle spans rows
+``i0..i1`` and columns ``j0..j1`` of the ``(m+1) × (n+1)`` DPM, and the
+solver's contract is to extend a path whose head sits at ``(i1, j1)``
+backwards until it first reaches row ``i0`` or column ``j0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["RowCache", "ColCache", "Problem"]
+
+
+@dataclass
+class RowCache:
+    """DP values along one horizontal boundary line.
+
+    ``h[t]`` is ``H[row, j0 + t]``.  For affine schemes ``f`` carries the
+    vertical-gap layer crossing the line downwards; its first entry (the
+    corner) is never read and may be a sentinel.  ``f`` is ``None`` for
+    linear schemes.
+    """
+
+    h: np.ndarray
+    f: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.h = np.asarray(self.h, dtype=np.int64)
+        if self.f is not None:
+            self.f = np.asarray(self.f, dtype=np.int64)
+            if self.f.shape != self.h.shape:
+                raise ConfigError("row cache h/f length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.h)
+
+    def segment(self, lo: int, hi: int) -> "RowCache":
+        """Sub-cache covering relative offsets ``lo..hi`` inclusive."""
+        return RowCache(
+            h=self.h[lo : hi + 1],
+            f=None if self.f is None else self.f[lo : hi + 1],
+        )
+
+
+@dataclass
+class ColCache:
+    """DP values along one vertical boundary line.
+
+    ``h[t]`` is ``H[i0 + t, col]``; ``e`` is the horizontal-gap layer
+    crossing the line rightwards (affine only, corner entry sentinel).
+    """
+
+    h: np.ndarray
+    e: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.h = np.asarray(self.h, dtype=np.int64)
+        if self.e is not None:
+            self.e = np.asarray(self.e, dtype=np.int64)
+            if self.e.shape != self.h.shape:
+                raise ConfigError("column cache h/e length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.h)
+
+    def segment(self, lo: int, hi: int) -> "ColCache":
+        """Sub-cache covering relative offsets ``lo..hi`` inclusive."""
+        return ColCache(
+            h=self.h[lo : hi + 1],
+            e=None if self.e is None else self.e[lo : hi + 1],
+        )
+
+
+@dataclass
+class Problem:
+    """A logical DPM rectangle with cached boundary values.
+
+    Attributes
+    ----------
+    i0, j0:
+        Global coordinates of the cached top-left corner.
+    i1, j1:
+        Global coordinates of the bottom-right entry (the path head).
+    cache_row:
+        Values along row ``i0``, columns ``j0..j1`` (length ``N + 1``).
+    cache_col:
+        Values along column ``j0``, rows ``i0..i1`` (length ``M + 1``).
+    """
+
+    i0: int
+    j0: int
+    i1: int
+    j1: int
+    cache_row: RowCache
+    cache_col: ColCache
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.i0 <= self.i1 and 0 <= self.j0 <= self.j1):
+            raise ConfigError(
+                f"invalid problem rectangle ({self.i0},{self.j0})..({self.i1},{self.j1})"
+            )
+        if len(self.cache_row) != self.ncols + 1:
+            raise ConfigError(
+                f"cache_row length {len(self.cache_row)} != {self.ncols + 1}"
+            )
+        if len(self.cache_col) != self.nrows + 1:
+            raise ConfigError(
+                f"cache_col length {len(self.cache_col)} != {self.nrows + 1}"
+            )
+        if int(self.cache_row.h[0]) != int(self.cache_col.h[0]):
+            raise ConfigError(
+                f"boundary caches disagree at the corner: "
+                f"{int(self.cache_row.h[0])} != {int(self.cache_col.h[0])}"
+            )
+
+    @property
+    def nrows(self) -> int:
+        """Number of row *moves* in the rectangle (``M = i1 − i0``)."""
+        return self.i1 - self.i0
+
+    @property
+    def ncols(self) -> int:
+        """Number of column moves (``N = j1 − j0``)."""
+        return self.j1 - self.j0
+
+    @property
+    def dense_cells(self) -> int:
+        """Cells of a dense ``(M+1) × (N+1)`` matrix for this rectangle."""
+        return (self.nrows + 1) * (self.ncols + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Problem(({self.i0},{self.j0})..({self.i1},{self.j1}), "
+            f"{self.nrows}x{self.ncols})"
+        )

@@ -1,0 +1,47 @@
+"""Score-only alignment (FindScore without FindPath).
+
+When only the optimal score is needed — database ranking, distance
+matrices for guide trees, filtering before a full alignment — a single
+linear-space sweep suffices: ``O(m·n)`` time, ``O(n)`` memory, no
+recursion, no traceback.  This is the FindScore phase of the paper's
+Section 2 on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..align.sequence import as_sequence
+from ..kernels.affine import affine_boundaries, sweep_last_row_col_affine
+from ..kernels.linear import boundary_vectors, sweep_last_row_col
+from ..kernels.ops import KernelInstruments
+from ..scoring.scheme import ScoringScheme
+
+__all__ = ["align_score"]
+
+def align_score(
+    seq_a,
+    seq_b,
+    scheme: ScoringScheme,
+    instruments: Optional[KernelInstruments] = None,
+) -> int:
+    """Optimal global alignment score in one linear-space sweep."""
+    a = as_sequence(seq_a, "a")
+    b = as_sequence(seq_b, "b")
+    inst = instruments or KernelInstruments()
+    a_codes = scheme.encode(a.text)
+    b_codes = scheme.encode(b.text)
+    m, n = len(a), len(b)
+    table = scheme.matrix.table
+    if scheme.is_linear:
+        fr, fc = boundary_vectors(m, n, scheme.gap_open)
+        last_row, _ = sweep_last_row_col(
+            a_codes, b_codes, table, scheme.gap_open, fr, fc, inst.ops
+        )
+        return int(last_row[-1])
+    rh, rf, ch, ce = affine_boundaries(m, n, scheme.gap_open, scheme.gap_extend)
+    last_row, _, _, _ = sweep_last_row_col_affine(
+        a_codes, b_codes, table, scheme.gap_open, scheme.gap_extend,
+        rh, rf, ch, ce, inst.ops,
+    )
+    return int(last_row[-1])

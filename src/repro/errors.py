@@ -1,0 +1,72 @@
+"""Exception hierarchy for the FastLSA reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of :mod:`repro` with a single ``except`` clause
+while still distinguishing configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SequenceError",
+    "AlphabetError",
+    "ScoringError",
+    "AlignmentError",
+    "PathError",
+    "FastaError",
+    "SchedulerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An algorithm or planner was configured with invalid parameters.
+
+    Examples: ``k < 2`` for FastLSA, a base-case buffer too small to hold a
+    single DP cell, a non-positive processor count for the parallel
+    machinery.
+    """
+
+
+class SequenceError(ReproError, ValueError):
+    """A biological sequence failed validation (empty name, bad type, ...)."""
+
+
+class AlphabetError(SequenceError):
+    """A sequence contains symbols outside the scoring scheme's alphabet."""
+
+
+class ScoringError(ReproError, ValueError):
+    """A scoring matrix or gap model is malformed.
+
+    Raised for non-square matrices, alphabets with duplicate symbols,
+    non-integer scores, or affine gap models whose extension penalty is
+    *worse* than the opening penalty (which breaks the Gotoh scan
+    decomposition used by the vectorised kernels).
+    """
+
+
+class AlignmentError(ReproError, ValueError):
+    """An alignment object is internally inconsistent."""
+
+
+class PathError(AlignmentError):
+    """A dynamic-programming path violates the move/monotonicity invariants."""
+
+
+class FastaError(ReproError, ValueError):
+    """A FASTA stream could not be parsed."""
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """The wavefront scheduler detected an impossible state.
+
+    This indicates a bug (a tile scheduled before its dependencies, a cyclic
+    dependency graph, a simulated machine asked to run zero tasks forever)
+    rather than a user error.
+    """

@@ -1,0 +1,46 @@
+"""Dynamic-programming kernels.
+
+Production kernels are numpy-vectorised row sweeps (one ``O(n)`` pass per
+row, no per-cell Python):
+
+* :mod:`repro.kernels.linear` — linear-gap sweeps via a prefix-max scan;
+* :mod:`repro.kernels.affine` — Gotoh affine-gap sweeps, same scan idea;
+* :mod:`repro.kernels.fullmatrix` — dense matrices + traceback, unified
+  over gap models;
+* :mod:`repro.kernels.traceback` — FindPath over stored matrices;
+* :mod:`repro.kernels.antidiag` — independent anti-diagonal formulation
+  (cross-check / wavefront reference);
+* :mod:`repro.kernels.reference` — pure-Python oracles for tests;
+* :mod:`repro.kernels.ops` — operation & memory accounting.
+"""
+
+from .ops import KernelInstruments, MemoryMeter, OpCounter
+from .linear import boundary_vectors, sweep_last_row_col, sweep_matrix
+from .affine import (
+    NEG_INF,
+    affine_boundaries,
+    sweep_last_row_col_affine,
+    sweep_matrix_affine,
+)
+from .antidiag import antidiag_matrix
+from .fullmatrix import FullMatrices, compute_full, trace_from
+from .traceback import traceback_affine, traceback_linear
+
+__all__ = [
+    "KernelInstruments",
+    "MemoryMeter",
+    "OpCounter",
+    "boundary_vectors",
+    "sweep_last_row_col",
+    "sweep_matrix",
+    "NEG_INF",
+    "affine_boundaries",
+    "sweep_last_row_col_affine",
+    "sweep_matrix_affine",
+    "antidiag_matrix",
+    "FullMatrices",
+    "compute_full",
+    "trace_from",
+    "traceback_affine",
+    "traceback_linear",
+]

@@ -1,0 +1,89 @@
+"""Operation and memory accounting.
+
+The paper's central claim is a space/operations trade-off, so the library
+instruments every kernel with two counters:
+
+* :class:`OpCounter` — DP **cells computed**, including recomputation.
+  FM computes ``m·n`` cells; Hirschberg ≈ ``2·m·n``; FastLSA lands in
+  between depending on ``k`` (Section 3 / Theorem analysis).
+* :class:`MemoryMeter` — DP **cells resident**, tracking the peak number of
+  simultaneously-allocated DP cells (grid lines, sweep rows, base-case
+  matrices).  This is the space axis of the trade-off, measured in cells so
+  it is machine-independent (multiply by 8 bytes for int64 storage).
+
+Both are plain counters rather than context managers so they can be
+threaded through deep recursions cheaply; passing ``None`` disables
+accounting with negligible overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OpCounter", "MemoryMeter", "KernelInstruments"]
+
+
+@dataclass
+class OpCounter:
+    """Counts DP cells evaluated (the paper's "number of operations")."""
+
+    cells: int = 0
+
+    def add_cells(self, n: int) -> None:
+        """Record ``n`` freshly computed DP cells."""
+        self.cells += int(n)
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.cells = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpCounter(cells={self.cells})"
+
+
+@dataclass
+class MemoryMeter:
+    """Tracks current and peak resident DP cells.
+
+    ``alloc``/``free`` must be balanced by callers; ``peak`` records the
+    high-water mark.  The meter counts logical DP cells: an affine kernel
+    holding H, E and F rows of width ``n`` accounts ``3·n`` cells.
+    """
+
+    current: int = 0
+    peak: int = 0
+
+    def alloc(self, n: int) -> None:
+        """Record allocation of ``n`` cells."""
+        self.current += int(n)
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def free(self, n: int) -> None:
+        """Record release of ``n`` cells."""
+        self.current -= int(n)
+        if self.current < 0:
+            raise ValueError(
+                f"MemoryMeter went negative ({self.current}); unbalanced alloc/free"
+            )
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.current = 0
+        self.peak = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoryMeter(current={self.current}, peak={self.peak})"
+
+
+@dataclass
+class KernelInstruments:
+    """Bundle of the two counters, passed through algorithm internals."""
+
+    ops: OpCounter = field(default_factory=OpCounter)
+    mem: MemoryMeter = field(default_factory=MemoryMeter)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.ops.reset()
+        self.mem.reset()

@@ -1,0 +1,22 @@
+"""Trace-driven memory-hierarchy simulator (experiment F8 substrate)."""
+
+from .cache import CacheConfig, CacheSim, CacheStats
+from .hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
+from .trace import StackAllocator, trace_fastlsa, trace_full_matrix, trace_hirschberg
+from .runner import CacheRunResult, compare_algorithms, run_cache_experiment
+
+__all__ = [
+    "CacheConfig",
+    "CacheSim",
+    "CacheStats",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "HierarchyStats",
+    "StackAllocator",
+    "trace_fastlsa",
+    "trace_full_matrix",
+    "trace_hirschberg",
+    "CacheRunResult",
+    "compare_algorithms",
+    "run_cache_experiment",
+]

@@ -1,0 +1,134 @@
+"""Two-level cache hierarchy simulator.
+
+Extends the single-level :class:`~repro.memsim.cache.CacheSim` to an
+L1 → L2 → memory hierarchy with inclusive semantics: every access probes
+L1; L1 misses probe L2; L2 misses fill both levels.  The timing model
+charges each access the latency of the level that served it.
+
+This sharpens experiment F8's story: the paper tunes FastLSA's ``k`` and
+Base Case buffer against *both* cache levels ("RM may represent either
+the size of cache memory or main memory"), and the two-level simulator
+exposes the two distinct crossovers — working set vs L1, and vs L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import ConfigError
+from .cache import CacheConfig, CacheSim
+
+__all__ = ["HierarchyConfig", "HierarchyStats", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry + latency model of a two-level hierarchy.
+
+    Latencies are in the same work-units as the single-level model (one
+    unit ≈ one cache line's worth of DP arithmetic; see
+    :meth:`repro.memsim.cache.CacheStats.time_estimate`).
+    """
+
+    l1: CacheConfig
+    l2: CacheConfig
+    t_l1: float = 1.0
+    t_l2: float = 4.0
+    t_mem: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.l2.capacity_cells < self.l1.capacity_cells:
+            raise ConfigError("L2 must be at least as large as L1")
+        if self.l1.line_cells != self.l2.line_cells:
+            raise ConfigError("levels must share a line size")
+        if not (self.t_l1 <= self.t_l2 <= self.t_mem):
+            raise ConfigError("latencies must be non-decreasing down the hierarchy")
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level hit counters of one simulation."""
+
+    l1_hits: int = 0
+    l2_hits: int = 0
+    mem_accesses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total line accesses."""
+        return self.l1_hits + self.l2_hits + self.mem_accesses
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Fraction served by L1."""
+        return self.l1_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Fraction going all the way to memory."""
+        return self.mem_accesses / self.accesses if self.accesses else 0.0
+
+    def time_estimate(self, config: HierarchyConfig) -> float:
+        """Total modelled time under the hierarchy's latency model."""
+        return (
+            self.l1_hits * config.t_l1
+            + self.l2_hits * config.t_l2
+            + self.mem_accesses * config.t_mem
+        )
+
+
+class CacheHierarchy:
+    """Inclusive L1/L2 hierarchy over abstract cell addresses.
+
+    Exposes the same ``access_cell`` / ``access_range`` interface as
+    :class:`CacheSim`, so the trace generators of
+    :mod:`repro.memsim.trace` drive it unchanged.
+    """
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        self._l1 = CacheSim(config.l1)
+        self._l2 = CacheSim(config.l2)
+        self.stats = HierarchyStats()
+
+    def reset(self) -> None:
+        """Clear contents and counters."""
+        self._l1.reset()
+        self._l2.reset()
+        self.stats = HierarchyStats()
+
+    def access_line(self, line: int) -> str:
+        """Touch one line; returns the serving level (``l1``/``l2``/``mem``)."""
+        if self._l1.access_line(line):
+            self.stats.l1_hits += 1
+            return "l1"
+        if self._l2.access_line(line):
+            self.stats.l2_hits += 1
+            return "l2"
+        self.stats.mem_accesses += 1
+        return "mem"
+
+    def access_cell(self, addr: int) -> str:
+        """Touch the line containing cell ``addr``."""
+        return self.access_line(addr // self.config.l1.line_cells)
+
+    def access_range(self, start: int, length: int) -> None:
+        """Touch every line of the cell range ``[start, start + length)``."""
+        if length <= 0:
+            return
+        lc = self.config.l1.line_cells
+        first = start // lc
+        last = (start + length - 1) // lc
+        for line in range(first, last + 1):
+            self.access_line(line)
+
+    def run(self, lines: Iterable[int]) -> HierarchyStats:
+        """Process an iterable of line indices."""
+        for line in lines:
+            self.access_line(line)
+        return self.stats
+
+    def time_estimate(self) -> float:
+        """Total modelled time so far."""
+        return self.stats.time_estimate(self.config)

@@ -1,0 +1,91 @@
+"""Cache-simulation experiment runner.
+
+Drives the trace generators of :mod:`repro.memsim.trace` through a
+configured :class:`~repro.memsim.cache.CacheSim` and reports per-algorithm
+miss rates and modelled execution times — the machinery behind experiment
+F8 ("due to memory caching effects, FastLSA is always as fast or faster").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigError
+from .cache import CacheConfig, CacheSim, CacheStats
+from .trace import trace_fastlsa, trace_full_matrix, trace_hirschberg
+
+__all__ = ["CacheRunResult", "run_cache_experiment", "compare_algorithms"]
+
+
+@dataclass
+class CacheRunResult:
+    """One algorithm's simulated cache behaviour on one problem size."""
+
+    algorithm: str
+    m: int
+    n: int
+    stats: CacheStats
+
+    @property
+    def accesses(self) -> int:
+        """Total line accesses made by the algorithm."""
+        return self.stats.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of line accesses that missed."""
+        return self.stats.miss_rate
+
+    def time(self, t_hit: float = 1.0, t_miss: float = 8.0) -> float:
+        """Modelled time under a two-level latency model."""
+        return self.stats.time_estimate(t_hit, t_miss)
+
+
+def run_cache_experiment(
+    algorithm: str,
+    m: int,
+    n: int,
+    cache: CacheConfig,
+    k: int = 8,
+    base_cells: int = 4096,
+) -> CacheRunResult:
+    """Simulate one algorithm's trace; ``algorithm`` in
+    ``{"full-matrix", "hirschberg", "fastlsa"}``."""
+    sim = CacheSim(cache)
+    if algorithm == "full-matrix":
+        trace_full_matrix(sim, m, n)
+    elif algorithm == "hirschberg":
+        trace_hirschberg(sim, m, n, base_cells=base_cells)
+    elif algorithm == "fastlsa":
+        trace_fastlsa(sim, m, n, k=k, base_cells=base_cells)
+    else:
+        raise ConfigError(f"unknown algorithm {algorithm!r}")
+    return CacheRunResult(algorithm=algorithm, m=m, n=n, stats=sim.stats)
+
+
+def compare_algorithms(
+    m: int,
+    n: int,
+    cache: CacheConfig,
+    k: int = 8,
+    base_cells: int = 4096,
+    t_hit: float = 1.0,
+    t_miss: float = 8.0,
+) -> List[Dict[str, float]]:
+    """Run all three algorithms on one problem size; return report rows."""
+    rows = []
+    for algorithm in ("full-matrix", "hirschberg", "fastlsa"):
+        res = run_cache_experiment(algorithm, m, n, cache, k=k, base_cells=base_cells)
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "m": m,
+                "n": n,
+                "accesses": res.accesses,
+                "misses": res.stats.misses,
+                "miss_rate": res.miss_rate,
+                "time": res.time(t_hit, t_miss),
+            }
+        )
+    return rows

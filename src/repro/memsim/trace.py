@@ -1,0 +1,174 @@
+"""Memory-access trace generators for the three algorithm families.
+
+Each generator replays the *memory behaviour* of an algorithm on a virtual
+DPM directly into a :class:`~repro.memsim.cache.CacheSim`, at row-segment
+granularity.  The structural differences that matter for caching are:
+
+* **Full matrix** — writes ``m·n`` *distinct* cells (the stored DPM), so
+  once the matrix exceeds the cache every line is a compulsory miss;
+  FindPath then walks back over long-evicted lines.
+* **Hirschberg** — twice the accesses, but everything lands in two rolling
+  row buffers that are endlessly reused: the working set is ``O(n)``.
+* **FastLSA** — between 1× and 1.5× the accesses, into rolling rows plus
+  the grid lines (written once, read once) and a single reused Base Case
+  buffer — the paper's point that the tunable working set can be made
+  cache-resident.
+
+A stack allocator models real allocator behaviour: sibling sub-problems
+reuse each other's freed memory, while a parent's grid stays live during
+its children (matching FastLSA's actual lifetimes).
+
+The FastLSA/Hirschberg recursions assume a near-diagonal optimal path
+(homologous sequences), the typical case for the paper's workloads; the
+trace cost model is unaffected by small path deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .cache import CacheSim
+
+__all__ = ["StackAllocator", "trace_full_matrix", "trace_hirschberg", "trace_fastlsa"]
+
+
+@dataclass
+class StackAllocator:
+    """Bump allocator with stack discipline (free restores the mark)."""
+
+    top: int = 0
+
+    def alloc(self, cells: int) -> int:
+        """Reserve ``cells`` and return the base address."""
+        base = self.top
+        self.top += int(cells)
+        return base
+
+    def mark(self) -> int:
+        """Current stack mark (pass to :meth:`release`)."""
+        return self.top
+
+    def release(self, mark: int) -> None:
+        """Free everything allocated after ``mark``."""
+        if mark > self.top:
+            raise ConfigError("release above current stack top")
+        self.top = mark
+
+
+def _sweep_rows(sim: CacheSim, prev_base: int, cur_base: int, rows: int, width: int) -> None:
+    """Rolling two-row sweep: each row reads the previous and writes the
+    current buffer, swapping roles — the linear-space kernel's pattern."""
+    for i in range(rows):
+        if i % 2 == 0:
+            sim.access_range(prev_base, width)
+            sim.access_range(cur_base, width)
+        else:
+            sim.access_range(cur_base, width)
+            sim.access_range(prev_base, width)
+
+
+def _fm_region(sim: CacheSim, base: int, rows: int, width: int, with_path: bool) -> None:
+    """Full-matrix FindScore (+ optional FindPath) over a dense region."""
+    for i in range(1, rows + 1):
+        sim.access_range(base + (i - 1) * width, width)
+        sim.access_range(base + i * width, width)
+    if with_path:
+        # Walk an approximately diagonal path, reading the three candidate
+        # predecessor cells at every step.
+        i, j = rows, width - 1
+        while i > 0 and j > 0:
+            sim.access_cell(base + i * width + j)
+            sim.access_cell(base + (i - 1) * width + j - 1)
+            sim.access_cell(base + (i - 1) * width + j)
+            sim.access_cell(base + i * width + j - 1)
+            i -= 1
+            j -= 1
+        while i > 0:
+            sim.access_cell(base + i * width)
+            i -= 1
+        while j > 0:
+            sim.access_cell(base + j)
+            j -= 1
+
+
+def trace_full_matrix(sim: CacheSim, m: int, n: int) -> None:
+    """Replay the FM algorithm: dense ``(m+1)·(n+1)`` matrix + traceback."""
+    alloc = StackAllocator()
+    base = alloc.alloc((m + 1) * (n + 1))
+    _fm_region(sim, base, m, n + 1, with_path=True)
+
+
+def trace_hirschberg(
+    sim: CacheSim, m: int, n: int, base_cells: int = 4096, _alloc: StackAllocator | None = None
+) -> None:
+    """Replay Hirschberg: forward+backward sweeps, recurse on both halves."""
+    alloc = _alloc or StackAllocator()
+    if m <= 0 or n <= 0:
+        return
+    mark = alloc.mark()
+    if (m + 1) * (n + 1) <= base_cells or m == 1:
+        base = alloc.alloc((m + 1) * (n + 1))
+        _fm_region(sim, base, m, n + 1, with_path=True)
+        alloc.release(mark)
+        return
+    rows = alloc.alloc(2 * (n + 1))
+    mid = m // 2
+    _sweep_rows(sim, rows, rows + (n + 1), mid, n + 1)          # forward half
+    _sweep_rows(sim, rows, rows + (n + 1), m - mid, n + 1)      # backward half
+    sim.access_range(rows, 2 * (n + 1))                          # join scan
+    alloc.release(mark)
+    # Near-diagonal split assumption: the join lands mid-column.
+    trace_hirschberg(sim, mid, n // 2, base_cells, alloc)
+    trace_hirschberg(sim, m - mid, n - n // 2, base_cells, alloc)
+
+
+def trace_fastlsa(
+    sim: CacheSim,
+    m: int,
+    n: int,
+    k: int,
+    base_cells: int,
+    _alloc: StackAllocator | None = None,
+    _base_buffer: int | None = None,
+) -> None:
+    """Replay FastLSA: FillCache sweeps + grid lines + reused base buffer.
+
+    The Base Case buffer is allocated once (the paper reserves ``BM`` up
+    front) and reused by every base case, which is exactly why it can stay
+    cache-resident.
+    """
+    if k < 2:
+        raise ConfigError(f"k must be >= 2, got {k}")
+    alloc = _alloc or StackAllocator()
+    if _base_buffer is None:
+        _base_buffer = alloc.alloc(base_cells)
+    if m <= 0 or n <= 0:
+        return
+    if (m + 1) * (n + 1) <= base_cells or (m < k and n < k):
+        _fm_region(sim, _base_buffer, m, n + 1, with_path=True)
+        return
+    mark = alloc.mark()
+    bm, bn = max(1, m // k), max(1, n // k)
+    rows = alloc.alloc(2 * (bn + 1))
+    grid_rows = alloc.alloc((k - 1) * (n + 1))
+    grid_cols = alloc.alloc((k - 1) * (m + 1))
+    # FillCache: k² − 1 blocks, each a rolling sweep reading its boundary
+    # lines and writing its bottom/right segments into the grid.
+    for p in range(k):
+        for q in range(k):
+            if p == k - 1 and q == k - 1:
+                continue
+            if p > 0:
+                sim.access_range(grid_rows + (p - 1) * (n + 1) + q * bn, bn + 1)
+            if q > 0:
+                sim.access_range(grid_cols + (q - 1) * (m + 1) + p * bm, bm + 1)
+            _sweep_rows(sim, rows, rows + (bn + 1), bm, bn + 1)
+            if p < k - 1:
+                sim.access_range(grid_rows + p * (n + 1) + q * bn, bn + 1)
+            if q < k - 1:
+                sim.access_range(grid_cols + q * (m + 1) + p * bm, bm + 1)
+    # Near-diagonal path: recurse through the k diagonal blocks.
+    for _ in range(k):
+        trace_fastlsa(sim, bm, bn, k, base_cells, alloc, _base_buffer)
+    alloc.release(mark)

@@ -1,0 +1,24 @@
+"""Multiple sequence alignment on top of pairwise FastLSA.
+
+* :func:`center_star_msa` — the classic 2-approximation star MSA
+  (all-pairs FindScore sweeps + ``N−1`` FastLSA alignments + gap merge);
+* :func:`build_profile` / :func:`align_to_profile` — PSSM construction
+  from an MSA and sequence-to-profile global alignment.
+"""
+
+from .star import MultipleAlignment, center_star_msa, merge_pairwise
+from .profile import Profile, ProfileAlignment, align_to_profile, build_profile
+from .progressive import align_profiles, progressive_msa, upgma_tree
+
+__all__ = [
+    "MultipleAlignment",
+    "center_star_msa",
+    "merge_pairwise",
+    "Profile",
+    "ProfileAlignment",
+    "align_to_profile",
+    "build_profile",
+    "align_profiles",
+    "progressive_msa",
+    "upgma_tree",
+]

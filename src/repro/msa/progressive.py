@@ -1,0 +1,209 @@
+"""Progressive multiple sequence alignment (guide tree + profile merging).
+
+The standard upgrade over center-star: build a guide tree by UPGMA over
+alignment-score-derived distances, then align *profiles* up the tree —
+each internal node aligns the MSAs of its children column-against-column
+with expected substitution scores,
+
+    S(c₁, c₂) = f₁[c₁]ᵀ · M · f₂[c₂]
+
+computed for a whole row at once as ``(f₁ @ M) @ f₂ᵀ``.  Gap columns
+introduced by the profile-profile path are injected into every row of the
+corresponding side ("once a gap, always a gap").
+
+Linear gap models (profile DP folds gap occupancy into column scores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence as Seq, Tuple
+
+import numpy as np
+
+from ..align.alignment import GAP
+from ..align.sequence import as_sequence
+from ..core.score_only import align_score
+from ..errors import ConfigError, PathError
+from ..scoring.scheme import ScoringScheme
+from .star import MultipleAlignment
+from .profile import build_profile
+
+__all__ = ["upgma_tree", "progressive_msa", "align_profiles"]
+
+
+# ----------------------------------------------------------------------
+# guide tree
+# ----------------------------------------------------------------------
+@dataclass
+class _Node:
+    members: Tuple[int, ...]
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+def upgma_tree(distances: np.ndarray) -> _Node:
+    """UPGMA clustering over a symmetric distance matrix.
+
+    Returns the root node; leaves carry original indices in ``members``.
+    """
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise ConfigError("distance matrix must be square")
+    if n < 1:
+        raise ConfigError("need at least one item")
+    clusters: List[_Node] = [_Node(members=(i,)) for i in range(n)]
+    dist = {
+        (i, j): float(distances[i, j]) for i in range(n) for j in range(i + 1, n)
+    }
+    active = list(range(n))
+    next_id = n
+    nodes = {i: clusters[i] for i in range(n)}
+    while len(active) > 1:
+        (i, j), _ = min(
+            ((pair, d) for pair, d in dist.items()
+             if pair[0] in active and pair[1] in active),
+            key=lambda kv: (kv[1], kv[0]),
+        )
+        ni, nj = nodes[i], nodes[j]
+        merged = _Node(members=ni.members + nj.members, left=ni, right=nj)
+        nodes[next_id] = merged
+        # Average-linkage distances to the new cluster.
+        for k in active:
+            if k in (i, j):
+                continue
+            dik = dist.get((min(i, k), max(i, k)))
+            djk = dist.get((min(j, k), max(j, k)))
+            wi, wj = len(ni.members), len(nj.members)
+            dist[(min(k, next_id), max(k, next_id))] = (
+                (wi * dik + wj * djk) / (wi + wj)
+            )
+        active = [k for k in active if k not in (i, j)] + [next_id]
+        next_id += 1
+    return nodes[active[0]]
+
+
+# ----------------------------------------------------------------------
+# profile-profile alignment
+# ----------------------------------------------------------------------
+def align_profiles(
+    msa_a: MultipleAlignment,
+    msa_b: MultipleAlignment,
+    scheme: ScoringScheme,
+) -> MultipleAlignment:
+    """Align two MSAs column-against-column and merge them.
+
+    The DP is global with expected substitution scores between column
+    frequency vectors; gaps cost the scheme's (linear) gap penalty scaled
+    by the non-gap occupancy of the column being skipped.
+    """
+    if not scheme.is_linear:
+        raise ConfigError("profile-profile alignment supports linear gaps only")
+    pa = build_profile(msa_a, scheme)
+    pb = build_profile(msa_b, scheme)
+    M, N = pa.width, pb.width
+    table = scheme.matrix.table.astype(np.float64)
+    gap = float(scheme.gap_open)
+
+    # Expected column-column scores: (M, N).
+    cross = (pa.freqs @ table) @ pb.freqs.T
+    # Occupancy-weighted gap costs per column.
+    gap_a = gap * pa.freqs.sum(axis=1)  # cost of skipping an A-column
+    gap_b = gap * pb.freqs.sum(axis=1)
+
+    H = np.full((M + 1, N + 1), -np.inf)
+    H[0, 0] = 0.0
+    H[1:, 0] = np.cumsum(gap_a)
+    H[0, 1:] = np.cumsum(gap_b)
+    for i in range(1, M + 1):
+        diag = H[i - 1, :-1] + cross[i - 1]
+        up = H[i - 1, 1:] + gap_a[i - 1]
+        best = np.maximum(diag, up)
+        # Horizontal dependency: per-cell loop is unavoidable here because
+        # gap_b varies by column (no common slope to factor out); M and N
+        # are MSA widths, so this stays cheap.
+        row = H[i]
+        for j in range(1, N + 1):
+            row[j] = max(best[j - 1], row[j - 1] + gap_b[j - 1])
+
+    # Traceback.
+    i, j = M, N
+    ops: List[str] = []  # 'D' diag, 'U' up (A col vs gap), 'L' left
+    while i > 0 or j > 0:
+        h = H[i, j]
+        if i > 0 and j > 0 and np.isclose(h, H[i - 1, j - 1] + cross[i - 1, j - 1]):
+            ops.append("D")
+            i -= 1
+            j -= 1
+        elif i > 0 and np.isclose(h, H[i - 1, j] + gap_a[i - 1]):
+            ops.append("U")
+            i -= 1
+        elif j > 0 and np.isclose(h, H[i, j - 1] + gap_b[j - 1]):
+            ops.append("L")
+            j -= 1
+        else:
+            raise PathError(f"profile-profile traceback stuck at ({i}, {j})")
+    ops.reverse()
+
+    # Merge rows following the op string.
+    rows_a = [[] for _ in msa_a.rows]
+    rows_b = [[] for _ in msa_b.rows]
+    ia = ib = 0
+    for op in ops:
+        if op in ("D", "U"):
+            for r, row in enumerate(msa_a.rows):
+                rows_a[r].append(row[ia])
+            ia += 1
+        else:
+            for r in rows_a:
+                r.append(GAP)
+        if op in ("D", "L"):
+            for r, row in enumerate(msa_b.rows):
+                rows_b[r].append(row[ib])
+            ib += 1
+        else:
+            for r in rows_b:
+                r.append(GAP)
+    return MultipleAlignment(
+        sequences=list(msa_a.sequences) + list(msa_b.sequences),
+        rows=["".join(r) for r in rows_a] + ["".join(r) for r in rows_b],
+        center_index=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def progressive_msa(
+    sequences: Seq,
+    scheme: ScoringScheme,
+) -> MultipleAlignment:
+    """Progressive MSA: UPGMA guide tree + profile-profile merging.
+
+    Distances are ``max_pair_score − score(i, j)`` over all pairs (the
+    FindScore sweep), so the most similar sequences merge first.
+    """
+    seqs = [as_sequence(s, f"seq{i}") for i, s in enumerate(sequences)]
+    if len(seqs) < 2:
+        raise ConfigError("an MSA needs at least two sequences")
+    if not scheme.is_linear:
+        raise ConfigError("progressive_msa supports linear gap models only")
+
+    n = len(seqs)
+    scores = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            scores[i, j] = scores[j, i] = align_score(seqs[i], seqs[j], scheme)
+    dist = scores.max() - scores
+    np.fill_diagonal(dist, 0.0)
+    root = upgma_tree(dist)
+
+    def build(node: _Node) -> MultipleAlignment:
+        if node.left is None:  # leaf
+            idx = node.members[0]
+            return MultipleAlignment(
+                sequences=[seqs[idx]], rows=[seqs[idx].text], center_index=0
+            )
+        return align_profiles(build(node.left), build(node.right), scheme)
+
+    return build(root)

@@ -1,0 +1,196 @@
+"""Center-star multiple sequence alignment.
+
+The classic 2-approximation MSA built on a pairwise aligner (Gusfield):
+
+1. score all pairs with the linear-space FindScore sweep;
+2. pick the *center* — the sequence with the highest total similarity;
+3. align every other sequence to the center with FastLSA;
+4. merge the pairwise alignments column-wise under the
+   "once a gap, always a gap" rule.
+
+Cost: ``O(N²)`` score sweeps + ``N − 1`` full alignments, all in
+FastLSA's memory envelope — exactly the workload mix the score-only API
+and FastLSA were built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence as Seq, Tuple
+
+from ..align.alignment import GAP, Alignment
+from ..align.sequence import Sequence, as_sequence
+from ..core.config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig
+from ..core.fastlsa import fastlsa
+from ..core.score_only import align_score
+from ..errors import AlignmentError, ConfigError
+from ..scoring.scheme import ScoringScheme
+
+__all__ = ["MultipleAlignment", "center_star_msa", "merge_pairwise"]
+
+
+@dataclass
+class MultipleAlignment:
+    """A rectangular multiple alignment.
+
+    ``rows[i]`` is the gapped string of ``sequences[i]``; all rows share
+    one width.  ``center_index`` identifies the star center.
+    """
+
+    sequences: List[Sequence]
+    rows: List[str]
+    center_index: int
+
+    def __post_init__(self) -> None:
+        if len(self.sequences) != len(self.rows):
+            raise AlignmentError("one gapped row per sequence required")
+        widths = {len(r) for r in self.rows}
+        if len(widths) > 1:
+            raise AlignmentError(f"ragged MSA rows: widths {sorted(widths)}")
+        for seq, row in zip(self.sequences, self.rows):
+            if row.replace(GAP, "") != seq.text:
+                raise AlignmentError(f"row does not spell sequence {seq.name!r}")
+
+    @property
+    def width(self) -> int:
+        """Number of alignment columns."""
+        return len(self.rows[0]) if self.rows else 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, c: int) -> Tuple[str, ...]:
+        """The symbols of column ``c`` (including gaps)."""
+        return tuple(row[c] for row in self.rows)
+
+    def conserved_columns(self) -> int:
+        """Columns where every sequence has the same (non-gap) residue."""
+        count = 0
+        for c in range(self.width):
+            col = self.column(c)
+            if GAP not in col and len(set(col)) == 1:
+                count += 1
+        return count
+
+    def sum_of_pairs_score(self, scheme: ScoringScheme) -> int:
+        """Sum-of-pairs score under ``scheme`` (gap runs per pair)."""
+        from ..align.validate import score_gapped
+
+        total = 0
+        for i in range(len(self.rows)):
+            for j in range(i + 1, len(self.rows)):
+                # Strip columns where both rows gap (they score nothing
+                # and are illegal for the pairwise re-scorer).
+                ga, gb = [], []
+                for ca, cb in zip(self.rows[i], self.rows[j]):
+                    if ca == GAP and cb == GAP:
+                        continue
+                    ga.append(ca)
+                    gb.append(cb)
+                total += score_gapped("".join(ga), "".join(gb), scheme)
+        return total
+
+    def format(self, width: int = 72, names: bool = True) -> str:
+        """Wrapped block rendering with a conservation line."""
+        labels = [s.name for s in self.sequences]
+        label_w = max((len(l) for l in labels), default=0) if names else 0
+        out = []
+        for start in range(0, self.width, width):
+            stop = min(start + width, self.width)
+            for label, row in zip(labels, self.rows):
+                prefix = f"{label:>{label_w}}  " if names else ""
+                out.append(prefix + row[start:stop])
+            cons = "".join(
+                "*" if (GAP not in self.column(c) and len(set(self.column(c))) == 1)
+                else " "
+                for c in range(start, stop)
+            )
+            out.append(" " * (label_w + 2 if names else 0) + cons)
+            out.append("")
+        return "\n".join(out).rstrip()
+
+
+def merge_pairwise(
+    center_text: str, pairwise: Seq[Alignment]
+) -> Tuple[str, List[str]]:
+    """Merge (center, other) pairwise alignments column-wise.
+
+    Returns ``(gapped_center, gapped_others)``.  Every pairwise alignment
+    must have the center as its row sequence (``seq_a``).
+    """
+    master = center_text
+    merged: List[str] = []
+    for aln in pairwise:
+        if aln.seq_a.text != center_text:
+            raise AlignmentError("pairwise alignment does not have the center as seq_a")
+        ga, gb = aln.gapped_a, aln.gapped_b
+        new_master: List[str] = []
+        updated: List[List[str]] = [[] for _ in merged]
+        other: List[str] = []
+        mi = pi = 0
+        while mi < len(master) or pi < len(ga):
+            m_ch = master[mi] if mi < len(master) else None
+            p_ch = ga[pi] if pi < len(ga) else None
+            if m_ch == GAP and p_ch != GAP:
+                # A gap column introduced by an earlier merge.
+                new_master.append(GAP)
+                for r, row in enumerate(merged):
+                    updated[r].append(row[mi])
+                other.append(GAP)
+                mi += 1
+            elif p_ch == GAP:
+                # This pairwise alignment inserts a fresh gap column.
+                new_master.append(GAP)
+                for r in range(len(merged)):
+                    updated[r].append(GAP)
+                other.append(gb[pi])
+                pi += 1
+            else:
+                new_master.append(m_ch)
+                for r, row in enumerate(merged):
+                    updated[r].append(row[mi])
+                other.append(gb[pi])
+                mi += 1
+                pi += 1
+        master = "".join(new_master)
+        merged = ["".join(r) for r in updated]
+        merged.append("".join(other))
+    return master, merged
+
+
+def center_star_msa(
+    sequences: Seq,
+    scheme: ScoringScheme,
+    k: int = DEFAULT_K,
+    base_cells: int = DEFAULT_BASE_CELLS,
+    config: Optional[FastLSAConfig] = None,
+) -> MultipleAlignment:
+    """Align ``sequences`` with the center-star method.
+
+    Returns a :class:`MultipleAlignment` whose first-class invariants
+    (rectangularity, spelling) are validated on construction.
+    """
+    seqs = [as_sequence(s, f"seq{i}") for i, s in enumerate(sequences)]
+    if len(seqs) < 2:
+        raise ConfigError("an MSA needs at least two sequences")
+    cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
+
+    n = len(seqs)
+    totals = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            s = align_score(seqs[i], seqs[j], scheme)
+            totals[i] += s
+            totals[j] += s
+    center_idx = max(range(n), key=totals.__getitem__)
+    center = seqs[center_idx]
+    others = [s for i, s in enumerate(seqs) if i != center_idx]
+
+    pairwise = [fastlsa(center, other, scheme, config=cfg) for other in others]
+    master, merged = merge_pairwise(center.text, pairwise)
+
+    ordered_seqs = [center] + others
+    rows = [master] + merged
+    return MultipleAlignment(
+        sequences=ordered_seqs, rows=rows, center_index=0
+    )

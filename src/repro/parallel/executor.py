@@ -1,0 +1,91 @@
+"""Threaded wavefront executor.
+
+Runs a tile DAG on a real :class:`~concurrent.futures.ThreadPoolExecutor`,
+submitting each tile the moment its up/left dependencies complete.  NumPy
+row sweeps release the GIL only partially, so on this single-core container
+the threaded executor demonstrates correctness and measures dispatch
+overhead rather than physical speedup (see DESIGN.md §3 — the simulated
+machine in :mod:`repro.parallel.simmachine` reproduces the speedup
+figures); on a real multi-core machine it parallelises for free.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SchedulerError
+from .tiles import Tile, TileGrid, TileId
+
+__all__ = ["run_wavefront"]
+
+
+def run_wavefront(
+    grid: TileGrid,
+    worker: Callable[[Tile], None],
+    n_threads: int,
+    pool: Optional[ThreadPoolExecutor] = None,
+) -> None:
+    """Execute every tile of ``grid`` with dependency-driven submission.
+
+    ``worker`` is invoked concurrently (up to ``n_threads`` at once) and
+    must handle its own result storage; tiles are submitted as soon as
+    their dependencies finish.  The first worker exception aborts the run
+    and is re-raised.
+    """
+    if n_threads < 1:
+        raise SchedulerError(f"n_threads must be >= 1, got {n_threads}")
+    tiles = list(grid.tiles())
+    if not tiles:
+        return
+
+    lock = threading.Lock()
+    done = threading.Event()
+    state: Dict[str, object] = {"pending": len(tiles), "error": None}
+    indeg: Dict[TileId, int] = {
+        (t.r, t.c): len(grid.dependencies((t.r, t.c))) for t in tiles
+    }
+
+    own_pool = pool is None
+    executor = pool or ThreadPoolExecutor(max_workers=n_threads)
+
+    def submit(tid: TileId) -> None:
+        executor.submit(run_tile, tid)
+
+    def run_tile(tid: TileId) -> None:
+        try:
+            worker(grid[tid])
+        except BaseException as exc:  # propagate the first failure
+            with lock:
+                if state["error"] is None:
+                    state["error"] = exc
+            done.set()
+            return
+        newly_ready: List[TileId] = []
+        with lock:
+            state["pending"] = int(state["pending"]) - 1
+            finished_all = state["pending"] == 0
+            for dep in grid.dependents(tid):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    newly_ready.append(dep)
+        for dep in newly_ready:
+            submit(dep)
+        if finished_all:
+            done.set()
+
+    try:
+        initial = [tid for tid, d in indeg.items() if d == 0]
+        if not initial:
+            raise SchedulerError("tile DAG has no roots: cyclic dependencies")
+        for tid in initial:
+            submit(tid)
+        done.wait()
+        if state["error"] is not None:
+            raise state["error"]  # type: ignore[misc]
+        if int(state["pending"]) != 0:
+            raise SchedulerError(f"{state['pending']} tiles never executed")
+    finally:
+        if own_pool:
+            executor.shutdown(wait=True)

@@ -1,0 +1,78 @@
+"""ASCII Gantt rendering of simulated wavefront schedules.
+
+Turns a :func:`repro.parallel.simmachine.list_schedule` span map into a
+per-worker timeline, making ramp-up / steady / ramp-down phases (paper
+Figure 13) visible in a terminal:
+
+.. code-block:: text
+
+    worker 0 |00 10 20 30 31 41 ...
+    worker 1 |   01 11 21 22 32 ...
+
+Each cell shows the tile id scheduled in that slot; blank space is idle
+time.  Intended for the F13 bench, examples, and debugging schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SchedulerError
+from .simmachine import list_schedule
+from .tiles import TileGrid, TileId
+
+__all__ = ["render_gantt", "schedule_gantt"]
+
+
+def render_gantt(
+    spans: Dict[TileId, Tuple[float, float]],
+    P: int,
+    width: int = 100,
+    label: Optional[Callable[[TileId], str]] = None,
+) -> str:
+    """Render a span map as a ``P``-row ASCII timeline.
+
+    Workers are assigned greedily by start time (the same order the
+    simulator used); the time axis is scaled to ``width`` characters.
+    """
+    if not spans:
+        return "(empty schedule)"
+    if P < 1:
+        raise SchedulerError(f"P must be >= 1, got {P}")
+    label = label or (lambda tid: "#")
+    makespan = max(end for _, end in spans.values())
+    if makespan <= 0:
+        return "(zero-length schedule)"
+    scale = width / makespan
+
+    # Greedy worker assignment: earliest-free worker takes each task in
+    # start order (reconstructs the work-conserving simulator's layout).
+    free_at = [0.0] * P
+    rows: List[List[str]] = [[" "] * width for _ in range(P)]
+    for tid, (start, end) in sorted(spans.items(), key=lambda kv: (kv[1][0], kv[0])):
+        worker = min(range(P), key=lambda w: (free_at[w] > start + 1e-9, free_at[w]))
+        free_at[worker] = end
+        c0 = min(width - 1, int(start * scale))
+        c1 = max(c0 + 1, int(end * scale))
+        text = label(tid)
+        for c in range(c0, min(c1, width)):
+            offset = c - c0
+            rows[worker][c] = text[offset] if offset < len(text) else "-"
+
+    lines = [f"worker {w:<2}|{''.join(row)}|" for w, row in enumerate(rows)]
+    lines.append(f"{'':9}0{'·' * (width - 2)}{makespan:g}")
+    return "\n".join(lines)
+
+
+def schedule_gantt(
+    grid: TileGrid,
+    P: int,
+    width: int = 100,
+    cost_fn: Optional[Callable[[TileId], float]] = None,
+) -> str:
+    """Schedule a tile grid on ``P`` workers and render the timeline."""
+    fn = cost_fn or (lambda tid: float(grid[tid].cells))
+    _, spans = list_schedule(grid, P, fn)
+    return render_gantt(
+        spans, P, width=width, label=lambda tid: f"{tid[0]},{tid[1]}"
+    )

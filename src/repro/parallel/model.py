@@ -1,0 +1,144 @@
+"""Analytical model of Parallel FastLSA (paper Equations 28–36).
+
+Implements the closed forms of the paper's Section 5 / Appendix A proof of
+Theorem 4, in the paper's own notation:
+
+* ``R × C`` — tile rows/columns of a Fill Cache sub-problem (``R = k·u``,
+  ``C = k·v``);
+* ``T`` — time to compute one tile sequentially (``≈ M·N / (R·C)``);
+* ``α = (1/P)·(1 + (P²−P)/(R·C))`` (Eq. 32) — the wavefront inefficiency
+  factor: three phases of at most ``(P−1)·T`` + ``(P−1)·T`` +
+  ``(R·C−P²+P)/P · T``;
+* ``PFillCacheT(M, N, k, P) = M·N·α`` (Eq. 31), likewise
+  ``PBaseCaseT`` (Eq. 33);
+* ``WT(m, n, k, P) ≤ (m·n/P)·(1 + (P²−P)/(R·C))·(k/(k−1))²`` (Eq. 36).
+
+All times are in cell-units (one DP cell ≡ one unit), matching
+:mod:`repro.parallel.simmachine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = [
+    "alpha",
+    "pfillcache_time",
+    "pbasecase_time",
+    "wt_bound",
+    "ideal_speedup",
+    "PhaseModel",
+    "phase_model",
+]
+
+
+def _check(P: int, R: int, C: int) -> None:
+    if P < 1:
+        raise ConfigError(f"P must be >= 1, got {P}")
+    if R < 1 or C < 1:
+        raise ConfigError(f"R and C must be >= 1, got {R}x{C}")
+
+
+def alpha(P: int, R: int, C: int) -> float:
+    """Eq. 32: ``α = (1/P)·(1 + (P²−P)/(R·C))``."""
+    _check(P, R, C)
+    return (1.0 / P) * (1.0 + (P * P - P) / (R * C))
+
+
+def pfillcache_time(M: int, N: int, P: int, R: int, C: int) -> float:
+    """Eq. 31: upper bound on the parallel Fill Cache time, ``M·N·α``."""
+    return M * N * alpha(P, R, C)
+
+
+def pbasecase_time(M: int, N: int, P: int, R: int, C: int) -> float:
+    """Eq. 33: upper bound on the parallel Base Case time (same form)."""
+    return M * N * alpha(P, R, C)
+
+
+def wt_bound(m: int, n: int, k: int, P: int, u: int, v: int) -> float:
+    """Eq. 36: Theorem 4's upper bound on total Parallel FastLSA time.
+
+    ``WT(m,n,k,P) ≤ (m·n/P)·(1 + (P²−P)/(R·C))·(k/(k−1))²`` with
+    ``R = k·u`` and ``C = k·v``.
+    """
+    if k < 2:
+        raise ConfigError(f"k must be >= 2, got {k}")
+    R, C = k * u, k * v
+    return m * n * alpha(P, R, C) * (k / (k - 1)) ** 2
+
+
+def ideal_speedup(P: int, R: int, C: int) -> float:
+    """Model speedup of one wavefront region: ``P / (1 + (P²−P)/(R·C))``.
+
+    This is the ratio of the sequential bound (``M·N``) to Eq. 31; it
+    approaches ``P`` as the tile count ``R·C`` grows — the reason the
+    paper's efficiency improves with sequence size.
+    """
+    _check(P, R, C)
+    return P / (1.0 + (P * P - P) / (R * C))
+
+
+@dataclass
+class PhaseModel:
+    """Paper's three-phase accounting for one Fill Cache region.
+
+    Tile counts follow Section 5.1: ramp-up computes ``P(P−1)/2`` tiles in
+    at most ``P−1`` stages; ramp-down at least ``P(P−1)/2 − u·v`` tiles in
+    at most ``P−1`` stages; the steady phase computes the rest,
+    ``R·C − P² + P`` tiles (Eq. 29), in ``(R·C − P² + P)/P`` tile-times
+    (Eq. 30).
+    """
+
+    P: int
+    R: int
+    C: int
+    u: int
+    v: int
+    tile_time: float
+
+    @property
+    def total_tiles(self) -> int:
+        """Computed tiles: all but the skipped bottom-right block."""
+        return self.R * self.C - self.u * self.v
+
+    @property
+    def ramp_up_tiles(self) -> int:
+        """Paper: ``P(P−1)/2`` (upper bound; fewer if the grid is small)."""
+        return min(self.total_tiles, self.P * (self.P - 1) // 2)
+
+    @property
+    def steady_tiles(self) -> int:
+        """Eq. 29: ``R·C − P² + P`` (clamped at zero for tiny grids)."""
+        return max(0, self.R * self.C - self.P * self.P + self.P)
+
+    @property
+    def ramp_up_bound(self) -> float:
+        """Phase-1 time bound ``(P−1)·T``."""
+        return (self.P - 1) * self.tile_time
+
+    @property
+    def ramp_down_bound(self) -> float:
+        """Phase-3 time bound ``(P−1)·T``."""
+        return (self.P - 1) * self.tile_time
+
+    @property
+    def steady_bound(self) -> float:
+        """Eq. 30: ``(R·C − P² + P)/P · T``."""
+        return self.steady_tiles / self.P * self.tile_time
+
+    @property
+    def total_bound(self) -> float:
+        """Eq. 31 re-assembled from the three phases."""
+        return self.ramp_up_bound + self.steady_bound + self.ramp_down_bound
+
+
+def phase_model(M: int, N: int, k: int, P: int, u: int, v: int) -> PhaseModel:
+    """Build the three-phase model of an ``M × N`` Fill Cache region."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    R, C = k * u, k * v
+    _check(P, R, C)
+    tile_time = (M / R) * (N / C)
+    return PhaseModel(P=P, R=R, C=C, u=u, v=v, tile_time=tile_time)

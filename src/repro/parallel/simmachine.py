@@ -1,0 +1,153 @@
+"""Deterministic simulated parallel machine.
+
+This container has a single CPU core, so the paper's multi-processor
+speedup experiments cannot be observed physically.  Per the substitution
+policy (DESIGN.md §3), this module provides a deterministic discrete-event
+simulator of a ``P``-processor shared-memory machine executing a tile DAG
+under greedy, work-conserving list scheduling — exactly the execution
+model the paper's own analysis (Section 5, Equations 28–36) assumes, minus
+the per-line barriers its *bounds* add.
+
+Costs are measured in DP cells (one cell ≡ one time unit); an optional
+per-tile ``overhead`` models synchronisation/dispatch cost, which is what
+makes efficiency grow with problem size, as the paper reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SchedulerError
+from .tiles import TileGrid, TileId
+
+__all__ = ["ScheduleReport", "simulate_schedule", "list_schedule"]
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of one simulated DAG execution.
+
+    Attributes
+    ----------
+    makespan:
+        Completion time of the last tile (cells).
+    total_cost:
+        Sum of all tile costs including per-tile overhead — the
+        one-processor makespan of the *parallel* program.
+    work:
+        Sum of pure DP cells (no overhead) — the cost of the sequential
+        program, the baseline speedups are measured against.
+    P:
+        Simulated processor count.
+    n_tasks:
+        Number of tiles executed.
+    critical_path:
+        Longest dependency chain cost — the ``P → ∞`` lower bound.
+    """
+
+    makespan: float
+    total_cost: float
+    work: float
+    P: int
+    n_tasks: int
+    critical_path: float
+
+    @property
+    def speedup(self) -> float:
+        """``total_cost / makespan`` — speedup over the 1-processor run."""
+        return self.total_cost / self.makespan if self.makespan > 0 else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """``speedup / P``."""
+        return self.speedup / self.P
+
+
+def list_schedule(
+    grid: TileGrid,
+    P: int,
+    cost_fn: Callable[[TileId], float],
+) -> Tuple[float, Dict[TileId, Tuple[float, float]]]:
+    """Greedy work-conserving list schedule of a tile DAG on ``P`` workers.
+
+    Tasks are prioritised by wavefront order ``(r + c, r)``.  Returns
+    ``(makespan, {tile: (start, finish)})``.
+    """
+    if P < 1:
+        raise SchedulerError(f"P must be >= 1, got {P}")
+    indeg: Dict[TileId, int] = {}
+    for tile in grid.tiles():
+        indeg[(tile.r, tile.c)] = len(grid.dependencies((tile.r, tile.c)))
+
+    ready: List[Tuple[int, int, TileId]] = []  # (wavefront, r, tid)
+    for tid, d in indeg.items():
+        if d == 0:
+            heapq.heappush(ready, (tid[0] + tid[1], tid[0], tid))
+
+    events: List[Tuple[float, TileId]] = []  # running tasks: (finish, tid)
+    free_workers = P
+    now = 0.0
+    makespan = 0.0
+    spans: Dict[TileId, Tuple[float, float]] = {}
+    remaining = len(indeg)
+
+    while ready or events:
+        while ready and free_workers > 0:
+            _, _, tid = heapq.heappop(ready)
+            finish = now + float(cost_fn(tid))
+            spans[tid] = (now, finish)
+            heapq.heappush(events, (finish, tid))
+            free_workers -= 1
+        if not events:
+            raise SchedulerError(
+                "no runnable task but work remains: cyclic tile dependencies"
+            )
+        now, tid = heapq.heappop(events)
+        free_workers += 1
+        makespan = max(makespan, now)
+        remaining -= 1
+        for dep in grid.dependents(tid):
+            indeg[dep] -= 1
+            if indeg[dep] == 0:
+                heapq.heappush(ready, (dep[0] + dep[1], dep[0], dep))
+    if remaining != 0:
+        raise SchedulerError(f"{remaining} tiles never executed")
+    return makespan, spans
+
+
+def _critical_path(grid: TileGrid, cost_fn: Callable[[TileId], float]) -> float:
+    """Longest dependency chain (dynamic program over the DAG)."""
+    best: Dict[TileId, float] = {}
+    for tile in sorted(grid.tiles(), key=lambda t: (t.r + t.c, t.r)):
+        tid = (tile.r, tile.c)
+        deps = grid.dependencies(tid)
+        base = max((best[d] for d in deps), default=0.0)
+        best[tid] = base + float(cost_fn(tid))
+    return max(best.values(), default=0.0)
+
+
+def simulate_schedule(
+    grid: TileGrid,
+    P: int,
+    overhead: float = 0.0,
+    cost_fn: Optional[Callable[[TileId], float]] = None,
+) -> ScheduleReport:
+    """Simulate a tile grid on ``P`` workers; return the schedule report.
+
+    ``overhead`` (cells) is added to every tile's cost, modelling dispatch
+    and synchronisation.  A custom ``cost_fn`` overrides the default
+    ``tile.cells + overhead``.
+    """
+    fn = cost_fn or (lambda tid: grid[tid].cells + overhead)
+    makespan, _spans = list_schedule(grid, P, fn)
+    total = sum(fn((t.r, t.c)) for t in grid.tiles())
+    return ScheduleReport(
+        makespan=makespan,
+        total_cost=total,
+        work=float(grid.total_cells()),
+        P=P,
+        n_tasks=len(grid),
+        critical_path=_critical_path(grid, fn),
+    )

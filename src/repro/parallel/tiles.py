@@ -1,0 +1,187 @@
+"""Tile decomposition for wavefront-parallel FastLSA.
+
+Parallel FastLSA parallelises the FillCache (and Base Case) sweeps by
+partitioning the DPM region into ``R × C`` *tiles*, where each grid block
+is refined into ``u × v`` tiles (``R = k·u`` tile rows, ``C = k·v`` tile
+columns — the paper's Section 5 / Figure 13 uses ``P = 8``, ``k = 6``,
+``u = 2``, ``v = 3``).  Aligning tile edges with grid lines lets tile
+outputs be stored straight into the Grid Cache.
+
+Tile ``(r, c)`` depends on ``(r−1, c)`` and ``(r, c−1)``; tiles on the
+same anti-diagonal ``d = r + c`` are independent and form a *wavefront
+line*.  For a FillCache region the ``u × v`` tiles of the bottom-right
+block are skipped — they belong to the recursive sub-problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["Tile", "TileGrid", "refine_bounds", "default_uv"]
+
+TileId = Tuple[int, int]
+
+
+def refine_bounds(bounds: Sequence[int], parts: int) -> List[int]:
+    """Refine segment boundaries by splitting each segment into ``parts``.
+
+    ``bounds`` must be sorted and unique; segments shorter than ``parts``
+    produce fewer (non-empty) sub-segments.  The result is again sorted,
+    unique, and spans the same range.
+    """
+    if parts < 1:
+        raise ConfigError(f"parts must be >= 1, got {parts}")
+    if len(bounds) < 1:
+        raise ConfigError("bounds must be non-empty")
+    out: Set[int] = {bounds[0]}
+    for lo, hi in zip(bounds, bounds[1:]):
+        span = hi - lo
+        for t in range(1, parts + 1):
+            out.add(lo + round(t * span / parts))
+    return sorted(out)
+
+
+def default_uv(P: int, k: int) -> Tuple[int, int]:
+    """Heuristic tiles-per-block for ``P`` processors and parameter ``k``.
+
+    Chooses ``u = v`` so the tile count ``R·C = (k·u)²`` is at least
+    ``≈ 4·P²``, which keeps the paper's wavefront-efficiency factor
+    ``α = (1/P)·(1 + (P²−P)/(R·C))`` within ~25% of ideal, without
+    shattering the region into vanishingly small tiles.
+    """
+    if P < 1:
+        raise ConfigError(f"P must be >= 1, got {P}")
+    u = 1
+    while (k * u) * (k * u) < 4 * P * P:
+        u += 1
+    return u, u
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of the decomposition.
+
+    ``r, c`` are tile-grid coordinates; ``a0..a1`` / ``b0..b1`` the global
+    DPM rows/columns covered (the tile computes cells in rows ``a0+1..a1``
+    and cols ``b0+1..b1`` given its boundary caches).
+    """
+
+    r: int
+    c: int
+    a0: int
+    b0: int
+    a1: int
+    b1: int
+
+    @property
+    def rows(self) -> int:
+        """Row moves covered (``M`` of the tile's sweep)."""
+        return self.a1 - self.a0
+
+    @property
+    def cols(self) -> int:
+        """Column moves covered."""
+        return self.b1 - self.b0
+
+    @property
+    def cells(self) -> int:
+        """DP cells computed by this tile (its cost unit)."""
+        return self.rows * self.cols
+
+    @property
+    def wavefront(self) -> int:
+        """Anti-diagonal index (tiles with equal index are independent)."""
+        return self.r + self.c
+
+
+class TileGrid:
+    """An ``R × C`` tile decomposition of a rectangular DPM region.
+
+    Parameters
+    ----------
+    row_bounds, col_bounds:
+        Sorted global boundary coordinates of the tile rows/columns
+        (usually :func:`refine_bounds` of a Grid's block bounds).
+    skip:
+        Tile ids excluded from the computation (e.g. the bottom-right
+        block's tiles in a FillCache region).
+    """
+
+    def __init__(
+        self,
+        row_bounds: Sequence[int],
+        col_bounds: Sequence[int],
+        skip: Optional[Set[TileId]] = None,
+    ) -> None:
+        if len(row_bounds) < 2 or len(col_bounds) < 2:
+            raise ConfigError("tile grid needs at least one tile per dimension")
+        self.row_bounds = list(row_bounds)
+        self.col_bounds = list(col_bounds)
+        self.skip: Set[TileId] = set(skip or ())
+        self.R = len(row_bounds) - 1
+        self.C = len(col_bounds) - 1
+        self._tiles: Dict[TileId, Tile] = {}
+        for r in range(self.R):
+            for c in range(self.C):
+                if (r, c) in self.skip:
+                    continue
+                self._tiles[(r, c)] = Tile(
+                    r=r,
+                    c=c,
+                    a0=self.row_bounds[r],
+                    b0=self.col_bounds[c],
+                    a1=self.row_bounds[r + 1],
+                    b1=self.col_bounds[c + 1],
+                )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def __contains__(self, tid: TileId) -> bool:
+        return tid in self._tiles
+
+    def __getitem__(self, tid: TileId) -> Tile:
+        return self._tiles[tid]
+
+    def tiles(self) -> Iterator[Tile]:
+        """All computed tiles, row-major."""
+        return iter(self._tiles.values())
+
+    def dependencies(self, tid: TileId) -> List[TileId]:
+        """Up/left tiles this tile must wait for (skipped tiles excluded)."""
+        r, c = tid
+        deps = []
+        if r > 0 and (r - 1, c) in self._tiles:
+            deps.append((r - 1, c))
+        if c > 0 and (r, c - 1) in self._tiles:
+            deps.append((r, c - 1))
+        return deps
+
+    def dependents(self, tid: TileId) -> List[TileId]:
+        """Down/right tiles unblocked by this tile."""
+        r, c = tid
+        deps = []
+        if (r + 1, c) in self._tiles:
+            deps.append((r + 1, c))
+        if (r, c + 1) in self._tiles:
+            deps.append((r, c + 1))
+        return deps
+
+    def wavefront_lines(self) -> List[List[TileId]]:
+        """Tiles grouped by anti-diagonal, in execution order.
+
+        Line ``d`` contains every computed tile with ``r + c == d``; all
+        tiles within a line are mutually independent (Figure 7).
+        """
+        lines: List[List[TileId]] = [[] for _ in range(self.R + self.C - 1)]
+        for tid in self._tiles:
+            lines[tid[0] + tid[1]].append(tid)
+        return [line for line in lines if line]
+
+    def total_cells(self) -> int:
+        """Sum of tile costs (== sequential cell count of the region)."""
+        return sum(t.cells for t in self._tiles.values())

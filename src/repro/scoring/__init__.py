@@ -1,0 +1,51 @@
+"""Scoring schemes: substitution matrices and gap models.
+
+Quick start::
+
+    from repro.scoring import ScoringScheme, blosum62, affine_gap
+    scheme = ScoringScheme(blosum62(), affine_gap(-10, -1))
+
+The paper's own scheme (Table 1 fragment of scaled MDM78, linear gap −10)
+is available as :func:`paper_scheme`.
+"""
+
+from .gaps import AffineGap, GapModel, LinearGap, affine_gap, linear_gap
+from .matrices import SubstitutionMatrix, identity_matrix, match_mismatch_matrix
+from .blosum import PROTEIN_ALPHABET, blosum62
+from .pam import pam250
+from .dayhoff import TABLE1_ALPHABET, scaled_matrix, scaled_pam250, table1_matrix
+from .dna import DNA_ALPHABET, dna_simple, dna_unit
+from .scheme import ScoringScheme, paper_scheme
+from .io import format_matrix, parse_matrix, read_matrix, write_matrix
+from .ambiguity import IUPAC_DNA, dna_with_n, protein_with_x, with_ambiguity
+
+__all__ = [
+    "GapModel",
+    "LinearGap",
+    "AffineGap",
+    "linear_gap",
+    "affine_gap",
+    "SubstitutionMatrix",
+    "identity_matrix",
+    "match_mismatch_matrix",
+    "PROTEIN_ALPHABET",
+    "blosum62",
+    "pam250",
+    "TABLE1_ALPHABET",
+    "table1_matrix",
+    "scaled_matrix",
+    "scaled_pam250",
+    "DNA_ALPHABET",
+    "dna_simple",
+    "dna_unit",
+    "ScoringScheme",
+    "paper_scheme",
+    "parse_matrix",
+    "read_matrix",
+    "format_matrix",
+    "write_matrix",
+    "IUPAC_DNA",
+    "with_ambiguity",
+    "dna_with_n",
+    "protein_with_x",
+]

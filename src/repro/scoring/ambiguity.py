@@ -1,0 +1,106 @@
+"""Ambiguity-code support for substitution matrices.
+
+Real sequence data contains ambiguity symbols — ``N`` for an unknown
+nucleotide, ``X`` for an unknown residue, the IUPAC two/three-base DNA
+codes.  The standard treatment scores an ambiguity symbol as the
+(rounded) *mean* of the scores of the symbols it may stand for.
+
+:func:`with_ambiguity` extends any matrix with such derived symbols, so
+the DP kernels (which only see integer codes) need no changes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ScoringError
+from .matrices import SubstitutionMatrix
+
+__all__ = ["IUPAC_DNA", "with_ambiguity", "dna_with_n", "protein_with_x"]
+
+#: IUPAC nucleotide ambiguity codes over the ACGT alphabet.
+IUPAC_DNA: Mapping[str, str] = {
+    "R": "AG",
+    "Y": "CT",
+    "S": "GC",
+    "W": "AT",
+    "K": "GT",
+    "M": "AC",
+    "B": "CGT",
+    "D": "AGT",
+    "H": "ACT",
+    "V": "ACG",
+    "N": "ACGT",
+}
+
+
+def with_ambiguity(
+    base: SubstitutionMatrix,
+    codes: Mapping[str, str],
+    name: str | None = None,
+) -> SubstitutionMatrix:
+    """Extend ``base`` with ambiguity symbols.
+
+    ``codes`` maps each new symbol to the base symbols it may represent;
+    its score against any symbol (including other ambiguity codes) is the
+    rounded mean over the represented sets.
+    """
+    for sym, members in codes.items():
+        if len(sym) != 1:
+            raise ScoringError(f"ambiguity symbol {sym!r} must be a single character")
+        if sym in base.alphabet:
+            raise ScoringError(f"symbol {sym!r} already in base alphabet")
+        if not members:
+            raise ScoringError(f"ambiguity symbol {sym!r} has no members")
+        for m in members:
+            if m not in base.alphabet:
+                raise ScoringError(
+                    f"ambiguity member {m!r} of {sym!r} not in base alphabet"
+                )
+
+    order = list(codes)
+    n_base = base.size
+    n = n_base + len(order)
+    table = np.zeros((n, n), dtype=np.float64)
+    table[:n_base, :n_base] = base.table
+
+    base_index = {s: i for i, s in enumerate(base.alphabet)}
+    member_sets = {
+        n_base + t: [base_index[m] for m in codes[sym]] for t, sym in enumerate(order)
+    }
+    for t, sym in enumerate(order):
+        row = n_base + t
+        members = member_sets[row]
+        # vs base symbols
+        for j in range(n_base):
+            table[row, j] = table[j, row] = np.mean([base.table[m, j] for m in members])
+        # vs other ambiguity symbols (including itself)
+        for u in range(t + 1):
+            col = n_base + u
+            other = member_sets[col]
+            val = np.mean([base.table[m, o] for m in members for o in other])
+            table[row, col] = table[col, row] = val
+    return SubstitutionMatrix(
+        alphabet=base.alphabet + "".join(order),
+        table=np.round(table).astype(np.int64),
+        name=name or f"{base.name}+ambiguity",
+    )
+
+
+def dna_with_n(base: SubstitutionMatrix | None = None, full_iupac: bool = False) -> SubstitutionMatrix:
+    """A DNA matrix extended with ``N`` (or all IUPAC codes)."""
+    from .dna import dna_simple
+
+    base = base or dna_simple()
+    codes = dict(IUPAC_DNA) if full_iupac else {"N": "ACGT"}
+    return with_ambiguity(base, codes, name=f"{base.name}+{'IUPAC' if full_iupac else 'N'}")
+
+
+def protein_with_x(base: SubstitutionMatrix | None = None) -> SubstitutionMatrix:
+    """A protein matrix extended with the unknown-residue code ``X``."""
+    from .blosum import blosum62
+
+    base = base or blosum62()
+    return with_ambiguity(base, {"X": base.alphabet}, name=f"{base.name}+X")

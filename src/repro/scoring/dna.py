@@ -1,0 +1,25 @@
+"""DNA scoring schemes.
+
+Simple nucleotide matrices for the whole-genome alignment workloads the
+paper's introduction motivates (pairs of sequences with up to millions of
+nucleotides).
+"""
+
+from __future__ import annotations
+
+from .matrices import SubstitutionMatrix, match_mismatch_matrix
+
+__all__ = ["DNA_ALPHABET", "dna_simple", "dna_unit"]
+
+#: Nucleotide alphabet used by the DNA workloads.
+DNA_ALPHABET = "ACGT"
+
+
+def dna_simple(match: int = 5, mismatch: int = -4) -> SubstitutionMatrix:
+    """EDNAFULL-style match/mismatch matrix (defaults +5 / −4)."""
+    return match_mismatch_matrix(match=match, mismatch=mismatch, alphabet=DNA_ALPHABET)
+
+
+def dna_unit() -> SubstitutionMatrix:
+    """Unit match matrix (+1 match / 0 mismatch), handy for LCS-style tests."""
+    return match_mismatch_matrix(match=1, mismatch=0, alphabet=DNA_ALPHABET, name="dna-unit")

@@ -1,0 +1,90 @@
+"""Gap penalty models.
+
+The paper's experiments use a *linear* gap penalty (a constant added for
+every gap symbol; the worked example of Figure 1 uses −10).  The library
+additionally supports *affine* gaps (Gotoh), where a gap of length ``L``
+costs ``open + (L − 1) · extend``, as an extension.
+
+Conventions
+-----------
+* Penalties are **negative integers added to the score** (matching the
+  paper's "a negative value, called a gap penalty, is added").
+* For affine models we require ``open <= extend <= 0``: opening a gap is at
+  least as expensive as extending one.  This is the biologically standard
+  regime and is what lets the vectorised Gotoh kernels collapse the in-row
+  ``E`` recurrence into a single prefix-max scan (see
+  :mod:`repro.kernels.affine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScoringError
+
+__all__ = ["GapModel", "LinearGap", "AffineGap", "linear_gap", "affine_gap"]
+
+
+@dataclass(frozen=True)
+class GapModel:
+    """Affine gap model; linear gaps are the special case ``open == extend``.
+
+    Attributes
+    ----------
+    open:
+        Score added for the *first* symbol of a gap run (negative).
+    extend:
+        Score added for each *subsequent* symbol of the run (negative).
+    """
+
+    open: int
+    extend: int
+
+    def __post_init__(self) -> None:
+        if int(self.open) != self.open or int(self.extend) != self.extend:
+            raise ScoringError("gap penalties must be integers")
+        object.__setattr__(self, "open", int(self.open))
+        object.__setattr__(self, "extend", int(self.extend))
+        if self.open > 0 or self.extend > 0:
+            raise ScoringError(
+                f"gap penalties must be <= 0 (they are added to the score); "
+                f"got open={self.open}, extend={self.extend}"
+            )
+        if self.open > self.extend:
+            raise ScoringError(
+                f"affine gap requires open <= extend (opening at least as "
+                f"costly); got open={self.open} > extend={self.extend}"
+            )
+
+    @property
+    def is_linear(self) -> bool:
+        """True when every gap symbol costs the same (``open == extend``)."""
+        return self.open == self.extend
+
+    def cost(self, length: int) -> int:
+        """Total score contribution of a gap run of ``length`` symbols."""
+        if length < 0:
+            raise ScoringError(f"gap length must be >= 0, got {length}")
+        if length == 0:
+            return 0
+        return self.open + (length - 1) * self.extend
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_linear:
+            return f"LinearGap({self.open})"
+        return f"AffineGap(open={self.open}, extend={self.extend})"
+
+
+def linear_gap(penalty: int) -> GapModel:
+    """Linear gap model: every gap symbol costs ``penalty`` (negative)."""
+    return GapModel(open=penalty, extend=penalty)
+
+
+def affine_gap(open: int, extend: int) -> GapModel:
+    """Affine gap model: first symbol costs ``open``, the rest ``extend``."""
+    return GapModel(open=open, extend=extend)
+
+
+# Convenience aliases used throughout tests and examples.
+LinearGap = linear_gap
+AffineGap = affine_gap

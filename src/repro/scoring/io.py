@@ -1,0 +1,107 @@
+"""Reading and writing substitution matrices in NCBI format.
+
+The de-facto standard text format (used by BLAST's ``BLOSUM62`` file,
+EMBOSS data files, etc.): ``#`` comments, a header row of column symbols,
+then one row per symbol with integer scores.  Example::
+
+    # Sample matrix
+       A  C  G  T
+    A  5 -4 -4 -4
+    C -4  5 -4 -4
+    G -4 -4  5 -4
+    T -4 -4 -4  5
+
+Row-label order may differ from the header; scores are mapped by symbol.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import List, TextIO, Union
+
+import numpy as np
+
+from ..errors import ScoringError
+from .matrices import SubstitutionMatrix
+
+__all__ = ["parse_matrix", "read_matrix", "format_matrix", "write_matrix"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def parse_matrix(stream: TextIO, name: str = "loaded") -> SubstitutionMatrix:
+    """Parse an NCBI-format matrix from an open text stream."""
+    header: List[str] = []
+    rows: dict[str, List[int]] = {}
+    for lineno, raw in enumerate(stream, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if not header:
+            for sym in parts:
+                if len(sym) != 1:
+                    raise ScoringError(
+                        f"line {lineno}: header symbol {sym!r} is not a single character"
+                    )
+            header = parts
+            if len(set(header)) != len(header):
+                raise ScoringError(f"line {lineno}: duplicate header symbols")
+            continue
+        sym = parts[0]
+        if len(sym) != 1:
+            raise ScoringError(f"line {lineno}: row label {sym!r} is not a single character")
+        if sym in rows:
+            raise ScoringError(f"line {lineno}: duplicate row for {sym!r}")
+        try:
+            scores = [int(v) for v in parts[1:]]
+        except ValueError as exc:
+            raise ScoringError(f"line {lineno}: non-integer score ({exc})") from None
+        if len(scores) != len(header):
+            raise ScoringError(
+                f"line {lineno}: row {sym!r} has {len(scores)} scores, expected {len(header)}"
+            )
+        rows[sym] = scores
+    if not header:
+        raise ScoringError("no header row found")
+    missing = [s for s in header if s not in rows]
+    if missing:
+        raise ScoringError(f"missing rows for symbols: {missing}")
+    extra = [s for s in rows if s not in header]
+    if extra:
+        raise ScoringError(f"rows for symbols not in header: {extra}")
+    alphabet = "".join(header)
+    n = len(header)
+    table = np.empty((n, n), dtype=np.int64)
+    for i, sym in enumerate(header):
+        table[i, :] = rows[sym]
+    return SubstitutionMatrix(alphabet=alphabet, table=table, name=name)
+
+
+def read_matrix(path: PathLike, name: str | None = None) -> SubstitutionMatrix:
+    """Read an NCBI-format matrix file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_matrix(fh, name=name or os.path.basename(str(path)))
+
+
+def format_matrix(matrix: SubstitutionMatrix, comment: str | None = None) -> str:
+    """Render a matrix as NCBI-format text."""
+    buf = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            buf.write(f"# {line}\n")
+    buf.write(f"# Matrix: {matrix.name}\n")
+    width = max(3, max(len(str(int(v))) for v in matrix.table.ravel()) + 1)
+    buf.write(" " + "".join(sym.rjust(width) for sym in matrix.alphabet) + "\n")
+    for i, sym in enumerate(matrix.alphabet):
+        buf.write(sym)
+        buf.write("".join(str(int(v)).rjust(width) for v in matrix.table[i]))
+        buf.write("\n")
+    return buf.getvalue()
+
+
+def write_matrix(path: PathLike, matrix: SubstitutionMatrix, comment: str | None = None) -> None:
+    """Write a matrix to an NCBI-format file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(format_matrix(matrix, comment=comment))

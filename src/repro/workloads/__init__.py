@@ -1,0 +1,20 @@
+"""Synthetic workloads: sequence generation and the benchmark suite."""
+
+from .mutate import evolve
+from .synth import dna_pair, protein_pair, random_sequence, sequence_pair
+from .suite import SUITE, SuiteEntry, load_pair, suite_entries
+from .reads import SampledRead, sample_reads
+
+__all__ = [
+    "evolve",
+    "SampledRead",
+    "sample_reads",
+    "dna_pair",
+    "protein_pair",
+    "random_sequence",
+    "sequence_pair",
+    "SUITE",
+    "SuiteEntry",
+    "load_pair",
+    "suite_entries",
+]

@@ -1,0 +1,74 @@
+"""Sequence evolution model: substitutions and indels.
+
+A simple generative model of homologous divergence used to build the
+benchmark suite: walk the ancestor once, substituting residues with
+probability ``sub_rate`` and opening geometric-length insertion/deletion
+runs with probability ``indel_rate``.  Seeded for repeatability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..align.sequence import Sequence, as_sequence
+from ..errors import ConfigError
+
+__all__ = ["evolve"]
+
+
+def evolve(
+    seq,
+    sub_rate: float = 0.2,
+    indel_rate: float = 0.05,
+    mean_indel_len: float = 2.0,
+    rng: Optional[np.random.Generator] = None,
+    alphabet: Optional[str] = None,
+    name: str = "descendant",
+) -> Sequence:
+    """Derive a descendant of ``seq`` under the substitution/indel model.
+
+    Parameters
+    ----------
+    sub_rate:
+        Probability a copied residue is substituted by a uniform random
+        (different) residue.
+    indel_rate:
+        Probability, per ancestor position, of an indel event; insertions
+        and deletions are equally likely.
+    mean_indel_len:
+        Mean of the geometric indel-run length distribution.
+    alphabet:
+        Residue alphabet; inferred from the sequence when omitted.
+    """
+    seq = as_sequence(seq)
+    if not (0.0 <= sub_rate <= 1.0 and 0.0 <= indel_rate <= 1.0):
+        raise ConfigError("rates must be in [0, 1]")
+    if mean_indel_len < 1.0:
+        raise ConfigError(f"mean_indel_len must be >= 1, got {mean_indel_len}")
+    rng = rng or np.random.default_rng()
+    if alphabet is None:
+        alphabet = "".join(sorted(set(seq.text))) or "A"
+    letters = list(alphabet)
+    p_geo = 1.0 / mean_indel_len
+
+    out: list[str] = []
+    i = 0
+    text = seq.text
+    while i < len(text):
+        if indel_rate > 0 and rng.random() < indel_rate:
+            run = int(rng.geometric(p_geo))
+            if rng.random() < 0.5:
+                # deletion: skip ancestor residues
+                i += run
+                continue
+            # insertion: emit random residues, then copy the current one
+            out.extend(letters[int(x)] for x in rng.integers(0, len(letters), run))
+        ch = text[i]
+        if sub_rate > 0 and rng.random() < sub_rate:
+            choices = [c for c in letters if c != ch] or letters
+            ch = choices[int(rng.integers(0, len(choices)))]
+        out.append(ch)
+        i += 1
+    return Sequence(text="".join(out), name=name)

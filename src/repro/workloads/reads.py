@@ -1,0 +1,88 @@
+"""Sequencing-read simulation.
+
+Samples error-containing reads from a reference sequence — the workload
+behind the read-mapping example and the overlap/semiglobal mode tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..align.sequence import Sequence, as_sequence
+from ..errors import ConfigError
+from .mutate import evolve
+
+__all__ = ["SampledRead", "sample_reads"]
+
+
+@dataclass(frozen=True)
+class SampledRead:
+    """One simulated read and its ground truth."""
+
+    read: Sequence
+    start: int        # true reference offset
+    end: int          # exclusive
+    forward: bool     # False when reverse-complemented
+
+    def __len__(self) -> int:
+        return len(self.read)
+
+
+_COMPLEMENT = str.maketrans("ACGT", "TGCA")
+
+
+def _revcomp(text: str) -> str:
+    return text.translate(_COMPLEMENT)[::-1]
+
+
+def sample_reads(
+    reference,
+    n_reads: int,
+    read_len: int,
+    sub_rate: float = 0.02,
+    indel_rate: float = 0.005,
+    revcomp_fraction: float = 0.0,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[SampledRead]:
+    """Sample ``n_reads`` noisy reads of ``read_len`` from ``reference``.
+
+    Reads are uniform over valid start positions; substitution and indel
+    noise follow :func:`repro.workloads.mutate.evolve`.  A fraction of the
+    reads may be reverse-complemented (DNA alphabets only).
+    """
+    reference = as_sequence(reference, "ref")
+    if read_len < 1:
+        raise ConfigError(f"read_len must be >= 1, got {read_len}")
+    if read_len > len(reference):
+        raise ConfigError(
+            f"read_len {read_len} exceeds reference length {len(reference)}"
+        )
+    if n_reads < 0:
+        raise ConfigError(f"n_reads must be >= 0, got {n_reads}")
+    if not (0.0 <= revcomp_fraction <= 1.0):
+        raise ConfigError("revcomp_fraction must be in [0, 1]")
+    if revcomp_fraction > 0 and not set(reference.text) <= set("ACGT"):
+        raise ConfigError("reverse-complement sampling requires an ACGT reference")
+    rng = rng or np.random.default_rng(seed)
+
+    out: List[SampledRead] = []
+    for i in range(n_reads):
+        start = int(rng.integers(0, len(reference) - read_len + 1))
+        end = start + read_len
+        chunk = reference.slice(start, end)
+        forward = rng.random() >= revcomp_fraction
+        text = chunk.text if forward else _revcomp(chunk.text)
+        noisy = evolve(
+            Sequence(text, name=f"read-{i}"),
+            sub_rate=sub_rate,
+            indel_rate=indel_rate,
+            rng=rng,
+            alphabet="".join(sorted(set(reference.text))) or "A",
+            name=f"read-{i}",
+        )
+        out.append(SampledRead(read=noisy, start=start, end=end, forward=forward))
+    return out

@@ -1,0 +1,82 @@
+"""The benchmark suite (Table 3 stand-in).
+
+The paper's Table 3 lists real sequence pairs "from actual biological
+data" with lengths from hundreds to tens/hundreds of thousands of
+characters.  This suite defines seeded synthetic stand-ins spanning the
+same length range, in two families (DNA and protein), each pair with a
+fixed divergence.  Pairs are generated lazily and cached per process.
+
+The ``size class`` names (small/medium/large) are what the benchmark
+harness keys its parameter sweeps on; CI-sized runs use the small end,
+full reproduction runs everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+from ..align.sequence import Sequence
+from ..errors import ConfigError
+from .synth import dna_pair, protein_pair
+
+__all__ = ["SuiteEntry", "SUITE", "suite_entries", "load_pair"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One benchmark pair's specification."""
+
+    name: str
+    family: str          # "dna" | "protein"
+    length: int          # ancestor length
+    divergence: float
+    seed: int
+    size_class: str      # "tiny" | "small" | "medium" | "large" | "huge"
+
+
+#: The Table-3 stand-in suite.  Lengths span the paper's range; seeds make
+#: every pair bit-reproducible.
+SUITE: Tuple[SuiteEntry, ...] = (
+    SuiteEntry("dna-0.25k", "dna", 256, 0.10, 101, "tiny"),
+    SuiteEntry("dna-0.5k", "dna", 512, 0.15, 102, "tiny"),
+    SuiteEntry("dna-1k", "dna", 1024, 0.20, 103, "small"),
+    SuiteEntry("dna-2k", "dna", 2048, 0.20, 104, "small"),
+    SuiteEntry("dna-4k", "dna", 4096, 0.25, 105, "medium"),
+    SuiteEntry("dna-8k", "dna", 8192, 0.25, 106, "medium"),
+    SuiteEntry("dna-16k", "dna", 16384, 0.30, 107, "large"),
+    SuiteEntry("dna-32k", "dna", 32768, 0.30, 108, "huge"),
+    SuiteEntry("prot-0.3k", "protein", 300, 0.30, 201, "tiny"),
+    SuiteEntry("prot-1k", "protein", 1000, 0.30, 202, "small"),
+    SuiteEntry("prot-4k", "protein", 4000, 0.35, 203, "medium"),
+    SuiteEntry("prot-10k", "protein", 10000, 0.40, 204, "large"),
+)
+
+
+def suite_entries(
+    size_classes: Tuple[str, ...] = ("tiny", "small", "medium"),
+    family: str | None = None,
+) -> List[SuiteEntry]:
+    """Entries filtered by size class and optionally family."""
+    out = [
+        e
+        for e in SUITE
+        if e.size_class in size_classes and (family is None or e.family == family)
+    ]
+    if not out:
+        raise ConfigError(
+            f"no suite entries match size_classes={size_classes}, family={family}"
+        )
+    return out
+
+
+@lru_cache(maxsize=32)
+def load_pair(name: str) -> Tuple[Sequence, Sequence]:
+    """Generate (and cache) the named suite pair."""
+    for e in SUITE:
+        if e.name == name:
+            if e.family == "dna":
+                return dna_pair(e.length, divergence=e.divergence, seed=e.seed)
+            return protein_pair(e.length, divergence=e.divergence, seed=e.seed)
+    raise ConfigError(f"unknown suite pair {name!r}; known: {[e.name for e in SUITE]}")

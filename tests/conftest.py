@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scoring import (
+    ScoringScheme,
+    affine_gap,
+    blosum62,
+    dna_simple,
+    linear_gap,
+    paper_scheme,
+)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG shared by randomised tests."""
+    return np.random.default_rng(20030707)
+
+
+@pytest.fixture
+def dna_scheme():
+    """DNA +5/−4 matrix with linear gap −6."""
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+@pytest.fixture
+def protein_scheme():
+    """BLOSUM62 with linear gap −8."""
+    return ScoringScheme(blosum62(), linear_gap(-8))
+
+
+@pytest.fixture
+def affine_scheme():
+    """BLOSUM62 with affine gap (−11, −2)."""
+    return ScoringScheme(blosum62(), affine_gap(-11, -2))
+
+
+@pytest.fixture
+def affine_dna_scheme():
+    """DNA matrix with affine gap (−8, −1)."""
+    return ScoringScheme(dna_simple(), affine_gap(-8, -1))
+
+
+@pytest.fixture
+def table1_scheme():
+    """The paper's exact worked-example scheme (Table 1, gap −10)."""
+    return paper_scheme()
+
+
+def random_dna(rng, length):
+    """Random DNA string of a given length."""
+    return "".join(rng.choice(list("ACGT"), length))
+
+
+def random_protein(rng, length, alphabet="ARNDCQEGHILKMFPSTWYV"):
+    """Random protein string of a given length."""
+    return "".join(rng.choice(list(alphabet), length))

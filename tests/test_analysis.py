@@ -1,0 +1,112 @@
+"""Tests for analysis helpers and the experiment recorder."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRecorder,
+    cells_per_second,
+    efficiency,
+    format_rows,
+    format_table,
+    geomean,
+    ops_ratio,
+    speedup,
+)
+from repro.errors import ConfigError
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.5) == 4.0
+
+    def test_speedup_invalid(self):
+        with pytest.raises(ConfigError):
+            speedup(1.0, 0.0)
+
+    def test_efficiency(self):
+        assert efficiency(8.0, 2.0, 4) == 1.0
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geomean_invalid(self):
+        with pytest.raises(ConfigError):
+            geomean([])
+        with pytest.raises(ConfigError):
+            geomean([1, -1])
+
+    def test_ops_ratio(self):
+        assert ops_ratio(200, 10, 10) == 2.0
+
+    def test_cells_per_second(self):
+        assert cells_per_second(1000, 2.0) == 500.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = out.split("\n")
+        assert len({len(l) for l in lines}) == 1  # rectangular
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("== My Table ==")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159]], float_digits=2)
+        assert "3.14" in out
+
+    def test_scientific_for_extremes(self):
+        out = format_table(["v"], [[1.5e9]])
+        assert "e+" in out
+
+    def test_format_rows_from_dicts(self):
+        out = format_rows([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert "a" in out and "3" in out
+
+    def test_format_rows_empty(self):
+        assert "no rows" in format_rows([], title="t")
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+
+class TestRecorder:
+    def test_add_and_save(self, tmp_path):
+        rec = ExperimentRecorder("exp1", out_dir=str(tmp_path))
+        rec.add(x=1, y=2.5)
+        rec.add(x=2, y=3.5)
+        path = rec.save()
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["experiment"] == "exp1"
+        assert len(payload["rows"]) == 2
+
+    def test_numpy_values_coerced(self, tmp_path):
+        import numpy as np
+
+        rec = ExperimentRecorder("exp2", out_dir=str(tmp_path))
+        rec.add(v=np.int64(5), w=np.float64(1.5), arr=[np.int32(1)])
+        rec.save()
+        with open(rec.path) as fh:
+            payload = json.load(fh)
+        assert payload["rows"][0] == {"v": 5, "w": 1.5, "arr": [1]}
+
+    def test_load_roundtrip(self, tmp_path):
+        rec = ExperimentRecorder("exp3", out_dir=str(tmp_path))
+        rec.add(a=1)
+        rec.save()
+        loaded = ExperimentRecorder.load("exp3", out_dir=str(tmp_path))
+        assert loaded.rows == [{"a": 1}]
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert ExperimentRecorder.load("nothere", out_dir=str(tmp_path)) is None
+
+    def test_extend(self, tmp_path):
+        rec = ExperimentRecorder("exp4", out_dir=str(tmp_path))
+        rec.extend([{"a": 1}, {"a": 2}])
+        assert len(rec.rows) == 2

@@ -1,0 +1,69 @@
+"""Tests for the Hirschberg linear-space baseline."""
+
+import pytest
+
+from repro.align import check_alignment
+from repro.baselines import hirschberg, needleman_wunsch
+from repro.errors import ConfigError
+from repro.kernels import KernelInstruments
+from tests.conftest import random_dna
+
+
+class TestCorrectness:
+    def test_paper_example(self, table1_scheme):
+        al = hirschberg("TDVLKAD", "TLDKLLKD", table1_scheme)
+        assert al.score == 82
+        assert check_alignment(al, table1_scheme)[0]
+
+    @pytest.mark.parametrize("base_cells", [4, 16, 64, 1024])
+    def test_matches_nw_scores(self, rng, dna_scheme, base_cells):
+        for _ in range(10):
+            a = random_dna(rng, int(rng.integers(0, 60)))
+            b = random_dna(rng, int(rng.integers(0, 60)))
+            h = hirschberg(a, b, dna_scheme, base_cells=base_cells)
+            n = needleman_wunsch(a, b, dna_scheme)
+            assert h.score == n.score, (a, b)
+            assert check_alignment(h, dna_scheme)[0]
+
+    def test_empty_inputs(self, dna_scheme):
+        assert hirschberg("", "", dna_scheme).score == 0
+        assert hirschberg("ACG", "", dna_scheme).score == -18
+        assert hirschberg("", "ACG", dna_scheme).score == -18
+
+    def test_single_row(self, dna_scheme):
+        al = hirschberg("A", "ACGT", dna_scheme)
+        assert al.score == needleman_wunsch("A", "ACGT", dna_scheme).score
+
+
+class TestRestrictions:
+    def test_affine_dispatches_to_myers_miller(self, affine_scheme):
+        al = hirschberg("ARNDAR", "ANDAR", affine_scheme)
+        assert al.algorithm == "myers-miller"
+        assert al.score == needleman_wunsch("ARNDAR", "ANDAR", affine_scheme).score
+
+    def test_tiny_base_cells_rejected(self, dna_scheme):
+        with pytest.raises(ConfigError):
+            hirschberg("AC", "AC", dna_scheme, base_cells=2)
+
+
+class TestComplexity:
+    def test_roughly_double_operations(self, rng, dna_scheme):
+        """The paper: 'the number of operations approximately doubles'."""
+        n = 300
+        a, b = random_dna(rng, n), random_dna(rng, n)
+        al = hirschberg(a, b, dna_scheme, base_cells=64)
+        ratio = al.stats.cells_computed / (n * n)
+        assert 1.8 <= ratio <= 2.3  # the paper's ~2x figure
+
+    def test_linear_space(self, rng, dna_scheme):
+        n = 400
+        a, b = random_dna(rng, n), random_dna(rng, n)
+        al = hirschberg(a, b, dna_scheme, base_cells=256)
+        # Peak must be O(m + n), far below the n^2 dense matrix.
+        assert al.stats.peak_cells_resident < 20 * (2 * n)
+        assert al.stats.peak_cells_resident < (n * n) / 50
+
+    def test_instruments_shared(self, dna_scheme):
+        inst = KernelInstruments()
+        hirschberg("ACGTACGT", "ACGTACGT", dna_scheme, instruments=inst)
+        assert inst.ops.cells > 0

@@ -1,0 +1,96 @@
+"""Tests for the Myers–Miller affine-gap linear-space baseline."""
+
+import pytest
+
+from repro.align import check_alignment
+from repro.baselines import needleman_wunsch
+from repro.baselines.myers_miller import myers_miller
+from repro.errors import ConfigError
+from repro.scoring import ScoringScheme, affine_gap, dna_simple
+from tests.conftest import random_dna, random_protein
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("base_cells", [16, 256, 4096])
+    def test_matches_nw_random(self, rng, affine_scheme, base_cells):
+        for _ in range(8):
+            a = random_protein(rng, int(rng.integers(0, 50)))
+            b = random_protein(rng, int(rng.integers(0, 50)))
+            mm = myers_miller(a, b, affine_scheme, base_cells=base_cells)
+            nw = needleman_wunsch(a, b, affine_scheme)
+            assert mm.score == nw.score, (a, b, base_cells)
+            ok, msg = check_alignment(mm, affine_scheme)
+            assert ok, msg
+
+    @pytest.mark.parametrize("open_,extend", [(-12, -1), (-5, -5), (-8, -2)])
+    def test_gap_model_sweep(self, rng, open_, extend):
+        scheme = ScoringScheme(dna_simple(), affine_gap(open_, extend))
+        for _ in range(8):
+            a = random_dna(rng, int(rng.integers(0, 40)))
+            b = random_dna(rng, int(rng.integers(0, 40)))
+            mm = myers_miller(a, b, scheme, base_cells=16)
+            nw = needleman_wunsch(a, b, scheme)
+            assert mm.score == nw.score, (a, b, open_, extend)
+
+    def test_long_gap_runs_cross_splits(self):
+        """Deletions much longer than one half force mid-run joins."""
+        scheme = ScoringScheme(dna_simple(), affine_gap(-20, -1))
+        a = "ACGT" + "G" * 40 + "ACGT"
+        b = "ACGTACGT"
+        mm = myers_miller(a, b, scheme, base_cells=16)
+        nw = needleman_wunsch(a, b, scheme)
+        assert mm.score == nw.score
+        assert check_alignment(mm, scheme)[0]
+
+    def test_gap_run_not_double_opened(self):
+        """A single long run must be charged one open."""
+        scheme = ScoringScheme(dna_simple(), affine_gap(-10, -1))
+        a = "A" * 31  # odd length so the run spans the middle row
+        b = "A"
+        mm = myers_miller(a, b, scheme, base_cells=16)
+        assert mm.score == 5 - 10 - 29  # match + open + 29 extends
+
+
+class TestEdgeCases:
+    def test_empty_inputs(self, affine_scheme):
+        assert myers_miller("", "", affine_scheme).score == 0
+        al = myers_miller("ARN", "", affine_scheme)
+        assert al.score == affine_scheme.gap.cost(3)
+        al = myers_miller("", "ARN", affine_scheme)
+        assert al.score == affine_scheme.gap.cost(3)
+
+    def test_single_row(self, affine_scheme):
+        for b in ("", "A", "ARNDC"):
+            mm = myers_miller("R", b, affine_scheme, base_cells=16)
+            nw = needleman_wunsch("R", b, affine_scheme)
+            assert mm.score == nw.score, b
+
+    def test_two_rows(self, affine_scheme):
+        mm = myers_miller("AR", "RNDAR", affine_scheme, base_cells=16)
+        nw = needleman_wunsch("AR", "RNDAR", affine_scheme)
+        assert mm.score == nw.score
+
+    def test_tiny_base_cells_rejected(self, affine_scheme):
+        with pytest.raises(ConfigError):
+            myers_miller("AR", "AR", affine_scheme, base_cells=8)
+
+    def test_linear_scheme_accepted(self, dna_scheme, rng):
+        a, b = random_dna(rng, 25), random_dna(rng, 30)
+        mm = myers_miller(a, b, dna_scheme, base_cells=16)
+        assert mm.score == needleman_wunsch(a, b, dna_scheme).score
+
+
+class TestComplexity:
+    def test_roughly_double_operations(self, rng, affine_scheme):
+        n = 250
+        a, b = random_protein(rng, n), random_protein(rng, n)
+        mm = myers_miller(a, b, affine_scheme, base_cells=256)
+        assert 1.8 <= mm.stats.cells_computed / (n * n) <= 2.3
+
+    def test_linear_space(self, rng, affine_scheme):
+        n = 300
+        a, b = random_protein(rng, n), random_protein(rng, n)
+        mm = myers_miller(a, b, affine_scheme, base_cells=256)
+        # O(n) sweep rows + the base-case buffer, nowhere near n^2 cells.
+        assert mm.stats.peak_cells_resident < 10 * (2 * n) + 3 * 256
+        assert mm.stats.peak_cells_resident < (n * n) / 40

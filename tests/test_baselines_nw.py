@@ -1,0 +1,87 @@
+"""Tests for the Needleman–Wunsch full-matrix baseline."""
+
+import pytest
+
+from repro.align import check_alignment
+from repro.baselines import needleman_wunsch
+from repro.kernels.reference import ref_score_affine, ref_score_linear
+from tests.conftest import random_dna, random_protein
+
+
+class TestPaperExample:
+    def test_score_82(self, table1_scheme):
+        al = needleman_wunsch("TDVLKAD", "TLDKLLKD", table1_scheme)
+        assert al.score == 82
+
+    def test_alignment_valid(self, table1_scheme):
+        al = needleman_wunsch("TDVLKAD", "TLDKLLKD", table1_scheme)
+        ok, msg = check_alignment(al, table1_scheme)
+        assert ok, msg
+
+    def test_five_identity_columns(self, table1_scheme):
+        # The introduction's example: 5 identically aligned letters.
+        al = needleman_wunsch("TDVLKAD", "TLDKLLKD", table1_scheme)
+        assert al.num_matches == 5
+
+
+class TestCorrectness:
+    def test_matches_reference_linear(self, rng, dna_scheme):
+        for _ in range(20):
+            a = random_dna(rng, int(rng.integers(0, 40)))
+            b = random_dna(rng, int(rng.integers(0, 40)))
+            al = needleman_wunsch(a, b, dna_scheme)
+            ref = ref_score_linear(
+                dna_scheme.encode(a), dna_scheme.encode(b), dna_scheme.matrix.table, -6
+            )
+            assert al.score == ref
+            assert check_alignment(al, dna_scheme)[0]
+
+    def test_matches_reference_affine(self, rng, affine_scheme):
+        for _ in range(15):
+            a = random_protein(rng, int(rng.integers(0, 25)))
+            b = random_protein(rng, int(rng.integers(0, 25)))
+            al = needleman_wunsch(a, b, affine_scheme)
+            ref = ref_score_affine(
+                affine_scheme.encode(a), affine_scheme.encode(b),
+                affine_scheme.matrix.table, -11, -2,
+            )
+            assert al.score == ref
+            assert check_alignment(al, affine_scheme)[0]
+
+
+class TestEdgeCases:
+    def test_both_empty(self, dna_scheme):
+        al = needleman_wunsch("", "", dna_scheme)
+        assert al.score == 0 and len(al) == 0
+
+    def test_one_empty(self, dna_scheme):
+        al = needleman_wunsch("ACGT", "", dna_scheme)
+        assert al.score == -24
+        assert al.gapped_b == "----"
+
+    def test_single_residues(self, dna_scheme):
+        al = needleman_wunsch("A", "A", dna_scheme)
+        assert al.score == 5
+
+    def test_identical_sequences(self, rng, dna_scheme):
+        s = random_dna(rng, 50)
+        al = needleman_wunsch(s, s, dna_scheme)
+        assert al.score == 5 * 50
+        assert al.identity == 1.0
+
+
+class TestStats:
+    def test_cells_computed_is_mn(self, dna_scheme):
+        al = needleman_wunsch("ACGTAC", "ACG", dna_scheme)
+        assert al.stats.cells_computed == 18
+
+    def test_peak_memory_quadratic(self, dna_scheme):
+        al = needleman_wunsch("A" * 50, "A" * 60, dna_scheme)
+        assert al.stats.peak_cells_resident == 51 * 61
+
+    def test_affine_peak_is_three_layers(self, affine_scheme):
+        al = needleman_wunsch("A" * 10, "R" * 10, affine_scheme)
+        assert al.stats.peak_cells_resident == 3 * 11 * 11
+
+    def test_algorithm_name(self, dna_scheme):
+        assert needleman_wunsch("A", "C", dna_scheme).algorithm == "needleman-wunsch"

@@ -1,0 +1,91 @@
+"""Tests for the Smith–Waterman local-alignment baseline."""
+
+import pytest
+
+from repro.align import check_alignment
+from repro.baselines import smith_waterman
+from repro.kernels.reference import ref_score_affine, ref_score_linear
+from tests.conftest import random_dna
+
+
+def brute_force_local(a, b, scheme):
+    """Max global score over all substring pairs (floor 0)."""
+    enc = scheme.encode
+    table = scheme.matrix.table
+    best = 0
+    for i0 in range(len(a) + 1):
+        for i1 in range(i0, len(a) + 1):
+            for j0 in range(len(b) + 1):
+                for j1 in range(j0, len(b) + 1):
+                    if scheme.is_linear:
+                        s = ref_score_linear(enc(a[i0:i1]), enc(b[j0:j1]), table, scheme.gap_open)
+                    else:
+                        s = ref_score_affine(
+                            enc(a[i0:i1]), enc(b[j0:j1]), table, scheme.gap_open, scheme.gap_extend
+                        )
+                    best = max(best, s)
+    return best
+
+
+class TestCorrectness:
+    def test_matches_brute_force_linear(self, rng, dna_scheme):
+        for _ in range(8):
+            a = random_dna(rng, int(rng.integers(1, 10)))
+            b = random_dna(rng, int(rng.integers(1, 10)))
+            loc = smith_waterman(a, b, dna_scheme)
+            assert loc.score == brute_force_local(a, b, dna_scheme)
+
+    def test_matches_brute_force_affine(self, rng, affine_dna_scheme):
+        for _ in range(5):
+            a = random_dna(rng, int(rng.integers(1, 8)))
+            b = random_dna(rng, int(rng.integers(1, 8)))
+            loc = smith_waterman(a, b, affine_dna_scheme)
+            assert loc.score == brute_force_local(a, b, affine_dna_scheme)
+
+    def test_subalignment_is_valid(self, rng, dna_scheme):
+        a = random_dna(rng, 40)
+        b = random_dna(rng, 40)
+        loc = smith_waterman(a, b, dna_scheme)
+        if loc.score > 0:
+            ok, msg = check_alignment(loc.alignment, dna_scheme)
+            assert ok, msg
+
+    def test_ranges_match_subsequences(self, rng, dna_scheme):
+        a = random_dna(rng, 30)
+        b = random_dna(rng, 30)
+        loc = smith_waterman(a, b, dna_scheme)
+        assert loc.alignment.seq_a.text == a[loc.a_start : loc.a_end]
+        assert loc.alignment.seq_b.text == b[loc.b_start : loc.b_end]
+
+
+class TestKnownAnswers:
+    def test_embedded_motif(self, dna_scheme):
+        # The shared motif ACGTACGT should be found exactly.
+        loc = smith_waterman("TTTTACGTACGTTTTT", "GGGACGTACGTGGG", dna_scheme)
+        assert loc.score == 8 * 5
+        assert loc.alignment.gapped_a == "ACGTACGT"
+
+    def test_no_similarity_gives_empty(self, dna_scheme):
+        loc = smith_waterman("AAAA", "TTTT", dna_scheme)
+        assert loc.score == 0
+        assert loc.a_start == loc.a_end == 0
+
+    def test_local_beats_global_ends(self, dna_scheme):
+        # Mismatching flanks are trimmed by local alignment.
+        loc = smith_waterman("CCCCACGT", "ACGTGGGG", dna_scheme)
+        assert loc.score == 20
+        assert loc.alignment.gapped_a == "ACGT"
+
+    def test_empty_input(self, dna_scheme):
+        loc = smith_waterman("", "ACGT", dna_scheme)
+        assert loc.score == 0
+
+    def test_score_nonnegative(self, rng, dna_scheme):
+        for _ in range(10):
+            loc = smith_waterman(random_dna(rng, 12), random_dna(rng, 12), dna_scheme)
+            assert loc.score >= 0
+
+    def test_local_gap_inside_motif(self, dna_scheme):
+        # Motif with one deletion still worth aligning through the gap.
+        loc = smith_waterman("ACGTACGTACGT", "ACGTACGACGT"[:11], dna_scheme)
+        assert loc.score >= 11 * 5 - 6

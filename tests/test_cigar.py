@@ -1,0 +1,70 @@
+"""Tests for CIGAR conversion."""
+
+import pytest
+
+from repro.align import AlignmentPath, alignment_from_path, from_cigar, to_cigar
+from repro.align.cigar import cigar_operations
+from repro.baselines import needleman_wunsch
+from repro.errors import AlignmentError
+from tests.conftest import random_dna
+
+
+def sample_alignment():
+    # ACG- A
+    # A-GT A
+    path = AlignmentPath([(0, 0), (1, 1), (2, 1), (3, 2), (3, 3), (4, 4)])
+    return alignment_from_path("ACGA", "AGTA", path, score=0)
+
+
+class TestToCigar:
+    def test_basic(self):
+        al = sample_alignment()
+        assert to_cigar(al) == "1M1I1M1D1M"
+
+    def test_extended(self):
+        al = sample_alignment()
+        # columns: A/A (=), C/- (I), G/G (=), -/T (D), A/A (=)
+        assert to_cigar(al, extended=True) == "1=1I1=1D1="
+
+    def test_run_length_merging(self):
+        path = AlignmentPath([(0, 0), (1, 1), (2, 2), (3, 3), (3, 4), (3, 5)])
+        al = alignment_from_path("ACG", "ACGTT", path, score=0)
+        assert to_cigar(al) == "3M2D"
+
+    def test_empty(self):
+        al = alignment_from_path("", "", AlignmentPath([(0, 0)]), 0)
+        assert to_cigar(al) == ""
+
+    def test_operations_counts(self):
+        ops = cigar_operations(sample_alignment())
+        assert sum(n for n, _ in ops) == 5
+
+
+class TestFromCigar:
+    def test_roundtrip(self, rng, dna_scheme):
+        for _ in range(15):
+            a = random_dna(rng, int(rng.integers(0, 30)))
+            b = random_dna(rng, int(rng.integers(0, 30)))
+            al = needleman_wunsch(a, b, dna_scheme)
+            cigar = to_cigar(al)
+            back = from_cigar(a, b, cigar, score=al.score)
+            assert back.gapped_a == al.gapped_a
+            assert back.gapped_b == al.gapped_b
+
+    def test_extended_roundtrip(self, rng, dna_scheme):
+        a, b = random_dna(rng, 20), random_dna(rng, 22)
+        al = needleman_wunsch(a, b, dna_scheme)
+        back = from_cigar(a, b, to_cigar(al, extended=True), score=al.score)
+        assert back.gapped_a == al.gapped_a
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AlignmentError, match="consumes"):
+            from_cigar("ACG", "ACG", "2M")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AlignmentError, match="unparsed"):
+            from_cigar("A", "A", "1M banana")
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(AlignmentError):
+            from_cigar("A", "A", "1Z")

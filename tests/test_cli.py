@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.align import Sequence, write_fasta
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_defaults(self):
+        args = build_parser().parse_args(["align", "a.fa", "b.fa"])
+        assert args.method == "fastlsa"
+        assert args.matrix == "dna"
+        assert args.gap_open == -10
+
+
+class TestDemo:
+    def test_demo_reproduces_82(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "82" in out
+        assert "TLDKLLK-D" in out or "T-D-VLKAD" in out
+
+
+class TestPlan:
+    def test_plan_output(self, capsys):
+        assert main(["plan", "10000", "10000", "500000"]) == 0
+        out = capsys.readouterr().out
+        assert "fastlsa" in out
+        assert "ops ratio" in out
+
+    def test_plan_full_matrix(self, capsys):
+        assert main(["plan", "100", "100", "1000000"]) == 0
+        assert "full-matrix" in capsys.readouterr().out
+
+    def test_plan_infeasible_is_clean_error(self, capsys):
+        assert main(["plan", "1000000", "1000000", "1000"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAlign:
+    @pytest.fixture
+    def fasta_files(self, tmp_path):
+        fa = tmp_path / "a.fasta"
+        fb = tmp_path / "b.fasta"
+        write_fasta(fa, [Sequence("ACGTACGTAC", name="a")])
+        write_fasta(fb, [Sequence("ACGTTCGTAC", name="b")])
+        return str(fa), str(fb)
+
+    def test_align_fastlsa(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--gap-open", "-6"]) == 0
+        out = capsys.readouterr().out
+        assert "score=" in out
+
+    def test_align_methods_agree(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        scores = []
+        for method in ("fastlsa", "needleman-wunsch", "hirschberg"):
+            main(["align", fa, fb, "--method", method, "--gap-open", "-6"])
+            out = capsys.readouterr().out
+            scores.append(out.split("score=")[1].split()[0])
+        assert len(set(scores)) == 1
+
+    def test_align_stats_flag(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--stats"]) == 0
+        assert "cells_computed=" in capsys.readouterr().out
+
+    def test_align_affine(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--gap-extend", "-1", "--gap-open", "-8"]) == 0
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["align", str(tmp_path / "x.fa"), str(tmp_path / "y.fa")])
+
+
+class TestSpeedup:
+    def test_speedup_table(self, capsys):
+        assert main(["speedup", "200", "--procs", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "efficiency" in out

@@ -1,0 +1,92 @@
+"""Tests for the extended CLI (modes, score-only, matrix command)."""
+
+import pytest
+
+from repro.align import Sequence, write_fasta
+from repro.cli import main
+
+
+@pytest.fixture
+def fasta_files(tmp_path):
+    fa = tmp_path / "a.fasta"
+    fb = tmp_path / "b.fasta"
+    write_fasta(fa, [Sequence("TTTTACGTACGT", name="a")])
+    write_fasta(fb, [Sequence("ACGTACGTCCCC", name="b")])
+    return str(fa), str(fb)
+
+
+class TestModes:
+    def test_local(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--mode", "local", "--gap-open", "-6"]) == 0
+        out = capsys.readouterr().out
+        assert "local score=40" in out
+
+    def test_overlap(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--mode", "overlap", "--gap-open", "-6"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap score=40" in out
+        assert "a[4:12]" in out
+
+    def test_semiglobal(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--mode", "semiglobal", "--gap-open", "-6"]) == 0
+        assert "semiglobal score=" in capsys.readouterr().out
+
+    def test_score_only(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--score-only", "--gap-open", "-6"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.lstrip("-").isdigit()
+
+
+class TestMatrixCommand:
+    @pytest.mark.parametrize("name", ["dna", "blosum62", "pam250", "table1"])
+    def test_prints_matrix(self, name, capsys):
+        assert main(["matrix", name]) == 0
+        out = capsys.readouterr().out
+        assert "# Matrix:" in out
+
+    def test_table1_values(self, capsys):
+        main(["matrix", "table1"])
+        out = capsys.readouterr().out
+        assert "16" in out and "12" in out
+
+
+class TestMsaCommand:
+    @pytest.fixture
+    def family_fasta(self, tmp_path):
+        path = tmp_path / "family.fasta"
+        write_fasta(path, [
+            Sequence("ACGTACGTACGT", name="s1"),
+            Sequence("ACGTACGAACGT", name="s2"),
+            Sequence("ACGTACGTACG", name="s3"),
+        ])
+        return str(path)
+
+    @pytest.mark.parametrize("method", ["star", "progressive"])
+    def test_msa(self, family_fasta, capsys, method):
+        assert main(["msa", family_fasta, "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert f"{method} MSA: 3 sequences" in out
+        assert "s1" in out and "s3" in out
+
+    def test_msa_single_record_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "one.fasta"
+        write_fasta(path, [Sequence("ACGT", name="only")])
+        assert main(["msa", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMatrixFile:
+    def test_align_with_matrix_file(self, fasta_files, tmp_path, capsys):
+        from repro.scoring import dna_simple, write_matrix
+
+        fa, fb = fasta_files
+        mpath = tmp_path / "custom.mat"
+        write_matrix(mpath, dna_simple(match=9, mismatch=-9))
+        assert main([
+            "align", fa, fb, "--matrix-file", str(mpath), "--gap-open", "-6"
+        ]) == 0
+        assert "score=" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Tests for banded global alignment."""
+
+import pytest
+
+from repro.align import check_alignment
+from repro.baselines import needleman_wunsch
+from repro.core import banded_align, banded_align_auto
+from repro.errors import ConfigError
+from repro.workloads import dna_pair
+from tests.conftest import random_dna
+
+
+class TestExactness:
+    def test_full_band_is_exact(self, rng, dna_scheme):
+        for _ in range(20):
+            la, lb = int(rng.integers(1, 40)), int(rng.integers(1, 40))
+            a, b = random_dna(rng, la), random_dna(rng, lb)
+            res = banded_align(a, b, dna_scheme, width=max(la, lb))
+            nw = needleman_wunsch(a, b, dna_scheme)
+            assert res.alignment.score == nw.score, (a, b)
+            assert check_alignment(res.alignment, dna_scheme)[0]
+
+    def test_narrow_band_is_lower_bound(self, rng, dna_scheme):
+        for _ in range(15):
+            a, b = random_dna(rng, 50), random_dna(rng, 50)
+            res = banded_align(a, b, dna_scheme, width=3)
+            nw = needleman_wunsch(a, b, dna_scheme)
+            assert res.alignment.score <= nw.score
+            assert check_alignment(res.alignment, dna_scheme)[0]
+
+    def test_similar_sequences_exact_in_narrow_band(self, dna_scheme):
+        a, b = dna_pair(500, divergence=0.05, seed=8)
+        res = banded_align(a, b, dna_scheme, width=30)
+        nw = needleman_wunsch(a, b, dna_scheme)
+        assert res.alignment.score == nw.score
+
+    def test_identical_sequences_width_one(self, rng, dna_scheme):
+        s = random_dna(rng, 100)
+        res = banded_align(s, s, dna_scheme, width=1)
+        assert res.alignment.score == 5 * 100
+        assert not res.touches_edge
+
+
+class TestAuto:
+    def test_converges_to_exact(self, dna_scheme):
+        a, b = dna_pair(400, divergence=0.15, seed=4)
+        res = banded_align_auto(a, b, dna_scheme, initial_width=4)
+        nw = needleman_wunsch(a, b, dna_scheme)
+        assert res.alignment.score == nw.score
+
+    def test_max_width_guarantees_exact(self, rng, dna_scheme):
+        a, b = random_dna(rng, 60), random_dna(rng, 45)
+        res = banded_align_auto(a, b, dna_scheme, initial_width=2)
+        nw = needleman_wunsch(a, b, dna_scheme)
+        assert res.alignment.score == nw.score
+
+    def test_cost_savings(self, dna_scheme):
+        n = 1500
+        a, b = dna_pair(n, divergence=0.05, seed=12)
+        res = banded_align_auto(a, b, dna_scheme, initial_width=8)
+        # The whole doubling sequence should stay far below m*n cells.
+        assert res.alignment.stats.cells_computed < 0.2 * n * n
+
+
+class TestAffine:
+    def test_full_band_is_exact(self, rng, affine_dna_scheme):
+        for _ in range(15):
+            la, lb = int(rng.integers(1, 35)), int(rng.integers(1, 35))
+            a, b = random_dna(rng, la), random_dna(rng, lb)
+            res = banded_align(a, b, affine_dna_scheme, width=max(la, lb))
+            nw = needleman_wunsch(a, b, affine_dna_scheme)
+            assert res.alignment.score == nw.score, (a, b)
+            assert check_alignment(res.alignment, affine_dna_scheme)[0]
+
+    def test_narrow_band_is_lower_bound(self, rng, affine_dna_scheme):
+        for _ in range(10):
+            a, b = random_dna(rng, 40), random_dna(rng, 40)
+            res = banded_align(a, b, affine_dna_scheme, width=3)
+            nw = needleman_wunsch(a, b, affine_dna_scheme)
+            assert res.alignment.score <= nw.score
+            assert check_alignment(res.alignment, affine_dna_scheme)[0]
+
+    def test_auto_converges(self, affine_dna_scheme):
+        a, b = dna_pair(400, divergence=0.1, seed=21)
+        res = banded_align_auto(a, b, affine_dna_scheme, initial_width=4)
+        nw = needleman_wunsch(a, b, affine_dna_scheme)
+        assert res.alignment.score == nw.score
+
+    def test_long_gap_run_crosses_band_rows(self, affine_dna_scheme):
+        # A run longer than the band height must still be representable
+        # (it rides the band edge diagonally).
+        a = "ACGT" + "G" * 12 + "ACGT"
+        b = "ACGTACGT"
+        res = banded_align(a, b, affine_dna_scheme, width=20)
+        nw = needleman_wunsch(a, b, affine_dna_scheme)
+        assert res.alignment.score == nw.score
+
+    def test_empty_inputs(self, affine_dna_scheme):
+        assert banded_align("", "ACG", affine_dna_scheme, width=2).alignment.score \
+            == affine_dna_scheme.gap.cost(3)
+        assert banded_align("", "", affine_dna_scheme, width=2).alignment.score == 0
+
+    def test_bad_width_rejected(self, affine_dna_scheme):
+        with pytest.raises(ConfigError):
+            banded_align("AC", "AC", affine_dna_scheme, width=0)
+
+
+class TestValidation:
+
+    def test_bad_width_rejected(self, dna_scheme):
+        with pytest.raises(ConfigError):
+            banded_align("AC", "AC", dna_scheme, width=0)
+
+    def test_skewed_lengths(self, rng, dna_scheme):
+        # dmin/dmax handle length differences larger than the width.
+        a, b = random_dna(rng, 10), random_dna(rng, 60)
+        res = banded_align(a, b, dna_scheme, width=2)
+        assert check_alignment(res.alignment, dna_scheme)[0]
+
+    def test_empty_sequences(self, dna_scheme):
+        res = banded_align("", "ACG", dna_scheme, width=2)
+        assert res.alignment.score == -18
+        res = banded_align("", "", dna_scheme, width=2)
+        assert res.alignment.score == 0
+
+    def test_touches_edge_flag(self, dna_scheme):
+        # A width-1 band on this divergent pair forces the traced path
+        # onto the band boundary (and the banded score is suboptimal).
+        res = banded_align("GGAACTCTCATTA", "AGCGATCTTGAT", dna_scheme, width=1)
+        assert res.touches_edge
+        nw = needleman_wunsch("GGAACTCTCATTA", "AGCGATCTTGAT", dna_scheme)
+        assert res.alignment.score < nw.score

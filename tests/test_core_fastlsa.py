@@ -1,0 +1,139 @@
+"""Tests for the sequential FastLSA algorithm."""
+
+import pytest
+
+from repro.align import check_alignment
+from repro.baselines import needleman_wunsch
+from repro.core import FastLSAConfig, fastlsa
+from repro.errors import ConfigError
+from repro.kernels import KernelInstruments
+from tests.conftest import random_dna, random_protein
+
+
+class TestPaperExample:
+    def test_score_82(self, table1_scheme):
+        al = fastlsa("TDVLKAD", "TLDKLLKD", table1_scheme, k=2, base_cells=16)
+        assert al.score == 82
+
+    def test_valid_alignment(self, table1_scheme):
+        al = fastlsa("TDVLKAD", "TLDKLLKD", table1_scheme, k=3, base_cells=16)
+        assert check_alignment(al, table1_scheme)[0]
+
+
+class TestConfig:
+    def test_k_validation(self):
+        with pytest.raises(ConfigError):
+            FastLSAConfig(k=1)
+        with pytest.raises(ConfigError):
+            FastLSAConfig(k=2.5)
+
+    def test_base_cells_validation(self):
+        with pytest.raises(ConfigError):
+            FastLSAConfig(base_cells=4)
+
+    def test_base_threshold_layers(self):
+        cfg = FastLSAConfig(k=4, base_cells=300)
+        assert cfg.base_threshold(1) == 300
+        assert cfg.base_threshold(3) == 100
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    @pytest.mark.parametrize("base_cells", [16, 256, 8192])
+    def test_matches_nw_linear(self, rng, dna_scheme, k, base_cells):
+        for _ in range(4):
+            a = random_dna(rng, int(rng.integers(0, 90)))
+            b = random_dna(rng, int(rng.integers(0, 90)))
+            f = fastlsa(a, b, dna_scheme, k=k, base_cells=base_cells)
+            n = needleman_wunsch(a, b, dna_scheme)
+            assert f.score == n.score, (a, b, k, base_cells)
+            assert check_alignment(f, dna_scheme)[0]
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_matches_nw_affine(self, rng, affine_scheme, k):
+        for _ in range(6):
+            a = random_protein(rng, int(rng.integers(0, 70)))
+            b = random_protein(rng, int(rng.integers(0, 70)))
+            f = fastlsa(a, b, affine_scheme, k=k, base_cells=64)
+            n = needleman_wunsch(a, b, affine_scheme)
+            assert f.score == n.score, (a, b, k)
+            assert check_alignment(f, affine_scheme)[0]
+
+    def test_quadratic_space_degenerates_to_one_base_case(self, rng, dna_scheme):
+        a, b = random_dna(rng, 30), random_dna(rng, 30)
+        al = fastlsa(a, b, dna_scheme, k=4, base_cells=10**6)
+        assert al.stats.subproblems == 1
+        assert al.stats.cells_computed == 900
+
+    def test_empty_inputs(self, dna_scheme):
+        assert fastlsa("", "", dna_scheme).score == 0
+        assert fastlsa("ACG", "", dna_scheme).score == -18
+        assert fastlsa("", "ACGT", dna_scheme).score == -24
+
+    def test_skewed_shapes(self, rng, dna_scheme):
+        for m, n in [(1, 200), (200, 1), (3, 150), (150, 3)]:
+            a, b = random_dna(rng, m), random_dna(rng, n)
+            f = fastlsa(a, b, dna_scheme, k=4, base_cells=64)
+            nw = needleman_wunsch(a, b, dna_scheme)
+            assert f.score == nw.score, (m, n)
+
+
+class TestSpaceTimeTradeoff:
+    """The paper's central claims about operations vs memory."""
+
+    def test_ops_between_1x_and_bound(self, rng, dna_scheme):
+        n = 300
+        a, b = random_dna(rng, n), random_dna(rng, n)
+        for k in (2, 4, 8):
+            al = fastlsa(a, b, dna_scheme, k=k, base_cells=64)
+            ratio = al.stats.cells_computed / (n * n)
+            assert 1.0 <= ratio <= (k + 1) / (k - 1) + 0.05, (k, ratio)
+
+    def test_linear_space_about_1_5x(self, rng, dna_scheme):
+        """Paper: 'At one extreme, FastLSA uses linear space with
+        approximately 1.5 times the number of operations'."""
+        n = 400
+        a, b = random_dna(rng, n), random_dna(rng, n)
+        al = fastlsa(a, b, dna_scheme, k=2, base_cells=64)
+        ratio = al.stats.cells_computed / (n * n)
+        assert 1.3 <= ratio <= 1.7, ratio
+
+    def test_larger_k_fewer_ops_more_memory(self, rng, dna_scheme):
+        n = 400
+        a, b = random_dna(rng, n), random_dna(rng, n)
+        prev_ops, prev_mem = None, None
+        for k in (2, 4, 8):
+            al = fastlsa(a, b, dna_scheme, k=k, base_cells=64)
+            if prev_ops is not None:
+                assert al.stats.cells_computed <= prev_ops
+                assert al.stats.peak_cells_resident >= prev_mem
+            prev_ops = al.stats.cells_computed
+            prev_mem = al.stats.peak_cells_resident
+
+    def test_space_linear_in_sequence_length(self, rng, dna_scheme):
+        peaks = []
+        for n in (100, 200, 400):
+            a, b = random_dna(rng, n), random_dna(rng, n)
+            al = fastlsa(a, b, dna_scheme, k=4, base_cells=64)
+            peaks.append(al.stats.peak_cells_resident)
+        # Peak grows ~linearly: doubling n should far less than 4x it.
+        assert peaks[2] < 3.5 * peaks[1]
+        assert peaks[1] < 3.5 * peaks[0]
+
+
+class TestStats:
+    def test_subproblem_and_depth_counters(self, rng, dna_scheme):
+        a, b = random_dna(rng, 120), random_dna(rng, 120)
+        al = fastlsa(a, b, dna_scheme, k=3, base_cells=64)
+        assert al.stats.subproblems > 1
+        assert al.stats.recursion_depth >= 2
+
+    def test_shared_instruments(self, dna_scheme):
+        inst = KernelInstruments()
+        fastlsa("ACGTACGTAC", "ACGTTACGTA", dna_scheme, k=2, base_cells=16,
+                instruments=inst)
+        assert inst.ops.cells > 0
+        assert inst.mem.current == 0  # everything freed
+
+    def test_algorithm_name(self, dna_scheme):
+        assert fastlsa("A", "C", dna_scheme).algorithm == "fastlsa"

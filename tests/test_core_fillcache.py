@@ -1,0 +1,77 @@
+"""Tests for repro.core.fillcache: grid lines must equal dense-DPM rows."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, fill_grid
+from repro.core.fastlsa import initial_problem
+from repro.kernels import OpCounter, affine_boundaries, boundary_vectors, sweep_matrix, sweep_matrix_affine
+from tests.conftest import random_dna
+
+
+def dense_linear(scheme, a, b):
+    ac, bc = scheme.encode(a), scheme.encode(b)
+    fr, fc = boundary_vectors(len(a), len(b), scheme.gap_open)
+    return sweep_matrix(ac, bc, scheme.matrix.table, scheme.gap_open, fr, fc)
+
+
+class TestFillGridLinear:
+    @pytest.mark.parametrize("k", [2, 3, 4, 7])
+    def test_grid_lines_match_dense(self, rng, dna_scheme, k):
+        m = n = 37
+        a, b = random_dna(rng, m), random_dna(rng, n)
+        H = dense_linear(dna_scheme, a, b)
+        grid = Grid(initial_problem(m, n, dna_scheme), k, affine=False)
+        fill_grid(grid, dna_scheme.encode(a), dna_scheme.encode(b), dna_scheme)
+        for p in range(1, len(grid.row_bounds) - 1):
+            r = grid.row_bounds[p]
+            line = grid.row_line(p, 0, n)
+            assert np.array_equal(line.h, H[r, :]), f"grid row {p}"
+        for q in range(1, len(grid.col_bounds) - 1):
+            c = grid.col_bounds[q]
+            line = grid.col_line(q, 0, m)
+            assert np.array_equal(line.h, H[:, c]), f"grid col {q}"
+
+    def test_rectangular_problem(self, rng, dna_scheme):
+        m, n = 23, 51
+        a, b = random_dna(rng, m), random_dna(rng, n)
+        H = dense_linear(dna_scheme, a, b)
+        grid = Grid(initial_problem(m, n, dna_scheme), 3, affine=False)
+        fill_grid(grid, dna_scheme.encode(a), dna_scheme.encode(b), dna_scheme)
+        r = grid.row_bounds[1]
+        assert np.array_equal(grid.row_line(1, 0, n).h, H[r, :])
+
+    def test_skip_bottom_right_ops(self, rng, dna_scheme):
+        m = n = 40
+        a, b = random_dna(rng, m), random_dna(rng, n)
+        c_skip, c_full = OpCounter(), OpCounter()
+        for skip, counter in ((True, c_skip), (False, c_full)):
+            grid = Grid(initial_problem(m, n, dna_scheme), 4, affine=False)
+            fill_grid(grid, dna_scheme.encode(a), dna_scheme.encode(b), dna_scheme,
+                      counter=counter, skip_bottom_right=skip)
+        assert c_full.cells == m * n
+        assert c_skip.cells == m * n - 10 * 10  # minus the last block
+
+
+class TestFillGridAffine:
+    def test_grid_lines_match_dense(self, rng, affine_dna_scheme):
+        m = n = 31
+        scheme = affine_dna_scheme
+        a, b = random_dna(rng, m), random_dna(rng, n)
+        ac, bc = scheme.encode(a), scheme.encode(b)
+        rh, rf, ch, ce = affine_boundaries(m, n, scheme.gap_open, scheme.gap_extend)
+        H, E, F = sweep_matrix_affine(
+            ac, bc, scheme.matrix.table, scheme.gap_open, scheme.gap_extend, rh, rf, ch, ce
+        )
+        grid = Grid(initial_problem(m, n, scheme), 3, affine=True)
+        fill_grid(grid, ac, bc, scheme)
+        for p in range(1, len(grid.row_bounds) - 1):
+            r = grid.row_bounds[p]
+            line = grid.row_line(p, 0, n)
+            assert np.array_equal(line.h, H[r, :])
+            assert np.array_equal(line.f[1:], F[r, 1:])  # corner is sentinel
+        for q in range(1, len(grid.col_bounds) - 1):
+            c = grid.col_bounds[q]
+            line = grid.col_line(q, 0, m)
+            assert np.array_equal(line.h, H[:, c])
+            assert np.array_equal(line.e[1:], E[1:, c])

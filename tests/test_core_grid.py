@@ -1,0 +1,130 @@
+"""Tests for repro.core.grid and repro.core.problem."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Problem, RowCache, ColCache, split_bounds
+from repro.core.fastlsa import initial_problem
+from repro.errors import ConfigError
+from repro.kernels import MemoryMeter
+
+
+class TestSplitBounds:
+    def test_even_split(self):
+        assert split_bounds(0, 100, 4) == [0, 25, 50, 75, 100]
+
+    def test_offset(self):
+        assert split_bounds(10, 20, 2) == [10, 15, 20]
+
+    def test_degenerate_short_span(self):
+        # Span shorter than k: bounds deduplicate but keep ends.
+        bounds = split_bounds(0, 2, 8)
+        assert bounds[0] == 0 and bounds[-1] == 2
+        assert bounds == sorted(set(bounds))
+
+    def test_empty_span(self):
+        assert split_bounds(5, 5, 4) == [5]
+
+    def test_invalid_span(self):
+        with pytest.raises(ConfigError):
+            split_bounds(5, 3, 2)
+
+    def test_segments_nonempty(self):
+        for span in (1, 2, 3, 7, 100):
+            bounds = split_bounds(0, span, 5)
+            assert all(b1 > b0 for b0, b1 in zip(bounds, bounds[1:]))
+
+
+class TestProblem:
+    def test_shape(self, dna_scheme):
+        p = initial_problem(10, 20, dna_scheme)
+        assert p.nrows == 10 and p.ncols == 20
+        assert p.dense_cells == 11 * 21
+
+    def test_cache_length_checked(self):
+        with pytest.raises(ConfigError):
+            Problem(0, 0, 2, 2, RowCache(h=np.zeros(2)), ColCache(h=np.zeros(3)))
+
+    def test_corner_agreement_checked(self):
+        row = RowCache(h=np.array([0, 1, 2]))
+        col = ColCache(h=np.array([5, 1, 2]))
+        with pytest.raises(ConfigError, match="corner"):
+            Problem(0, 0, 2, 2, row, col)
+
+    def test_cache_segment(self):
+        rc = RowCache(h=np.arange(10))
+        seg = rc.segment(2, 5)
+        assert list(seg.h) == [2, 3, 4, 5]
+
+    def test_affine_cache_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            RowCache(h=np.zeros(3), f=np.zeros(4))
+
+
+class TestGrid:
+    def make_grid(self, dna_scheme, m=40, n=40, k=4, meter=None):
+        return Grid(initial_problem(m, n, dna_scheme), k, affine=False, meter=meter)
+
+    def test_block_structure(self, dna_scheme):
+        g = self.make_grid(dna_scheme)
+        assert g.n_block_rows == 4 and g.n_block_cols == 4
+        a0, b0, a1, b1 = g.block_extent(0, 0)
+        assert (a0, b0) == (0, 0) and (a1, b1) == (10, 10)
+        a0, b0, a1, b1 = g.block_extent(3, 3)
+        assert (a1, b1) == (40, 40)
+
+    def test_boundary_lines_serve_input_caches(self, dna_scheme):
+        g = self.make_grid(dna_scheme)
+        line = g.row_line(0, 0, 40)
+        assert list(line.h) == list(range(0, -246, -6))
+
+    def test_store_and_read_row_segment(self, dna_scheme):
+        g = self.make_grid(dna_scheme)
+        seg = np.arange(11, dtype=np.int64)
+        g.store_row_segment(1, 10, seg, None)
+        back = g.row_line(1, 10, 20)
+        assert list(back.h) == list(seg)
+
+    def test_memory_metering(self, dna_scheme):
+        meter = MemoryMeter()
+        g = self.make_grid(dna_scheme, meter=meter)
+        expected = 3 * 41 * 2  # (k-1) rows of 41 + (k-1) cols of 41
+        assert meter.current == expected
+        g.free()
+        assert meter.current == 0
+
+    def test_double_free_is_safe(self, dna_scheme):
+        meter = MemoryMeter()
+        g = self.make_grid(dna_scheme, meter=meter)
+        g.free()
+        g.free()
+        assert meter.current == 0
+
+    def test_affine_doubles_line_storage(self, dna_scheme, affine_dna_scheme):
+        meter_l = MemoryMeter()
+        Grid(initial_problem(40, 40, dna_scheme), 4, affine=False, meter=meter_l)
+        meter_a = MemoryMeter()
+        Grid(initial_problem(40, 40, affine_dna_scheme), 4, affine=True, meter=meter_a)
+        assert meter_a.peak == 2 * meter_l.peak
+
+    def test_up_left_bounds_on_grid_line(self, dna_scheme):
+        g = self.make_grid(dna_scheme)
+        # Head exactly on grid row 20, inside column block 2.
+        p, a0, q, b0 = g.up_left_bounds(20, 25)
+        assert a0 == 10  # previous grid row (strictly above)
+        assert b0 == 20
+
+    def test_up_left_bounds_interior(self, dna_scheme):
+        g = self.make_grid(dna_scheme)
+        p, a0, q, b0 = g.up_left_bounds(25, 20)
+        assert a0 == 20 and b0 == 10
+
+    def test_up_left_on_boundary_rejected(self, dna_scheme):
+        g = self.make_grid(dna_scheme)
+        with pytest.raises(ConfigError):
+            g.up_left_bounds(0, 10)
+
+    def test_degenerate_dimension(self, dna_scheme):
+        g = Grid(initial_problem(1, 40, dna_scheme), 4, affine=False)
+        assert g.n_block_rows == 1
+        assert g.n_block_cols == 4

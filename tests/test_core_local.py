@@ -1,0 +1,69 @@
+"""Tests for linear-space local alignment (fastlsa_local)."""
+
+import pytest
+
+from repro.align import check_alignment
+from repro.baselines import smith_waterman
+from repro.core.local import fastlsa_local
+from tests.conftest import random_dna, random_protein
+
+
+class TestAgainstSmithWaterman:
+    def test_scores_match_linear(self, rng, dna_scheme):
+        for _ in range(15):
+            a = random_dna(rng, int(rng.integers(0, 60)))
+            b = random_dna(rng, int(rng.integers(0, 60)))
+            fl = fastlsa_local(a, b, dna_scheme, k=3, base_cells=64)
+            sw = smith_waterman(a, b, dna_scheme)
+            assert fl.score == sw.score, (a, b)
+
+    def test_scores_match_affine(self, rng, affine_scheme):
+        for _ in range(10):
+            a = random_protein(rng, int(rng.integers(0, 40)))
+            b = random_protein(rng, int(rng.integers(0, 40)))
+            fl = fastlsa_local(a, b, affine_scheme, k=3, base_cells=64)
+            sw = smith_waterman(a, b, affine_scheme)
+            assert fl.score == sw.score, (a, b)
+
+    def test_alignment_valid_and_in_range(self, rng, dna_scheme):
+        a = random_dna(rng, 80)
+        b = random_dna(rng, 80)
+        fl = fastlsa_local(a, b, dna_scheme, k=4, base_cells=256)
+        if fl.score > 0:
+            ok, msg = check_alignment(fl.alignment, dna_scheme)
+            assert ok, msg
+            assert fl.alignment.seq_a.text == a[fl.a_start : fl.a_end]
+            assert fl.alignment.seq_b.text == b[fl.b_start : fl.b_end]
+
+
+class TestKnownAnswers:
+    def test_embedded_motif(self, dna_scheme):
+        fl = fastlsa_local("TTTTACGTACGTTTTT", "GGGACGTACGTGGG", dna_scheme, k=2, base_cells=64)
+        assert fl.score == 40
+        assert fl.alignment.gapped_a == "ACGTACGT"
+
+    def test_no_similarity(self, dna_scheme):
+        fl = fastlsa_local("AAAA", "TTTT", dna_scheme)
+        assert fl.score == 0
+        assert fl.alignment.seq_a.is_empty
+
+    def test_empty_inputs(self, dna_scheme):
+        assert fastlsa_local("", "", dna_scheme).score == 0
+        assert fastlsa_local("ACGT", "", dna_scheme).score == 0
+
+    def test_identical_sequences_full_match(self, rng, dna_scheme):
+        s = random_dna(rng, 50)
+        fl = fastlsa_local(s, s, dna_scheme, k=3, base_cells=128)
+        assert fl.score == 5 * 50
+        assert (fl.a_start, fl.a_end) == (0, 50)
+
+
+class TestSpace:
+    def test_linear_space(self, rng, dna_scheme):
+        from repro.kernels import KernelInstruments
+
+        n = 300
+        a, b = random_dna(rng, n), random_dna(rng, n)
+        inst = KernelInstruments()
+        fastlsa_local(a, b, dna_scheme, k=4, base_cells=256, instruments=inst)
+        assert inst.mem.peak < (n * n) / 20

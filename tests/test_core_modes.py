@@ -1,0 +1,137 @@
+"""Tests for ends-free alignment modes (semiglobal / overlap)."""
+
+import itertools
+
+import pytest
+
+from repro.align import check_alignment
+from repro.core.modes import (
+    EndsFree,
+    ends_free_align,
+    overlap_align,
+    semiglobal_align,
+)
+from repro.kernels.reference import ref_score_affine, ref_score_linear
+from tests.conftest import random_dna
+
+ALL_FLAGS = [
+    EndsFree(**dict(zip(("a_start", "a_end", "b_start", "b_end"), bits)))
+    for bits in itertools.product([False, True], repeat=4)
+]
+
+
+def brute_mode(a, b, scheme, free):
+    """Boundary-convention reference: start on row 0 or col 0, end on the
+    last row or last column, gated by the flags."""
+    enc = scheme.encode
+    tbl = scheme.matrix.table
+    m, n = len(a), len(b)
+    starts = {(0, 0)}
+    if free.a_start:
+        starts |= {(si, 0) for si in range(m + 1)}
+    if free.b_start:
+        starts |= {(0, sj) for sj in range(n + 1)}
+    best = None
+    for si, sj in starts:
+        ends = {(m, n)}
+        if free.a_end:
+            ends |= {(ei, n) for ei in range(m + 1)}
+        if free.b_end:
+            ends |= {(m, ej) for ej in range(n + 1)}
+        for ei, ej in ends:
+            if ei < si or ej < sj:
+                continue
+            if scheme.is_linear:
+                s = ref_score_linear(enc(a[si:ei]), enc(b[sj:ej]), tbl, scheme.gap_open)
+            else:
+                s = ref_score_affine(
+                    enc(a[si:ei]), enc(b[sj:ej]), tbl, scheme.gap_open, scheme.gap_extend
+                )
+            best = s if best is None else max(best, s)
+    return best
+
+
+class TestAllFlagCombinations:
+    @pytest.mark.parametrize("scheme_name", ["dna_scheme", "affine_dna_scheme"])
+    def test_against_brute_force(self, rng, request, scheme_name):
+        scheme = request.getfixturevalue(scheme_name)
+        for _ in range(5):
+            a = random_dna(rng, int(rng.integers(0, 8)))
+            b = random_dna(rng, int(rng.integers(0, 8)))
+            for free in ALL_FLAGS:
+                got = ends_free_align(a, b, scheme, free, k=2, base_cells=16)
+                assert got.score == brute_mode(a, b, scheme, free), (a, b, free)
+
+    def test_no_flags_is_global(self, rng, dna_scheme):
+        from repro.core import fastlsa
+
+        a, b = random_dna(rng, 30), random_dna(rng, 35)
+        ef = ends_free_align(a, b, dna_scheme, EndsFree())
+        assert ef.score == fastlsa(a, b, dna_scheme).score
+        assert (ef.a_start, ef.a_end, ef.b_start, ef.b_end) == (0, 30, 0, 35)
+
+
+class TestSemiglobal:
+    def test_query_found_inside_target(self, dna_scheme):
+        sg = semiglobal_align("ACGTACGT", "TTTTTACGTACGTTTTT", dna_scheme)
+        assert sg.score == 8 * 5
+        assert (sg.b_start, sg.b_end) == (5, 13)
+        assert (sg.a_start, sg.a_end) == (0, 8)
+
+    def test_query_fully_consumed(self, rng, dna_scheme):
+        q = random_dna(rng, 20)
+        t = random_dna(rng, 60)
+        sg = semiglobal_align(q, t, dna_scheme)
+        assert sg.a_start == 0 and sg.a_end == 20
+
+    def test_inner_alignment_valid(self, rng, dna_scheme):
+        q, t = random_dna(rng, 25), random_dna(rng, 70)
+        sg = semiglobal_align(q, t, dna_scheme)
+        ok, msg = check_alignment(sg.alignment, dna_scheme)
+        assert ok, msg
+
+    def test_beats_global_when_target_longer(self, rng, dna_scheme):
+        from repro.core import fastlsa
+
+        q = random_dna(rng, 15)
+        t = "AAAA" + q + "GGGG"
+        sg = semiglobal_align(q, t, dna_scheme)
+        assert sg.score == 15 * 5
+        assert sg.score > fastlsa(q, t, dna_scheme).score
+
+    def test_affine(self, rng, affine_dna_scheme):
+        q = random_dna(rng, 12)
+        t = "TT" + q + "CCCC"
+        sg = semiglobal_align(q, t, affine_dna_scheme)
+        assert sg.score == 12 * 5
+
+
+class TestOverlap:
+    def test_suffix_prefix_dovetail(self, dna_scheme):
+        ov = overlap_align("TTTTACGTACGT", "ACGTACGTCCCC", dna_scheme)
+        assert ov.score == 8 * 5
+        assert ov.a_start == 4
+        assert ov.b_end == 8
+
+    def test_no_overlap_yields_short_or_empty_core(self, dna_scheme):
+        ov = overlap_align("AAAAAAA", "TTTTTTT", dna_scheme)
+        assert ov.score >= 0  # skipping everything scores 0
+
+    def test_render_contains_score(self, dna_scheme):
+        ov = overlap_align("TTACGT", "ACGTCC", dna_scheme)
+        assert f"score={ov.score}" in ov.render()
+
+
+class TestEdgeCases:
+    def test_empty_sequences(self, dna_scheme):
+        for free in (EndsFree(), EndsFree(b_start=True, b_end=True)):
+            ef = ends_free_align("", "", dna_scheme, free)
+            assert ef.score == 0
+
+    def test_empty_query_semiglobal(self, dna_scheme):
+        sg = semiglobal_align("", "ACGT", dna_scheme)
+        assert sg.score == 0  # skip the whole target
+
+    def test_empty_target(self, dna_scheme):
+        sg = semiglobal_align("ACGT", "", dna_scheme)
+        assert sg.score == dna_scheme.gap.cost(4)

@@ -1,0 +1,91 @@
+"""Tests for the adaptive planner."""
+
+import pytest
+
+from repro.core import fastlsa
+from repro.core.planner import (
+    fastlsa_peak_cells,
+    grid_cells_bound,
+    ops_ratio_bound,
+    plan_alignment,
+)
+from repro.errors import ConfigError
+from tests.conftest import random_dna
+
+
+class TestOpsRatioBound:
+    def test_closed_form(self):
+        assert ops_ratio_bound(2) == pytest.approx(3.0)
+        assert ops_ratio_bound(3) == pytest.approx(2.0)
+        assert ops_ratio_bound(11) == pytest.approx(1.2)
+
+    def test_monotone_decreasing(self):
+        ratios = [ops_ratio_bound(k) for k in range(2, 30)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_approaches_one(self):
+        assert ops_ratio_bound(1000) < 1.01
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            ops_ratio_bound(1)
+
+
+class TestPlan:
+    def test_full_matrix_when_it_fits(self):
+        plan = plan_alignment(100, 100, 1_000_000)
+        assert plan.method == "full-matrix"
+        assert plan.predicted_ops_ratio == 1.0
+
+    def test_fastlsa_when_it_does_not(self):
+        plan = plan_alignment(10_000, 10_000, 500_000)
+        assert plan.method == "fastlsa"
+        assert plan.config.k >= 2
+
+    def test_larger_budget_larger_k(self):
+        p1 = plan_alignment(10_000, 10_000, 200_000)
+        p2 = plan_alignment(10_000, 10_000, 800_000)
+        assert p2.config.k >= p1.config.k
+
+    def test_predicted_peak_within_budget(self):
+        for budget in (200_000, 500_000, 1_000_000):
+            plan = plan_alignment(20_000, 20_000, budget)
+            if plan.method == "fastlsa":
+                assert plan.predicted_peak_cells <= budget
+
+    def test_affine_needs_more(self):
+        lin = plan_alignment(10_000, 10_000, 400_000, affine=False)
+        aff = plan_alignment(10_000, 10_000, 400_000, affine=True)
+        assert aff.config.k <= lin.config.k
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ConfigError, match="cannot align"):
+            plan_alignment(10**6, 10**6, 1000)
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_alignment(10, 10, 4)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_alignment(100, 100, 10_000, base_fraction=1.5)
+
+    def test_max_k_respected(self):
+        plan = plan_alignment(1000, 1000, 10**9, max_k=7)
+        if plan.method == "fastlsa":
+            assert plan.config.k <= 7
+
+
+class TestPlanHonoured:
+    def test_measured_peak_within_budget(self, rng, dna_scheme):
+        n, budget = 1200, 60_000
+        a, b = random_dna(rng, n), random_dna(rng, n)
+        plan = plan_alignment(n, n, budget)
+        assert plan.method == "fastlsa"
+        al = fastlsa(a, b, dna_scheme, config=plan.config)
+        assert al.stats.peak_cells_resident <= budget
+        assert al.score == fastlsa(a, b, dna_scheme, k=2, base_cells=1024).score
+
+    def test_bound_formulas_positive(self):
+        assert grid_cells_bound(100, 100, 4, False) > 0
+        assert fastlsa_peak_cells(100, 100, 4, 1000, True) > 0

@@ -1,0 +1,85 @@
+"""Tests for the score-only API and fill-formulation equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import needleman_wunsch
+from repro.core import Grid, align_score, fill_grid
+from repro.core.fastlsa import initial_problem
+from repro.core.fillcache import fill_grid_blocks
+from repro.kernels import KernelInstruments
+from tests.conftest import random_dna, random_protein
+
+
+class TestAlignScore:
+    def test_matches_nw_linear(self, rng, dna_scheme):
+        for _ in range(15):
+            a = random_dna(rng, int(rng.integers(0, 60)))
+            b = random_dna(rng, int(rng.integers(0, 60)))
+            assert align_score(a, b, dna_scheme) == needleman_wunsch(a, b, dna_scheme).score
+
+    def test_matches_nw_affine(self, rng, affine_scheme):
+        for _ in range(10):
+            a = random_protein(rng, int(rng.integers(0, 40)))
+            b = random_protein(rng, int(rng.integers(0, 40)))
+            assert align_score(a, b, affine_scheme) == needleman_wunsch(a, b, affine_scheme).score
+
+    def test_linear_memory(self, rng, dna_scheme):
+        inst = KernelInstruments()
+        a, b = random_dna(rng, 400), random_dna(rng, 400)
+        align_score(a, b, dna_scheme, instruments=inst)
+        assert inst.ops.cells == 400 * 400
+
+    def test_empty(self, dna_scheme):
+        assert align_score("", "", dna_scheme) == 0
+        assert align_score("ACG", "", dna_scheme) == -18
+
+
+class TestFillFormulations:
+    """Band sweeps and the literal block walk must agree exactly."""
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 9])
+    def test_linear_equivalence(self, rng, dna_scheme, k):
+        m, n = 47, 61
+        a, b = random_dna(rng, m), random_dna(rng, n)
+        ac, bc = dna_scheme.encode(a), dna_scheme.encode(b)
+        g_band = Grid(initial_problem(m, n, dna_scheme), k, affine=False)
+        g_block = Grid(initial_problem(m, n, dna_scheme), k, affine=False)
+        fill_grid(g_band, ac, bc, dna_scheme)
+        fill_grid_blocks(g_block, ac, bc, dna_scheme)
+        for p in range(1, len(g_band.row_bounds) - 1):
+            assert np.array_equal(g_band.row_line(p, 0, n).h, g_block.row_line(p, 0, n).h)
+        for q in range(1, len(g_band.col_bounds) - 1):
+            assert np.array_equal(g_band.col_line(q, 0, m).h, g_block.col_line(q, 0, m).h)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_affine_equivalence(self, rng, affine_dna_scheme, k):
+        scheme = affine_dna_scheme
+        m, n = 39, 53
+        a, b = random_dna(rng, m), random_dna(rng, n)
+        ac, bc = scheme.encode(a), scheme.encode(b)
+        g_band = Grid(initial_problem(m, n, scheme), k, affine=True)
+        g_block = Grid(initial_problem(m, n, scheme), k, affine=True)
+        fill_grid(g_band, ac, bc, scheme)
+        fill_grid_blocks(g_block, ac, bc, scheme)
+        for p in range(1, len(g_band.row_bounds) - 1):
+            lb, lk = g_band.row_line(p, 0, n), g_block.row_line(p, 0, n)
+            assert np.array_equal(lb.h, lk.h)
+            assert np.array_equal(lb.f[1:], lk.f[1:])
+        for q in range(1, len(g_band.col_bounds) - 1):
+            lb, lk = g_band.col_line(q, 0, m), g_block.col_line(q, 0, m)
+            assert np.array_equal(lb.h, lk.h)
+            assert np.array_equal(lb.e[1:], lk.e[1:])
+
+    def test_same_operation_counts(self, rng, dna_scheme):
+        from repro.kernels import OpCounter
+
+        m = n = 60
+        a, b = random_dna(rng, m), random_dna(rng, n)
+        ac, bc = dna_scheme.encode(a), dna_scheme.encode(b)
+        c1, c2 = OpCounter(), OpCounter()
+        fill_grid(Grid(initial_problem(m, n, dna_scheme), 4, affine=False),
+                  ac, bc, dna_scheme, counter=c1)
+        fill_grid_blocks(Grid(initial_problem(m, n, dna_scheme), 4, affine=False),
+                         ac, bc, dna_scheme, counter=c2)
+        assert c1.cells == c2.cells

@@ -1,0 +1,82 @@
+"""Tests for the edit-distance reduction."""
+
+import pytest
+
+from repro.align.edit_distance import (
+    edit_distance,
+    edit_distance_alignment,
+    unit_cost_scheme,
+)
+from repro.errors import ConfigError
+from tests.conftest import random_dna
+
+
+def reference_levenshtein(a: str, b: str) -> int:
+    """Textbook quadratic DP."""
+    m, n = len(a), len(b)
+    prev = list(range(n + 1))
+    for i in range(1, m + 1):
+        cur = [i] + [0] * n
+        for j in range(1, n + 1):
+            cur[j] = min(
+                prev[j - 1] + (a[i - 1] != b[j - 1]),
+                prev[j] + 1,
+                cur[j - 1] + 1,
+            )
+        prev = cur
+    return prev[n]
+
+
+class TestEditDistance:
+    def test_known_values(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("flaw", "lawn") == 2
+        assert edit_distance("", "") == 0
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("same", "same") == 0
+
+    def test_matches_reference(self, rng):
+        for _ in range(30):
+            a = random_dna(rng, int(rng.integers(0, 30)))
+            b = random_dna(rng, int(rng.integers(0, 30)))
+            assert edit_distance(a, b) == reference_levenshtein(a, b), (a, b)
+
+    def test_metric_properties(self, rng):
+        a, b, c = (random_dna(rng, 15) for _ in range(3))
+        assert edit_distance(a, a) == 0
+        assert edit_distance(a, b) == edit_distance(b, a)
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    def test_explicit_alphabet(self):
+        assert edit_distance("ab", "ba", alphabet="abc") == 2
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ConfigError):
+            unit_cost_scheme("")
+
+
+class TestEditScript:
+    def test_distance_and_script_agree(self, rng):
+        for _ in range(10):
+            a = random_dna(rng, int(rng.integers(1, 25)))
+            b = random_dna(rng, int(rng.integers(1, 25)))
+            dist, alignment = edit_distance_alignment(a, b, k=2, base_cells=16)
+            assert dist == reference_levenshtein(a, b)
+            # Count edits directly from the columns.
+            edits = sum(
+                1 for ca, cb in alignment.columns() if ca != cb
+            )
+            assert edits == dist
+
+    def test_kitten_script(self):
+        dist, alignment = edit_distance_alignment("kitten", "sitting")
+        assert dist == 3
+        assert alignment.gapped_a.replace("-", "") == "kitten"
+
+    def test_linear_space_at_scale(self, rng):
+        a = random_dna(rng, 3000)
+        b = random_dna(rng, 3000)
+        dist, alignment = edit_distance_alignment(a, b, k=4, base_cells=4096)
+        assert alignment.stats.peak_cells_resident < (3000 * 3000) / 100
+        assert dist == -alignment.score

@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlignmentError,
+    AlphabetError,
+    ConfigError,
+    FastaError,
+    PathError,
+    ReproError,
+    SchedulerError,
+    ScoringError,
+    SequenceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigError,
+            SequenceError,
+            AlphabetError,
+            ScoringError,
+            AlignmentError,
+            PathError,
+            FastaError,
+            SchedulerError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Config/data errors double as ValueError so generic callers work.
+        for exc in (ConfigError, SequenceError, ScoringError, AlignmentError, FastaError):
+            assert issubclass(exc, ValueError)
+
+    def test_scheduler_error_is_runtime(self):
+        assert issubclass(SchedulerError, RuntimeError)
+
+    def test_alphabet_is_sequence_error(self):
+        assert issubclass(AlphabetError, SequenceError)
+
+    def test_path_is_alignment_error(self):
+        assert issubclass(PathError, AlignmentError)
+
+    def test_single_except_catches_everything(self):
+        from repro.scoring import dna_simple
+        from repro.core import fastlsa
+        from repro.scoring import ScoringScheme, linear_gap
+
+        scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+        with pytest.raises(ReproError):
+            fastlsa("ACGT", "ACXGT", scheme)  # alphabet error
+        with pytest.raises(ReproError):
+            fastlsa("ACGT", "ACGT", scheme, k=1)  # config error

@@ -1,0 +1,59 @@
+"""Tests for repro.align.format."""
+
+import numpy as np
+import pytest
+
+from repro.align import AlignmentPath, alignment_from_path, format_alignment, format_dpm
+from repro.baselines import needleman_wunsch
+from repro.scoring import paper_scheme
+
+
+class TestFormatAlignment:
+    def test_match_markers(self, dna_scheme):
+        al = alignment_from_path(
+            "ACG", "ACG", AlignmentPath([(0, 0), (1, 1), (2, 2), (3, 3)]), 15
+        )
+        out = format_alignment(al)
+        lines = out.split("\n")
+        assert lines[1] == "ACG"
+        assert lines[2] == "ACG"
+        assert lines[3] == "***"
+
+    def test_similar_marker_with_scheme(self, table1_scheme):
+        al = needleman_wunsch("TDVLKAD", "TLDKLLKD", table1_scheme)
+        out = format_alignment(al, scheme=table1_scheme)
+        # L/V scores 12 > 0 under Table 1 -> '+'.
+        assert "+" in out
+
+    def test_wrapping(self, dna_scheme):
+        n = 150
+        al = alignment_from_path(
+            "A" * n, "A" * n,
+            AlignmentPath([(i, i) for i in range(n + 1)]), 5 * n,
+        )
+        out = format_alignment(al, width=60, show_header=False)
+        blocks = out.split("\n\n")
+        assert len(blocks) == 3  # 60 + 60 + 30
+
+    def test_header_contents(self, dna_scheme):
+        al = alignment_from_path(
+            "AC", "AC", AlignmentPath([(0, 0), (1, 1), (2, 2)]), 10
+        )
+        al.algorithm = "test-algo"
+        out = format_alignment(al)
+        assert "score=10" in out and "test-algo" in out
+
+
+class TestFormatDpm:
+    def test_paper_figure1(self, table1_scheme):
+        al = needleman_wunsch("TDVLKAD", "TLDKLLKD", table1_scheme)
+        from repro.baselines import nw_score_matrix
+
+        mats = nw_score_matrix("TDVLKAD", "TLDKLLKD", table1_scheme)
+        out = format_dpm(mats.H, "TDVLKAD", "TLDKLLKD", path=al.path)
+        assert "82*" in out  # bottom-right optimal entry, on the path
+        assert "-80" in out  # top-right boundary value
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_dpm(np.zeros((3, 3), dtype=np.int64), "AB", "ABC")

@@ -1,0 +1,125 @@
+"""Tests for repro.kernels.affine against the pure-Python reference."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    NEG_INF,
+    OpCounter,
+    affine_boundaries,
+    sweep_last_row_col_affine,
+    sweep_matrix_affine,
+)
+from repro.kernels.reference import ref_matrix_affine
+from tests.conftest import random_dna
+
+
+class TestAffineBoundaries:
+    def test_values(self):
+        rh, rf, ch, ce = affine_boundaries(2, 3, -10, -2)
+        assert list(rh) == [0, -10, -12, -14]
+        assert list(ch) == [0, -10, -12]
+        assert all(v == NEG_INF for v in rf)
+        assert all(v == NEG_INF for v in ce)
+
+    def test_zero_lengths(self):
+        rh, rf, ch, ce = affine_boundaries(0, 0, -10, -2)
+        assert list(rh) == [0] and list(ch) == [0]
+
+
+class TestSweepMatrixAffine:
+    @pytest.mark.parametrize("open_,extend", [(-10, -2), (-5, -5), (-8, -1), (-3, -3)])
+    def test_matches_reference(self, rng, dna_scheme, open_, extend):
+        table = dna_scheme.matrix.table
+        for _ in range(15):
+            M, N = rng.integers(0, 12, 2)
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            rh, rf, ch, ce = affine_boundaries(M, N, open_, extend)
+            H, E, F = sweep_matrix_affine(a, b, table, open_, extend, rh, rf, ch, ce)
+            Hr, Er, Fr = ref_matrix_affine(a, b, table, open_, extend)
+            assert np.array_equal(H, Hr)
+            assert np.array_equal(E[:, 1:], Er[:, 1:])
+            assert np.array_equal(F[1:, :], Fr[1:, :])
+
+    def test_linear_special_case_agrees_with_linear_kernel(self, rng, dna_scheme):
+        from repro.kernels import boundary_vectors, sweep_matrix
+
+        table = dna_scheme.matrix.table
+        for _ in range(10):
+            M, N = rng.integers(1, 12, 2)
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            rh, rf, ch, ce = affine_boundaries(M, N, -6, -6)
+            Ha, _, _ = sweep_matrix_affine(a, b, table, -6, -6, rh, rf, ch, ce)
+            fr, fc = boundary_vectors(M, N, -6)
+            Hl = sweep_matrix(a, b, table, -6, fr, fc)
+            assert np.array_equal(Ha, Hl)
+
+    def test_counter(self, dna_scheme):
+        a = dna_scheme.encode("ACGT")
+        b = dna_scheme.encode("ACG")
+        rh, rf, ch, ce = affine_boundaries(4, 3, -8, -1)
+        c = OpCounter()
+        sweep_matrix_affine(a, b, dna_scheme.matrix.table, -8, -1, rh, rf, ch, ce, counter=c)
+        assert c.cells == 12
+
+    def test_shape_checked(self, dna_scheme):
+        a = dna_scheme.encode("AC")
+        b = dna_scheme.encode("AC")
+        rh, rf, ch, ce = affine_boundaries(2, 3, -8, -1)  # wrong N
+        with pytest.raises(ValueError):
+            sweep_matrix_affine(a, b, dna_scheme.matrix.table, -8, -1, rh, rf, ch, ce)
+
+
+class TestSweepLastRowColAffine:
+    def test_edges_match_matrix(self, rng, dna_scheme):
+        table = dna_scheme.matrix.table
+        for _ in range(25):
+            M, N = rng.integers(1, 14, 2)
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            rh, rf, ch, ce = affine_boundaries(M, N, -9, -2)
+            Hr, Er, Fr = ref_matrix_affine(a, b, table, -9, -2)
+            lrh, lrf, lch, lce = sweep_last_row_col_affine(
+                a, b, table, -9, -2, rh, rf, ch, ce
+            )
+            assert np.array_equal(lrh, Hr[-1])
+            assert np.array_equal(lch, Hr[:, -1])
+            assert np.array_equal(lrf[1:], Fr[-1, 1:])
+            assert np.array_equal(lce[1:], Er[1:, -1])
+
+    def test_degenerate_m0(self, dna_scheme):
+        b = dna_scheme.encode("ACGT")
+        rh, rf, ch, ce = affine_boundaries(0, 4, -9, -2)
+        lrh, lrf, lch, lce = sweep_last_row_col_affine(
+            np.empty(0, np.int16), b, dna_scheme.matrix.table, -9, -2, rh, rf, ch, ce
+        )
+        assert np.array_equal(lrh, rh)
+        assert list(lch) == [rh[-1]]
+
+    def test_degenerate_n0(self, dna_scheme):
+        a = dna_scheme.encode("ACGT")
+        rh, rf, ch, ce = affine_boundaries(4, 0, -9, -2)
+        lrh, lrf, lch, lce = sweep_last_row_col_affine(
+            a, np.empty(0, np.int16), dna_scheme.matrix.table, -9, -2, rh, rf, ch, ce
+        )
+        assert np.array_equal(lch, ch)
+        assert list(lrh) == [ch[-1]]
+
+    def test_subproblem_stitching(self, rng, dna_scheme):
+        """Splitting a problem at a row must reproduce the full-problem edges
+        when the (H, F) row cache is carried across the split."""
+        table = dna_scheme.matrix.table
+        M, N = 10, 8
+        a = dna_scheme.encode(random_dna(rng, M))
+        b = dna_scheme.encode(random_dna(rng, N))
+        rh, rf, ch, ce = affine_boundaries(M, N, -7, -1)
+        full = sweep_last_row_col_affine(a, b, table, -7, -1, rh, rf, ch, ce)
+        mid = 6
+        top = sweep_last_row_col_affine(a[:mid], b, table, -7, -1, rh, rf, ch[: mid + 1], ce[: mid + 1])
+        bot = sweep_last_row_col_affine(
+            a[mid:], b, table, -7, -1, top[0], top[1], ch[mid:], ce[mid:]
+        )
+        assert np.array_equal(bot[0], full[0])        # last row H
+        assert np.array_equal(bot[1][1:], full[1][1:])  # last row F

@@ -1,0 +1,106 @@
+"""Direct unit tests for the band-sweep kernels (column sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import boundary_vectors
+from repro.kernels.affine import affine_boundaries, sweep_band_affine
+from repro.kernels.linear import sweep_band
+from repro.kernels.reference import ref_matrix_affine, ref_matrix_linear
+from tests.conftest import random_dna
+
+
+class TestSweepBandLinear:
+    def test_samples_match_dense(self, rng, dna_scheme):
+        table = dna_scheme.matrix.table
+        for _ in range(20):
+            M, N = int(rng.integers(1, 20)), int(rng.integers(1, 20))
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            fr, fc = boundary_vectors(M, N, -6)
+            H = ref_matrix_linear(a, b, table, -6)
+            n_samples = int(rng.integers(0, min(N, 5) + 1))
+            cols = np.sort(rng.choice(N + 1, n_samples, replace=False))
+            last_row, samples = sweep_band(a, b, table, -6, fr, fc, cols)
+            assert np.array_equal(last_row, H[-1])
+            for t, c in enumerate(cols):
+                assert np.array_equal(samples[t], H[:, c]), f"col {c}"
+
+    def test_no_samples(self, rng, dna_scheme):
+        a = dna_scheme.encode(random_dna(rng, 8))
+        b = dna_scheme.encode(random_dna(rng, 9))
+        fr, fc = boundary_vectors(8, 9, -6)
+        last_row, samples = sweep_band(
+            a, b, dna_scheme.matrix.table, -6, fr, fc, np.empty(0, dtype=np.int64)
+        )
+        assert samples.shape == (0, 9)
+        H = ref_matrix_linear(a, b, dna_scheme.matrix.table, -6)
+        assert np.array_equal(last_row, H[-1])
+
+    def test_sample_out_of_range_rejected(self, dna_scheme):
+        a = dna_scheme.encode("AC")
+        b = dna_scheme.encode("AC")
+        fr, fc = boundary_vectors(2, 2, -6)
+        with pytest.raises(ValueError):
+            sweep_band(a, b, dna_scheme.matrix.table, -6, fr, fc, np.array([5]))
+
+    def test_degenerate_m0(self, dna_scheme):
+        b = dna_scheme.encode("ACG")
+        fr, fc = boundary_vectors(0, 3, -6)
+        last_row, samples = sweep_band(
+            np.empty(0, np.int16), b, dna_scheme.matrix.table, -6, fr, fc, np.array([1])
+        )
+        assert np.array_equal(last_row, fr)
+        assert samples[0, 0] == fr[1]
+
+    def test_degenerate_n0(self, dna_scheme):
+        a = dna_scheme.encode("ACG")
+        fr, fc = boundary_vectors(3, 0, -6)
+        last_row, samples = sweep_band(
+            a, np.empty(0, np.int16), dna_scheme.matrix.table, -6, fr, fc, np.array([0])
+        )
+        assert np.array_equal(samples[0], fc)
+
+    def test_counter(self, dna_scheme):
+        from repro.kernels import OpCounter
+
+        a = dna_scheme.encode("ACGT")
+        b = dna_scheme.encode("ACG")
+        fr, fc = boundary_vectors(4, 3, -6)
+        c = OpCounter()
+        sweep_band(a, b, dna_scheme.matrix.table, -6, fr, fc,
+                   np.empty(0, np.int64), counter=c)
+        assert c.cells == 12
+
+
+class TestSweepBandAffine:
+    def test_samples_match_dense(self, rng, affine_dna_scheme):
+        scheme = affine_dna_scheme
+        table = scheme.matrix.table
+        o, e = scheme.gap_open, scheme.gap_extend
+        for _ in range(15):
+            M, N = int(rng.integers(1, 16)), int(rng.integers(2, 16))
+            a = scheme.encode(random_dna(rng, M))
+            b = scheme.encode(random_dna(rng, N))
+            rh, rf, ch, ce = affine_boundaries(M, N, o, e)
+            H, E, F = ref_matrix_affine(a, b, table, o, e)
+            n_samples = int(rng.integers(1, min(N - 1, 4) + 1))
+            cols = np.sort(rng.choice(np.arange(1, N + 1), n_samples, replace=False))
+            lr_h, lr_f, s_h, s_e = sweep_band_affine(
+                a, b, table, o, e, rh, rf, ch, ce, cols
+            )
+            assert np.array_equal(lr_h, H[-1])
+            assert np.array_equal(lr_f[1:], F[-1, 1:])
+            for t, c in enumerate(cols):
+                assert np.array_equal(s_h[t], H[:, c]), f"H col {c}"
+                assert np.array_equal(s_e[t][1:], E[1:, c]), f"E col {c}"
+
+    def test_sample_zero_rejected(self, affine_dna_scheme):
+        scheme = affine_dna_scheme
+        a = scheme.encode("AC")
+        rh, rf, ch, ce = affine_boundaries(2, 2, scheme.gap_open, scheme.gap_extend)
+        with pytest.raises(ValueError, match="interior"):
+            sweep_band_affine(
+                a, a, scheme.matrix.table, scheme.gap_open, scheme.gap_extend,
+                rh, rf, ch, ce, np.array([0]),
+            )

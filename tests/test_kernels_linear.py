@@ -1,0 +1,107 @@
+"""Tests for repro.kernels.linear against the pure-Python reference."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import OpCounter, boundary_vectors, sweep_last_row_col, sweep_matrix
+from repro.kernels.reference import ref_matrix_linear
+from tests.conftest import random_dna
+
+
+class TestBoundaryVectors:
+    def test_values(self):
+        row, col = boundary_vectors(2, 3, -10)
+        assert list(row) == [0, -10, -20, -30]
+        assert list(col) == [0, -10, -20]
+
+    def test_zero_length(self):
+        row, col = boundary_vectors(0, 0, -5)
+        assert list(row) == [0] and list(col) == [0]
+
+
+class TestSweepMatrix:
+    def test_matches_reference_fresh(self, rng, dna_scheme):
+        table = dna_scheme.matrix.table
+        for _ in range(30):
+            M, N = rng.integers(0, 15, 2)
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            fr, fc = boundary_vectors(M, N, -6)
+            H = sweep_matrix(a, b, table, -6, fr, fc)
+            Href = ref_matrix_linear(a, b, table, -6)
+            assert np.array_equal(H, Href)
+
+    def test_matches_reference_arbitrary_boundaries(self, rng, dna_scheme):
+        table = dna_scheme.matrix.table
+        for _ in range(30):
+            M, N = rng.integers(1, 12, 2)
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            fr = rng.integers(-50, 50, N + 1).astype(np.int64)
+            fc = rng.integers(-50, 50, M + 1).astype(np.int64)
+            fc[0] = fr[0]
+            H = sweep_matrix(a, b, table, -4, fr, fc)
+            Href = ref_matrix_linear(a, b, table, -4, fr, fc)
+            assert np.array_equal(H, Href)
+
+    def test_boundary_shape_checked(self, dna_scheme):
+        a = dna_scheme.encode("ACG")
+        b = dna_scheme.encode("AC")
+        with pytest.raises(ValueError):
+            sweep_matrix(a, b, dna_scheme.matrix.table, -6,
+                         np.zeros(5, dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+    def test_counter(self, dna_scheme):
+        a = dna_scheme.encode("ACGT")
+        b = dna_scheme.encode("ACG")
+        fr, fc = boundary_vectors(4, 3, -6)
+        c = OpCounter()
+        sweep_matrix(a, b, dna_scheme.matrix.table, -6, fr, fc, counter=c)
+        assert c.cells == 12
+
+
+class TestSweepLastRowCol:
+    def test_edges_match_matrix(self, rng, dna_scheme):
+        table = dna_scheme.matrix.table
+        for _ in range(30):
+            M, N = rng.integers(0, 20, 2)
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            fr, fc = boundary_vectors(M, N, -6)
+            H = ref_matrix_linear(a, b, table, -6)
+            lr, lc = sweep_last_row_col(a, b, table, -6, fr, fc)
+            assert np.array_equal(lr, H[-1])
+            assert np.array_equal(lc, H[:, -1])
+
+    def test_degenerate_m0(self, dna_scheme):
+        b = dna_scheme.encode("ACGT")
+        fr, fc = boundary_vectors(0, 4, -6)
+        lr, lc = sweep_last_row_col(np.empty(0, np.int16), b, dna_scheme.matrix.table, -6, fr, fc)
+        assert np.array_equal(lr, fr)
+        assert list(lc) == [fr[-1]]
+
+    def test_degenerate_n0(self, dna_scheme):
+        a = dna_scheme.encode("ACGT")
+        fr, fc = boundary_vectors(4, 0, -6)
+        lr, lc = sweep_last_row_col(a, np.empty(0, np.int16), dna_scheme.matrix.table, -6, fr, fc)
+        assert np.array_equal(lc, fc)
+        assert list(lr) == [fc[-1]]
+
+    def test_corner_consistency(self, rng, dna_scheme):
+        a = dna_scheme.encode(random_dna(rng, 7))
+        b = dna_scheme.encode(random_dna(rng, 9))
+        fr, fc = boundary_vectors(7, 9, -6)
+        lr, lc = sweep_last_row_col(a, b, dna_scheme.matrix.table, -6, fr, fc)
+        assert lr[-1] == lc[-1]  # both are H[M, N]
+        assert lr[0] == fc[-1]
+        assert lc[0] == fr[-1]
+
+    def test_reverse_symmetry(self, rng, dna_scheme):
+        # Score of (a, b) equals score of (reversed a, reversed b).
+        table = dna_scheme.matrix.table
+        a = dna_scheme.encode(random_dna(rng, 13))
+        b = dna_scheme.encode(random_dna(rng, 17))
+        fr, fc = boundary_vectors(13, 17, -6)
+        lr1, _ = sweep_last_row_col(a, b, table, -6, fr, fc)
+        lr2, _ = sweep_last_row_col(a[::-1], b[::-1], table, -6, fr, fc)
+        assert lr1[-1] == lr2[-1]

@@ -1,0 +1,91 @@
+"""Tests for repro.kernels.ops and antidiag."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import KernelInstruments, MemoryMeter, OpCounter, antidiag_matrix, boundary_vectors, sweep_matrix
+from repro.kernels.reference import ref_matrix_linear
+from tests.conftest import random_dna
+
+
+class TestOpCounter:
+    def test_add_and_reset(self):
+        c = OpCounter()
+        c.add_cells(10)
+        c.add_cells(5)
+        assert c.cells == 15
+        c.reset()
+        assert c.cells == 0
+
+
+class TestMemoryMeter:
+    def test_peak_tracking(self):
+        m = MemoryMeter()
+        m.alloc(100)
+        m.alloc(50)
+        m.free(100)
+        m.alloc(20)
+        assert m.current == 70
+        assert m.peak == 150
+
+    def test_unbalanced_free_detected(self):
+        m = MemoryMeter()
+        m.alloc(10)
+        with pytest.raises(ValueError):
+            m.free(20)
+
+    def test_reset(self):
+        m = MemoryMeter()
+        m.alloc(5)
+        m.reset()
+        assert m.current == 0 and m.peak == 0
+
+
+class TestInstruments:
+    def test_bundle(self):
+        inst = KernelInstruments()
+        inst.ops.add_cells(3)
+        inst.mem.alloc(7)
+        inst.reset()
+        assert inst.ops.cells == 0 and inst.mem.peak == 0
+
+
+class TestAntidiag:
+    def test_matches_reference(self, rng, dna_scheme):
+        table = dna_scheme.matrix.table
+        for _ in range(20):
+            M, N = rng.integers(0, 15, 2)
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            fr, fc = boundary_vectors(M, N, -6)
+            H1 = antidiag_matrix(a, b, table, -6, fr, fc)
+            H2 = ref_matrix_linear(a, b, table, -6)
+            assert np.array_equal(H1, H2)
+
+    def test_matches_row_kernel_with_custom_boundaries(self, rng, dna_scheme):
+        table = dna_scheme.matrix.table
+        for _ in range(20):
+            M, N = rng.integers(1, 12, 2)
+            a = dna_scheme.encode(random_dna(rng, M))
+            b = dna_scheme.encode(random_dna(rng, N))
+            fr = rng.integers(-40, 40, N + 1).astype(np.int64)
+            fc = rng.integers(-40, 40, M + 1).astype(np.int64)
+            fc[0] = fr[0]
+            assert np.array_equal(
+                antidiag_matrix(a, b, table, -3, fr, fc),
+                sweep_matrix(a, b, table, -3, fr, fc),
+            )
+
+    def test_counter(self, dna_scheme):
+        a = dna_scheme.encode("ACG")
+        b = dna_scheme.encode("AC")
+        fr, fc = boundary_vectors(3, 2, -6)
+        c = OpCounter()
+        antidiag_matrix(a, b, dna_scheme.matrix.table, -6, fr, fc, counter=c)
+        assert c.cells == 6
+
+    def test_shape_validation(self, dna_scheme):
+        a = dna_scheme.encode("ACG")
+        with pytest.raises(ValueError):
+            antidiag_matrix(a, a, dna_scheme.matrix.table, -6,
+                            np.zeros(2, np.int64), np.zeros(4, np.int64))

@@ -1,0 +1,135 @@
+"""Tests for repro.kernels.traceback and fullmatrix."""
+
+import numpy as np
+import pytest
+
+from repro.align.path import Layer
+from repro.align.validate import score_gapped
+from repro.errors import PathError
+from repro.kernels import (
+    affine_boundaries,
+    boundary_vectors,
+    compute_full,
+    trace_from,
+    traceback_linear,
+)
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+from tests.conftest import random_dna
+
+
+def path_to_strings(points_fwd, a, b):
+    """Reconstruct gapped strings from forward path points."""
+    ga, gb = [], []
+    for (i0, j0), (i1, j1) in zip(points_fwd, points_fwd[1:]):
+        if (i1 - i0, j1 - j0) == (1, 1):
+            ga.append(a[i0]); gb.append(b[j0])
+        elif (i1 - i0, j1 - j0) == (1, 0):
+            ga.append(a[i0]); gb.append("-")
+        else:
+            ga.append("-"); gb.append(b[j0])
+    return "".join(ga), "".join(gb)
+
+
+class TestTracebackLinear:
+    def test_path_scores_optimally(self, rng, dna_scheme):
+        for _ in range(25):
+            M, N = rng.integers(1, 15, 2)
+            a = random_dna(rng, M)
+            b = random_dna(rng, N)
+            ac, bc = dna_scheme.encode(a), dna_scheme.encode(b)
+            fr, fc = boundary_vectors(M, N, -6)
+            mats = compute_full(ac, bc, dna_scheme, fr, fc)
+            pts, layer = trace_from(mats, ac, bc, dna_scheme, M, N)
+            assert layer is Layer.H
+            fwd = list(reversed([(M, N)] + pts))
+            # complete to origin along the boundary
+            i, j = fwd[0]
+            prefix = []
+            while i > 0 or j > 0:
+                if i > 0:
+                    i -= 1
+                else:
+                    j -= 1
+                prefix.append((i, j))
+            fwd = list(reversed(prefix)) + fwd
+            ga, gb = path_to_strings(fwd, a, b)
+            assert score_gapped(ga, gb, dna_scheme) == mats.score
+
+    def test_stops_at_boundary(self, dna_scheme):
+        ac = dna_scheme.encode("AAAA")
+        bc = dna_scheme.encode("AAAA")
+        fr, fc = boundary_vectors(4, 4, -6)
+        mats = compute_full(ac, bc, dna_scheme, fr, fc)
+        pts = traceback_linear(mats.H, ac, bc, dna_scheme.matrix.table, -6, 4, 4)
+        assert pts[-1][0] == 0 or pts[-1][1] == 0
+
+    def test_start_on_boundary_returns_empty(self, dna_scheme):
+        ac = dna_scheme.encode("AA")
+        bc = dna_scheme.encode("AA")
+        fr, fc = boundary_vectors(2, 2, -6)
+        mats = compute_full(ac, bc, dna_scheme, fr, fc)
+        assert traceback_linear(mats.H, ac, bc, dna_scheme.matrix.table, -6, 0, 2) == []
+
+    def test_inconsistent_matrix_detected(self, dna_scheme):
+        ac = dna_scheme.encode("AA")
+        bc = dna_scheme.encode("AA")
+        H = np.zeros((3, 3), dtype=np.int64)
+        H[2, 2] = 999  # unreachable value
+        with pytest.raises(PathError):
+            traceback_linear(H, ac, bc, dna_scheme.matrix.table, -6, 2, 2)
+
+    def test_out_of_bounds_start(self, dna_scheme):
+        H = np.zeros((3, 3), dtype=np.int64)
+        ac = dna_scheme.encode("AA")
+        with pytest.raises(PathError):
+            traceback_linear(H, ac, ac, dna_scheme.matrix.table, -6, 5, 5)
+
+
+class TestTracebackAffine:
+    def test_path_scores_optimally(self, rng):
+        scheme = ScoringScheme(dna_simple(), affine_gap(-9, -1))
+        for _ in range(25):
+            M, N = rng.integers(1, 15, 2)
+            a = random_dna(rng, M)
+            b = random_dna(rng, N)
+            ac, bc = scheme.encode(a), scheme.encode(b)
+            rh, rf, ch, ce = affine_boundaries(M, N, -9, -1)
+            mats = compute_full(ac, bc, scheme, rh, ch, first_row_f=rf, first_col_e=ce)
+            pts, _layer = trace_from(mats, ac, bc, scheme, M, N)
+            fwd = list(reversed([(M, N)] + pts))
+            i, j = fwd[0]
+            prefix = []
+            while i > 0 or j > 0:
+                if i > 0:
+                    i -= 1
+                else:
+                    j -= 1
+                prefix.append((i, j))
+            fwd = list(reversed(prefix)) + fwd
+            ga, gb = path_to_strings(fwd, a, b)
+            assert score_gapped(ga, gb, scheme) == mats.score
+
+    def test_gap_run_stays_in_layer(self):
+        # Force a long vertical gap: align AAAA vs A; optimal has one run.
+        scheme = ScoringScheme(dna_simple(), affine_gap(-10, -1))
+        ac, bc = scheme.encode("AAAA"), scheme.encode("A")
+        rh, rf, ch, ce = affine_boundaries(4, 1, -10, -1)
+        mats = compute_full(ac, bc, scheme, rh, ch, first_row_f=rf, first_col_e=ce)
+        assert mats.score == 5 - 10 - 1 - 1
+
+
+class TestComputeFull:
+    def test_affine_requires_gap_caches(self, affine_scheme):
+        ac = affine_scheme.encode("AR")
+        with pytest.raises(ValueError):
+            compute_full(ac, ac, affine_scheme,
+                         np.zeros(3, np.int64), np.zeros(3, np.int64))
+
+    def test_cells_property(self, dna_scheme, affine_dna_scheme):
+        ac = dna_scheme.encode("ACG")
+        fr, fc = boundary_vectors(3, 3, -6)
+        lin = compute_full(ac, ac, dna_scheme, fr, fc)
+        assert lin.cells == 16
+        rh, rf, ch, ce = affine_boundaries(3, 3, -8, -1)
+        aff = compute_full(ac, ac, affine_dna_scheme, rh, ch, first_row_f=rf, first_col_e=ce)
+        assert aff.cells == 48  # three layers

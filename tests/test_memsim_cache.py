@@ -1,0 +1,85 @@
+"""Tests for the LRU set-associative cache simulator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim import CacheConfig, CacheSim
+
+
+class TestConfig:
+    def test_geometry(self):
+        c = CacheConfig(capacity_cells=1024, line_cells=8, assoc=4)
+        assert c.n_lines == 128
+        assert c.n_sets == 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity_cells=0)
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity_cells=100, line_cells=8, assoc=4)  # not a multiple
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        sim = CacheSim(CacheConfig(64, line_cells=8, assoc=8))
+        assert not sim.access_cell(0)
+        assert sim.access_cell(0)
+        assert sim.access_cell(7)   # same line
+        assert not sim.access_cell(8)  # next line
+
+    def test_lru_eviction_fully_associative(self):
+        # capacity 4 lines of 1 cell, 1 set of 4 ways.
+        sim = CacheSim(CacheConfig(4, line_cells=1, assoc=4))
+        for addr in range(4):
+            sim.access_cell(addr)
+        sim.access_cell(0)      # touch 0 -> MRU
+        sim.access_cell(4)      # evicts 1 (LRU)
+        assert sim.access_cell(0)
+        assert not sim.access_cell(1)
+
+    def test_set_conflicts(self):
+        # 2 sets, 1 way each: lines 0 and 2 map to set 0 and conflict.
+        sim = CacheSim(CacheConfig(2, line_cells=1, assoc=1))
+        sim.access_cell(0)
+        sim.access_cell(2)
+        assert not sim.access_cell(0)
+
+    def test_access_range(self):
+        sim = CacheSim(CacheConfig(1024, line_cells=8, assoc=8))
+        sim.access_range(0, 64)  # 8 lines
+        assert sim.stats.accesses == 8
+        sim.access_range(0, 64)
+        assert sim.stats.hits == 8
+
+    def test_access_range_partial_lines(self):
+        sim = CacheSim(CacheConfig(1024, line_cells=8, assoc=8))
+        sim.access_range(6, 4)  # spans lines 0 and 1
+        assert sim.stats.accesses == 2
+
+    def test_empty_range(self):
+        sim = CacheSim(CacheConfig(64, line_cells=8, assoc=8))
+        sim.access_range(10, 0)
+        assert sim.stats.accesses == 0
+
+    def test_reset(self):
+        sim = CacheSim(CacheConfig(64, line_cells=8, assoc=8))
+        sim.access_cell(0)
+        sim.reset()
+        assert sim.stats.accesses == 0
+        assert not sim.access_cell(0)  # cold again
+
+    def test_run_iterable(self):
+        sim = CacheSim(CacheConfig(64, line_cells=8, assoc=8))
+        stats = sim.run([0, 1, 0, 1])
+        assert stats.hits == 2 and stats.misses == 2
+
+    def test_time_estimate(self):
+        sim = CacheSim(CacheConfig(64, line_cells=8, assoc=8))
+        sim.run([0, 0, 0])
+        assert sim.stats.time_estimate(1, 40) == 40 + 2
+
+    def test_miss_rate(self):
+        sim = CacheSim(CacheConfig(64, line_cells=8, assoc=8))
+        assert sim.stats.miss_rate == 0.0
+        sim.run([0, 0])
+        assert sim.stats.miss_rate == 0.5

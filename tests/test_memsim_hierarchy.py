@@ -1,0 +1,111 @@
+"""Tests for the two-level cache hierarchy simulator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim import (
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyConfig,
+    trace_fastlsa,
+    trace_full_matrix,
+)
+
+
+def small_hierarchy(l1_cells=64, l2_cells=1024):
+    return HierarchyConfig(
+        l1=CacheConfig(l1_cells, line_cells=8, assoc=8),
+        l2=CacheConfig(l2_cells, line_cells=8, assoc=8),
+    )
+
+
+class TestConfig:
+    def test_l2_smaller_rejected(self):
+        with pytest.raises(ConfigError):
+            HierarchyConfig(
+                l1=CacheConfig(1024, line_cells=8, assoc=8),
+                l2=CacheConfig(64, line_cells=8, assoc=8),
+            )
+
+    def test_line_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            HierarchyConfig(
+                l1=CacheConfig(64, line_cells=8, assoc=8),
+                l2=CacheConfig(1024, line_cells=16, assoc=8),
+            )
+
+    def test_latency_order_enforced(self):
+        with pytest.raises(ConfigError):
+            HierarchyConfig(
+                l1=CacheConfig(64, line_cells=8, assoc=8),
+                l2=CacheConfig(1024, line_cells=8, assoc=8),
+                t_l1=5.0, t_l2=1.0,
+            )
+
+
+class TestBehaviour:
+    def test_first_touch_goes_to_memory(self):
+        h = CacheHierarchy(small_hierarchy())
+        assert h.access_cell(0) == "mem"
+        assert h.access_cell(0) == "l1"
+
+    def test_l2_serves_l1_evictions(self):
+        # L1 = 8 lines; touch 9 distinct lines, then re-touch the first:
+        # it was evicted from L1 but still lives in L2.
+        h = CacheHierarchy(small_hierarchy())
+        for line in range(9):
+            h.access_line(line)
+        assert h.access_line(0) == "l2"
+
+    def test_counters_sum(self):
+        h = CacheHierarchy(small_hierarchy())
+        h.run(range(20))
+        h.run(range(20))
+        assert h.stats.accesses == 40
+
+    def test_time_estimate_orders_levels(self):
+        cfg = small_hierarchy()
+        h = CacheHierarchy(cfg)
+        h.access_line(0)          # mem
+        t_mem_only = h.time_estimate()
+        h.access_line(0)          # l1
+        assert h.time_estimate() == t_mem_only + cfg.t_l1
+
+    def test_reset(self):
+        h = CacheHierarchy(small_hierarchy())
+        h.access_line(0)
+        h.reset()
+        assert h.stats.accesses == 0
+        assert h.access_line(0) == "mem"
+
+    def test_access_range(self):
+        h = CacheHierarchy(small_hierarchy())
+        h.access_range(0, 64)
+        assert h.stats.accesses == 8
+
+
+class TestAlgorithmTraces:
+    def test_fastlsa_l1_rate_beats_fm(self):
+        """Rolling rows keep FastLSA's working set in L1; FM streams."""
+        cfg = small_hierarchy(l1_cells=256, l2_cells=4096)
+        n = 128
+        h_fm = CacheHierarchy(cfg)
+        trace_full_matrix(h_fm, n, n)
+        h_fl = CacheHierarchy(cfg)
+        trace_fastlsa(h_fl, n, n, k=4, base_cells=1024)
+        assert h_fl.stats.l2_miss_rate < h_fm.stats.l2_miss_rate
+
+    def test_two_crossovers(self):
+        """L2 misses stay ~flat for FastLSA as the problem grows, but rise
+        for the FM algorithm."""
+        cfg = small_hierarchy(l1_cells=256, l2_cells=2048)
+        fm_rates, fl_rates = [], []
+        for n in (48, 96, 192):
+            h1 = CacheHierarchy(cfg)
+            trace_full_matrix(h1, n, n)
+            fm_rates.append(h1.stats.l2_miss_rate)
+            h2 = CacheHierarchy(cfg)
+            trace_fastlsa(h2, n, n, k=4, base_cells=1024)
+            fl_rates.append(h2.stats.l2_miss_rate)
+        assert fm_rates[-1] > fm_rates[0]
+        assert fl_rates[-1] < fm_rates[-1]

@@ -1,0 +1,99 @@
+"""Tests for the algorithm trace generators and the F8 claim."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim import (
+    CacheConfig,
+    CacheSim,
+    StackAllocator,
+    compare_algorithms,
+    run_cache_experiment,
+    trace_fastlsa,
+    trace_full_matrix,
+    trace_hirschberg,
+)
+
+
+class TestStackAllocator:
+    def test_bump_and_release(self):
+        a = StackAllocator()
+        b1 = a.alloc(100)
+        mark = a.mark()
+        b2 = a.alloc(50)
+        assert b2 == b1 + 100
+        a.release(mark)
+        b3 = a.alloc(10)
+        assert b3 == b2  # reuses released space
+
+    def test_release_validation(self):
+        a = StackAllocator()
+        with pytest.raises(ConfigError):
+            a.release(10)
+
+
+BIG = CacheConfig(capacity_cells=4096, line_cells=8, assoc=8)
+
+
+class TestTraces:
+    def test_fm_access_volume(self):
+        sim = CacheSim(BIG)
+        trace_full_matrix(sim, 64, 64)
+        # FindScore touches ~2 * m * (n+1) cells = 2*64*65/8 lines minimum.
+        assert sim.stats.accesses >= 2 * 64 * 65 / 8
+
+    def test_hirschberg_about_double_fm_accesses(self):
+        s1, s2 = CacheSim(BIG), CacheSim(BIG)
+        trace_full_matrix(s1, 128, 128)
+        trace_hirschberg(s2, 128, 128, base_cells=64)
+        ratio = s2.stats.accesses / s1.stats.accesses
+        assert 1.5 <= ratio <= 3.0
+
+    def test_fastlsa_between_fm_and_hirschberg(self):
+        sf, sh, sl = CacheSim(BIG), CacheSim(BIG), CacheSim(BIG)
+        trace_full_matrix(sf, 128, 128)
+        trace_hirschberg(sh, 128, 128, base_cells=64)
+        trace_fastlsa(sl, 128, 128, k=4, base_cells=64)
+        assert sf.stats.accesses <= sl.stats.accesses <= sh.stats.accesses * 1.1
+
+    def test_fastlsa_invalid_k(self):
+        with pytest.raises(ConfigError):
+            trace_fastlsa(CacheSim(BIG), 32, 32, k=1, base_cells=64)
+
+    def test_empty_problem(self):
+        sim = CacheSim(BIG)
+        trace_hirschberg(sim, 0, 10)
+        trace_fastlsa(sim, 0, 10, k=2, base_cells=64)
+
+
+class TestPaperClaimF8:
+    """'Due to memory caching effects, FastLSA is always as fast or faster
+    than Hirschberg and the FM algorithms.'"""
+
+    def test_fastlsa_never_slower_when_matrix_exceeds_cache(self):
+        cache = CacheConfig(capacity_cells=2048, line_cells=8, assoc=8)
+        for n in (96, 160, 256):
+            rows = compare_algorithms(n, n, cache, k=4, base_cells=1024)
+            times = {r["algorithm"]: r["time"] for r in rows}
+            assert times["fastlsa"] <= times["full-matrix"] * 1.02, n
+            assert times["fastlsa"] <= times["hirschberg"] * 1.02, n
+
+    def test_fm_miss_rate_grows_beyond_cache(self):
+        cache = CacheConfig(capacity_cells=2048, line_cells=8, assoc=8)
+        small = run_cache_experiment("full-matrix", 24, 24, cache)
+        large = run_cache_experiment("full-matrix", 256, 256, cache)
+        # Beyond the cache, nearly every write misses (rate -> ~0.5 with
+        # one cached read per written line); in-cache runs only pay
+        # compulsory misses.
+        assert large.miss_rate > 1.5 * small.miss_rate
+        assert large.miss_rate > 0.4
+
+    def test_fastlsa_miss_rate_stays_low(self):
+        cache = CacheConfig(capacity_cells=2048, line_cells=8, assoc=8)
+        res = run_cache_experiment("fastlsa", 256, 256, cache, k=4, base_cells=1024)
+        fm = run_cache_experiment("full-matrix", 256, 256, cache)
+        assert res.miss_rate < fm.miss_rate
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigError):
+            run_cache_experiment("bogus", 10, 10, BIG)

@@ -1,0 +1,190 @@
+"""Tests for the MSA subpackage (center-star + profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.align import Sequence
+from repro.errors import AlignmentError, ConfigError
+from repro.msa import (
+    MultipleAlignment,
+    align_to_profile,
+    build_profile,
+    center_star_msa,
+    merge_pairwise,
+)
+from repro.workloads import evolve, random_sequence
+
+
+@pytest.fixture
+def family(rng):
+    ancestor = random_sequence(80, "ACGT", rng, name="anc")
+    descendants = [
+        evolve(ancestor, sub_rate=0.08, indel_rate=0.02, rng=rng,
+               alphabet="ACGT", name=f"d{i}")
+        for i in range(4)
+    ]
+    return [ancestor] + descendants
+
+
+class TestCenterStar:
+    def test_basic_invariants(self, family, dna_scheme):
+        msa = center_star_msa(family, dna_scheme, k=4, base_cells=1024)
+        assert len(msa) == len(family)
+        widths = {len(r) for r in msa.rows}
+        assert len(widths) == 1
+        for seq, row in zip(msa.sequences, msa.rows):
+            assert row.replace("-", "") == seq.text
+
+    def test_identical_sequences_gapless(self, rng, dna_scheme):
+        s = random_sequence(50, "ACGT", rng)
+        copies = [Sequence(s.text, name=f"c{i}") for i in range(3)]
+        msa = center_star_msa(copies, dna_scheme)
+        assert msa.width == 50
+        assert msa.conserved_columns() == 50
+
+    def test_conservation_tracks_divergence(self, rng, dna_scheme):
+        anc = random_sequence(100, "ACGT", rng, name="a")
+        near = [evolve(anc, sub_rate=0.02, indel_rate=0.0, rng=rng, alphabet="ACGT", name=f"n{i}") for i in range(3)]
+        far = [evolve(anc, sub_rate=0.5, indel_rate=0.0, rng=rng, alphabet="ACGT", name=f"f{i}") for i in range(3)]
+        msa_near = center_star_msa([anc] + near, dna_scheme)
+        msa_far = center_star_msa([anc] + far, dna_scheme)
+        assert msa_near.conserved_columns() > msa_far.conserved_columns()
+
+    def test_needs_two_sequences(self, dna_scheme):
+        with pytest.raises(ConfigError):
+            center_star_msa([Sequence("ACGT", name="x")], dna_scheme)
+
+    def test_sum_of_pairs_score(self, family, dna_scheme):
+        msa = center_star_msa(family, dna_scheme)
+        sp = msa.sum_of_pairs_score(dna_scheme)
+        # Must at least be positive for a homologous family.
+        assert sp > 0
+
+    def test_format_renders_all_rows(self, family, dna_scheme):
+        msa = center_star_msa(family, dna_scheme)
+        out = msa.format(width=40)
+        for seq in msa.sequences:
+            assert seq.name in out
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(AlignmentError):
+            MultipleAlignment(
+                sequences=[Sequence("AC", name="x"), Sequence("A", name="y")],
+                rows=["AC", "A"],
+                center_index=0,
+            )
+
+    def test_misspelled_row_rejected(self):
+        with pytest.raises(AlignmentError):
+            MultipleAlignment(
+                sequences=[Sequence("AC", name="x"), Sequence("AG", name="y")],
+                rows=["AC", "AC"],
+                center_index=0,
+            )
+
+
+class TestMergePairwise:
+    def test_merge_preserves_pairwise_columns(self, rng, dna_scheme):
+        """Each merged row, restricted to center-residue columns, must
+        reproduce its pairwise alignment."""
+        from repro.core import fastlsa
+
+        center = random_sequence(60, "ACGT", rng, name="c")
+        others = [
+            evolve(center, sub_rate=0.1, indel_rate=0.05, rng=rng,
+                   alphabet="ACGT", name=f"o{i}")
+            for i in range(3)
+        ]
+        pairwise = [fastlsa(center, o, dna_scheme) for o in others]
+        master, merged = merge_pairwise(center.text, pairwise)
+        assert master.replace("-", "") == center.text
+        for o, row in zip(others, merged):
+            assert row.replace("-", "") == o.text
+            assert len(row) == len(master)
+
+    def test_wrong_center_rejected(self, rng, dna_scheme):
+        from repro.core import fastlsa
+
+        a = random_sequence(20, "ACGT", rng, name="a")
+        b = random_sequence(20, "ACGT", rng, name="b")
+        aln = fastlsa(a, b, dna_scheme)
+        with pytest.raises(AlignmentError):
+            merge_pairwise("TTTT", [aln])
+
+
+class TestProfile:
+    def test_frequencies(self, dna_scheme):
+        msa = MultipleAlignment(
+            sequences=[Sequence("AC", name="x"), Sequence("AG", name="y")],
+            rows=["AC", "AG"],
+            center_index=0,
+        )
+        prof = build_profile(msa, dna_scheme)
+        assert prof.width == 2
+        a_idx = dna_scheme.alphabet.index("A")
+        assert prof.freqs[0, a_idx] == pytest.approx(1.0)
+        assert prof.gap_fraction[0] == 0.0
+
+    def test_gap_fraction(self, dna_scheme):
+        msa = MultipleAlignment(
+            sequences=[Sequence("AC", name="x"), Sequence("A", name="y")],
+            rows=["AC", "A-"],
+            center_index=0,
+        )
+        prof = build_profile(msa, dna_scheme)
+        assert prof.gap_fraction[1] == pytest.approx(0.5)
+
+    def test_consensus(self, family, dna_scheme):
+        msa = center_star_msa(family, dna_scheme)
+        prof = build_profile(msa, dna_scheme)
+        cons = prof.consensus()
+        assert len(cons) == msa.width
+
+    def test_alphabet_mismatch_rejected(self):
+        from repro.scoring import ScoringScheme, identity_matrix, linear_gap
+
+        msa = MultipleAlignment(
+            sequences=[Sequence("AC", name="x"), Sequence("AC", name="y")],
+            rows=["AC", "AC"],
+            center_index=0,
+        )
+        scheme = ScoringScheme(identity_matrix("XY"), linear_gap(-1))
+        with pytest.raises(ConfigError):
+            build_profile(msa, scheme)
+
+
+class TestAlignToProfile:
+    def test_member_scores_high(self, family, dna_scheme):
+        msa = center_star_msa(family, dna_scheme)
+        prof = build_profile(msa, dna_scheme)
+        member = align_to_profile(family[0], prof, dna_scheme)
+        stranger = align_to_profile(
+            random_sequence(80, "ACGT", np.random.default_rng(5)), prof, dna_scheme
+        )
+        assert member.score > stranger.score
+
+    def test_gapped_strings_consistent(self, family, dna_scheme):
+        msa = center_star_msa(family, dna_scheme)
+        prof = build_profile(msa, dna_scheme)
+        res = align_to_profile(family[1], prof, dna_scheme)
+        assert res.gapped_seq.replace("-", "") == family[1].text
+        assert len(res.gapped_seq) == len(res.gapped_consensus)
+        assert res.path.is_complete(len(family[1]), prof.width)
+
+    def test_single_row_profile_equals_pairwise(self, rng, dna_scheme):
+        """A one-sequence profile reduces to pairwise NW against it."""
+        from repro.baselines import needleman_wunsch
+
+        s = random_sequence(40, "ACGT", rng, name="s")
+        msa = MultipleAlignment(sequences=[s], rows=[s.text], center_index=0)
+        prof = build_profile(msa, dna_scheme)
+        q = random_sequence(35, "ACGT", rng, name="q")
+        res = align_to_profile(q, prof, dna_scheme)
+        nw = needleman_wunsch(q, s, dna_scheme)
+        assert res.score == nw.score
+
+    def test_affine_rejected(self, family, affine_dna_scheme, dna_scheme):
+        msa = center_star_msa(family, dna_scheme)
+        prof = build_profile(msa, dna_scheme)
+        with pytest.raises(ConfigError):
+            align_to_profile("ACGT", prof, affine_dna_scheme)

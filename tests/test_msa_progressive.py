@@ -1,0 +1,128 @@
+"""Tests for progressive MSA (UPGMA + profile-profile alignment)."""
+
+import numpy as np
+import pytest
+
+from repro.align import Sequence
+from repro.errors import ConfigError
+from repro.msa import (
+    MultipleAlignment,
+    align_profiles,
+    center_star_msa,
+    progressive_msa,
+    upgma_tree,
+)
+from repro.workloads import evolve, random_sequence
+
+
+@pytest.fixture
+def family(rng):
+    anc = random_sequence(90, "ACGT", rng, name="anc")
+    return [anc] + [
+        evolve(anc, sub_rate=0.05 * i, indel_rate=0.02, rng=rng,
+               alphabet="ACGT", name=f"d{i}")
+        for i in range(1, 5)
+    ]
+
+
+class TestUpgma:
+    def test_merges_closest_first(self):
+        d = np.array([[0, 1, 5], [1, 0, 5], [5, 5, 0]], dtype=float)
+        root = upgma_tree(d)
+        assert set(root.members) == {0, 1, 2}
+        child_sets = {frozenset(root.left.members), frozenset(root.right.members)}
+        assert frozenset({0, 1}) in child_sets
+        assert frozenset({2}) in child_sets
+
+    def test_single_item(self):
+        root = upgma_tree(np.zeros((1, 1)))
+        assert root.members == (0,)
+        assert root.left is None
+
+    def test_all_members_present(self, rng):
+        n = 7
+        d = rng.random((n, n))
+        d = d + d.T
+        np.fill_diagonal(d, 0)
+        root = upgma_tree(d)
+        assert sorted(root.members) == list(range(n))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigError):
+            upgma_tree(np.zeros((2, 3)))
+
+
+class TestAlignProfiles:
+    def leaf(self, text, name):
+        s = Sequence(text, name=name)
+        return MultipleAlignment(sequences=[s], rows=[s.text], center_index=0)
+
+    def test_two_leaves_equals_pairwise_shape(self, dna_scheme):
+        merged = align_profiles(
+            self.leaf("ACGTACGT", "a"), self.leaf("ACGACGT", "b"), dna_scheme
+        )
+        assert len(merged) == 2
+        assert merged.rows[0].replace("-", "") == "ACGTACGT"
+        assert merged.rows[1].replace("-", "") == "ACGACGT"
+        assert len(merged.rows[0]) == len(merged.rows[1])
+
+    def test_identical_leaves_gapless(self, dna_scheme):
+        merged = align_profiles(
+            self.leaf("ACGT", "a"), self.leaf("ACGT", "b"), dna_scheme
+        )
+        assert merged.rows == ["ACGT", "ACGT"]
+
+    def test_affine_rejected(self, affine_dna_scheme, dna_scheme):
+        with pytest.raises(ConfigError):
+            align_profiles(self.leaf("AC", "a"), self.leaf("AC", "b"), affine_dna_scheme)
+
+
+class TestProgressiveMsa:
+    def test_invariants(self, family, dna_scheme):
+        msa = progressive_msa(family, dna_scheme)
+        assert len(msa) == len(family)
+        assert len({len(r) for r in msa.rows}) == 1
+        texts = {s.text for s in msa.sequences}
+        assert texts == {s.text for s in family}
+        for seq, row in zip(msa.sequences, msa.rows):
+            assert row.replace("-", "") == seq.text
+
+    def test_quality_comparable_to_center_star(self, family, dna_scheme):
+        star = center_star_msa(family, dna_scheme)
+        prog = progressive_msa(family, dna_scheme)
+        sp_star = star.sum_of_pairs_score(dna_scheme)
+        sp_prog = prog.sum_of_pairs_score(dna_scheme)
+        # Both are heuristics; progressive must be in the same league.
+        assert sp_prog >= 0.85 * sp_star
+
+    def test_identical_sequences(self, rng, dna_scheme):
+        s = random_sequence(40, "ACGT", rng)
+        msa = progressive_msa(
+            [Sequence(s.text, name=f"c{i}") for i in range(4)], dna_scheme
+        )
+        assert msa.width == 40
+        assert msa.conserved_columns() == 40
+
+    def test_two_sequences(self, rng, dna_scheme):
+        a = random_sequence(30, "ACGT", rng, name="a")
+        b = random_sequence(28, "ACGT", rng, name="b")
+        msa = progressive_msa([a, b], dna_scheme)
+        assert len(msa) == 2
+
+    def test_needs_two(self, dna_scheme):
+        with pytest.raises(ConfigError):
+            progressive_msa([Sequence("AC", name="x")], dna_scheme)
+
+    def test_close_pairs_merge_first(self, rng, dna_scheme):
+        """Two tight sub-families should each stay internally gap-aligned."""
+        anc1 = random_sequence(60, "ACGT", rng, name="f1")
+        anc2 = random_sequence(60, "ACGT", rng, name="f2")
+        group1 = [anc1] + [evolve(anc1, sub_rate=0.02, indel_rate=0, rng=rng,
+                                  alphabet="ACGT", name="f1b")]
+        group2 = [anc2] + [evolve(anc2, sub_rate=0.02, indel_rate=0, rng=rng,
+                                  alphabet="ACGT", name="f2b")]
+        msa = progressive_msa(group1 + group2, dna_scheme)
+        # Family members end up adjacent in the merged sequence order.
+        names = [s.name for s in msa.sequences]
+        i1, i1b = names.index("f1"), names.index("f1b")
+        assert abs(i1 - i1b) == 1

@@ -1,0 +1,129 @@
+"""The paper's headline claims, asserted at unit-test scale.
+
+Each test mirrors one claim from the paper's abstract/introduction (the
+benchmark harness re-checks them at larger scale — see EXPERIMENTS.md).
+Kept in the unit suite so a plain ``pytest tests/`` already certifies the
+reproduction's qualitative results.
+"""
+
+import pytest
+
+from repro.baselines import hirschberg, needleman_wunsch
+from repro.core import fastlsa
+from repro.core.planner import ops_ratio_bound, plan_alignment
+from repro.parallel import simulated_parallel_fastlsa, wt_bound
+from repro.scoring import paper_scheme
+from repro.workloads import dna_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return dna_pair(600, divergence=0.25, seed=99)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    from repro.scoring import ScoringScheme, dna_simple, linear_gap
+
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+class TestSection1Claims:
+    def test_worked_example_scores_82(self):
+        """Sections 1-2: TLDKLLKD / TDVLKAD under Table 1, gap -10 -> 82."""
+        assert fastlsa("TLDKLLKD", "TDVLKAD", paper_scheme()).score == 82
+
+    def test_fm_quadratic_space(self, pair, scheme):
+        """'calculations requiring O(m x n) space can be prohibitive'."""
+        a, b = pair
+        nw = needleman_wunsch(a, b, scheme)
+        assert nw.stats.peak_cells_resident == (len(a) + 1) * (len(b) + 1)
+
+    def test_hirschberg_doubles_operations(self, pair, scheme):
+        """'the number of operations approximately doubles' (Section 1)."""
+        a, b = pair
+        hb = hirschberg(a, b, scheme, base_cells=256)
+        ratio = hb.stats.cells_computed / (len(a) * len(b))
+        assert 1.8 <= ratio <= 2.2
+
+    def test_fastlsa_linear_space_1_5x(self, pair, scheme):
+        """'At one extreme, FastLSA uses linear space with approximately
+        1.5 times the number of operations required by the FM
+        algorithms.'"""
+        a, b = pair
+        fl = fastlsa(a, b, scheme, k=2, base_cells=256)
+        ratio = fl.stats.cells_computed / (len(a) * len(b))
+        assert 1.3 <= ratio <= 1.7
+        # and the space really is linear-ish
+        assert fl.stats.peak_cells_resident < 30 * (len(a) + len(b))
+
+    def test_fastlsa_quadratic_space_no_extra_ops(self, pair, scheme):
+        """'At the other extreme, FastLSA uses quadratic space with no
+        extra operations.'"""
+        a, b = pair
+        fl = fastlsa(a, b, scheme, base_cells=10**7)
+        assert fl.stats.cells_computed == len(a) * len(b)
+
+
+class TestSection3Claims:
+    def test_adaptivity(self, pair, scheme):
+        """'FastLSA can effectively adapt to use either linear or
+        quadratic space' — the planner walks the whole range and every
+        budget is honoured."""
+        a, b = pair
+        ratios = []
+        for budget in (15_000, 60_000, 10**6):
+            plan = plan_alignment(len(a), len(b), budget)
+            fl = fastlsa(a, b, scheme, config=plan.config)
+            assert fl.stats.peak_cells_resident <= budget
+            ratios.append(fl.stats.cells_computed / (len(a) * len(b)))
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_ops_bound_formula(self, pair, scheme):
+        """Measured operations never exceed the (k+1)/(k-1) analysis."""
+        a, b = pair
+        for k in (2, 3, 4, 8):
+            fl = fastlsa(a, b, scheme, k=k, base_cells=256)
+            assert fl.stats.cells_computed / (len(a) * len(b)) <= ops_ratio_bound(k) + 0.05
+
+
+class TestSection56Claims:
+    def test_almost_linear_speedup_to_8(self, pair, scheme):
+        """Abstract: 'good speedups, almost linear for 8 processors or
+        less'."""
+        a, b = pair
+        _, rep = simulated_parallel_fastlsa(a, b, scheme, P=8, k=6, base_cells=8192)
+        assert rep.speedup >= 0.8 * 8
+
+    def test_efficiency_grows_with_size(self, scheme):
+        """Abstract: 'the efficiency of Parallel FastLSA increases with
+        the size of the sequences'."""
+        effs = []
+        for n in (150, 1200):
+            a, b = dna_pair(n, divergence=0.25, seed=5)
+            _, rep = simulated_parallel_fastlsa(
+                a, b, scheme, P=8, k=6, base_cells=8192, overhead=100
+            )
+            effs.append(rep.efficiency)
+        assert effs[1] > effs[0]
+
+    def test_theorem4_bound(self, pair, scheme):
+        """Eq. 36 upper-bounds the simulated parallel time."""
+        a, b = pair
+        for P in (2, 4, 8):
+            _, rep = simulated_parallel_fastlsa(
+                a, b, scheme, P=P, k=6, base_cells=8192, overhead=0
+            )
+            assert rep.par_time <= wt_bound(len(a), len(b), 6, P, rep.u, rep.v)
+
+    def test_all_algorithms_same_optimum(self, pair, scheme):
+        """All algorithms 'produce exactly the same optimal alignment
+        score for a given scoring function' (Section 2)."""
+        a, b = pair
+        scores = {
+            needleman_wunsch(a, b, scheme).score,
+            hirschberg(a, b, scheme).score,
+            fastlsa(a, b, scheme, k=2, base_cells=256).score,
+            fastlsa(a, b, scheme, k=8, base_cells=4096).score,
+        }
+        assert len(scores) == 1

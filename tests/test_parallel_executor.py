@@ -1,0 +1,95 @@
+"""Tests for the threaded wavefront executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.parallel import TileGrid, run_wavefront
+
+
+def uniform_grid(R, C, skip=None):
+    return TileGrid(list(range(R + 1)), list(range(C + 1)), skip=skip)
+
+
+class TestRunWavefront:
+    def test_all_tiles_executed_once(self):
+        tg = uniform_grid(5, 7)
+        seen = []
+        lock = threading.Lock()
+
+        def worker(tile):
+            with lock:
+                seen.append((tile.r, tile.c))
+
+        run_wavefront(tg, worker, n_threads=4)
+        assert sorted(seen) == sorted((t.r, t.c) for t in tg.tiles())
+
+    def test_dependency_order(self):
+        tg = uniform_grid(4, 4)
+        finished = {}
+        order = [0]
+        lock = threading.Lock()
+
+        def worker(tile):
+            with lock:
+                for dep in tg.dependencies((tile.r, tile.c)):
+                    assert dep in finished, f"{(tile.r, tile.c)} ran before {dep}"
+                order[0] += 1
+                finished[(tile.r, tile.c)] = order[0]
+
+        run_wavefront(tg, worker, n_threads=3)
+        assert len(finished) == 16
+
+    def test_worker_exception_propagates(self):
+        tg = uniform_grid(3, 3)
+
+        def worker(tile):
+            if (tile.r, tile.c) == (1, 1):
+                raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run_wavefront(tg, worker, n_threads=2)
+
+    def test_skip_holes_handled(self):
+        tg = uniform_grid(3, 3, skip={(2, 2)})
+        seen = []
+        lock = threading.Lock()
+
+        def worker(tile):
+            with lock:
+                seen.append((tile.r, tile.c))
+
+        run_wavefront(tg, worker, n_threads=2)
+        assert len(seen) == 8 and (2, 2) not in seen
+
+    def test_single_thread(self):
+        tg = uniform_grid(2, 2)
+        seen = []
+        run_wavefront(tg, lambda t: seen.append((t.r, t.c)), n_threads=1)
+        assert len(seen) == 4
+
+    def test_invalid_threads(self):
+        with pytest.raises(SchedulerError):
+            run_wavefront(uniform_grid(1, 1), lambda t: None, n_threads=0)
+
+    def test_concurrency_actually_happens(self):
+        # Independent tiles on a wavefront line should overlap in time.
+        tg = uniform_grid(1, 4)  # a chain: no overlap possible
+        tg2 = uniform_grid(4, 1)
+        concurrent_peak = [0]
+        active = [0]
+        lock = threading.Lock()
+
+        def worker(tile):
+            with lock:
+                active[0] += 1
+                concurrent_peak[0] = max(concurrent_peak[0], active[0])
+            time.sleep(0.01)
+            with lock:
+                active[0] -= 1
+
+        # A 2x2 grid has a 2-tile wavefront line.
+        run_wavefront(uniform_grid(2, 2), worker, n_threads=2)
+        assert concurrent_peak[0] >= 2

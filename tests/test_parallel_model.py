@@ -1,0 +1,98 @@
+"""Tests for the Eq. 28-36 analytical model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import (
+    TileGrid,
+    alpha,
+    ideal_speedup,
+    pbasecase_time,
+    pfillcache_time,
+    phase_model,
+    simulate_schedule,
+    wt_bound,
+)
+
+
+class TestAlpha:
+    def test_p1_is_one(self):
+        assert alpha(1, 10, 10) == pytest.approx(1.0)
+
+    def test_eq32_value(self):
+        # alpha = (1/P)(1 + (P^2-P)/(RC))
+        assert alpha(4, 12, 12) == pytest.approx(0.25 * (1 + 12 / 144))
+
+    def test_decreases_with_tiles(self):
+        assert alpha(8, 32, 32) < alpha(8, 8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            alpha(0, 4, 4)
+        with pytest.raises(ConfigError):
+            alpha(4, 0, 4)
+
+
+class TestTimes:
+    def test_pfillcache_eq31(self):
+        assert pfillcache_time(100, 200, 4, 12, 12) == pytest.approx(
+            100 * 200 * alpha(4, 12, 12)
+        )
+
+    def test_pbasecase_same_form(self):
+        assert pbasecase_time(50, 50, 2, 8, 8) == pfillcache_time(50, 50, 2, 8, 8)
+
+    def test_wt_bound_eq36(self):
+        m = n = 1000
+        k, P, u, v = 6, 8, 2, 3
+        expected = m * n * alpha(P, 12, 18) * (6 / 5) ** 2
+        assert wt_bound(m, n, k, P, u, v) == pytest.approx(expected)
+
+    def test_wt_bound_invalid_k(self):
+        with pytest.raises(ConfigError):
+            wt_bound(10, 10, 1, 2, 1, 1)
+
+
+class TestIdealSpeedup:
+    def test_monotone_in_tiles(self):
+        assert ideal_speedup(8, 64, 64) > ideal_speedup(8, 16, 16)
+
+    def test_at_most_p(self):
+        for P in (1, 2, 4, 8, 16):
+            assert ideal_speedup(P, 24, 24) <= P
+
+
+class TestPhaseModel:
+    def test_paper_figure13_configuration(self):
+        # P=8, k=6, u=2, v=3 -> R=12, C=18.
+        pm = phase_model(1200, 1800, 6, 8, 2, 3)
+        assert pm.R == 12 and pm.C == 18
+        assert pm.total_tiles == 12 * 18 - 6
+        assert pm.ramp_up_tiles == 28  # P(P-1)/2
+        assert pm.steady_tiles == 12 * 18 - 64 + 8
+
+    def test_total_bound_equals_eq31(self):
+        M = N = 1200
+        pm = phase_model(M, N, 6, 8, 2, 3)
+        # (P-1)T + (RC-P^2+P)/P*T + (P-1)T == M*N*alpha
+        assert pm.total_bound == pytest.approx(pfillcache_time(M, N, 8, 12, 18))
+
+    def test_simulated_fill_within_phase_bound(self):
+        # The greedy simulator must respect the paper's stage-wise bound.
+        M = N = 600
+        k, P, u, v = 6, 8, 2, 3
+        from repro.core.grid import split_bounds
+        from repro.parallel.tiles import refine_bounds
+
+        rb = refine_bounds(split_bounds(0, M, k), u)
+        cb = refine_bounds(split_bounds(0, N, k), v)
+        skip = {
+            (r, c)
+            for r in range(len(rb) - 1)
+            for c in range(len(cb) - 1)
+            if rb[r] >= M * (k - 1) // k and cb[c] >= N * (k - 1) // k
+        }
+        tg = TileGrid(rb, cb, skip=skip)
+        rep = simulate_schedule(tg, P)
+        pm = phase_model(M, N, k, P, u, v)
+        assert rep.makespan <= pm.total_bound * 1.01

@@ -1,0 +1,85 @@
+"""Tests for the simulated parallel machine."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.parallel import TileGrid, list_schedule, simulate_schedule
+
+
+def uniform_grid(R, C, skip=None):
+    return TileGrid(list(range(0, 10 * (R + 1), 10)), list(range(0, 10 * (C + 1), 10)), skip=skip)
+
+
+class TestListSchedule:
+    def test_single_worker_serialises(self):
+        tg = uniform_grid(2, 2)
+        makespan, spans = list_schedule(tg, 1, lambda tid: 1.0)
+        assert makespan == 4.0
+        assert len(spans) == 4
+
+    def test_infinite_workers_hit_critical_path(self):
+        tg = uniform_grid(3, 3)
+        makespan, _ = list_schedule(tg, 100, lambda tid: 1.0)
+        assert makespan == 5.0  # 3 + 3 - 1 wavefront lines
+
+    def test_dependencies_respected(self):
+        tg = uniform_grid(2, 2)
+        _, spans = list_schedule(tg, 4, lambda tid: 1.0)
+        for tid, (start, _) in spans.items():
+            for dep in tg.dependencies(tid):
+                assert spans[dep][1] <= start, (tid, dep)
+
+    def test_invalid_p(self):
+        with pytest.raises(SchedulerError):
+            list_schedule(uniform_grid(1, 1), 0, lambda t: 1.0)
+
+    def test_nonuniform_costs(self):
+        tg = uniform_grid(1, 3)  # a chain of 3 tiles
+        makespan, _ = list_schedule(tg, 4, lambda tid: float(tid[1] + 1))
+        assert makespan == 1 + 2 + 3
+
+
+class TestSimulateSchedule:
+    def test_report_consistency(self):
+        tg = uniform_grid(4, 4)
+        rep = simulate_schedule(tg, 4)
+        assert rep.total_cost == tg.total_cells()
+        assert rep.makespan <= rep.total_cost
+        assert rep.makespan >= rep.total_cost / 4
+        assert rep.makespan >= rep.critical_path
+        assert 0 < rep.efficiency <= 1.0
+
+    def test_speedup_bounded_by_p(self):
+        for P in (1, 2, 4, 8):
+            rep = simulate_schedule(uniform_grid(8, 8), P)
+            assert rep.speedup <= P + 1e-9
+
+    def test_p1_has_speedup_one(self):
+        rep = simulate_schedule(uniform_grid(5, 5), 1)
+        assert rep.speedup == pytest.approx(1.0)
+
+    def test_more_workers_never_slower(self):
+        prev = None
+        for P in (1, 2, 4, 8, 16):
+            rep = simulate_schedule(uniform_grid(10, 10), P)
+            if prev is not None:
+                assert rep.makespan <= prev + 1e-9
+            prev = rep.makespan
+
+    def test_overhead_increases_cost(self):
+        tg = uniform_grid(4, 4)
+        r0 = simulate_schedule(tg, 2, overhead=0)
+        r1 = simulate_schedule(tg, 2, overhead=50)
+        assert r1.total_cost == r0.total_cost + 50 * len(tg)
+        assert r1.makespan > r0.makespan
+
+    def test_deterministic(self):
+        tg = uniform_grid(6, 6)
+        r1 = simulate_schedule(tg, 3)
+        r2 = simulate_schedule(tg, 3)
+        assert r1.makespan == r2.makespan
+
+    def test_skipped_tiles_not_executed(self):
+        tg = uniform_grid(2, 2, skip={(1, 1)})
+        rep = simulate_schedule(tg, 2)
+        assert rep.n_tasks == 3

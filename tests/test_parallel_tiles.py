@@ -1,0 +1,115 @@
+"""Tests for repro.parallel.tiles."""
+
+import pytest
+
+from repro.core import Grid
+from repro.core.fastlsa import initial_problem
+from repro.errors import ConfigError
+from repro.parallel import TileGrid, build_fill_tiles, default_uv, refine_bounds
+
+
+class TestRefineBounds:
+    def test_even(self):
+        assert refine_bounds([0, 10, 20], 2) == [0, 5, 10, 15, 20]
+
+    def test_identity_with_one_part(self):
+        assert refine_bounds([0, 7, 19], 1) == [0, 7, 19]
+
+    def test_short_segments_dedupe(self):
+        out = refine_bounds([0, 2], 5)
+        assert out[0] == 0 and out[-1] == 2
+        assert out == sorted(set(out))
+
+    def test_invalid_parts(self):
+        with pytest.raises(ConfigError):
+            refine_bounds([0, 10], 0)
+
+
+class TestDefaultUv:
+    def test_enough_tiles(self):
+        for P in (1, 2, 4, 8, 16):
+            for k in (2, 4, 6, 8):
+                u, v = default_uv(P, k)
+                assert (k * u) * (k * v) >= 4 * P * P
+
+    def test_small_p_gives_one(self):
+        assert default_uv(1, 8) == (1, 1)
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigError):
+            default_uv(0, 4)
+
+
+class TestTileGrid:
+    def test_basic_structure(self):
+        tg = TileGrid([0, 5, 10], [0, 4, 8, 12])
+        assert tg.R == 2 and tg.C == 3
+        assert len(tg) == 6
+        t = tg[(1, 2)]
+        assert (t.a0, t.b0, t.a1, t.b1) == (5, 8, 10, 12)
+        assert t.cells == 5 * 4
+
+    def test_dependencies(self):
+        tg = TileGrid([0, 5, 10], [0, 5, 10])
+        assert tg.dependencies((0, 0)) == []
+        assert set(tg.dependencies((1, 1))) == {(0, 1), (1, 0)}
+
+    def test_dependents(self):
+        tg = TileGrid([0, 5, 10], [0, 5, 10])
+        assert set(tg.dependents((0, 0))) == {(1, 0), (0, 1)}
+        assert tg.dependents((1, 1)) == []
+
+    def test_skip_excludes_tiles(self):
+        tg = TileGrid([0, 5, 10], [0, 5, 10], skip={(1, 1)})
+        assert len(tg) == 3
+        assert (1, 1) not in tg
+        assert tg.dependents((0, 1)) == []
+
+    def test_wavefront_lines(self):
+        tg = TileGrid([0, 5, 10], [0, 5, 10])
+        lines = tg.wavefront_lines()
+        assert [len(l) for l in lines] == [1, 2, 1]
+        assert lines[0] == [(0, 0)]
+
+    def test_wavefront_lines_with_skip(self):
+        tg = TileGrid([0, 5, 10], [0, 5, 10], skip={(1, 1)})
+        lines = tg.wavefront_lines()
+        assert [len(l) for l in lines] == [1, 2]
+
+    def test_total_cells(self):
+        tg = TileGrid([0, 5, 10], [0, 4, 8])
+        assert tg.total_cells() == 10 * 8
+
+    def test_needs_at_least_one_tile(self):
+        with pytest.raises(ConfigError):
+            TileGrid([0], [0, 5])
+
+
+class TestBuildFillTiles:
+    def test_alignment_with_grid_lines(self, dna_scheme):
+        grid = Grid(initial_problem(40, 40, dna_scheme), 4, affine=False)
+        tg = build_fill_tiles(grid, 2, 2)
+        # Every grid bound must appear among tile bounds.
+        for b in grid.row_bounds:
+            assert b in tg.row_bounds
+        for b in grid.col_bounds:
+            assert b in tg.col_bounds
+        assert tg.R == 8 and tg.C == 8
+
+    def test_bottom_right_block_skipped(self, dna_scheme):
+        grid = Grid(initial_problem(40, 40, dna_scheme), 4, affine=False)
+        tg = build_fill_tiles(grid, 2, 2)
+        # 2x2 tiles of the last block are skipped.
+        assert len(tg) == 64 - 4
+        assert (7, 7) not in tg and (6, 6) not in tg
+        assert (6, 5) in tg
+
+    def test_no_skip_variant(self, dna_scheme):
+        grid = Grid(initial_problem(40, 40, dna_scheme), 4, affine=False)
+        tg = build_fill_tiles(grid, 2, 2, skip_bottom_right=False)
+        assert len(tg) == 64
+
+    def test_total_cells_match_region(self, dna_scheme):
+        grid = Grid(initial_problem(37, 53, dna_scheme), 3, affine=False)
+        tg = build_fill_tiles(grid, 2, 3, skip_bottom_right=False)
+        assert tg.total_cells() == 37 * 53

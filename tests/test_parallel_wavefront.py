@@ -1,0 +1,70 @@
+"""Tests for the three-phase wavefront decomposition."""
+
+import pytest
+
+from repro.parallel import TileGrid, three_phases, wavefront_stage_schedule
+
+
+def uniform_grid(R, C, skip=None):
+    return TileGrid(list(range(0, R + 1)), list(range(0, C + 1)), skip=skip)
+
+
+class TestThreePhases:
+    def test_tile_conservation(self):
+        tg = uniform_grid(6, 9)
+        ph = three_phases(tg, 4)
+        assert ph.total_tiles == len(tg)
+
+    def test_ramp_up_matches_paper_formula(self):
+        # For a large square grid, ramp-up has P-1 lines of 1..P-1 tiles:
+        # P(P-1)/2 tiles total (Section 5.1).
+        P = 5
+        tg = uniform_grid(12, 12)
+        ph = three_phases(tg, P)
+        assert ph.ramp_up_stages == P - 1
+        assert ph.ramp_up_tiles == P * (P - 1) // 2
+
+    def test_steady_tiles_lower_bound(self):
+        # Eq. 29: steady phase computes at least R*C - P^2 + P tiles.
+        P, R, C = 4, 10, 10
+        ph = three_phases(uniform_grid(R, C), P)
+        assert ph.steady_tiles >= R * C - P * P + P
+
+    def test_no_steady_state_for_huge_p(self):
+        ph = three_phases(uniform_grid(3, 3), 100)
+        assert ph.steady_stages == 0
+        assert ph.total_tiles == 9
+
+    def test_p1_all_steady(self):
+        ph = three_phases(uniform_grid(4, 4), 1)
+        assert ph.ramp_up_stages == 0
+        assert ph.ramp_down_stages == 0
+        assert ph.steady_tiles == 16
+
+    def test_skip_creates_noncontiguous_ramp_down(self):
+        # Figure 13: ramp-down lines may be non-contiguous because the
+        # bottom-right block is skipped.
+        skip = {(r, c) for r in (4, 5) for c in (4, 5)}
+        tg = TileGrid(list(range(7)), list(range(7)), skip=skip)
+        ph = three_phases(tg, 3)
+        assert ph.total_tiles == 36 - 4
+
+
+class TestStageSchedule:
+    def test_matches_line_rounds(self):
+        tg = uniform_grid(3, 3)
+        makespan, per_line = wavefront_stage_schedule(tg, 2, cost=lambda t: 1.0)
+        # Lines: 1,2,3,2,1 tiles -> rounds 1,1,2,1,1 at unit cost.
+        assert per_line == [1.0, 1.0, 2.0, 1.0, 1.0]
+        assert makespan == 6.0
+
+    def test_upper_bounds_list_schedule(self):
+        # The stage-synchronous schedule (the paper's bound) can never beat
+        # the greedy list schedule.
+        from repro.parallel import list_schedule
+
+        tg = uniform_grid(8, 8)
+        for P in (1, 2, 4, 8):
+            stage, _ = wavefront_stage_schedule(tg, P, cost=lambda t: 1.0)
+            greedy, _ = list_schedule(tg, P, lambda t: 1.0)
+            assert stage >= greedy - 1e-9

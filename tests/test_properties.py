@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on the library's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.align import check_alignment, score_gapped
+from repro.align.path import AlignmentPath
+from repro.baselines import hirschberg, needleman_wunsch, smith_waterman
+from repro.core import fastlsa
+from repro.kernels import boundary_vectors, sweep_last_row_col, sweep_matrix
+from repro.kernels.reference import brute_force_best_score, ref_matrix_linear
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+
+DNA = st.text(alphabet="ACGT", max_size=24)
+DNA_SHORT = st.text(alphabet="ACGT", max_size=5)
+GAPS = st.integers(min_value=-12, max_value=-1)
+
+
+def scheme_for(gap):
+    return ScoringScheme(dna_simple(), linear_gap(gap))
+
+
+@st.composite
+def affine_schemes(draw):
+    extend = draw(st.integers(min_value=-4, max_value=-1))
+    open_ = draw(st.integers(min_value=extend - 8, max_value=extend))
+    return ScoringScheme(dna_simple(), affine_gap(open_, extend))
+
+
+class TestDPSemantics:
+    """DP scores equal the brute-force optimum over all alignments."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=DNA_SHORT, b=DNA_SHORT, gap=GAPS)
+    def test_nw_is_brute_force_optimum_linear(self, a, b, gap):
+        scheme = scheme_for(gap)
+        assert needleman_wunsch(a, b, scheme).score == brute_force_best_score(a, b, scheme)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA_SHORT, b=DNA_SHORT, scheme=affine_schemes())
+    def test_nw_is_brute_force_optimum_affine(self, a, b, scheme):
+        assert needleman_wunsch(a, b, scheme).score == brute_force_best_score(a, b, scheme)
+
+
+class TestAlgorithmEquivalence:
+    """All global aligners return the same optimal score."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS, k=st.integers(2, 6),
+           base=st.sampled_from([16, 64, 1024]))
+    def test_fastlsa_equals_nw(self, a, b, gap, k, base):
+        scheme = scheme_for(gap)
+        f = fastlsa(a, b, scheme, k=k, base_cells=base)
+        n = needleman_wunsch(a, b, scheme)
+        assert f.score == n.score
+        ok, msg = check_alignment(f, scheme)
+        assert ok, msg
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_hirschberg_equals_nw(self, a, b, gap):
+        scheme = scheme_for(gap)
+        h = hirschberg(a, b, scheme, base_cells=4)
+        assert h.score == needleman_wunsch(a, b, scheme).score
+        assert check_alignment(h, scheme)[0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=DNA, b=DNA, scheme=affine_schemes(), k=st.integers(2, 4))
+    def test_fastlsa_affine_equals_nw(self, a, b, scheme, k):
+        f = fastlsa(a, b, scheme, k=k, base_cells=36)
+        n = needleman_wunsch(a, b, scheme)
+        assert f.score == n.score
+        assert check_alignment(f, scheme)[0]
+
+
+class TestKernelInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_last_row_col_matches_dense(self, a, b, gap):
+        scheme = scheme_for(gap)
+        ac, bc = scheme.encode(a), scheme.encode(b)
+        fr, fc = boundary_vectors(len(a), len(b), gap)
+        H = sweep_matrix(ac, bc, scheme.matrix.table, gap, fr, fc)
+        lr, lc = sweep_last_row_col(ac, bc, scheme.matrix.table, gap, fr, fc)
+        assert np.array_equal(lr, H[-1]) and np.array_equal(lc, H[:, -1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS, mid=st.integers(0, 24))
+    def test_row_split_composition(self, a, b, gap, mid):
+        """Sweeping rows 0..mid then mid..M equals one full sweep."""
+        mid = min(mid, len(a))
+        scheme = scheme_for(gap)
+        ac, bc = scheme.encode(a), scheme.encode(b)
+        table = scheme.matrix.table
+        fr, fc = boundary_vectors(len(a), len(b), gap)
+        full_lr, _ = sweep_last_row_col(ac, bc, table, gap, fr, fc)
+        top_lr, _ = sweep_last_row_col(ac[:mid], bc, table, gap, fr, fc[: mid + 1])
+        bot_lr, _ = sweep_last_row_col(ac[mid:], bc, table, gap, top_lr, fc[mid:])
+        assert np.array_equal(bot_lr, full_lr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_score_symmetry(self, a, b, gap):
+        """Swapping the sequences leaves the optimal score unchanged
+        (symmetric matrix, symmetric gap model)."""
+        scheme = scheme_for(gap)
+        assert (
+            needleman_wunsch(a, b, scheme).score
+            == needleman_wunsch(b, a, scheme).score
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_reversal_invariance(self, a, b, gap):
+        """Reversing both sequences leaves the optimal score unchanged."""
+        scheme = scheme_for(gap)
+        assert (
+            needleman_wunsch(a, b, scheme).score
+            == needleman_wunsch(a[::-1], b[::-1], scheme).score
+        )
+
+
+class TestAlignmentInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS, k=st.integers(2, 5))
+    def test_path_monotone_and_complete(self, a, b, gap, k):
+        scheme = scheme_for(gap)
+        al = fastlsa(a, b, scheme, k=k, base_cells=16)
+        path = al.path
+        assert path.start == (0, 0)
+        assert path.end == (len(a), len(b))
+        for (i0, j0), (i1, j1) in zip(path.points, path.points[1:]):
+            assert (i1 - i0, j1 - j0) in ((1, 1), (1, 0), (0, 1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_gapped_strings_respell_inputs(self, a, b, gap):
+        scheme = scheme_for(gap)
+        al = needleman_wunsch(a, b, scheme)
+        assert al.gapped_a.replace("-", "") == a
+        assert al.gapped_b.replace("-", "") == b
+        assert score_gapped(al.gapped_a, al.gapped_b, scheme) == al.score
+
+
+class TestLocalInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_local_at_least_zero_and_at_most_selfmatch(self, a, b, gap):
+        scheme = scheme_for(gap)
+        loc = smith_waterman(a, b, scheme)
+        assert loc.score >= 0
+        assert loc.score <= 5 * min(len(a), len(b))
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, gap=GAPS)
+    def test_local_self_alignment_is_perfect(self, a, gap):
+        scheme = scheme_for(gap)
+        loc = smith_waterman(a, a, scheme)
+        assert loc.score == 5 * len(a)
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_local_dominates_global(self, a, b, gap):
+        """The best local score is >= the global score (local may trim)."""
+        scheme = scheme_for(gap)
+        loc = smith_waterman(a, b, scheme)
+        glob = needleman_wunsch(a, b, scheme)
+        assert loc.score >= glob.score

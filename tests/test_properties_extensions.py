@@ -1,0 +1,122 @@
+"""Property-based tests for the extension features.
+
+Covers the Myers–Miller affine baseline, the ends-free modes, banded
+alignment, the score-only API and the ambiguity-extended matrices.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import needleman_wunsch
+from repro.baselines.myers_miller import myers_miller
+from repro.core import (
+    EndsFree,
+    align_score,
+    banded_align,
+    ends_free_align,
+    fastlsa,
+    overlap_align,
+    semiglobal_align,
+)
+from repro.align import check_alignment
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, dna_with_n, linear_gap
+
+DNA = st.text(alphabet="ACGT", max_size=20)
+DNA_N = st.text(alphabet="ACGTN", max_size=20)
+GAPS = st.integers(min_value=-10, max_value=-1)
+
+
+def linear_scheme(gap):
+    return ScoringScheme(dna_simple(), linear_gap(gap))
+
+
+@st.composite
+def affine_schemes(draw):
+    extend = draw(st.integers(min_value=-4, max_value=-1))
+    open_ = draw(st.integers(min_value=extend - 8, max_value=extend))
+    return ScoringScheme(dna_simple(), affine_gap(open_, extend))
+
+
+class TestMyersMillerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, scheme=affine_schemes(), base=st.sampled_from([16, 120]))
+    def test_equals_nw(self, a, b, scheme, base):
+        mm = myers_miller(a, b, scheme, base_cells=base)
+        assert mm.score == needleman_wunsch(a, b, scheme).score
+        assert check_alignment(mm, scheme)[0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=DNA, scheme=affine_schemes())
+    def test_self_alignment_gapless(self, a, scheme):
+        mm = myers_miller(a, a, scheme, base_cells=16)
+        assert mm.num_gap_columns == 0
+        assert mm.score == sum(scheme.score_pair(c, c) for c in a)
+
+
+class TestModeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_freedoms_never_hurt(self, a, b, gap):
+        """Adding any end freedom can only raise the score."""
+        scheme = linear_scheme(gap)
+        global_score = needleman_wunsch(a, b, scheme).score
+        for free in (
+            EndsFree(b_start=True, b_end=True),
+            EndsFree(a_start=True, b_end=True),
+            EndsFree(a_start=True, a_end=True),
+        ):
+            assert ends_free_align(a, b, scheme, free, k=2, base_cells=16).score >= global_score
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_semiglobal_consumes_query(self, a, b, gap):
+        scheme = linear_scheme(gap)
+        sg = semiglobal_align(a, b, scheme, k=2, base_cells=16)
+        assert sg.a_start == 0 and sg.a_end == len(a)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_overlap_anchored(self, a, b, gap):
+        """Overlap mode anchors a's end and b's start."""
+        scheme = linear_scheme(gap)
+        ov = overlap_align(a, b, scheme, k=2, base_cells=16)
+        assert ov.a_end == len(a)
+        assert ov.b_start == 0
+
+
+class TestBandedProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS, w=st.integers(1, 8))
+    def test_lower_bound_and_valid(self, a, b, gap, w):
+        scheme = linear_scheme(gap)
+        res = banded_align(a, b, scheme, width=w)
+        assert res.alignment.score <= needleman_wunsch(a, b, scheme).score
+        assert check_alignment(res.alignment, scheme)[0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_monotone_in_width(self, a, b, gap):
+        scheme = linear_scheme(gap)
+        prev = None
+        for w in (1, 3, 9, 30):
+            s = banded_align(a, b, scheme, width=w).alignment.score
+            if prev is not None:
+                assert s >= prev
+            prev = s
+
+
+class TestScoreOnlyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS, k=st.integers(2, 5))
+    def test_score_matches_fastlsa(self, a, b, gap, k):
+        scheme = linear_scheme(gap)
+        assert align_score(a, b, scheme) == fastlsa(a, b, scheme, k=k, base_cells=16).score
+
+
+class TestAmbiguityProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(a=DNA_N, b=DNA_N, gap=GAPS)
+    def test_alignment_with_ambiguity_codes(self, a, b, gap):
+        scheme = ScoringScheme(dna_with_n(), linear_gap(gap))
+        al = fastlsa(a, b, scheme, k=2, base_cells=16)
+        assert check_alignment(al, scheme)[0]
+        assert al.score == needleman_wunsch(a, b, scheme).score

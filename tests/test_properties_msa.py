@@ -1,0 +1,110 @@
+"""Property-based tests for MSA, CIGAR and affine banded alignment."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.align import from_cigar, to_cigar
+from repro.align.edit_distance import edit_distance
+from repro.baselines import needleman_wunsch
+from repro.core import banded_align
+from repro.msa import center_star_msa, progressive_msa
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+
+DNA = st.text(alphabet="ACGT", max_size=18)
+DNA_NONEMPTY = st.text(alphabet="ACGT", min_size=1, max_size=18)
+GAPS = st.integers(min_value=-9, max_value=-1)
+
+
+def linear_scheme(gap=-6):
+    return ScoringScheme(dna_simple(), linear_gap(gap))
+
+
+@st.composite
+def affine_schemes(draw):
+    extend = draw(st.integers(min_value=-3, max_value=-1))
+    open_ = draw(st.integers(min_value=extend - 7, max_value=extend))
+    return ScoringScheme(dna_simple(), affine_gap(open_, extend))
+
+
+class TestMsaProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seqs=st.lists(DNA_NONEMPTY, min_size=2, max_size=5))
+    def test_center_star_invariants(self, seqs):
+        msa = center_star_msa(seqs, linear_scheme(), k=2, base_cells=64)
+        assert len(msa) == len(seqs)
+        assert len({len(r) for r in msa.rows}) == 1
+        spelled = sorted(r.replace("-", "") for r in msa.rows)
+        assert spelled == sorted(seqs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seqs=st.lists(DNA_NONEMPTY, min_size=2, max_size=5))
+    def test_progressive_invariants(self, seqs):
+        msa = progressive_msa(seqs, linear_scheme())
+        assert len(msa) == len(seqs)
+        assert len({len(r) for r in msa.rows}) == 1
+        spelled = sorted(r.replace("-", "") for r in msa.rows)
+        assert spelled == sorted(seqs)
+
+    @settings(max_examples=10, deadline=None)
+    @given(s=DNA_NONEMPTY, n=st.integers(2, 4))
+    def test_identical_family_is_trivial(self, s, n):
+        msa = center_star_msa([s] * n, linear_scheme())
+        assert msa.width == len(s)
+        assert msa.conserved_columns() == len(s)
+
+
+class TestCigarProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA, gap=GAPS)
+    def test_roundtrip(self, a, b, gap):
+        scheme = linear_scheme(gap)
+        al = needleman_wunsch(a, b, scheme)
+        back = from_cigar(a, b, to_cigar(al), score=al.score)
+        assert back.gapped_a == al.gapped_a
+        assert back.gapped_b == al.gapped_b
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA)
+    def test_lengths_consistent(self, a, b):
+        al = needleman_wunsch(a, b, linear_scheme())
+        cigar = to_cigar(al)
+        import re
+
+        ops = re.findall(r"(\d+)([MID])", cigar)
+        consumed_a = sum(int(n) for n, op in ops if op in "MI")
+        consumed_b = sum(int(n) for n, op in ops if op in "MD")
+        assert consumed_a == len(a)
+        assert consumed_b == len(b)
+
+
+class TestBandedAffineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA_NONEMPTY, b=DNA_NONEMPTY, scheme=affine_schemes())
+    def test_full_band_exact(self, a, b, scheme):
+        res = banded_align(a, b, scheme, width=max(len(a), len(b)))
+        assert res.alignment.score == needleman_wunsch(a, b, scheme).score
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA_NONEMPTY, b=DNA_NONEMPTY, scheme=affine_schemes(),
+           w=st.integers(1, 6))
+    def test_monotone_in_width(self, a, b, scheme, w):
+        s1 = banded_align(a, b, scheme, width=w).alignment.score
+        s2 = banded_align(a, b, scheme, width=w + 5).alignment.score
+        assert s2 >= s1
+
+
+class TestEditDistanceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(a=DNA, b=DNA)
+    def test_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=DNA, b=DNA)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=DNA, b=DNA, c=DNA)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)

@@ -1,0 +1,61 @@
+"""Tests for repro.scoring.gaps."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.scoring import GapModel, affine_gap, linear_gap
+
+
+class TestLinearGap:
+    def test_is_linear(self):
+        g = linear_gap(-10)
+        assert g.is_linear
+        assert g.open == -10 and g.extend == -10
+
+    def test_cost(self):
+        g = linear_gap(-10)
+        assert g.cost(0) == 0
+        assert g.cost(1) == -10
+        assert g.cost(5) == -50
+
+    def test_zero_gap_allowed(self):
+        assert linear_gap(0).cost(7) == 0
+
+
+class TestAffineGap:
+    def test_cost(self):
+        g = affine_gap(-10, -2)
+        assert g.cost(0) == 0
+        assert g.cost(1) == -10
+        assert g.cost(2) == -12
+        assert g.cost(5) == -18
+
+    def test_not_linear(self):
+        assert not affine_gap(-10, -2).is_linear
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ScoringError):
+            affine_gap(-10, -2).cost(-1)
+
+
+class TestValidation:
+    def test_positive_open_rejected(self):
+        with pytest.raises(ScoringError):
+            GapModel(open=1, extend=-1)
+
+    def test_positive_extend_rejected(self):
+        with pytest.raises(ScoringError):
+            GapModel(open=-1, extend=1)
+
+    def test_open_cheaper_than_extend_rejected(self):
+        # The Gotoh scan decomposition requires open <= extend.
+        with pytest.raises(ScoringError, match="open <= extend"):
+            GapModel(open=-1, extend=-5)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ScoringError):
+            GapModel(open=-1.5, extend=-1.5)
+
+    def test_repr(self):
+        assert "LinearGap" in repr(linear_gap(-3))
+        assert "AffineGap" in repr(affine_gap(-5, -1))

@@ -1,0 +1,134 @@
+"""Tests for matrix file I/O and ambiguity-code extension."""
+
+import io
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.scoring import (
+    blosum62,
+    dna_simple,
+    dna_with_n,
+    format_matrix,
+    parse_matrix,
+    protein_with_x,
+    read_matrix,
+    with_ambiguity,
+    write_matrix,
+)
+
+SAMPLE = """# comment line
+   A  C  G  T
+A  5 -4 -4 -4
+C -4  5 -4 -4
+G -4 -4  5 -4
+T -4 -4 -4  5
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        m = parse_matrix(io.StringIO(SAMPLE), name="sample")
+        assert m.alphabet == "ACGT"
+        assert m.score("A", "A") == 5
+        assert m.score("A", "T") == -4
+
+    def test_row_order_independent(self):
+        shuffled = """   A  C
+C  1  7
+A  5  1
+"""
+        m = parse_matrix(io.StringIO(shuffled))
+        assert m.score("A", "A") == 5
+        assert m.score("C", "C") == 7
+        assert m.score("A", "C") == 1
+
+    def test_missing_row_rejected(self):
+        with pytest.raises(ScoringError, match="missing"):
+            parse_matrix(io.StringIO("   A  C\nA  1  0\n"))
+
+    def test_extra_row_rejected(self):
+        bad = "   A\nA 1\nG 2\n"
+        with pytest.raises(ScoringError):
+            parse_matrix(io.StringIO(bad))
+
+    def test_bad_score_rejected(self):
+        with pytest.raises(ScoringError, match="non-integer"):
+            parse_matrix(io.StringIO("   A\nA x\n"))
+
+    def test_wrong_row_length_rejected(self):
+        with pytest.raises(ScoringError):
+            parse_matrix(io.StringIO("   A  C\nA 1\nC 1 1\n"))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ScoringError, match="no header"):
+            parse_matrix(io.StringIO("# only comments\n"))
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(ScoringError):
+            parse_matrix(io.StringIO("  A A\nA 1 1\n"))
+
+
+class TestRoundtrip:
+    def test_blosum62_roundtrip(self, tmp_path):
+        path = tmp_path / "blosum62.mat"
+        original = blosum62()
+        write_matrix(path, original, comment="round trip test")
+        loaded = read_matrix(path)
+        assert loaded.alphabet == original.alphabet
+        import numpy as np
+
+        assert np.array_equal(loaded.table, original.table)
+
+    def test_format_contains_name(self):
+        text = format_matrix(dna_simple())
+        assert "# Matrix:" in text
+
+
+class TestAmbiguity:
+    def test_n_scores_are_means(self):
+        m = dna_with_n()
+        # N vs A = mean(5, -4, -4, -4) = -1.75 -> -2.
+        assert m.score("N", "A") == -2
+        # N vs N = mean over 16 pairs = (4*5 + 12*(-4))/16 = -1.75 -> -2.
+        assert m.score("N", "N") == -2
+
+    def test_full_iupac(self):
+        m = dna_with_n(full_iupac=True)
+        assert set("RYSWKMBDHVN") <= set(m.alphabet)
+        # R = {A,G}: R vs A = mean(5, -4) = 0.5 -> round-half-even 0.
+        assert m.score("R", "A") in (0, 1)
+        # R vs R = mean over {A,G}x{A,G} = (5 - 4 - 4 + 5)/4 = 0.5.
+        assert m.score("R", "R") in (0, 1)
+
+    def test_protein_x(self):
+        m = protein_with_x()
+        assert "X" in m.alphabet
+        # X vs anything is a small negative (BLOSUM62 column means are < 0).
+        assert m.score("X", "W") < 0
+
+    def test_alignment_with_ns(self):
+        from repro.core import fastlsa
+        from repro.scoring import ScoringScheme, linear_gap
+
+        scheme = ScoringScheme(dna_with_n(), linear_gap(-6))
+        al = fastlsa("ACGNNACGT", "ACGTTACGT", scheme, k=2, base_cells=16)
+        assert al.score > 0
+
+    def test_symbol_conflict_rejected(self):
+        with pytest.raises(ScoringError):
+            with_ambiguity(dna_simple(), {"A": "CG"})
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(ScoringError):
+            with_ambiguity(dna_simple(), {"N": "ACGZ"})
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ScoringError):
+            with_ambiguity(dna_simple(), {"N": ""})
+
+    def test_symmetry_preserved(self):
+        import numpy as np
+
+        m = dna_with_n(full_iupac=True)
+        assert np.array_equal(m.table, m.table.T)

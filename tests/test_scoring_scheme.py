@@ -1,0 +1,60 @@
+"""Tests for repro.scoring.scheme."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+
+
+class TestScheme:
+    def test_proxies(self, dna_scheme):
+        assert dna_scheme.alphabet == "ACGT"
+        assert dna_scheme.is_linear
+        assert dna_scheme.gap_open == -6
+        assert dna_scheme.gap_extend == -6
+
+    def test_affine_proxies(self, affine_scheme):
+        assert not affine_scheme.is_linear
+        assert affine_scheme.gap_open == -11
+        assert affine_scheme.gap_extend == -2
+
+    def test_encode(self, dna_scheme):
+        assert list(dna_scheme.encode("ACGT")) == [0, 1, 2, 3]
+
+    def test_requires_matrix_type(self):
+        with pytest.raises(ScoringError):
+            ScoringScheme("not a matrix", linear_gap(-1))
+
+    def test_requires_gap_type(self):
+        with pytest.raises(ScoringError):
+            ScoringScheme(dna_simple(), -10)
+
+
+class TestBoundaryRow:
+    def test_linear(self):
+        s = ScoringScheme(dna_simple(), linear_gap(-10))
+        assert list(s.boundary_row(4)) == [0, -10, -20, -30, -40]
+
+    def test_affine(self):
+        s = ScoringScheme(dna_simple(), affine_gap(-10, -2))
+        assert list(s.boundary_row(4)) == [0, -10, -12, -14, -16]
+
+    def test_start_offset(self):
+        s = ScoringScheme(dna_simple(), linear_gap(-5))
+        assert list(s.boundary_row(2, start=100)) == [100, 95, 90]
+
+    def test_zero_length(self):
+        s = ScoringScheme(dna_simple(), linear_gap(-5))
+        assert list(s.boundary_row(0)) == [0]
+
+    def test_dtype(self):
+        s = ScoringScheme(dna_simple(), linear_gap(-5))
+        assert s.boundary_row(3).dtype == np.int64
+
+
+class TestNegInf:
+    def test_headroom(self, dna_scheme):
+        ni = dna_scheme.neg_inf()
+        # Must survive adding any plausible score without wrapping.
+        assert ni + 10 * dna_scheme.matrix.min_score() > np.iinfo(np.int64).min

@@ -1,0 +1,128 @@
+"""Tests for the published scoring tables (BLOSUM62, PAM250, Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import (
+    blosum62,
+    dna_simple,
+    dna_unit,
+    pam250,
+    paper_scheme,
+    scaled_matrix,
+    scaled_pam250,
+    table1_matrix,
+)
+
+
+class TestTable1:
+    """The exact fragment printed in the paper."""
+
+    def test_alphabet(self):
+        assert table1_matrix().alphabet == "ADKLTV"
+
+    def test_diagonal(self):
+        m = table1_matrix()
+        assert m.score("A", "A") == 16
+        for sym in "DKLTV":
+            assert m.score(sym, sym) == 20
+
+    def test_leucine_valine_similarity(self):
+        m = table1_matrix()
+        assert m.score("L", "V") == 12
+        assert m.score("V", "L") == 12
+
+    def test_lysine_leucine_dissimilarity(self):
+        assert table1_matrix().score("K", "L") == 0
+
+    def test_all_other_offdiagonals_zero(self):
+        m = table1_matrix()
+        for a in m.alphabet:
+            for b in m.alphabet:
+                if a != b and {a, b} != {"L", "V"}:
+                    assert m.score(a, b) == 0, (a, b)
+
+    def test_paper_scheme_gap(self):
+        s = paper_scheme()
+        assert s.gap.is_linear and s.gap_open == -10
+
+    def test_paper_alignment_score_example(self):
+        # Section 2.1: 20 - 10 + 20 - 10 + 12 + 20 + 20 - 10 + 20 = 82
+        s = paper_scheme()
+        total = (
+            s.score_pair("T", "T") - 10 + s.score_pair("D", "D") - 10
+            + s.score_pair("V", "L") + s.score_pair("L", "L")
+            + s.score_pair("K", "K") - 10 + s.score_pair("D", "D")
+        )
+        assert total == 82
+
+
+class TestBlosum62:
+    def test_symmetry(self):
+        t = blosum62().table
+        assert np.array_equal(t, t.T)
+
+    def test_known_values(self):
+        m = blosum62()
+        assert m.score("W", "W") == 11
+        assert m.score("A", "A") == 4
+        assert m.score("I", "L") == 2
+        assert m.score("C", "C") == 9
+        assert m.score("E", "Q") == 2
+        assert m.score("G", "I") == -4
+        assert m.score("P", "P") == 7
+
+    def test_diagonal_positive(self):
+        m = blosum62()
+        for sym in m.alphabet:
+            assert m.score(sym, sym) > 0
+
+
+class TestPam250:
+    def test_symmetry(self):
+        t = pam250().table
+        assert np.array_equal(t, t.T)
+
+    def test_known_values(self):
+        m = pam250()
+        assert m.score("W", "W") == 17
+        assert m.score("C", "C") == 12
+        assert m.score("L", "V") == 2
+        assert m.score("W", "C") == -8
+
+    def test_diagonal_positive(self):
+        m = pam250()
+        for sym in m.alphabet:
+            assert m.score(sym, sym) > 0
+
+
+class TestScaled:
+    def test_scaled_pam250_nonnegative(self):
+        assert scaled_pam250().min_score() >= 0
+
+    def test_scaled_preserves_order(self):
+        base, scaled = pam250(), scaled_pam250()
+        # Rescaling is affine: pairwise order of entries is preserved.
+        assert (base.score("W", "W") > base.score("A", "A")) == (
+            scaled.score("W", "W") > scaled.score("A", "A")
+        )
+
+    def test_scaled_matrix_explicit_offset(self):
+        m = scaled_matrix(pam250(), scale=2, offset=100)
+        assert m.score("W", "W") == 17 * 2 + 100
+
+    def test_scaled_matrix_default_offset_makes_min_zero(self):
+        m = scaled_matrix(pam250())
+        assert m.min_score() == 0
+
+
+class TestDna:
+    def test_dna_simple(self):
+        m = dna_simple()
+        assert m.score("A", "A") == 5
+        assert m.score("A", "T") == -4
+
+    def test_dna_unit(self):
+        m = dna_unit()
+        assert m.score("G", "G") == 1
+        assert m.score("G", "C") == 0

@@ -1,0 +1,94 @@
+"""Tests for repro.align.validate (the independent re-scorer)."""
+
+import pytest
+
+from repro.align import AlignmentPath, score_gapped, check_alignment, check_path_bounds
+from repro.align.alignment import Alignment, alignment_from_path
+from repro.align.sequence import Sequence
+from repro.errors import AlignmentError, PathError
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+
+
+class TestScoreGapped:
+    def test_matches(self, dna_scheme):
+        assert score_gapped("ACGT", "ACGT", dna_scheme) == 20
+
+    def test_mismatch(self, dna_scheme):
+        assert score_gapped("A", "C", dna_scheme) == -4
+
+    def test_linear_gap_runs(self, dna_scheme):
+        assert score_gapped("A--A", "ACGA", dna_scheme) == 5 - 6 - 6 + 5
+
+    def test_affine_gap_run(self):
+        s = ScoringScheme(dna_simple(), affine_gap(-10, -1))
+        assert score_gapped("A---A", "ACGTA", s) == 5 - 10 - 1 - 1 + 5
+
+    def test_affine_runs_in_both_sequences_charged_separately(self):
+        s = ScoringScheme(dna_simple(), affine_gap(-10, -1))
+        # A gap run in a followed immediately by a run in b: two opens.
+        assert score_gapped("A-C", "AG-", s) == 5 - 10 - 10
+
+    def test_adjacent_same_sequence_runs_merge(self):
+        s = ScoringScheme(dna_simple(), affine_gap(-10, -1))
+        assert score_gapped("A--G", "ACTG", s) == 5 - 10 - 1 + 5
+
+    def test_gap_gap_rejected(self, dna_scheme):
+        with pytest.raises(AlignmentError):
+            score_gapped("A-", "A-", dna_scheme)
+
+    def test_length_mismatch_rejected(self, dna_scheme):
+        with pytest.raises(AlignmentError):
+            score_gapped("AC", "A", dna_scheme)
+
+    def test_empty(self, dna_scheme):
+        assert score_gapped("", "", dna_scheme) == 0
+
+
+class TestCheckPathBounds:
+    def test_inside(self):
+        check_path_bounds(AlignmentPath([(0, 0), (1, 1)]), 1, 1)
+
+    def test_outside(self):
+        with pytest.raises(PathError):
+            check_path_bounds(AlignmentPath([(0, 0), (1, 1), (2, 2)]), 1, 1)
+
+
+class TestCheckAlignment:
+    def test_good(self, dna_scheme):
+        al = alignment_from_path(
+            "AC", "AC", AlignmentPath([(0, 0), (1, 1), (2, 2)]), score=10
+        )
+        ok, msg = check_alignment(al, dna_scheme)
+        assert ok, msg
+
+    def test_wrong_score_detected(self, dna_scheme):
+        al = alignment_from_path(
+            "AC", "AC", AlignmentPath([(0, 0), (1, 1), (2, 2)]), score=99
+        )
+        ok, msg = check_alignment(al, dna_scheme)
+        assert not ok and "99" in msg
+
+    def test_incomplete_path_detected(self, dna_scheme):
+        al = Alignment(
+            seq_a=Sequence("AC", name="a"),
+            seq_b=Sequence("AC", name="b"),
+            gapped_a="AC",
+            gapped_b="AC",
+            score=10,
+            path=AlignmentPath([(0, 0), (1, 1)]),
+        )
+        ok, msg = check_alignment(al, dna_scheme)
+        assert not ok and "path" in msg
+
+    def test_path_string_mismatch_detected(self, dna_scheme):
+        al = Alignment(
+            seq_a=Sequence("AC", name="a"),
+            seq_b=Sequence("AC", name="b"),
+            gapped_a="AC",
+            gapped_b="AC",
+            score=10,
+            # path implies gaps, strings do not
+            path=AlignmentPath([(0, 0), (1, 0), (1, 1), (2, 2), (2, 2)][:4]),
+        )
+        ok, msg = check_alignment(al, dna_scheme)
+        assert not ok

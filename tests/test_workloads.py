@@ -1,0 +1,126 @@
+"""Tests for workload generation and the benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    SUITE,
+    dna_pair,
+    evolve,
+    load_pair,
+    protein_pair,
+    random_sequence,
+    sequence_pair,
+    suite_entries,
+)
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self, rng):
+        s = random_sequence(100, "ACGT", rng)
+        assert len(s) == 100
+        assert set(s.text) <= set("ACGT")
+
+    def test_zero_length(self, rng):
+        assert random_sequence(0, "ACGT", rng).is_empty
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigError):
+            random_sequence(-1)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ConfigError):
+            random_sequence(10, "")
+
+
+class TestEvolve:
+    def test_zero_rates_identity(self, rng):
+        s = random_sequence(200, "ACGT", rng)
+        d = evolve(s, sub_rate=0.0, indel_rate=0.0, rng=rng)
+        assert d.text == s.text
+
+    def test_substitutions_change_content(self, rng):
+        s = random_sequence(500, "ACGT", rng)
+        d = evolve(s, sub_rate=0.5, indel_rate=0.0, rng=rng)
+        assert len(d) == len(s)
+        diffs = sum(1 for x, y in zip(s.text, d.text) if x != y)
+        assert 150 < diffs < 350  # ~50%
+
+    def test_indels_change_length(self, rng):
+        s = random_sequence(500, "ACGT", rng)
+        d = evolve(s, sub_rate=0.0, indel_rate=0.2, rng=rng)
+        assert len(d) != len(s) or d.text != s.text
+
+    def test_alphabet_respected(self, rng):
+        s = random_sequence(100, "ACGT", rng)
+        d = evolve(s, sub_rate=0.9, indel_rate=0.2, rng=rng, alphabet="ACGT")
+        assert set(d.text) <= set("ACGT")
+
+    def test_invalid_rates(self, rng):
+        s = random_sequence(10, "ACGT", rng)
+        with pytest.raises(ConfigError):
+            evolve(s, sub_rate=1.5)
+        with pytest.raises(ConfigError):
+            evolve(s, mean_indel_len=0.5)
+
+
+class TestPairs:
+    def test_deterministic(self):
+        a1, b1 = sequence_pair(300, seed=7)
+        a2, b2 = sequence_pair(300, seed=7)
+        assert a1.text == a2.text and b1.text == b2.text
+
+    def test_different_seeds_differ(self):
+        a1, _ = sequence_pair(300, seed=7)
+        a2, _ = sequence_pair(300, seed=8)
+        assert a1.text != a2.text
+
+    def test_similarity_controlled(self, dna_scheme):
+        from repro.core import fastlsa
+
+        a_lo, b_lo = dna_pair(200, divergence=0.05, seed=1)
+        a_hi, b_hi = dna_pair(200, divergence=0.5, seed=1)
+        s_lo = fastlsa(a_lo, b_lo, dna_scheme, k=2, base_cells=1024).score
+        s_hi = fastlsa(a_hi, b_hi, dna_scheme, k=2, base_cells=1024).score
+        assert s_lo > s_hi
+
+    def test_protein_pair_alphabet(self):
+        a, b = protein_pair(100, seed=3)
+        assert set(a.text) <= set("ARNDCQEGHILKMFPSTWYV")
+        assert set(b.text) <= set("ARNDCQEGHILKMFPSTWYV")
+
+
+class TestSuite:
+    def test_names_unique(self):
+        names = [e.name for e in SUITE]
+        assert len(names) == len(set(names))
+
+    def test_entries_filter(self):
+        small = suite_entries(("tiny",))
+        assert all(e.size_class == "tiny" for e in small)
+        dna = suite_entries(("tiny", "small"), family="dna")
+        assert all(e.family == "dna" for e in dna)
+
+    def test_empty_filter_raises(self):
+        with pytest.raises(ConfigError):
+            suite_entries(("nonexistent",))
+
+    def test_load_pair_lengths(self):
+        a, b = load_pair("dna-0.25k")
+        assert len(a) == 256
+        assert abs(len(b) - 256) < 80  # indel drift
+
+    def test_load_pair_cached(self):
+        p1 = load_pair("dna-0.25k")
+        p2 = load_pair("dna-0.25k")
+        assert p1 is p2
+
+    def test_unknown_pair(self):
+        with pytest.raises(ConfigError):
+            load_pair("nope")
+
+    def test_lengths_span_paper_range(self):
+        lengths = [e.length for e in SUITE]
+        assert min(lengths) <= 300
+        assert max(lengths) >= 16384

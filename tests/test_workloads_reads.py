@@ -1,0 +1,102 @@
+"""Tests for the sequencing-read simulator and the summary tool."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import random_sequence, sample_reads
+from repro.workloads.reads import _revcomp
+
+
+class TestSampleReads:
+    def test_basic(self, rng):
+        ref = random_sequence(500, "ACGT", rng)
+        reads = sample_reads(ref, n_reads=10, read_len=50, seed=1)
+        assert len(reads) == 10
+        for r in reads:
+            assert r.end - r.start == 50
+            assert 0 <= r.start <= 450
+            assert r.forward
+
+    def test_zero_noise_reads_match_reference(self, rng):
+        ref = random_sequence(300, "ACGT", rng)
+        reads = sample_reads(ref, 5, 40, sub_rate=0, indel_rate=0, seed=2)
+        for r in reads:
+            assert r.read.text == ref.text[r.start : r.end]
+
+    def test_noise_changes_reads(self, rng):
+        ref = random_sequence(300, "ACGT", rng)
+        reads = sample_reads(ref, 10, 100, sub_rate=0.2, indel_rate=0.05, seed=3)
+        assert any(r.read.text != ref.text[r.start : r.end] for r in reads)
+
+    def test_deterministic_by_seed(self, rng):
+        ref = random_sequence(200, "ACGT", rng)
+        r1 = sample_reads(ref, 5, 30, seed=7)
+        r2 = sample_reads(ref, 5, 30, seed=7)
+        assert [x.read.text for x in r1] == [x.read.text for x in r2]
+
+    def test_revcomp_sampling(self, rng):
+        ref = random_sequence(400, "ACGT", rng)
+        reads = sample_reads(ref, 30, 50, sub_rate=0, indel_rate=0,
+                             revcomp_fraction=1.0, seed=4)
+        assert all(not r.forward for r in reads)
+        for r in reads[:3]:
+            assert r.read.text == _revcomp(ref.text[r.start : r.end])
+
+    def test_revcomp_helper(self):
+        assert _revcomp("ACGT") == "ACGT"
+        assert _revcomp("AAGC") == "GCTT"
+
+    def test_validation(self, rng):
+        ref = random_sequence(100, "ACGT", rng)
+        with pytest.raises(ConfigError):
+            sample_reads(ref, 1, 0)
+        with pytest.raises(ConfigError):
+            sample_reads(ref, 1, 500)
+        with pytest.raises(ConfigError):
+            sample_reads(ref, -1, 10)
+        with pytest.raises(ConfigError):
+            sample_reads(ref, 1, 10, revcomp_fraction=2.0)
+
+    def test_revcomp_requires_dna(self, rng):
+        ref = random_sequence(100, "ARND", rng)
+        with pytest.raises(ConfigError, match="ACGT"):
+            sample_reads(ref, 1, 10, revcomp_fraction=0.5)
+
+    def test_mappable(self, rng, dna_scheme):
+        """Reads semiglobal-align back to near their true positions."""
+        from repro.core import semiglobal_align
+
+        ref = random_sequence(800, "ACGT", rng)
+        for r in sample_reads(ref, 4, 120, sub_rate=0.03, seed=9):
+            sg = semiglobal_align(r.read, ref, dna_scheme, k=4)
+            assert abs(sg.b_start - r.start) <= 15
+
+
+class TestSummaryTool:
+    def test_renders_results(self, tmp_path):
+        from repro.analysis import ExperimentRecorder
+        from repro.analysis.summary import main, summarize_dir
+
+        rec = ExperimentRecorder("f9_speedup", out_dir=str(tmp_path))
+        rec.add(P=1, speedup=1.0)
+        rec.add(P=8, speedup=6.9)
+        rec.save()
+        out = summarize_dir(str(tmp_path))
+        assert "f9_speedup" in out and "6.9" in out
+        assert main([str(tmp_path)]) == 0
+
+    def test_single_experiment_filter(self, tmp_path):
+        from repro.analysis import ExperimentRecorder
+        from repro.analysis.summary import summarize_dir
+
+        for name in ("t2_ops", "f9_speedup"):
+            rec = ExperimentRecorder(name, out_dir=str(tmp_path))
+            rec.add(x=1)
+            rec.save()
+        out = summarize_dir(str(tmp_path), experiment="t2_ops")
+        assert "t2_ops" in out and "f9_speedup" not in out
+
+    def test_missing_dir_is_error(self, tmp_path):
+        from repro.analysis.summary import main
+
+        assert main([str(tmp_path / "nope")]) == 2
