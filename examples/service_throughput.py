@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Alignment service throughput: 120 mixed-mode requests, one process.
+
+Demonstrates the serving substrate end to end (``docs/SERVICE.md``):
+
+* a fixed process-wide memory budget split across workers by the
+  **memory governor** — no job ever plans above its per-job share;
+* **micro-batching** of one-vs-many traffic into single ``batch_align``
+  calls;
+* the **LRU result cache** and in-flight **singleflight** deduplication
+  skipping recomputation for repeated requests (verified by counters);
+* typed **backpressure** for a job too large for the budget;
+* the stats surface persisted with ``ExperimentRecorder``.
+
+Run:  PYTHONPATH=src python examples/service_throughput.py
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro import MemoryBudgetError, ScoringScheme, dna_simple, linear_gap
+from repro.analysis.recorder import ExperimentRecorder
+from repro.analysis.tables import format_rows
+from repro.service import AlignmentService
+from repro.workloads import evolve, random_sequence
+
+MODES = ["global", "local", "semiglobal", "overlap"]
+BUDGET_CELLS = 200_000     # process-wide DP-cell budget (~1.6 MB of int64)
+WORKERS = 4
+N_REQUESTS = 120
+
+
+def build_traffic(rng):
+    """Mixed traffic: a few queries, a shared target pool, many repeats."""
+    queries = [random_sequence(120, "ACGT", rng, name=f"q{i}") for i in range(3)]
+    targets = [
+        evolve(queries[i % 3], sub_rate=0.05 + 0.02 * (i % 5), indel_rate=0.02,
+               rng=rng, alphabet="ACGT", name=f"t{i}")
+        for i in range(10)
+    ]
+    requests = []
+    for i in range(N_REQUESTS):
+        requests.append({
+            "a": queries[i % 3],
+            "b": targets[(i * 7) % 10],
+            "mode": MODES[i % 4],
+            "score_only": i % 6 == 0,
+        })
+    return requests
+
+
+async def main() -> int:
+    rng = np.random.default_rng(20030707)
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    requests = build_traffic(rng)
+
+    svc = AlignmentService(
+        memory_cells=BUDGET_CELLS, max_workers=WORKERS,
+        cache_size=256, max_batch=8,
+    )
+    print(f"budget: {BUDGET_CELLS} cells total, "
+          f"{svc.governor.per_job_cells} cells per job ({WORKERS} workers)")
+
+    t0 = time.perf_counter()
+    async with svc:
+        # Traffic arrives in bursts: everything in a burst is concurrent.
+        results = []
+        for start in range(0, len(requests), 24):
+            burst = requests[start:start + 24]
+            results += await asyncio.gather(*(
+                svc.align(r["a"], r["b"], scheme,
+                          mode=r["mode"], score_only=r["score_only"])
+                for r in burst
+            ))
+
+        # One deliberately over-budget submission → typed backpressure.
+        # (FastLSA is linear-space, so "too big" means even the k=2 grid
+        # lines — O(m+n) cells — overflow the per-job share.)
+        try:
+            await svc.align("A" * 20_000, "C" * 20_000, scheme)
+            raise AssertionError("over-budget job was not rejected")
+        except MemoryBudgetError as exc:
+            print(f"over-budget job rejected as expected: {exc}")
+
+        elapsed = time.perf_counter() - t0
+        stats = svc.stats()
+        rows = svc.stats_rows()
+
+    assert len(results) == N_REQUESTS
+    share = BUDGET_CELLS // WORKERS
+    assert all(0 < row["reserved_cells"] <= share for row in rows), \
+        "a job planned above the per-job allocation"
+    assert stats["peak_cells_in_flight"] <= BUDGET_CELLS
+    skipped = stats["cache_hits"] + stats["dedup_hits"]
+    assert skipped > 0, "repeated traffic produced no cache/dedup hits"
+
+    print(f"\n{N_REQUESTS} requests in {elapsed:.2f}s "
+          f"({N_REQUESTS / elapsed:.0f} req/s)")
+    summary = [
+        {"counter": key, "value": stats[key]}
+        for key in (
+            "jobs_completed", "cache_hits", "dedup_hits", "cache_misses",
+            "batches", "batched_jobs", "budget_rejections",
+            "peak_cells_in_flight", "mean_queue_wait", "mean_run_time",
+        )
+    ]
+    print(format_rows(summary, title="Service counters"))
+
+    recorder = ExperimentRecorder("service_throughput")
+    recorder.extend(rows)
+    recorder.add(**{"summary": True, **{k: stats[k] for k in (
+        "jobs_completed", "cache_hits", "dedup_hits", "batches",
+        "peak_cells_in_flight", "budget_rejections")},
+        "elapsed_s": round(elapsed, 3)})
+    print(f"\nper-job rows + summary saved to {recorder.save()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(asyncio.run(main()))

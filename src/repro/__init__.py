@@ -27,13 +27,20 @@ from __future__ import annotations
 from .errors import (
     AlignmentError,
     AlphabetError,
+    BackpressureError,
     ConfigError,
     FastaError,
+    JobTimeoutError,
+    MemoryBudgetError,
     PathError,
+    ProtocolError,
+    QueueFullError,
     ReproError,
     SchedulerError,
     ScoringError,
     SequenceError,
+    ServiceClosedError,
+    ServiceError,
 )
 from .scoring import (
     AffineGap,
@@ -101,6 +108,7 @@ from .msa import (
     build_profile,
     center_star_msa,
 )
+from .service import AlignmentClient, AlignmentService, JobResult
 
 __version__ = "1.0.0"
 
@@ -143,6 +151,13 @@ __all__ = [
     "PathError",
     "FastaError",
     "SchedulerError",
+    "ServiceError",
+    "BackpressureError",
+    "QueueFullError",
+    "MemoryBudgetError",
+    "JobTimeoutError",
+    "ServiceClosedError",
+    "ProtocolError",
     # scoring
     "ScoringScheme",
     "SubstitutionMatrix",
@@ -193,6 +208,10 @@ __all__ = [
     "simulated_parallel_fastlsa",
     "SimulationReport",
     "KernelInstruments",
+    # service
+    "AlignmentService",
+    "AlignmentClient",
+    "JobResult",
     # planning
     "Plan",
     "plan_alignment",

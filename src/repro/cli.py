@@ -11,7 +11,13 @@ points:
 * ``fastlsa demo`` — the paper's worked example (Table 1 / Figure 1);
 * ``fastlsa plan M N MEMORY_CELLS`` — show the adaptive plan;
 * ``fastlsa matrix NAME`` — print a built-in matrix in NCBI format;
-* ``fastlsa speedup LENGTH`` — simulated parallel speedup table.
+* ``fastlsa speedup LENGTH`` — simulated parallel speedup table;
+* ``fastlsa serve`` — NDJSON alignment service over stdin/stdout or TCP
+  (job queue, micro-batching, result cache, global memory governor — see
+  ``docs/SERVICE.md``).
+
+``--quiet`` suppresses the informational ``#`` header lines and the serve
+banner; every error exits with status 2.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from .align.sequence import Sequence
 from .analysis.tables import format_rows
 from .baselines import needleman_wunsch
 from .core.planner import plan_alignment
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .parallel import simulated_parallel_fastlsa
 from .scoring import (
     ScoringScheme,
@@ -61,6 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="FastLSA sequence alignment (paper reproduction).",
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress informational '#' lines and banners")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_align = sub.add_parser("align", help="align the first records of two FASTA files")
@@ -108,7 +116,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_speed.add_argument("--k", type=int, default=6)
     p_speed.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8])
     p_speed.add_argument("--overhead", type=float, default=0.0)
+
+    p_serve = sub.add_parser(
+        "serve", help="NDJSON alignment service (stdin/stdout, or TCP with --tcp)"
+    )
+    p_serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                         help="listen on TCP instead of stdin/stdout")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="concurrent job groups / thread-pool size")
+    p_serve.add_argument("--memory-cells", type=int, default=4_000_000,
+                         help="process-wide DP-cell budget split across workers")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="LRU result-cache capacity (0 disables)")
+    p_serve.add_argument("--queue-depth", type=int, default=256,
+                         help="pending jobs before submissions are rejected")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="max requests coalesced into one batch (1 disables)")
+    p_serve.add_argument("--batch-window", type=float, default=0.0,
+                         help="seconds to linger for batchable requests")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="default per-job deadline in seconds")
+    p_serve.add_argument("--matrix", default="dna",
+                         choices=["dna", "blosum62", "pam250", "table1"],
+                         help="default matrix for requests that omit one")
+    p_serve.add_argument("--gap-open", type=int, default=-6)
+    p_serve.add_argument("--gap-extend", type=int, default=None)
     return parser
+
+
+def _info_printer(args):
+    """A print-like callable that is a no-op under ``--quiet``."""
+    if getattr(args, "quiet", False):
+        return lambda *a, **k: None
+    return print
 
 
 def _cmd_align(args) -> int:
@@ -123,10 +163,11 @@ def _cmd_align(args) -> int:
         print(align_score(rec_a, rec_b, scheme))
         return 0
 
+    say = _info_printer(args)
     fastlsa_kwargs = {"k": args.k, "base_cells": args.base_cells}
     if args.mode == "local":
         loc = fastlsa_local(rec_a, rec_b, scheme, **fastlsa_kwargs)
-        print(
+        say(
             f"# local score={loc.score}  a[{loc.a_start}:{loc.a_end}] x "
             f"b[{loc.b_start}:{loc.b_end}]"
         )
@@ -134,7 +175,7 @@ def _cmd_align(args) -> int:
     elif args.mode in ("semiglobal", "overlap"):
         fn = semiglobal_align if args.mode == "semiglobal" else overlap_align
         ef = fn(rec_a, rec_b, scheme, **fastlsa_kwargs)
-        print(
+        say(
             f"# {args.mode} score={ef.score}  a[{ef.a_start}:{ef.a_end}] x "
             f"b[{ef.b_start}:{ef.b_end}]"
         )
@@ -142,10 +183,11 @@ def _cmd_align(args) -> int:
     else:
         kwargs = fastlsa_kwargs if args.method == "fastlsa" else {}
         result = align_fn(rec_a, rec_b, scheme, method=args.method, **kwargs)
-    print(format_alignment(result, width=args.width, scheme=scheme))
+    print(format_alignment(result, width=args.width, scheme=scheme,
+                           show_header=not args.quiet))
     if args.stats:
         s = result.stats
-        print(
+        say(
             f"# cells_computed={s.cells_computed} peak_cells={s.peak_cells_resident} "
             f"subproblems={s.subproblems} depth={s.recursion_depth} "
             f"wall_time={s.wall_time:.3f}s"
@@ -160,9 +202,10 @@ def _cmd_msa(args) -> int:
     records = read_fasta(args.fasta)
     fn = center_star_msa if args.method == "star" else progressive_msa
     msa = fn(records, scheme)
-    print(f"# {args.method} MSA: {len(msa)} sequences x {msa.width} columns, "
-          f"{msa.conserved_columns()} conserved, "
-          f"sum-of-pairs {msa.sum_of_pairs_score(scheme)}")
+    say = _info_printer(args)
+    say(f"# {args.method} MSA: {len(msa)} sequences x {msa.width} columns, "
+        f"{msa.conserved_columns()} conserved, "
+        f"sum-of-pairs {msa.sum_of_pairs_score(scheme)}")
     print(msa.format(width=args.width))
     return 0
 
@@ -229,28 +272,84 @@ def _cmd_speedup(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import AlignmentService, ProtocolHandler, serve_stdio, serve_tcp
+
+    service = AlignmentService(
+        memory_cells=args.memory_cells,
+        max_workers=args.workers,
+        cache_size=args.cache_size,
+        max_queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        default_timeout=args.timeout,
+    )
+    handler = ProtocolHandler(
+        service,
+        default_matrix=args.matrix,
+        default_gap_open=args.gap_open,
+        default_gap_extend=args.gap_extend,
+    )
+    budget = f"{args.memory_cells} cells / {args.workers} workers"
+    if args.tcp is None:
+        if not args.quiet:
+            print(f"# fastlsa serve: NDJSON on stdin/stdout, {budget}",
+                  file=sys.stderr)
+        asyncio.run(serve_stdio(service, handler=handler))
+        return 0
+
+    host, _, port_text = args.tcp.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(f"--tcp expects HOST:PORT, got {args.tcp!r}") from None
+
+    async def run() -> None:
+        ready = asyncio.Event()
+        task = asyncio.ensure_future(
+            serve_tcp(service, host or "127.0.0.1", port, handler=handler,
+                      ready=ready)
+        )
+        await ready.wait()
+        if not args.quiet:
+            bound = serve_tcp.bound
+            print(f"# fastlsa serve: NDJSON on {bound[0]}:{bound[1]}, {budget}",
+                  file=sys.stderr)
+        await task
+
+    asyncio.run(run())
+    return 0
+
+
+_COMMANDS = {
+    "align": _cmd_align,
+    "matrix": _cmd_matrix,
+    "msa": _cmd_msa,
+    "demo": _cmd_demo,
+    "plan": _cmd_plan,
+    "speedup": _cmd_speedup,
+    "serve": _cmd_serve,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every failure path — library errors and OS-level problems like a
+    missing FASTA file — prints ``error: ...`` to stderr and exits 2.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        if args.command == "align":
-            return _cmd_align(args)
-        if args.command == "matrix":
-            return _cmd_matrix(args)
-        if args.command == "msa":
-            return _cmd_msa(args)
-        if args.command == "demo":
-            return _cmd_demo(args)
-        if args.command == "plan":
-            return _cmd_plan(args)
-        if args.command == "speedup":
-            return _cmd_speedup(args)
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
         parser.error(f"unknown command {args.command!r}")
-    except ReproError as exc:
+    try:
+        return handler(args)
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

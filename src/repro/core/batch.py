@@ -9,6 +9,7 @@ the ends-free variants.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence as Seq
 
@@ -82,6 +83,19 @@ def _quick_score(query, target, scheme, mode, cfg) -> int:
     return int(best)
 
 
+def _score_all(q, seqs, scheme, mode, cfg, executor, max_workers) -> List[int]:
+    """Score every target, optionally fanning out on a thread pool."""
+    if executor is None and max_workers is None:
+        return [_quick_score(q, t, scheme, mode, cfg) for t in seqs]
+    own = executor is None
+    pool = executor or ThreadPoolExecutor(max_workers=max_workers)
+    try:
+        return list(pool.map(lambda t: _quick_score(q, t, scheme, mode, cfg), seqs))
+    finally:
+        if own:
+            pool.shutdown(wait=True)
+
+
 def batch_align(
     query,
     targets: Seq,
@@ -92,6 +106,8 @@ def batch_align(
     k: int = DEFAULT_K,
     base_cells: int = DEFAULT_BASE_CELLS,
     config: Optional[FastLSAConfig] = None,
+    executor: Optional[ThreadPoolExecutor] = None,
+    max_workers: Optional[int] = None,
 ) -> List[BatchHit]:
     """Rank ``targets`` by alignment score against ``query``.
 
@@ -104,6 +120,13 @@ def batch_align(
         Number of top hits to materialise full alignments for.
     min_score:
         Drop targets scoring below this (after ranking).
+    executor:
+        Score targets concurrently on this shared pool (it is not shut
+        down); the service layer passes its worker pool here.
+    max_workers:
+        Without ``executor``, spin up a private pool of this many threads
+        for the scoring sweep.  The default (both ``None``) stays
+        sequential.
 
     Returns hits sorted by descending score with ``rank`` starting at 1;
     only the top ``keep`` carry alignments.
@@ -112,15 +135,16 @@ def batch_align(
         raise ConfigError(f"unknown mode {mode!r}; choose from {_MODES}")
     if keep < 0:
         raise ConfigError(f"keep must be >= 0, got {keep}")
+    if max_workers is not None and max_workers < 1:
+        raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
     q = as_sequence(query, "query")
     seqs = [as_sequence(t, f"target{i}") for i, t in enumerate(targets)]
     cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
 
-    scored = []
-    for idx, target in enumerate(seqs):
-        s = _quick_score(q, target, scheme, mode, cfg)
-        scored.append((s, idx))
-    scored.sort(key=lambda t: (-t[0], t[1]))
+    scores = _score_all(q, seqs, scheme, mode, cfg, executor, max_workers)
+    scored = sorted(
+        ((s, idx) for idx, s in enumerate(scores)), key=lambda t: (-t[0], t[1])
+    )
     if min_score is not None:
         scored = [(s, i) for s, i in scored if s >= min_score]
 

@@ -17,6 +17,13 @@ __all__ = [
     "PathError",
     "FastaError",
     "SchedulerError",
+    "ServiceError",
+    "BackpressureError",
+    "QueueFullError",
+    "MemoryBudgetError",
+    "JobTimeoutError",
+    "ServiceClosedError",
+    "ProtocolError",
 ]
 
 
@@ -70,3 +77,43 @@ class SchedulerError(ReproError, RuntimeError):
     dependency graph, a simulated machine asked to run zero tasks forever)
     rather than a user error.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for alignment-service (``fastlsa serve``) failures."""
+
+
+class BackpressureError(ServiceError):
+    """A submission was rejected because the service is saturated.
+
+    Subclasses distinguish the two admission-control limits: queue depth
+    (:class:`QueueFullError`) and the global memory budget
+    (:class:`MemoryBudgetError`).  Clients should back off and retry, or
+    shed load.
+    """
+
+
+class QueueFullError(BackpressureError):
+    """The service's pending-job queue is at its configured depth limit."""
+
+
+class MemoryBudgetError(BackpressureError):
+    """A job cannot be planned within the governor's per-job cell allocation.
+
+    Raised at admission time: the memory governor splits the process-wide
+    cell budget across workers, and :func:`repro.core.planner.plan_alignment`
+    could not fit the requested problem into that per-job share even in the
+    ``k = 2`` linear-space configuration.
+    """
+
+
+class JobTimeoutError(ServiceError):
+    """A job exceeded its deadline while queued or running."""
+
+
+class ServiceClosedError(ServiceError):
+    """A submission arrived after the service began shutting down."""
+
+
+class ProtocolError(ServiceError):
+    """A service request (NDJSON line) is malformed or names an unknown op."""

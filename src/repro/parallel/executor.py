@@ -12,7 +12,7 @@ figures); on a real multi-core machine it parallelises for free.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Dict, List, Optional
 
 from ..errors import SchedulerError
@@ -33,6 +33,11 @@ def run_wavefront(
     must handle its own result storage; tiles are submitted as soon as
     their dependencies finish.  The first worker exception aborts the run
     and is re-raised.
+
+    An injected ``pool`` is never shut down, even on failure: after an
+    abort no further tiles are submitted, every already-submitted tile is
+    drained before this function returns, and the pool is left clean for
+    reuse (the service layer shares one pool across many runs).
     """
     if n_threads < 1:
         raise SchedulerError(f"n_threads must be >= 1, got {n_threads}")
@@ -46,14 +51,22 @@ def run_wavefront(
     indeg: Dict[TileId, int] = {
         (t.r, t.c): len(grid.dependencies((t.r, t.c))) for t in tiles
     }
+    futures: List = []
 
     own_pool = pool is None
     executor = pool or ThreadPoolExecutor(max_workers=n_threads)
 
     def submit(tid: TileId) -> None:
-        executor.submit(run_tile, tid)
+        with lock:
+            if state["error"] is not None:
+                return
+            futures.append(executor.submit(run_tile, tid))
 
     def run_tile(tid: TileId) -> None:
+        with lock:
+            aborted = state["error"] is not None
+        if aborted:
+            return
         try:
             worker(grid[tid])
         except BaseException as exc:  # propagate the first failure
@@ -82,6 +95,16 @@ def run_wavefront(
         for tid in initial:
             submit(tid)
         done.wait()
+        # Drain in-flight tiles so a shared pool holds no stray work from
+        # this run; submit() refuses new tiles once an error is recorded,
+        # so this terminates promptly after an abort.
+        while True:
+            with lock:
+                batch = futures[:]
+                futures.clear()
+            if not batch:
+                break
+            wait(batch)
         if state["error"] is not None:
             raise state["error"]  # type: ignore[misc]
         if int(state["pending"]) != 0:

@@ -1,0 +1,48 @@
+"""Alignment service layer: queue, micro-batching, cache, memory governor.
+
+The serving substrate on top of the core library (see ``docs/SERVICE.md``):
+
+* :class:`AlignmentService` — asyncio job queue + worker pool with
+  dynamic micro-batching and a global memory governor;
+* :class:`AlignmentClient` — synchronous in-process client (background
+  event loop) for tests, examples and notebooks;
+* :class:`MemoryGovernor`, :class:`ResultCache`, :class:`ServiceStats` —
+  the composable parts;
+* :func:`serve_stdio` / :func:`serve_tcp` / :class:`ProtocolHandler` —
+  the ``fastlsa serve`` NDJSON transports.
+"""
+
+from .cache import ResultCache
+from .client import AlignmentClient
+from .governor import MemoryGovernor
+from .jobs import (
+    MODES,
+    AlignRequest,
+    Job,
+    JobResult,
+    JobState,
+    scheme_digest,
+    sequence_digest,
+)
+from .scheduler import AlignmentService
+from .server import ProtocolHandler, result_to_json, serve_stdio, serve_tcp
+from .stats import ServiceStats
+
+__all__ = [
+    "MODES",
+    "AlignRequest",
+    "AlignmentClient",
+    "AlignmentService",
+    "Job",
+    "JobResult",
+    "JobState",
+    "MemoryGovernor",
+    "ProtocolHandler",
+    "ResultCache",
+    "ServiceStats",
+    "result_to_json",
+    "scheme_digest",
+    "sequence_digest",
+    "serve_stdio",
+    "serve_tcp",
+]

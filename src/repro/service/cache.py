@@ -1,0 +1,83 @@
+"""LRU result cache for the alignment service.
+
+Keys are ``(seq-a digest, seq-b digest, scheme digest, mode, score_only,
+k, base_cells)`` tuples (see :meth:`repro.service.jobs.AlignRequest.cache_key`)
+so identical work — even arriving over different connections with freshly
+constructed scheme objects — is answered without recomputation.  Hit and
+miss counters feed the stats surface.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, TypeVar
+
+from ..errors import ConfigError
+
+__all__ = ["ResultCache"]
+
+V = TypeVar("V")
+
+
+class ResultCache:
+    """A thread-safe least-recently-used cache with hit/miss counters.
+
+    The scheduler touches it from the event loop and worker threads touch
+    it when publishing results, hence the lock.  ``capacity == 0`` disables
+    caching (every lookup is a miss, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ConfigError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/refresh ``key``; evicts the least-recently-used entry."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the service stats surface."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "cache_size": len(self._data),
+                "cache_capacity": self.capacity,
+                "cache_hits": self.hits,
+                "cache_misses": self.misses,
+                "cache_evictions": self.evictions,
+                "cache_hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }

@@ -1,0 +1,144 @@
+"""Synchronous in-process client for the alignment service.
+
+:class:`AlignmentClient` owns an event loop on a background thread and a
+private :class:`~repro.service.scheduler.AlignmentService`, so ordinary
+(synchronous) code — tests, examples, notebooks — can use the full
+serving stack without writing any asyncio::
+
+    with AlignmentClient(memory_cells=500_000, max_workers=2) as client:
+        result = client.align("ACGT", "ACGA", scheme)
+        print(result.score, client.stats()["cache_hits"])
+
+Async code should use :class:`AlignmentService` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence as Seq
+
+from ..errors import ServiceClosedError
+from ..scoring.scheme import ScoringScheme
+from .jobs import JobResult
+from .scheduler import AlignmentService
+
+__all__ = ["AlignmentClient"]
+
+
+class AlignmentClient:
+    """Drives an :class:`AlignmentService` from synchronous code.
+
+    Accepts the same keyword arguments as :class:`AlignmentService`
+    (``memory_cells``, ``max_workers``, ``cache_size``, ...), or an
+    already-constructed (not yet started) ``service``.
+    """
+
+    def __init__(self, service: Optional[AlignmentService] = None, **service_kwargs):
+        self.service = service or AlignmentService(**service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "AlignmentClient":
+        """Spin up the background loop and the service; idempotent."""
+        if self._loop is None:
+            self._loop = asyncio.new_event_loop()
+            self._thread = threading.Thread(
+                target=self._loop.run_forever, name="fastlsa-service", daemon=True
+            )
+            self._thread.start()
+            self._call(self.service.start())
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Drain (or abort) the service and stop the background loop."""
+        if self._loop is None:
+            return
+        try:
+            self._call(self.service.close(drain=drain))
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            assert self._thread is not None
+            self._thread.join()
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "AlignmentClient":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ------------------------------------------------------
+    def align(
+        self,
+        a,
+        b,
+        scheme: ScoringScheme,
+        mode: str = "global",
+        score_only: bool = False,
+        timeout: Optional[float] = None,
+    ) -> JobResult:
+        """Blocking submit-and-wait for one alignment."""
+        return self._call(
+            self.service.align(a, b, scheme, mode=mode,
+                               score_only=score_only, timeout=timeout)
+        )
+
+    def submit(
+        self,
+        a,
+        b,
+        scheme: ScoringScheme,
+        mode: str = "global",
+        score_only: bool = False,
+        timeout: Optional[float] = None,
+    ) -> "Future[JobResult]":
+        """Non-blocking submit; returns a concurrent future.
+
+        Admission errors (backpressure, queue-full) surface on the
+        returned future rather than being raised here.
+        """
+
+        async def _go() -> JobResult:
+            job = await self.service.submit(
+                a, b, scheme, mode=mode, score_only=score_only, timeout=timeout
+            )
+            return await job.future
+
+        return self._submit(_go())
+
+    def align_many(
+        self,
+        pairs: Seq,
+        scheme: ScoringScheme,
+        mode: str = "global",
+        score_only: bool = False,
+        timeout: Optional[float] = None,
+    ) -> List[JobResult]:
+        """Blocking one-vs-many helper (micro-batched by the scheduler)."""
+        return self._call(
+            self.service.align_many(pairs, scheme, mode=mode,
+                                    score_only=score_only, timeout=timeout)
+        )
+
+    def stats(self) -> Dict:
+        """Snapshot of the service counters."""
+        return self.service.stats()
+
+    def stats_rows(self) -> List[Dict]:
+        """Per-job recorder rows."""
+        return self.service.stats_rows()
+
+    # -- plumbing ------------------------------------------------------
+    def _submit(self, coro) -> Future:
+        if self._loop is None:
+            coro.close()
+            raise ServiceClosedError("client is not started (use 'with client:')")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def _call(self, coro):
+        return self._submit(coro).result()

@@ -1,0 +1,192 @@
+"""Job and result types for the alignment service.
+
+A :class:`Job` wraps one :class:`AlignRequest` with the bookkeeping the
+scheduler needs: an :class:`asyncio.Future` for the caller, timestamps for
+the stats surface, the memory plan the governor admitted it under, and the
+batch key used by the micro-batcher to coalesce compatible requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..align.sequence import Sequence, as_sequence
+from ..core.config import FastLSAConfig
+from ..core.planner import Plan
+from ..errors import ConfigError
+from ..scoring.scheme import ScoringScheme
+
+__all__ = [
+    "MODES",
+    "AlignRequest",
+    "Job",
+    "JobResult",
+    "JobState",
+    "scheme_digest",
+    "sequence_digest",
+]
+
+#: Alignment modes the service accepts (mirrors ``core.batch``).
+MODES = ("global", "local", "semiglobal", "overlap")
+
+_job_ids = itertools.count(1)
+
+
+def scheme_digest(scheme: ScoringScheme) -> str:
+    """Stable digest of a scoring scheme (matrix content + gap model).
+
+    Two schemes with identical alphabets, score tables and gap penalties
+    hash equally even if they are distinct objects, so cache keys survive
+    scheme reconstruction (e.g. one per TCP connection).
+    """
+    h = hashlib.sha256()
+    h.update(scheme.alphabet.encode())
+    h.update(scheme.matrix.table.tobytes())
+    h.update(f"{scheme.gap.open}:{scheme.gap.extend}".encode())
+    return h.hexdigest()[:16]
+
+
+def sequence_digest(seq: Sequence) -> str:
+    """Digest of a sequence's residue text (names do not affect results)."""
+    return hashlib.sha256(seq.text.encode()).hexdigest()[:16]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class AlignRequest:
+    """One alignment the service has been asked to perform.
+
+    Attributes
+    ----------
+    a, b:
+        Query and target sequences (``a`` indexes DPM rows).
+    scheme:
+        Scoring scheme the alignment runs under.
+    mode:
+        ``"global"``, ``"local"``, ``"semiglobal"`` or ``"overlap"``.
+    score_only:
+        When true, only the optimal score is computed (single sweep) —
+        cheaper, and always batchable.
+    """
+
+    a: Sequence
+    b: Sequence
+    scheme: ScoringScheme
+    mode: str = "global"
+    score_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(f"unknown mode {self.mode!r}; choose from {MODES}")
+        object.__setattr__(self, "a", as_sequence(self.a, "a"))
+        object.__setattr__(self, "b", as_sequence(self.b, "b"))
+
+    def cache_key(self, config: FastLSAConfig) -> Tuple:
+        """Key identifying this request's result in the LRU cache."""
+        return (
+            sequence_digest(self.a),
+            sequence_digest(self.b),
+            scheme_digest(self.scheme),
+            self.mode,
+            self.score_only,
+            config.k,
+            config.base_cells,
+        )
+
+    def batch_key(self, config: FastLSAConfig) -> Tuple:
+        """Key under which requests may be coalesced into one batch.
+
+        Requests sharing a query, scheme, mode, score-only flag and plan
+        config are one-vs-many against the same database and can run as a
+        single :func:`repro.core.batch.batch_align` call.
+        """
+        return (
+            sequence_digest(self.a),
+            scheme_digest(self.scheme),
+            self.mode,
+            self.score_only,
+            config.k,
+            config.base_cells,
+        )
+
+
+@dataclass
+class JobResult:
+    """What the service hands back for a finished job."""
+
+    job_id: int
+    score: int
+    mode: str
+    a_name: str
+    b_name: str
+    cached: bool = False
+    score_only: bool = False
+    gapped_a: Optional[str] = None
+    gapped_b: Optional[str] = None
+    a_range: Optional[Tuple[int, int]] = None
+    b_range: Optional[Tuple[int, int]] = None
+    plan_method: str = ""
+    plan_k: int = 0
+    plan_base_cells: int = 0
+    reserved_cells: int = 0
+    batch_size: int = 1
+    queue_wait: float = 0.0
+    run_time: float = 0.0
+
+    def row(self) -> dict:
+        """An :class:`~repro.analysis.recorder.ExperimentRecorder` row."""
+        return {
+            "job_id": self.job_id,
+            "mode": self.mode,
+            "score": self.score,
+            "cached": self.cached,
+            "score_only": self.score_only,
+            "plan_method": self.plan_method,
+            "plan_k": self.plan_k,
+            "plan_base_cells": self.plan_base_cells,
+            "reserved_cells": self.reserved_cells,
+            "batch_size": self.batch_size,
+            "queue_wait": round(self.queue_wait, 6),
+            "run_time": round(self.run_time, 6),
+        }
+
+
+@dataclass
+class Job:
+    """Scheduler-side wrapper around one request."""
+
+    request: AlignRequest
+    plan: Plan
+    future: "asyncio.Future[JobResult]"
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    state: JobState = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    deadline: Optional[float] = None
+    reserved_cells: int = 0
+
+    @property
+    def config(self) -> FastLSAConfig:
+        """The FastLSA parameters the governor admitted this job under."""
+        return self.plan.config
+
+    def cache_key(self) -> Tuple:
+        return self.request.cache_key(self.config)
+
+    def batch_key(self) -> Tuple:
+        return self.request.batch_key(self.config)

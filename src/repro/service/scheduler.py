@@ -1,0 +1,500 @@
+"""Asyncio alignment service: job queue, worker pool, micro-batching.
+
+:class:`AlignmentService` is the serving substrate the ROADMAP's
+"heavy traffic" north star needs.  One event loop owns:
+
+* a FIFO **job queue** with a configurable depth limit
+  (:class:`~repro.errors.QueueFullError` on overflow);
+* a shared :class:`~concurrent.futures.ThreadPoolExecutor` — the same
+  pool-injection idiom :func:`repro.parallel.executor.run_wavefront`
+  exposes, so tile-parallel alignments can reuse the service pool;
+* a **micro-batcher** that coalesces queued requests sharing a query,
+  scheme, mode and plan into a single
+  :func:`repro.core.batch.batch_align` call (one-vs-many amortisation);
+* a :class:`~repro.service.governor.MemoryGovernor` splitting a global
+  DP-cell budget across in-flight jobs (admission control + backpressure);
+* an LRU :class:`~repro.service.cache.ResultCache` so repeated requests
+  skip recomputation entirely.
+
+Everything observable is counted and exported as
+:class:`~repro.analysis.recorder.ExperimentRecorder`-compatible rows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Sequence as Seq, Set
+
+from ..core.batch import _full_alignment, _quick_score, batch_align
+from ..errors import (
+    ConfigError,
+    JobTimeoutError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+)
+from ..scoring.scheme import ScoringScheme
+from .cache import ResultCache
+from .governor import MemoryGovernor
+from .jobs import AlignRequest, Job, JobResult, JobState
+from .stats import ServiceStats
+
+__all__ = ["AlignmentService"]
+
+
+class AlignmentService:
+    """An in-process asynchronous alignment server.
+
+    Parameters
+    ----------
+    memory_cells:
+        Process-wide DP-cell budget the governor splits across workers.
+    max_workers:
+        Concurrent job groups; also sizes the shared thread pool.
+    cache_size:
+        LRU result-cache capacity (0 disables caching).
+    max_queue_depth:
+        Pending jobs beyond which submissions are rejected.
+    max_batch:
+        Largest number of compatible jobs coalesced into one
+        ``batch_align`` call (1 disables micro-batching).
+    batch_window:
+        Seconds the dispatcher lingers after picking a batchable job to
+        let more compatible requests arrive (0 = coalesce only what is
+        already queued).
+    default_timeout:
+        Deadline applied to jobs submitted without an explicit timeout.
+    executor:
+        Inject a shared :class:`ThreadPoolExecutor` (the service will not
+        shut it down); by default the service owns one.
+
+    Use as an async context manager::
+
+        async with AlignmentService(memory_cells=500_000) as svc:
+            result = await svc.align("ACGT", "ACGA", scheme)
+    """
+
+    def __init__(
+        self,
+        memory_cells: int = 4_000_000,
+        max_workers: int = 4,
+        cache_size: int = 1024,
+        max_queue_depth: int = 256,
+        max_batch: int = 16,
+        batch_window: float = 0.0,
+        default_timeout: Optional[float] = None,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ConfigError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window < 0:
+            raise ConfigError(f"batch_window must be >= 0, got {batch_window}")
+        self.governor = MemoryGovernor(memory_cells, max_workers)
+        self.cache = ResultCache(cache_size)
+        self.stats_ = ServiceStats()
+        self.max_workers = max_workers
+        self.max_queue_depth = max_queue_depth
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.default_timeout = default_timeout
+        self._own_executor = executor is None
+        self._executor = executor or ThreadPoolExecutor(max_workers=max_workers)
+        self._pending: Deque[Job] = deque()
+        self._by_key: Dict = {}  # cache key -> primary in-flight Job (singleflight)
+        self._inflight: Set[asyncio.Task] = set()
+        self._work = asyncio.Event()
+        self._sem = asyncio.Semaphore(max_workers)
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._closing = False
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "AlignmentService":
+        """Start the dispatcher; idempotent."""
+        if self._dispatcher is None:
+            self._closing = False
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+            self._started = True
+        return self
+
+    async def __aenter__(self) -> "AlignmentService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self, drain: bool = True) -> None:
+        """Shut down.
+
+        With ``drain=True`` (default) every queued and in-flight job is
+        completed first; otherwise queued jobs fail with
+        :class:`ServiceClosedError` (in-flight thread work always runs to
+        completion — threads cannot be preempted).
+        """
+        if self._dispatcher is None:
+            return
+        self._closing = True
+        if not drain:
+            while self._pending:
+                job = self._pending.popleft()
+                self._fail(job, ServiceClosedError("service shut down"))
+        self._work.set()
+        await self._dispatcher
+        self._dispatcher = None
+        if self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+        if self._own_executor:
+            self._executor.shutdown(wait=True)
+
+    # -- submission ----------------------------------------------------
+    async def submit(
+        self,
+        a,
+        b,
+        scheme: ScoringScheme,
+        mode: str = "global",
+        score_only: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Admit one alignment job; returns it with a pending future.
+
+        Raises
+        ------
+        MemoryBudgetError
+            The problem cannot be planned inside the governor's per-job
+            allocation (typed backpressure — shed load or shrink jobs).
+        QueueFullError
+            The pending queue is at ``max_queue_depth``.
+        ServiceClosedError
+            The service is shutting down.
+        """
+        if self._closing or not self._started:
+            raise ServiceClosedError(
+                "service is not running (use 'async with service:' or start())"
+            )
+        request = AlignRequest(a=a, b=b, scheme=scheme, mode=mode, score_only=score_only)
+        self.stats_.submitted += 1
+        # Stage 1 admission: plan inside the per-job allocation.
+        plan = self.governor.admit(
+            len(request.a), len(request.b), affine=not scheme.is_linear
+        )
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[JobResult]" = loop.create_future()
+        job = Job(request=request, plan=plan, future=future)
+        job.submitted_at = loop.time()
+
+        key = job.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            result = self._replay_cached(job, cached)
+            job.state = JobState.DONE
+            future.set_result(result)
+            self.stats_.completed += 1
+            self.stats_.cache_short_circuits += 1
+            self.stats_.record(result)
+            return job
+
+        # Singleflight: identical work already in flight — piggyback on it
+        # instead of queueing a duplicate computation.
+        primary = self._by_key.get(key)
+        if primary is not None:
+            self.stats_.dedup_hits += 1
+            primary.future.add_done_callback(
+                lambda fut, job=job: self._mirror(job, fut)
+            )
+            return job
+
+        # Stage 2 admission: bounded queue depth.
+        if len(self._pending) >= self.max_queue_depth:
+            self.stats_.rejected_queue += 1
+            raise QueueFullError(
+                f"queue depth limit {self.max_queue_depth} reached "
+                f"({len(self._pending)} pending)"
+            )
+        effective = timeout if timeout is not None else self.default_timeout
+        if effective is not None:
+            job.deadline = job.submitted_at + effective
+        self._by_key[key] = job
+        self._pending.append(job)
+        self._work.set()
+        return job
+
+    def _mirror(self, job: Job, fut: "asyncio.Future[JobResult]") -> None:
+        """Resolve a deduplicated job from its primary's outcome."""
+        if fut.cancelled():
+            job.future.cancel()
+            return
+        exc = fut.exception()
+        if exc is not None:
+            self._fail(job, exc)
+            return
+        result = self._replay_cached(job, fut.result())
+        job.state = JobState.DONE
+        self.stats_.completed += 1
+        self.stats_.record(result)
+        if not job.future.done():
+            job.future.set_result(result)
+
+    def _forget_key(self, job: Job) -> None:
+        """Drop the singleflight registration if ``job`` still owns it."""
+        key = job.cache_key()
+        if self._by_key.get(key) is job:
+            del self._by_key[key]
+
+    async def align(
+        self,
+        a,
+        b,
+        scheme: ScoringScheme,
+        mode: str = "global",
+        score_only: bool = False,
+        timeout: Optional[float] = None,
+    ) -> JobResult:
+        """Submit and wait: the one-call convenience path."""
+        job = await self.submit(a, b, scheme, mode=mode,
+                                score_only=score_only, timeout=timeout)
+        return await job.future
+
+    async def align_many(
+        self,
+        pairs: Seq,
+        scheme: ScoringScheme,
+        mode: str = "global",
+        score_only: bool = False,
+        timeout: Optional[float] = None,
+    ) -> List[JobResult]:
+        """Submit many ``(a, b)`` pairs and gather their results."""
+        jobs = [
+            await self.submit(a, b, scheme, mode=mode,
+                              score_only=score_only, timeout=timeout)
+            for a, b in pairs
+        ]
+        return list(await asyncio.gather(*(j.future for j in jobs)))
+
+    # -- dispatcher ----------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if not self._pending:
+                if self._closing:
+                    return
+                self._work.clear()
+                await self._work.wait()
+                continue
+            job = self._pending.popleft()
+            if self._expired(job):
+                continue
+            group = [job]
+            if self.max_batch > 1:
+                if self.batch_window > 0 and len(self._pending) < self.max_batch - 1:
+                    await asyncio.sleep(self.batch_window)
+                group += self._coalesce(job)
+            await self._sem.acquire()
+            # The slot wait may have outlived some deadlines.
+            group = [j for j in group if not self._expired(j)]
+            if not group:
+                self._sem.release()
+                continue
+            reservation = max(j.plan.predicted_peak_cells for j in group)
+            try:
+                await self.governor.reserve(reservation, timeout=self._remaining(job))
+            except ServiceError as exc:
+                self._sem.release()
+                if isinstance(exc, JobTimeoutError):
+                    self.stats_.timeouts += len(group)
+                for j in group:
+                    self._fail(j, exc)
+                continue
+            for j in group:
+                j.reserved_cells = reservation
+            task = asyncio.get_running_loop().create_task(
+                self._run_group(group, reservation)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._group_done)
+
+    def _group_done(self, task: asyncio.Task) -> None:
+        self._inflight.discard(task)
+        self._sem.release()
+        if not task.cancelled() and task.exception() is not None:  # pragma: no cover
+            self.stats_.internal_errors += 1
+
+    def _coalesce(self, job: Job) -> List[Job]:
+        """Pull queued jobs batchable with ``job`` (same one-vs-many key)."""
+        key = job.batch_key()
+        mates = [j for j in self._pending if j.batch_key() == key]
+        mates = mates[: self.max_batch - 1]
+        for mate in mates:
+            self._pending.remove(mate)
+        live = [m for m in mates if not self._expired(m)]
+        return live
+
+    def _expired(self, job: Job) -> bool:
+        """Fail and drop a queued job whose deadline has passed."""
+        loop = asyncio.get_running_loop()
+        if job.deadline is not None and loop.time() > job.deadline:
+            self.stats_.timeouts += 1
+            self._fail(
+                job,
+                JobTimeoutError(
+                    f"job {job.job_id} expired after "
+                    f"{loop.time() - job.submitted_at:.3f}s in queue"
+                ),
+            )
+            return True
+        return False
+
+    def _remaining(self, job: Job) -> Optional[float]:
+        if job.deadline is None:
+            return None
+        return max(0.0, job.deadline - asyncio.get_running_loop().time())
+
+    # -- execution -----------------------------------------------------
+    async def _run_group(self, group: List[Job], reservation: int) -> None:
+        loop = asyncio.get_running_loop()
+        for job in group:
+            job.state = JobState.RUNNING
+            job.started_at = loop.time()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._compute_group, group
+            )
+        except Exception as exc:
+            for job in group:
+                self._fail(job, exc)
+            return
+        finally:
+            await self.governor.release(reservation)
+        if len(group) > 1:
+            self.stats_.batches += 1
+            self.stats_.batched_jobs += len(group)
+        for job, result in zip(group, results):
+            job.state = JobState.DONE
+            job.finished_at = loop.time()
+            result.queue_wait = job.started_at - job.submitted_at
+            result.run_time = job.finished_at - job.started_at
+            result.batch_size = len(group)
+            self.cache.put(job.cache_key(), result)
+            self._forget_key(job)
+            self.stats_.completed += 1
+            self.stats_.record(result)
+            if not job.future.done():
+                job.future.set_result(result)
+
+    def _compute_group(self, group: List[Job]) -> List[JobResult]:
+        """Thread-pool side: run one job, or one coalesced batch."""
+        if len(group) == 1:
+            return [self._compute_single(group[0])]
+        lead = group[0]
+        req = lead.request
+        targets = [j.request.b for j in group]
+        keep = 0 if req.score_only else len(targets)
+        hits = batch_align(
+            req.a, targets, req.scheme, mode=req.mode,
+            keep=keep, config=lead.config,
+        )
+        by_target: Dict[int, List[Job]] = {}
+        for j in group:
+            by_target.setdefault(id(j.request.b), []).append(j)
+        results = {}
+        for hit in hits:
+            job = by_target[id(hit.target)].pop(0)
+            results[job.job_id] = JobResult(
+                job_id=job.job_id,
+                score=hit.score,
+                mode=req.mode,
+                a_name=req.a.name,
+                b_name=hit.target.name,
+                score_only=req.score_only,
+                gapped_a=hit.alignment.gapped_a if hit.alignment is not None else None,
+                gapped_b=hit.alignment.gapped_b if hit.alignment is not None else None,
+                a_range=hit.a_range,
+                b_range=hit.b_range,
+                plan_method=job.plan.method,
+                plan_k=job.config.k,
+                plan_base_cells=job.config.base_cells,
+                reserved_cells=job.reserved_cells,
+            )
+        return [results[j.job_id] for j in group]
+
+    def _compute_single(self, job: Job) -> JobResult:
+        req = job.request
+        if req.score_only:
+            score = _quick_score(req.a, req.b, req.scheme, req.mode, job.config)
+            return self._result(job, score=int(score))
+        alignment, a_range, b_range, score = _full_alignment(
+            req.a, req.b, req.scheme, req.mode, job.config
+        )
+        return self._result(
+            job,
+            score=int(score),
+            gapped_a=alignment.gapped_a,
+            gapped_b=alignment.gapped_b,
+            a_range=a_range,
+            b_range=b_range,
+        )
+
+    def _result(self, job: Job, **fields) -> JobResult:
+        return JobResult(
+            job_id=job.job_id,
+            mode=job.request.mode,
+            a_name=job.request.a.name,
+            b_name=job.request.b.name,
+            score_only=job.request.score_only,
+            plan_method=job.plan.method,
+            plan_k=job.config.k,
+            plan_base_cells=job.config.base_cells,
+            reserved_cells=job.reserved_cells,
+            **fields,
+        )
+
+    def _replay_cached(self, job: Job, cached: object) -> JobResult:
+        """A cache hit: clone the stored result under the new job's id."""
+        assert isinstance(cached, JobResult)
+        result = JobResult(**{**cached.__dict__})
+        result.job_id = job.job_id
+        result.cached = True
+        result.queue_wait = 0.0
+        result.run_time = 0.0
+        return result
+
+    def _fail(self, job: Job, exc: BaseException) -> None:
+        job.state = JobState.FAILED
+        self._forget_key(job)
+        self.stats_.failed += 1
+        if not job.future.done():
+            job.future.set_exception(exc)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet dispatched."""
+        return len(self._pending)
+
+    def stats(self) -> Dict:
+        """One merged snapshot of every counter the service keeps."""
+        snap = {
+            "queue_depth": self.queue_depth,
+            "inflight_groups": len(self._inflight),
+            "max_workers": self.max_workers,
+            "max_queue_depth": self.max_queue_depth,
+            "max_batch": self.max_batch,
+        }
+        snap.update(self.stats_.counters())
+        snap.update(self.cache.stats())
+        snap.update(self.governor.stats())
+        return snap
+
+    def stats_rows(self) -> List[Dict]:
+        """Per-job rows for :class:`~repro.analysis.recorder.ExperimentRecorder`."""
+        return self.stats_.rows()
+
+    def stats_row(self) -> Dict:
+        """The summary snapshot as a single recorder-compatible row."""
+        return dict(self.stats())

@@ -1,0 +1,289 @@
+"""Line-delimited JSON protocol for ``fastlsa serve``.
+
+One request per line, one response per line, correlated by the client's
+``id`` field (responses may arrive out of order: requests on a connection
+are handled concurrently so the micro-batcher can coalesce them).
+
+Request ops:
+
+``align``
+    ``{"op": "align", "id": 1, "a": "ACGT", "b": "ACGA",
+    "mode": "global", "score_only": false, "matrix": "dna",
+    "gap_open": -6, "gap_extend": null, "timeout": null}``
+``batch``
+    Like ``align`` but with ``"targets": ["ACGT", ...]`` (or
+    ``[{"text": ..., "name": ...}, ...]``) instead of ``b`` — submits one
+    job per target (the scheduler coalesces them into a single
+    ``batch_align`` call) and responds once with every hit.
+``stats``
+    The service's merged counter snapshot.
+``ping`` / ``shutdown``
+    Liveness probe / graceful drain-and-exit.
+
+Responses: ``{"id": ..., "ok": true, "result": {...}}`` or
+``{"id": ..., "ok": false, "error": {"type": "QueueFullError",
+"message": ..., "backpressure": true}}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..align.sequence import Sequence
+from ..errors import BackpressureError, ProtocolError, ReproError
+from ..scoring import (
+    ScoringScheme,
+    affine_gap,
+    blosum62,
+    dna_simple,
+    linear_gap,
+    pam250,
+    table1_matrix,
+)
+from .jobs import JobResult
+from .scheduler import AlignmentService
+
+__all__ = ["ProtocolHandler", "serve_stdio", "serve_tcp", "result_to_json"]
+
+_MATRICES = {
+    "dna": dna_simple,
+    "blosum62": blosum62,
+    "pam250": pam250,
+    "table1": table1_matrix,
+}
+
+
+def result_to_json(result: JobResult) -> Dict:
+    """A :class:`JobResult` as a JSON-able dict (protocol shape)."""
+    out = {
+        "job_id": result.job_id,
+        "score": result.score,
+        "mode": result.mode,
+        "a_name": result.a_name,
+        "b_name": result.b_name,
+        "cached": result.cached,
+        "batch_size": result.batch_size,
+        "plan": {
+            "method": result.plan_method,
+            "k": result.plan_k,
+            "base_cells": result.plan_base_cells,
+            "reserved_cells": result.reserved_cells,
+        },
+        "queue_wait": round(result.queue_wait, 6),
+        "run_time": round(result.run_time, 6),
+    }
+    if not result.score_only:
+        out["gapped_a"] = result.gapped_a
+        out["gapped_b"] = result.gapped_b
+        out["a_range"] = list(result.a_range) if result.a_range else None
+        out["b_range"] = list(result.b_range) if result.b_range else None
+    return out
+
+
+def _error_to_json(exc: BaseException) -> Dict:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "backpressure": isinstance(exc, BackpressureError),
+    }
+
+
+def _parse_sequence(obj, default_name: str) -> Sequence:
+    if isinstance(obj, str):
+        return Sequence(obj, name=default_name)
+    if isinstance(obj, dict) and isinstance(obj.get("text"), str):
+        return Sequence(obj["text"], name=str(obj.get("name") or default_name))
+    raise ProtocolError(
+        f"sequence must be a string or {{'text': ..., 'name': ...}}, got {obj!r}"
+    )
+
+
+@dataclass
+class ProtocolHandler:
+    """Decodes request dicts, drives the service, encodes responses.
+
+    Scheme objects are memoised per ``(matrix, gap_open, gap_extend)`` so
+    every request on a connection maps to a shared, cache-key-stable
+    scheme.
+    """
+
+    service: AlignmentService
+    default_matrix: str = "dna"
+    default_gap_open: int = -6
+    default_gap_extend: Optional[int] = None
+    _schemes: Dict[Tuple, ScoringScheme] = field(default_factory=dict)
+
+    def scheme_for(self, req: Dict) -> ScoringScheme:
+        name = str(req.get("matrix", self.default_matrix))
+        if name not in _MATRICES:
+            raise ProtocolError(
+                f"unknown matrix {name!r}; choose from {sorted(_MATRICES)}"
+            )
+        gap_open = int(req.get("gap_open", self.default_gap_open))
+        gap_extend = req.get("gap_extend", self.default_gap_extend)
+        key = (name, gap_open, gap_extend)
+        if key not in self._schemes:
+            gap = (
+                linear_gap(gap_open)
+                if gap_extend is None
+                else affine_gap(gap_open, int(gap_extend))
+            )
+            self._schemes[key] = ScoringScheme(_MATRICES[name](), gap)
+        return self._schemes[key]
+
+    async def handle(self, req: Dict) -> Dict:
+        """Process one decoded request; always returns a response dict."""
+        req_id = req.get("id") if isinstance(req, dict) else None
+        try:
+            if not isinstance(req, dict):
+                raise ProtocolError(f"request must be a JSON object, got {req!r}")
+            op = req.get("op")
+            if op == "ping":
+                return {"id": req_id, "ok": True, "result": "pong"}
+            if op == "stats":
+                return {"id": req_id, "ok": True, "result": self.service.stats()}
+            if op == "align":
+                return {"id": req_id, "ok": True, "result": await self._align(req)}
+            if op == "batch":
+                return {"id": req_id, "ok": True, "result": await self._batch(req)}
+            raise ProtocolError(f"unknown op {op!r}")
+        except ReproError as exc:
+            return {"id": req_id, "ok": False, "error": _error_to_json(exc)}
+
+    async def _align(self, req: Dict) -> Dict:
+        result = await self.service.align(
+            _parse_sequence(req.get("a"), "a"),
+            _parse_sequence(req.get("b"), "b"),
+            self.scheme_for(req),
+            mode=str(req.get("mode", "global")),
+            score_only=bool(req.get("score_only", False)),
+            timeout=req.get("timeout"),
+        )
+        return result_to_json(result)
+
+    async def _batch(self, req: Dict) -> Dict:
+        targets = req.get("targets")
+        if not isinstance(targets, list) or not targets:
+            raise ProtocolError("'batch' needs a non-empty 'targets' list")
+        query = _parse_sequence(req.get("a"), "query")
+        scheme = self.scheme_for(req)
+        mode = str(req.get("mode", "local"))
+        score_only = bool(req.get("score_only", False))
+        seqs = [
+            _parse_sequence(t, f"target{i}") for i, t in enumerate(targets)
+        ]
+        results = await self.service.align_many(
+            [(query, t) for t in seqs], scheme,
+            mode=mode, score_only=score_only, timeout=req.get("timeout"),
+        )
+        hits = sorted(results, key=lambda r: -r.score)
+        return {"query": query.name, "hits": [result_to_json(r) for r in hits]}
+
+
+async def _serve_lines(handler: ProtocolHandler, reader, write_line,
+                       shutdown: asyncio.Event) -> None:
+    """Shared read→dispatch→respond loop for stdio and TCP transports."""
+    tasks: set = set()
+    lock = asyncio.Lock()
+
+    async def respond(payload: Dict) -> None:
+        async with lock:
+            await write_line(json.dumps(payload))
+
+    async def run_one(line: str) -> None:
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError as exc:
+            await respond({"id": None, "ok": False,
+                           "error": _error_to_json(ProtocolError(str(exc)))})
+            return
+        if isinstance(req, dict) and req.get("op") == "shutdown":
+            await respond({"id": req.get("id"), "ok": True, "result": "draining"})
+            shutdown.set()
+            return
+        await respond(await handler.handle(req))
+
+    while not shutdown.is_set():
+        try:
+            raw = await reader.readline()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            break
+        if not raw:
+            break
+        line = raw.decode().strip()
+        if not line:
+            continue
+        task = asyncio.ensure_future(run_one(line))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tuple(tasks), return_exceptions=True)
+
+
+async def serve_stdio(service: AlignmentService,
+                      handler: Optional[ProtocolHandler] = None) -> None:
+    """Serve NDJSON over stdin/stdout until EOF or a ``shutdown`` op."""
+    handler = handler or ProtocolHandler(service)
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+    )
+
+    async def write_line(text: str) -> None:
+        sys.stdout.write(text + "\n")
+        sys.stdout.flush()
+
+    shutdown = asyncio.Event()
+    async with service:
+        await _serve_lines(handler, reader, write_line, shutdown)
+
+
+async def serve_tcp(
+    service: AlignmentService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    handler: Optional[ProtocolHandler] = None,
+    ready: Optional[asyncio.Event] = None,
+) -> None:
+    """Serve NDJSON over TCP; one shared service, many connections.
+
+    ``port=0`` binds an ephemeral port; the bound address is stored on
+    ``serve_tcp.bound`` before ``ready`` (if given) is set — tests use
+    this to connect without racing the bind.
+    """
+    handler = handler or ProtocolHandler(service)
+    shutdown = asyncio.Event()
+
+    async def on_connect(reader, writer):
+        async def write_line(text: str) -> None:
+            writer.write(text.encode() + b"\n")
+            await writer.drain()
+
+        try:
+            await _serve_lines(handler, reader, write_line, shutdown)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        if shutdown.is_set():
+            stopper.set()
+
+    stopper = asyncio.Event()
+    async with service:
+        server = await asyncio.start_server(on_connect, host, port)
+        serve_tcp.bound = server.sockets[0].getsockname()
+        if ready is not None:
+            ready.set()
+        async with server:
+            stop_task = asyncio.ensure_future(stopper.wait())
+            try:
+                await stop_task
+            finally:
+                stop_task.cancel()

@@ -1,0 +1,70 @@
+"""Service stats surface.
+
+Counters plus a bounded ring of per-job timing rows.  Everything is a
+plain dict of JSON-able scalars so
+:meth:`repro.analysis.recorder.ExperimentRecorder.extend` can persist a
+serving run next to the benchmark experiments (see
+``examples/service_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List
+
+from .jobs import JobResult
+
+__all__ = ["ServiceStats"]
+
+#: Per-job rows kept for introspection (oldest evicted first).
+DEFAULT_ROW_WINDOW = 4096
+
+
+@dataclass
+class ServiceStats:
+    """Mutable counters owned by one :class:`AlignmentService`."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_queue: int = 0
+    timeouts: int = 0
+    batches: int = 0
+    batched_jobs: int = 0
+    cache_short_circuits: int = 0
+    dedup_hits: int = 0
+    internal_errors: int = 0
+    total_queue_wait: float = 0.0
+    total_run_time: float = 0.0
+    _rows: Deque[Dict] = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_ROW_WINDOW)
+    )
+
+    def record(self, result: JobResult) -> None:
+        """Fold one finished job into the counters and the row window."""
+        self.total_queue_wait += result.queue_wait
+        self.total_run_time += result.run_time
+        self._rows.append(result.row())
+
+    def rows(self) -> List[Dict]:
+        """The retained per-job rows (recorder-compatible)."""
+        return list(self._rows)
+
+    def counters(self) -> Dict:
+        """Aggregate counters (recorder-compatible scalars only)."""
+        done = self.completed or 1
+        return {
+            "jobs_submitted": self.submitted,
+            "jobs_completed": self.completed,
+            "jobs_failed": self.failed,
+            "jobs_rejected_queue": self.rejected_queue,
+            "jobs_timed_out": self.timeouts,
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "cache_short_circuits": self.cache_short_circuits,
+            "dedup_hits": self.dedup_hits,
+            "internal_errors": self.internal_errors,
+            "mean_queue_wait": round(self.total_queue_wait / done, 6),
+            "mean_run_time": round(self.total_run_time / done, 6),
+        }

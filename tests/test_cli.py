@@ -17,6 +17,29 @@ class TestParser:
         assert args.matrix == "dna"
         assert args.gap_open == -10
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_quiet_flag_parsed(self):
+        args = build_parser().parse_args(["--quiet", "align", "a.fa", "b.fa"])
+        assert args.quiet is True
+        args = build_parser().parse_args(["align", "a.fa", "b.fa"])
+        assert args.quiet is False
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.tcp is None
+        assert args.workers == 4
+        assert args.memory_cells == 4_000_000
+        assert args.cache_size == 1024
+        assert args.queue_depth == 256
+
 
 class TestDemo:
     def test_demo_reproduces_82(self, capsys):
@@ -75,9 +98,35 @@ class TestAlign:
         fa, fb = fasta_files
         assert main(["align", fa, fb, "--gap-extend", "-1", "--gap-open", "-8"]) == 0
 
-    def test_missing_file_is_error(self, tmp_path, capsys):
-        with pytest.raises(FileNotFoundError):
-            main(["align", str(tmp_path / "x.fa"), str(tmp_path / "y.fa")])
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["align", str(tmp_path / "x.fa"), str(tmp_path / "y.fa")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuiet:
+    @pytest.fixture
+    def fasta_files(self, tmp_path):
+        fa = tmp_path / "a.fasta"
+        fb = tmp_path / "b.fasta"
+        write_fasta(fa, [Sequence("ACGTACGTAC", name="a")])
+        write_fasta(fb, [Sequence("ACGTTCGTAC", name="b")])
+        return str(fa), str(fb)
+
+    def test_quiet_drops_info_lines(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["--quiet", "align", fa, fb, "--mode", "local",
+                     "--gap-open", "-6", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert not any(line.startswith("#") for line in out.splitlines())
+
+    def test_default_keeps_info_lines(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--mode", "local", "--gap-open", "-6"]) == 0
+        assert "# local score=" in capsys.readouterr().out
+
+    def test_bad_serve_tcp_spec_exits_2(self, capsys):
+        assert main(["serve", "--tcp", "nonsense"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSpeedup:

@@ -74,6 +74,32 @@ class TestBatchAlign:
     def test_empty_database(self, dna_scheme):
         assert batch_align("ACGT", [], dna_scheme) == []
 
+    def test_concurrent_scoring_matches_sequential(self, database, dna_scheme):
+        query, related, strangers = database
+        targets = related + strangers
+        seq = batch_align(query, targets, dna_scheme, mode="local", keep=2)
+        par = batch_align(query, targets, dna_scheme, mode="local", keep=2,
+                          max_workers=3)
+        assert [(h.target.name, h.score, h.rank) for h in seq] == \
+               [(h.target.name, h.score, h.rank) for h in par]
+
+    def test_shared_executor_not_shut_down(self, database, dna_scheme):
+        from concurrent.futures import ThreadPoolExecutor
+
+        query, related, strangers = database
+        pool = ThreadPoolExecutor(max_workers=2)
+        try:
+            hits = batch_align(query, related, dna_scheme, keep=1, executor=pool)
+            assert hits[0].rank == 1
+            # the pool must remain usable afterwards
+            assert pool.submit(lambda: 7).result(timeout=5) == 7
+        finally:
+            pool.shutdown(wait=True)
+
+    def test_bad_max_workers_rejected(self, dna_scheme):
+        with pytest.raises(ConfigError):
+            batch_align("ACGT", ["ACGT"], dna_scheme, max_workers=0)
+
 
 class TestGantt:
     def uniform_grid(self, R, C):

@@ -58,3 +58,8 @@ class TestExamples:
     def test_genome_alignment_fast(self):
         out = run_example("genome_alignment.py", env_extra={"FAST": "1"}, timeout=400)
         assert "within budget     : True" in out
+
+    def test_service_throughput(self):
+        out = run_example("service_throughput.py")
+        assert "over-budget job rejected as expected" in out
+        assert "requests in" in out

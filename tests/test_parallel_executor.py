@@ -2,6 +2,7 @@
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -73,6 +74,60 @@ class TestRunWavefront:
     def test_invalid_threads(self):
         with pytest.raises(SchedulerError):
             run_wavefront(uniform_grid(1, 1), lambda t: None, n_threads=0)
+
+    def test_injected_pool_survives_worker_failure(self):
+        # A worker exception must leave the caller's pool clean and
+        # reusable: no shutdown, no stray tiles still running.
+        pool = ThreadPoolExecutor(max_workers=3)
+        try:
+            def bad(tile):
+                if (tile.r, tile.c) == (1, 1):
+                    raise ValueError("boom")
+
+            with pytest.raises(ValueError, match="boom"):
+                run_wavefront(uniform_grid(4, 4), bad, n_threads=3, pool=pool)
+
+            # The pool still accepts plain work...
+            assert pool.submit(lambda: 41 + 1).result(timeout=5) == 42
+
+            # ...and a full wavefront run afterwards completes normally.
+            seen = []
+            lock = threading.Lock()
+
+            def good(tile):
+                with lock:
+                    seen.append((tile.r, tile.c))
+
+            tg = uniform_grid(3, 3)
+            run_wavefront(tg, good, n_threads=3, pool=pool)
+            assert sorted(seen) == sorted((t.r, t.c) for t in tg.tiles())
+        finally:
+            pool.shutdown(wait=True)
+
+    def test_failed_run_leaves_no_stray_tiles(self):
+        # After run_wavefront raises, no tile worker may still be
+        # executing in the injected pool.
+        pool = ThreadPoolExecutor(max_workers=2)
+        try:
+            running = [0]
+            lock = threading.Lock()
+
+            def slow_bad(tile):
+                with lock:
+                    running[0] += 1
+                try:
+                    if (tile.r, tile.c) == (0, 0):
+                        raise ValueError("boom")
+                    time.sleep(0.02)
+                finally:
+                    with lock:
+                        running[0] -= 1
+
+            with pytest.raises(ValueError):
+                run_wavefront(uniform_grid(5, 5), slow_bad, n_threads=2, pool=pool)
+            assert running[0] == 0
+        finally:
+            pool.shutdown(wait=True)
 
     def test_concurrency_actually_happens(self):
         # Independent tiles on a wavefront line should overlap in time.

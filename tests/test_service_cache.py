@@ -1,0 +1,180 @@
+"""Tests for the LRU result cache and cache-hit short-circuiting."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scoring import ScoringScheme, blosum62, dna_simple, linear_gap
+from repro.service import AlignmentService, ResultCache, scheme_digest
+
+
+@pytest.fixture
+def scheme():
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+class TestResultCacheUnit:
+    def test_put_get_counters(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.stats()["cache_hit_rate"] == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")        # refresh 'a': now 'b' is least recent
+        cache.put("c", 3)     # evicts 'b'
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ResultCache(capacity=-1)
+
+
+class TestSchemeDigest:
+    def test_stable_across_reconstruction(self):
+        s1 = ScoringScheme(dna_simple(), linear_gap(-6))
+        s2 = ScoringScheme(dna_simple(), linear_gap(-6))
+        assert s1 is not s2
+        assert scheme_digest(s1) == scheme_digest(s2)
+
+    def test_distinguishes_matrix_and_gap(self):
+        base = scheme_digest(ScoringScheme(dna_simple(), linear_gap(-6)))
+        assert base != scheme_digest(ScoringScheme(dna_simple(), linear_gap(-7)))
+        assert base != scheme_digest(ScoringScheme(blosum62(), linear_gap(-6)))
+
+
+class TestServiceCacheHits:
+    def _counting_service(self, monkeypatch, **kwargs):
+        svc = AlignmentService(**kwargs)
+        calls = []
+        real = svc._compute_group
+
+        def counting(group):
+            calls.append(len(group))
+            return real(group)
+
+        monkeypatch.setattr(svc, "_compute_group", counting)
+        return svc, calls
+
+    def test_repeat_request_short_circuits(self, scheme, monkeypatch):
+        async def go():
+            svc, calls = self._counting_service(
+                monkeypatch, memory_cells=200_000, max_workers=2, cache_size=16
+            )
+            async with svc:
+                r1 = await svc.align("ACGTACGT", "ACGTTCGT", scheme)
+                r2 = await svc.align("ACGTACGT", "ACGTTCGT", scheme)
+                r3 = await svc.align("ACGTACGT", "ACGTTCGT", scheme)
+                return r1, r2, r3, calls, svc.stats()
+
+        r1, r2, r3, calls, stats = asyncio.run(go())
+        assert calls == [1]  # computed exactly once
+        assert not r1.cached and r2.cached and r3.cached
+        assert (r1.score, r1.gapped_a) == (r2.score, r2.gapped_a)
+        assert stats["cache_hits"] == 2
+        assert stats["cache_short_circuits"] == 2
+        assert stats["jobs_completed"] == 3
+
+    def test_reconstructed_scheme_still_hits(self, monkeypatch):
+        async def go():
+            svc, calls = self._counting_service(
+                monkeypatch, memory_cells=200_000, cache_size=16
+            )
+            async with svc:
+                a = await svc.align("ACGT", "ACGA",
+                                    ScoringScheme(dna_simple(), linear_gap(-6)))
+                b = await svc.align("ACGT", "ACGA",
+                                    ScoringScheme(dna_simple(), linear_gap(-6)))
+                return a, b, calls
+
+        a, b, calls = asyncio.run(go())
+        assert calls == [1] and b.cached
+
+    def test_mode_and_scheme_partition_keys(self, scheme, monkeypatch):
+        async def go():
+            svc, calls = self._counting_service(
+                monkeypatch, memory_cells=200_000, max_batch=1, cache_size=16
+            )
+            other = ScoringScheme(dna_simple(), linear_gap(-9))
+            async with svc:
+                await svc.align("ACGTACGT", "ACGTTCGT", scheme, mode="global")
+                await svc.align("ACGTACGT", "ACGTTCGT", scheme, mode="local")
+                await svc.align("ACGTACGT", "ACGTTCGT", scheme, score_only=True)
+                await svc.align("ACGTACGT", "ACGTTCGT", other)
+                return calls, svc.stats()
+
+        calls, stats = asyncio.run(go())
+        assert calls == [1, 1, 1, 1]  # four distinct keys, no false hits
+        assert stats["cache_hits"] == 0
+
+    def test_cache_disabled_always_computes(self, scheme, monkeypatch):
+        async def go():
+            svc, calls = self._counting_service(
+                monkeypatch, memory_cells=200_000, cache_size=0
+            )
+            async with svc:
+                await svc.align("ACGT", "ACGA", scheme)
+                await svc.align("ACGT", "ACGA", scheme)
+                return calls
+
+        assert len(asyncio.run(go())) == 2
+
+    def test_concurrent_duplicates_singleflight(self, scheme, monkeypatch):
+        """Identical requests in flight at once compute only once."""
+
+        async def go():
+            svc, calls = self._counting_service(
+                monkeypatch, memory_cells=200_000, max_workers=2,
+                max_batch=1, cache_size=16,
+            )
+            async with svc:
+                results = await asyncio.gather(
+                    *(svc.align("ACGTACGT", "ACGTTCGT", scheme)
+                      for _ in range(5))
+                )
+                return results, calls, svc.stats()
+
+        results, calls, stats = asyncio.run(go())
+        assert calls == [1]  # one real computation for five callers
+        assert stats["dedup_hits"] == 4
+        assert sum(1 for r in results if r.cached) == 4
+        assert len({r.score for r in results}) == 1
+
+    def test_batched_results_are_cached_per_job(self, scheme, monkeypatch):
+        async def go():
+            svc, calls = self._counting_service(
+                monkeypatch, memory_cells=400_000, max_workers=1,
+                max_batch=8, cache_size=16,
+            )
+            async with svc:
+                pairs = [("ACGTACGT", t) for t in ("ACGA", "GGGG", "ACGTT")]
+                await svc.align_many(pairs, scheme, mode="local")
+                rerun = await svc.align("ACGTACGT", "GGGG", scheme, mode="local")
+                return calls, rerun
+
+        calls, rerun = asyncio.run(go())
+        assert calls == [3]  # one coalesced batch, then a pure cache hit
+        assert rerun.cached

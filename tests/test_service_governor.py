@@ -1,0 +1,197 @@
+"""Tests for the memory governor: admission, reservation, backpressure."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.planner import fastlsa_peak_cells
+from repro.errors import (
+    ConfigError,
+    JobTimeoutError,
+    MemoryBudgetError,
+    QueueFullError,
+)
+from repro.scoring import ScoringScheme, dna_simple, linear_gap
+from repro.service import AlignmentService, MemoryGovernor
+
+
+@pytest.fixture
+def scheme():
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+class TestGovernorUnit:
+    def test_per_job_allocation_split(self):
+        gov = MemoryGovernor(total_cells=1_000_000, max_workers=4)
+        assert gov.per_job_cells == 250_000
+
+    def test_admit_plans_within_share(self):
+        gov = MemoryGovernor(total_cells=400_000, max_workers=4)
+        for m, n in [(50, 50), (300, 300), (900, 400)]:
+            plan = gov.admit(m, n)
+            assert plan.predicted_peak_cells <= gov.per_job_cells
+            assert plan.config.k >= 2
+
+    def test_admit_rejects_oversized_problem(self):
+        gov = MemoryGovernor(total_cells=4_000, max_workers=4)  # 1000 cells/job
+        with pytest.raises(MemoryBudgetError):
+            gov.admit(5_000, 5_000)
+        assert gov.rejections == 1
+
+    def test_reserve_beyond_total_rejected(self):
+        async def go():
+            gov = MemoryGovernor(total_cells=100, max_workers=1)
+            with pytest.raises(MemoryBudgetError):
+                await gov.reserve(101)
+
+        asyncio.run(go())
+
+    def test_reserve_waits_for_release(self):
+        async def go():
+            gov = MemoryGovernor(total_cells=100, max_workers=2)
+            await gov.reserve(80)
+
+            async def releaser():
+                await asyncio.sleep(0.02)
+                await gov.release(80)
+
+            rel = asyncio.ensure_future(releaser())
+            await gov.reserve(50, timeout=5)  # must wait for the release
+            await rel
+            assert gov.waits == 1
+            assert gov.cells_in_flight == 50
+            assert gov.peak_cells_in_flight == 80
+
+        asyncio.run(go())
+
+    def test_reserve_timeout(self):
+        async def go():
+            gov = MemoryGovernor(total_cells=100, max_workers=2)
+            await gov.reserve(80)
+            with pytest.raises(JobTimeoutError):
+                await gov.reserve(50, timeout=0.01)
+
+        asyncio.run(go())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            MemoryGovernor(total_cells=0, max_workers=1)
+        with pytest.raises(ConfigError):
+            MemoryGovernor(total_cells=10, max_workers=0)
+
+
+class TestServiceAdmission:
+    def test_over_budget_submission_typed_rejection(self, scheme):
+        """A job that cannot fit the per-job share is rejected at submit."""
+
+        async def go():
+            async with AlignmentService(memory_cells=4_000, max_workers=4) as svc:
+                with pytest.raises(MemoryBudgetError):
+                    await svc.submit("A" * 4_000, "C" * 4_000, scheme)
+                return svc.stats()
+
+        stats = asyncio.run(go())
+        assert stats["budget_rejections"] == 1
+        assert stats["jobs_completed"] == 0
+
+    def test_jobs_never_plan_above_per_job_share(self, scheme, rng):
+        from tests.conftest import random_dna
+
+        async def go():
+            async with AlignmentService(
+                memory_cells=100_000, max_workers=4, cache_size=0
+            ) as svc:
+                jobs = []
+                for i in range(12):
+                    a = random_dna(rng, 40 + 17 * i)
+                    b = random_dna(rng, 30 + 23 * i)
+                    jobs.append(await svc.submit(a, b, scheme))
+                await asyncio.gather(*(j.future for j in jobs))
+                return svc, jobs
+
+        svc, jobs = asyncio.run(go())
+        share = svc.governor.per_job_cells
+        for job in jobs:
+            assert job.plan.predicted_peak_cells <= share
+            m, n = len(job.request.a), len(job.request.b)
+            if job.plan.method == "fastlsa":
+                # re-derive the model's peak from the admitted config
+                assert fastlsa_peak_cells(
+                    m, n, job.config.k, job.config.base_cells,
+                    not scheme.is_linear,
+                ) <= share
+            else:  # full-matrix: the dense DPM itself fits the share
+                assert (m + 1) * (n + 1) <= share
+        assert svc.governor.peak_cells_in_flight <= svc.governor.total_cells
+
+    def test_queue_depth_backpressure(self, scheme, monkeypatch):
+        async def go():
+            svc = AlignmentService(
+                memory_cells=200_000, max_workers=1, max_batch=1,
+                max_queue_depth=3, cache_size=0,
+            )
+            real = svc._compute_group
+
+            def slow(group):
+                time.sleep(0.15)
+                return real(group)
+
+            monkeypatch.setattr(svc, "_compute_group", slow)
+            await svc.start()
+            blocker = await svc.submit("ACGTACGT", "ACGTTCGT", scheme)
+            await asyncio.sleep(0.02)  # dispatcher picks up the blocker
+            queued = [await svc.submit("ACGT", "AC" + "GT" * i, scheme)
+                      for i in range(3)]  # fills the queue to its depth limit
+            with pytest.raises(QueueFullError):
+                await svc.submit("ACGT", "ACGA", scheme)
+            stats = svc.stats()
+            await svc.close(drain=True)
+            for job in [blocker] + queued:  # accepted jobs still complete
+                assert job.future.result().score is not None
+            return stats
+
+        stats = asyncio.run(go())
+        assert stats["jobs_rejected_queue"] == 1
+        assert stats["queue_depth"] == 3
+
+    def test_queued_job_deadline_enforced(self, scheme, monkeypatch):
+        async def go():
+            svc = AlignmentService(
+                memory_cells=200_000, max_workers=1, max_batch=1, cache_size=0
+            )
+            real = svc._compute_group
+
+            def slow(group):
+                time.sleep(0.2)
+                return real(group)
+
+            monkeypatch.setattr(svc, "_compute_group", slow)
+            await svc.start()
+            blocker = await svc.submit("ACGTACGT", "ACGTTCGT", scheme)
+            await asyncio.sleep(0.02)  # blocker is now running
+            doomed = await svc.submit("ACGT", "ACGA", scheme, timeout=0.05)
+            with pytest.raises(JobTimeoutError):
+                await doomed.future
+            await blocker.future  # the blocker itself completes fine
+            stats = svc.stats()
+            await svc.close()
+            return stats
+
+        stats = asyncio.run(go())
+        assert stats["jobs_timed_out"] == 1
+        assert stats["jobs_completed"] == 1
+
+    def test_cells_in_flight_returns_to_zero(self, scheme):
+        async def go():
+            async with AlignmentService(
+                memory_cells=200_000, max_workers=3, cache_size=0
+            ) as svc:
+                await svc.align_many(
+                    [("ACGTACGT", "ACGT" * (i + 1)) for i in range(6)], scheme
+                )
+                return svc.governor
+
+        gov = asyncio.run(go())
+        assert gov.cells_in_flight == 0
+        assert gov.reservations >= 1

@@ -1,0 +1,208 @@
+"""Tests for the alignment service scheduler: queue, batching, shutdown."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ServiceClosedError
+from repro.scoring import ScoringScheme, dna_simple, linear_gap
+from repro.service import AlignmentClient, AlignmentService
+
+
+@pytest.fixture
+def scheme():
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+PAIRS = [
+    ("ACGTACGTAC", "ACGTTCGTAC"),
+    ("ACGTACGTAC", "ACGAACGTAC"),
+    ("GGGTACGTAC", "ACGTTCGTAC"),
+    ("ACGTACGTAC", "TTTTTTTTTT"),
+    ("ACGTAC", "ACGTTC"),
+    ("ACGT", "TGCA"),
+]
+
+
+class TestOrdering:
+    def test_single_worker_completes_fifo(self, scheme):
+        """With one worker and batching off, completion order is FIFO."""
+
+        async def go():
+            done_order = []
+            async with AlignmentService(
+                memory_cells=200_000, max_workers=1, max_batch=1, cache_size=0
+            ) as svc:
+                jobs = []
+                for a, b in PAIRS:
+                    job = await svc.submit(a, b, scheme)
+                    job.future.add_done_callback(
+                        lambda _f, jid=job.job_id: done_order.append(jid)
+                    )
+                    jobs.append(job)
+                await asyncio.gather(*(j.future for j in jobs))
+                return done_order, [j.job_id for j in jobs]
+
+        done_order, submit_order = asyncio.run(go())
+        assert done_order == submit_order
+
+    def test_align_many_preserves_input_order(self, scheme):
+        async def go():
+            async with AlignmentService(memory_cells=200_000, max_workers=2) as svc:
+                results = await svc.align_many(PAIRS, scheme, mode="global")
+                return [(r.a_name, r.b_name, r.score) for r in results], results
+
+        rows, results = asyncio.run(go())
+        assert len(rows) == len(PAIRS)
+        # order matches submission, independent of completion interleaving
+        for (a, b), result in zip(PAIRS, results):
+            assert result.score_only is False
+
+
+class TestMicroBatching:
+    def test_shared_query_jobs_coalesce(self, scheme):
+        """Queued one-vs-many requests collapse into one batch_align call."""
+
+        async def go():
+            async with AlignmentService(
+                memory_cells=400_000, max_workers=1, max_batch=8, cache_size=0
+            ) as svc:
+                query = "ACGTACGTACGTACGT"
+                targets = ["ACGTTCGTACGTACGA", "ACGAACGTAC", "GGGGGGGG", "ACGT"]
+                results = await svc.align_many(
+                    [(query, t) for t in targets], scheme, mode="local"
+                )
+                return results, svc.stats()
+
+        results, stats = asyncio.run(go())
+        assert all(r.batch_size == len(results) for r in results)
+        assert stats["batches"] == 1
+        assert stats["batched_jobs"] == len(results)
+
+    def test_distinct_modes_do_not_coalesce(self, scheme):
+        async def go():
+            async with AlignmentService(
+                memory_cells=400_000, max_workers=1, max_batch=8, cache_size=0
+            ) as svc:
+                q = "ACGTACGTAC"
+                j1 = await svc.submit(q, "ACGTTCGTAC", scheme, mode="global")
+                j2 = await svc.submit(q, "ACGTTCGTAC", scheme, mode="local")
+                r1, r2 = await asyncio.gather(j1.future, j2.future)
+                return r1, r2
+
+        r1, r2 = asyncio.run(go())
+        assert r1.batch_size == 1 and r2.batch_size == 1
+        assert r1.mode == "global" and r2.mode == "local"
+
+    def test_batched_results_match_unbatched(self, scheme):
+        """Coalescing is an optimisation, not a semantics change."""
+
+        async def solo(mode):
+            async with AlignmentService(
+                memory_cells=400_000, max_workers=1, max_batch=1, cache_size=0
+            ) as svc:
+                return await svc.align_many(
+                    [("ACGTACGTAC", t) for t in ("ACGTTCGTAC", "GGGG", "ACGTAC")],
+                    scheme, mode=mode,
+                )
+
+        async def grouped(mode):
+            async with AlignmentService(
+                memory_cells=400_000, max_workers=1, max_batch=8, cache_size=0
+            ) as svc:
+                return await svc.align_many(
+                    [("ACGTACGTAC", t) for t in ("ACGTTCGTAC", "GGGG", "ACGTAC")],
+                    scheme, mode=mode,
+                )
+
+        for mode in ("global", "local", "semiglobal", "overlap"):
+            a = asyncio.run(solo(mode))
+            b = asyncio.run(grouped(mode))
+            assert [r.score for r in a] == [r.score for r in b], mode
+            assert [(r.gapped_a, r.gapped_b) for r in a] == \
+                   [(r.gapped_a, r.gapped_b) for r in b], mode
+
+
+class TestShutdown:
+    def test_drain_completes_queued_jobs(self, scheme):
+        async def go():
+            svc = AlignmentService(memory_cells=200_000, max_workers=2)
+            await svc.start()
+            jobs = [await svc.submit(a, b, scheme) for a, b in PAIRS]
+            await svc.close(drain=True)
+            return [j.future.result() for j in jobs]
+
+        results = asyncio.run(go())
+        assert len(results) == len(PAIRS)
+        assert all(r.score is not None for r in results)
+
+    def test_drain_false_fails_queued_jobs(self, scheme, monkeypatch):
+        async def go():
+            svc = AlignmentService(
+                memory_cells=200_000, max_workers=1, max_batch=1, cache_size=0
+            )
+            # keep the single worker busy so later jobs stay queued
+            real = svc._compute_group
+
+            def slow(group):
+                time.sleep(0.1)
+                return real(group)
+
+            monkeypatch.setattr(svc, "_compute_group", slow)
+            await svc.start()
+            jobs = [await svc.submit(a, b, scheme) for a, b in PAIRS]
+            await asyncio.sleep(0.02)  # let the dispatcher start job 1
+            await svc.close(drain=False)
+            return jobs
+
+        jobs = asyncio.run(go())
+        outcomes = []
+        for job in jobs:
+            try:
+                job.future.result()
+                outcomes.append("done")
+            except ServiceClosedError:
+                outcomes.append("closed")
+        assert "closed" in outcomes  # queued work was abandoned...
+        assert outcomes[0] == "done"  # ...but in-flight work completed
+
+    def test_submit_after_close_rejected(self, scheme):
+        async def go():
+            svc = AlignmentService(memory_cells=200_000)
+            await svc.start()
+            await svc.close()
+            with pytest.raises(ServiceClosedError):
+                await svc.submit("ACGT", "ACGA", scheme)
+
+        asyncio.run(go())
+
+    def test_submit_without_start_rejected(self, scheme):
+        async def go():
+            svc = AlignmentService(memory_cells=200_000)
+            with pytest.raises(ServiceClosedError):
+                await svc.submit("ACGT", "ACGA", scheme)
+
+        asyncio.run(go())
+
+
+class TestClient:
+    def test_sync_client_roundtrip(self, scheme):
+        with AlignmentClient(memory_cells=200_000, max_workers=2) as client:
+            result = client.align("ACGTACGT", "ACGTTCGT", scheme)
+            assert result.score == 31
+            assert result.gapped_a and result.gapped_b
+            many = client.align_many(PAIRS[:3], scheme, mode="local")
+            assert len(many) == 3
+            assert client.stats()["jobs_completed"] == 4
+            assert len(client.stats_rows()) == 4
+
+    def test_client_submit_future(self, scheme):
+        with AlignmentClient(memory_cells=200_000) as client:
+            fut = client.submit("ACGT", "ACGA", scheme, mode="semiglobal")
+            assert fut.result(timeout=10).mode == "semiglobal"
+
+    def test_client_not_started_rejects(self, scheme):
+        client = AlignmentClient(memory_cells=200_000)
+        with pytest.raises(ServiceClosedError):
+            client.align("ACGT", "ACGA", scheme)
