@@ -29,7 +29,6 @@ from repro.kernels import antidiag_matrix, boundary_vectors, sweep_matrix
 from repro.kernels.reference import ref_matrix_linear
 from repro.parallel import (
     build_fill_tiles,
-    list_schedule,
     simulate_schedule,
     simulated_parallel_fastlsa,
     wavefront_stage_schedule,

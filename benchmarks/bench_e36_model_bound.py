@@ -8,8 +8,6 @@ exceeds the closed-form bound
 with ``R = k·u``, ``C = k·v`` (zero overhead — the bound's setting).
 """
 
-import pytest
-
 from repro.parallel import simulated_parallel_fastlsa, wt_bound
 
 from common import bench_pair, default_scheme, report, scale
@@ -21,7 +19,6 @@ CONFIGS = [
     (6, 4), (6, 8), (6, 16),
     (8, 8),
 ]
-
 
 def test_report_e36():
     scheme = default_scheme()
@@ -49,7 +46,6 @@ def test_report_e36():
         assert row["holds"], row
     # The bound should be reasonably tight (within ~4x), not vacuous.
     assert all(row["slack"] < 4.0 for row in rows)
-
 
 def test_bench_bound_evaluation(benchmark):
     benchmark(wt_bound, 10_000, 10_000, 6, 8, 2, 3)

@@ -5,8 +5,6 @@ sequences that are aligned": with a fixed per-tile dispatch overhead,
 larger problems have larger tiles and amortise it better.
 """
 
-import pytest
-
 from repro.parallel import simulated_parallel_fastlsa
 
 from common import bench_pair, default_scheme, report, scale
@@ -15,7 +13,6 @@ SIZES = scale((256, 512, 1024, 2048), (1024, 4096, 16384, 32768))
 P = 8
 K = 6
 OVERHEAD = 100
-
 
 def test_report_f10():
     scheme = default_scheme()
@@ -43,7 +40,6 @@ def test_report_f10():
     # recursion structure shifts).
     assert effs[-1] > effs[0]
     assert effs[-1] >= 0.95 * max(effs)
-
 
 def test_bench_efficiency_point(benchmark):
     scheme = default_scheme()

@@ -7,13 +7,10 @@ This bench prints the realised suite — pair names, actual lengths of both
 sequences, divergence and alignment identity — and times pair generation.
 """
 
-import pytest
-
 from repro.core import fastlsa
 from repro.workloads import load_pair, suite_entries
 
 from common import default_scheme, report, scale
-
 
 def test_report_t3():
     scheme = default_scheme()
@@ -35,12 +32,10 @@ def test_report_t3():
     report("t3_suite", rows, title="T3: benchmark suite (synthetic Table-3 stand-in)")
     assert len(rows) >= 5
 
-
 def test_suite_lengths_deterministic():
     a1, b1 = load_pair("dna-1k")
     a2, b2 = load_pair("dna-1k")
     assert a1.text == a2.text and b1.text == b2.text
-
 
 def test_bench_pair_generation(benchmark):
     """Time to synthesise a medium suite pair (generation is not the

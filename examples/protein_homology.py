@@ -15,11 +15,9 @@ import numpy as np
 from repro import ScoringScheme, affine_gap, blosum62
 from repro.align import format_alignment
 from repro.baselines import smith_waterman
-from repro.core.local import fastlsa_local
 from repro.workloads import evolve, random_sequence
 
 PROTEIN = "ARNDCQEGHILKMFPSTWYV"
-
 
 def build_database(query_domain, rng, n_entries=8):
     """Synthetic database: some entries embed a diverged query domain."""
@@ -41,7 +39,6 @@ def build_database(query_domain, rng, n_entries=8):
 
         database.append((Sequence(text, name=f"entry-{idx}"), homolog))
     return database
-
 
 def main() -> None:
     rng = np.random.default_rng(7)
@@ -82,7 +79,6 @@ def main() -> None:
     best = hits[0]
     print("\nBest local alignment:")
     print(format_alignment(best.alignment, scheme=scheme, width=70))
-
 
 if __name__ == "__main__":
     main()

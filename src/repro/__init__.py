@@ -80,10 +80,12 @@ from .baselines import (
     smith_waterman,
 )
 from .core import (
+    AlignConfig,
     BandedResult,
     EndsFree,
     EndsFreeAlignment,
     FastLSAConfig,
+    batch_align,
     align_score,
     banded_align,
     banded_align_auto,
@@ -95,6 +97,7 @@ from .core import (
 from .core.local import fastlsa_local
 from .core.planner import Plan, ops_ratio_bound, plan_alignment
 from .kernels import KernelInstruments
+from .obs import Instrumentation, MetricsRegistry, Tracer, instrumented
 from .parallel import (
     SimulationReport,
     parallel_fastlsa,
@@ -109,8 +112,7 @@ from .msa import (
     center_star_msa,
 )
 from .service import AlignmentClient, AlignmentService, JobResult
-
-__version__ = "1.0.0"
+from .version import __version__
 
 #: Registry used by :func:`align` and the CLI.
 ALGORITHMS = {
@@ -121,12 +123,22 @@ ALGORITHMS = {
 }
 
 
-def align(seq_a, seq_b, scheme: ScoringScheme, method: str = "fastlsa", **kwargs) -> Alignment:
+def align(
+    seq_a,
+    seq_b,
+    scheme: ScoringScheme,
+    method: str = "fastlsa",
+    config: "AlignConfig | None" = None,
+    **kwargs,
+) -> Alignment:
     """Globally align two sequences with the named algorithm.
 
     ``method`` is one of ``"fastlsa"`` (default), ``"needleman-wunsch"`` /
-    ``"full-matrix"`` or ``"hirschberg"``.  Remaining keyword arguments are
-    forwarded to the algorithm (e.g. ``k=``, ``base_cells=`` for FastLSA).
+    ``"full-matrix"`` or ``"hirschberg"``.  ``config`` is the one way to
+    parameterize FastLSA (an :class:`AlignConfig`); it is rejected for
+    methods that take no alignment config.  Remaining keyword arguments
+    are forwarded to the algorithm (the loose ``k=`` / ``base_cells=``
+    keywords still work but are deprecated).
     """
     try:
         fn = ALGORITHMS[method]
@@ -134,6 +146,13 @@ def align(seq_a, seq_b, scheme: ScoringScheme, method: str = "fastlsa", **kwargs
         raise ConfigError(
             f"unknown method {method!r}; choose from {sorted(ALGORITHMS)}"
         ) from None
+    if config is not None:
+        if fn is not fastlsa:
+            raise ConfigError(
+                f"config= applies to FastLSA-backed methods; "
+                f"{method!r} takes no alignment config"
+            )
+        kwargs["config"] = config
     return fn(seq_a, seq_b, scheme, **kwargs)
 
 
@@ -188,7 +207,9 @@ __all__ = [
     "write_fasta",
     # algorithms
     "fastlsa",
+    "AlignConfig",
     "FastLSAConfig",
+    "batch_align",
     "needleman_wunsch",
     "hirschberg",
     "myers_miller",
@@ -208,6 +229,11 @@ __all__ = [
     "simulated_parallel_fastlsa",
     "SimulationReport",
     "KernelInstruments",
+    # observability
+    "Instrumentation",
+    "MetricsRegistry",
+    "Tracer",
+    "instrumented",
     # service
     "AlignmentService",
     "AlignmentClient",

@@ -9,15 +9,20 @@ points:
 * ``fastlsa msa FAMILY.fasta [--method star|progressive]`` — multiple
   alignment of all records;
 * ``fastlsa demo`` — the paper's worked example (Table 1 / Figure 1);
-* ``fastlsa plan M N MEMORY_CELLS`` — show the adaptive plan;
+* ``fastlsa plan M N MEMORY`` — show the adaptive plan (``MEMORY`` is DP
+  cells, or a byte size like ``64M`` / ``2G``);
 * ``fastlsa matrix NAME`` — print a built-in matrix in NCBI format;
 * ``fastlsa speedup LENGTH`` — simulated parallel speedup table;
+* ``fastlsa trace A.fasta B.fasta`` — align under instrumentation and
+  write a Chrome ``trace_event`` file plus a per-phase breakdown;
 * ``fastlsa serve`` — NDJSON alignment service over stdin/stdout or TCP
   (job queue, micro-batching, result cache, global memory governor — see
   ``docs/SERVICE.md``).
 
-``--quiet`` suppresses the informational ``#`` header lines and the serve
-banner; every error exits with status 2.
+The global ``--profile`` flag runs any command under instrumentation and
+prints a per-phase breakdown table to stderr afterwards (see
+``docs/OBSERVABILITY.md``).  ``--quiet`` suppresses the informational
+``#`` header lines and the serve banner; every error exits with status 2.
 """
 
 from __future__ import annotations
@@ -31,7 +36,8 @@ from .align import format_alignment, format_dpm, read_fasta
 from .align.sequence import Sequence
 from .analysis.tables import format_rows
 from .baselines import needleman_wunsch
-from .core.planner import plan_alignment
+from .core.config import AlignConfig
+from .core.planner import parse_memory, plan_alignment
 from .errors import ConfigError, ReproError
 from .parallel import simulated_parallel_fastlsa
 from .scoring import (
@@ -69,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress informational '#' lines and banners")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the command under instrumentation and print "
+                             "a per-phase breakdown table to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_align = sub.add_parser("align", help="align the first records of two FASTA files")
@@ -108,7 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan = sub.add_parser("plan", help="adaptive parameter plan for a memory budget")
     p_plan.add_argument("m", type=int)
     p_plan.add_argument("n", type=int)
-    p_plan.add_argument("memory_cells", type=int)
+    p_plan.add_argument("memory_cells", metavar="memory",
+                        help="budget: DP cells (bare integer) or a byte size "
+                             "with K/M/G suffix, e.g. 64M or 2G")
     p_plan.add_argument("--affine", action="store_true")
 
     p_speed = sub.add_parser("speedup", help="simulated parallel speedup table")
@@ -116,6 +127,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_speed.add_argument("--k", type=int, default=6)
     p_speed.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8])
     p_speed.add_argument("--overhead", type=float, default=0.0)
+
+    p_trace = sub.add_parser(
+        "trace", help="align under instrumentation; write a Chrome trace_event "
+                      "file and print the per-phase breakdown"
+    )
+    p_trace.add_argument("fasta_a")
+    p_trace.add_argument("fasta_b")
+    p_trace.add_argument("--matrix", default="dna", choices=["dna", "blosum62"])
+    p_trace.add_argument("--matrix-file", default=None,
+                         help="NCBI-format matrix file (overrides --matrix)")
+    p_trace.add_argument("--gap-open", type=int, default=-10)
+    p_trace.add_argument("--gap-extend", type=int, default=None)
+    p_trace.add_argument("--k", type=int, default=8, help="FastLSA k parameter")
+    p_trace.add_argument("--base-cells", type=int, default=256 * 1024)
+    p_trace.add_argument("--parallel", type=int, default=None, metavar="P",
+                         help="trace the threaded wavefront driver with P workers")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace_event output path (chrome://tracing "
+                              "or ui.perfetto.dev)")
+    p_trace.add_argument("--rows", default=None, metavar="PATH",
+                         help="also write flat recorder-compatible span rows (JSON)")
 
     p_serve = sub.add_parser(
         "serve", help="NDJSON alignment service (stdin/stdout, or TCP with --tcp)"
@@ -126,6 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="concurrent job groups / thread-pool size")
     p_serve.add_argument("--memory-cells", type=int, default=4_000_000,
                          help="process-wide DP-cell budget split across workers")
+    p_serve.add_argument("--memory", default=None, metavar="SIZE",
+                         help="budget as a byte size (64M, 2G) or bare cells; "
+                              "overrides --memory-cells")
     p_serve.add_argument("--cache-size", type=int, default=1024,
                          help="LRU result-cache capacity (0 disables)")
     p_serve.add_argument("--queue-depth", type=int, default=256,
@@ -164,9 +199,9 @@ def _cmd_align(args) -> int:
         return 0
 
     say = _info_printer(args)
-    fastlsa_kwargs = {"k": args.k, "base_cells": args.base_cells}
+    config = AlignConfig(k=args.k, base_cells=args.base_cells)
     if args.mode == "local":
-        loc = fastlsa_local(rec_a, rec_b, scheme, **fastlsa_kwargs)
+        loc = fastlsa_local(rec_a, rec_b, scheme, config=config)
         say(
             f"# local score={loc.score}  a[{loc.a_start}:{loc.a_end}] x "
             f"b[{loc.b_start}:{loc.b_end}]"
@@ -174,14 +209,14 @@ def _cmd_align(args) -> int:
         result = loc.alignment
     elif args.mode in ("semiglobal", "overlap"):
         fn = semiglobal_align if args.mode == "semiglobal" else overlap_align
-        ef = fn(rec_a, rec_b, scheme, **fastlsa_kwargs)
+        ef = fn(rec_a, rec_b, scheme, config=config)
         say(
             f"# {args.mode} score={ef.score}  a[{ef.a_start}:{ef.a_end}] x "
             f"b[{ef.b_start}:{ef.b_end}]"
         )
         result = ef.alignment
     else:
-        kwargs = fastlsa_kwargs if args.method == "fastlsa" else {}
+        kwargs = {"config": config} if args.method == "fastlsa" else {}
         result = align_fn(rec_a, rec_b, scheme, method=args.method, **kwargs)
     print(format_alignment(result, width=args.width, scheme=scheme,
                            show_header=not args.quiet))
@@ -241,7 +276,9 @@ def _cmd_demo(_args) -> int:
 
 
 def _cmd_plan(args) -> int:
-    plan = plan_alignment(args.m, args.n, args.memory_cells, affine=args.affine)
+    plan = plan_alignment(
+        args.m, args.n, parse_memory(args.memory_cells), affine=args.affine
+    )
     print(f"method:              {plan.method}")
     print(f"k:                   {plan.config.k}")
     print(f"base_cells:          {plan.config.base_cells}")
@@ -272,13 +309,56 @@ def _cmd_speedup(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from .core import fastlsa
+    from .obs import instrumented, phase_table
+
+    scheme = _scheme_from_args(args)
+    rec_a = read_fasta(args.fasta_a)[0]
+    rec_b = read_fasta(args.fasta_b)[0]
+    config = AlignConfig(k=args.k, base_cells=args.base_cells)
+    with instrumented() as inst:
+        if args.parallel:
+            from .parallel import parallel_fastlsa
+
+            result = parallel_fastlsa(
+                rec_a, rec_b, scheme, P=args.parallel, config=config
+            )
+        else:
+            result = fastlsa(rec_a, rec_b, scheme, config=config)
+    with open(args.out, "w") as fh:
+        json.dump(inst.tracer.chrome_trace(), fh)
+    if args.rows:
+        with open(args.rows, "w") as fh:
+            json.dump(inst.tracer.to_rows(), fh, indent=0)
+    say = _info_printer(args)
+    say(
+        f"# score={result.score}  spans={len(inst.tracer)}  "
+        f"chrome trace -> {args.out}"
+    )
+    print(
+        phase_table(
+            inst,
+            title=f"trace {rec_a.name} x {rec_b.name}",
+            m=len(rec_a),
+            n=len(rec_b),
+        )
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
     from .service import AlignmentService, ProtocolHandler, serve_stdio, serve_tcp
 
+    memory_cells = (
+        parse_memory(args.memory) if args.memory is not None else args.memory_cells
+    )
     service = AlignmentService(
-        memory_cells=args.memory_cells,
+        memory_cells=memory_cells,
         max_workers=args.workers,
         cache_size=args.cache_size,
         max_queue_depth=args.queue_depth,
@@ -292,7 +372,7 @@ def _cmd_serve(args) -> int:
         default_gap_open=args.gap_open,
         default_gap_extend=args.gap_extend,
     )
-    budget = f"{args.memory_cells} cells / {args.workers} workers"
+    budget = f"{memory_cells} cells / {args.workers} workers"
     if args.tcp is None:
         if not args.quiet:
             print(f"# fastlsa serve: NDJSON on stdin/stdout, {budget}",
@@ -330,6 +410,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "plan": _cmd_plan,
     "speedup": _cmd_speedup,
+    "trace": _cmd_trace,
     "serve": _cmd_serve,
 }
 
@@ -346,6 +427,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if handler is None:
         parser.error(f"unknown command {args.command!r}")
     try:
+        if args.profile:
+            from .obs import instrumented, phase_table
+
+            with instrumented() as inst:
+                code = handler(args)
+            print(phase_table(inst, title=f"profile: {args.command}"),
+                  file=sys.stderr)
+            return code
         return handler(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,6 +1,13 @@
 """FastLSA core: the paper's sequential algorithm and its planner."""
 
-from .config import DEFAULT_BASE_CELLS, DEFAULT_K, MIN_BASE_CELLS, FastLSAConfig
+from .config import (
+    DEFAULT_BASE_CELLS,
+    DEFAULT_K,
+    MIN_BASE_CELLS,
+    AlignConfig,
+    FastLSAConfig,
+    resolve_config,
+)
 from .problem import ColCache, Problem, RowCache
 from .grid import Grid, split_bounds
 from .fillcache import compute_block, fill_grid
@@ -28,7 +35,9 @@ __all__ = [
     "DEFAULT_BASE_CELLS",
     "DEFAULT_K",
     "MIN_BASE_CELLS",
+    "AlignConfig",
     "FastLSAConfig",
+    "resolve_config",
     "ColCache",
     "Problem",
     "RowCache",

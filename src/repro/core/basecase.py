@@ -15,6 +15,7 @@ import numpy as np
 from ..align.path import PathBuilder
 from ..kernels.fullmatrix import FullMatrices, compute_full, trace_from
 from ..kernels.ops import KernelInstruments
+from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
 from .problem import Problem
 
@@ -52,29 +53,38 @@ def solve_base_case(
     sub_a = a_codes[problem.i0 : problem.i1]
     sub_b = b_codes[problem.j0 : problem.j1]
     fn = matrix_fn or compute_full
-    if scheme.is_linear:
-        mats = fn(
-            sub_a, sub_b, scheme, problem.cache_row.h, problem.cache_col.h,
-            counter=inst.ops,
+    with obs.span(
+        "fastlsa.base_case", category="base", rows=problem.nrows, cols=problem.ncols
+    ) as sp:
+        cells_before = inst.ops.cells
+        if scheme.is_linear:
+            mats = fn(
+                sub_a, sub_b, scheme, problem.cache_row.h, problem.cache_col.h,
+                counter=inst.ops,
+            )
+        else:
+            mats = fn(
+                sub_a,
+                sub_b,
+                scheme,
+                problem.cache_row.h,
+                problem.cache_col.h,
+                first_row_f=problem.cache_row.f,
+                first_col_e=problem.cache_col.e,
+                counter=inst.ops,
+            )
+        inst.mem.alloc(mats.cells)
+        score = mats.score
+        local_points, end_layer = trace_from(
+            mats, sub_a, sub_b, scheme, problem.nrows, problem.ncols, builder.layer
         )
-    else:
-        mats = fn(
-            sub_a,
-            sub_b,
-            scheme,
-            problem.cache_row.h,
-            problem.cache_col.h,
-            first_row_f=problem.cache_row.f,
-            first_col_e=problem.cache_col.e,
-            counter=inst.ops,
-        )
-    inst.mem.alloc(mats.cells)
-    score = mats.score
-    local_points, end_layer = trace_from(
-        mats, sub_a, sub_b, scheme, problem.nrows, problem.ncols, builder.layer
-    )
-    for (li, lj) in local_points:
-        builder.append((problem.i0 + li, problem.j0 + lj))
-    builder.layer = end_layer
-    inst.mem.free(mats.cells)
+        for (li, lj) in local_points:
+            builder.append((problem.i0 + li, problem.j0 + lj))
+        builder.layer = end_layer
+        inst.mem.free(mats.cells)
+        if sp is not None:
+            filled = inst.ops.cells - cells_before
+            sp.set(cells=filled, path_points=len(local_points))
+            obs.counter_add("fastlsa.cells_filled", filled)
+            obs.counter_add("fastlsa.base_cases", 1)
     return score

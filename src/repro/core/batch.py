@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence as Seq
 
 from ..align.alignment import Alignment
 from ..align.sequence import Sequence, as_sequence
-from ..core.config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig
+from ..core.config import AlignConfig, resolve_config
 from ..errors import ConfigError
 from ..scoring.scheme import ScoringScheme
 from .fastlsa import fastlsa
@@ -103,9 +103,9 @@ def batch_align(
     mode: str = "local",
     keep: int = 5,
     min_score: Optional[int] = None,
-    k: int = DEFAULT_K,
-    base_cells: int = DEFAULT_BASE_CELLS,
-    config: Optional[FastLSAConfig] = None,
+    k: Optional[int] = None,
+    base_cells: Optional[int] = None,
+    config: Optional[AlignConfig] = None,
     executor: Optional[ThreadPoolExecutor] = None,
     max_workers: Optional[int] = None,
 ) -> List[BatchHit]:
@@ -120,13 +120,16 @@ def batch_align(
         Number of top hits to materialise full alignments for.
     min_score:
         Drop targets scoring below this (after ranking).
+    config:
+        :class:`~repro.core.config.AlignConfig` carrying ``k``,
+        ``base_cells`` and ``max_workers``; the loose ``k=`` /
+        ``base_cells=`` / ``max_workers=`` keywords are deprecated.
     executor:
         Score targets concurrently on this shared pool (it is not shut
         down); the service layer passes its worker pool here.
-    max_workers:
-        Without ``executor``, spin up a private pool of this many threads
-        for the scoring sweep.  The default (both ``None``) stays
-        sequential.
+
+    Without ``executor``, ``config.max_workers`` sizes a private pool for
+    the scoring sweep; ``None`` stays sequential.
 
     Returns hits sorted by descending score with ``rank`` starting at 1;
     only the top ``keep`` carry alignments.
@@ -135,13 +138,11 @@ def batch_align(
         raise ConfigError(f"unknown mode {mode!r}; choose from {_MODES}")
     if keep < 0:
         raise ConfigError(f"keep must be >= 0, got {keep}")
-    if max_workers is not None and max_workers < 1:
-        raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+    cfg = resolve_config(config, k, base_cells, max_workers, where="batch_align")
     q = as_sequence(query, "query")
     seqs = [as_sequence(t, f"target{i}") for i, t in enumerate(targets)]
-    cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
 
-    scores = _score_all(q, seqs, scheme, mode, cfg, executor, max_workers)
+    scores = _score_all(q, seqs, scheme, mode, cfg, executor, cfg.max_workers)
     scored = sorted(
         ((s, idx) for idx, s in enumerate(scores)), key=lambda t: (-t[0], t[1])
     )

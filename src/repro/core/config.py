@@ -17,11 +17,20 @@ to take advantage of cache memory and main memory sizes" theme is about;
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Mapping, Optional
 
 from ..errors import ConfigError
 
-__all__ = ["FastLSAConfig", "DEFAULT_K", "DEFAULT_BASE_CELLS", "MIN_BASE_CELLS"]
+__all__ = [
+    "AlignConfig",
+    "FastLSAConfig",
+    "resolve_config",
+    "DEFAULT_K",
+    "DEFAULT_BASE_CELLS",
+    "MIN_BASE_CELLS",
+]
 
 #: Default number of parts each dimension is divided into.
 DEFAULT_K = 8
@@ -64,3 +73,110 @@ class FastLSAConfig:
         """Max ``(M+1)·(N+1)`` that fits the buffer with ``layers`` dense
         matrices (1 for linear schemes, 3 for affine)."""
         return max(4, self.base_cells // layers)
+
+
+@dataclass(frozen=True)
+class AlignConfig(FastLSAConfig):
+    """The one way to parameterize an alignment (every entry point).
+
+    Extends :class:`FastLSAConfig` (so anything accepting the kernel
+    config accepts this) with the knobs that used to be scattered as
+    per-module keyword arguments:
+
+    Attributes
+    ----------
+    max_workers:
+        Thread fan-out for batch scoring sweeps
+        (:func:`repro.core.batch.batch_align`); ``None`` stays sequential.
+
+    ``repro.align()``, :func:`~repro.core.fastlsa.fastlsa`,
+    :func:`~repro.parallel.pfastlsa.parallel_fastlsa` and
+    :func:`~repro.core.batch.batch_align` all take ``config=``; the old
+    ``k=`` / ``base_cells=`` / ``max_workers=`` keywords still work but
+    emit :class:`DeprecationWarning`.  The NDJSON protocol accepts the
+    same shape as a ``"config"`` object (see :meth:`from_dict`).
+    """
+
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_workers is not None and (
+            not isinstance(self.max_workers, int) or self.max_workers < 1
+        ):
+            raise ConfigError(
+                f"max_workers must be None or an integer >= 1, got {self.max_workers!r}"
+            )
+
+    #: Keys :meth:`from_dict` accepts — also the wire-protocol schema.
+    FIELDS = ("k", "base_cells", "max_workers")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AlignConfig":
+        """Build a config from a plain dict (the wire-protocol schema).
+
+        Accepts exactly the keys in :data:`FIELDS` (all optional);
+        anything else raises :class:`~repro.errors.ConfigError` so typos
+        fail loudly instead of silently running with defaults.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"config must be an object/dict, got {data!r}")
+        unknown = sorted(set(data) - set(cls.FIELDS))
+        if unknown:
+            raise ConfigError(
+                f"unknown config keys {unknown}; accepted: {list(cls.FIELDS)}"
+            )
+        kwargs = {}
+        for key in cls.FIELDS:
+            if key in data and data[key] is not None:
+                value = data[key]
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ConfigError(f"config.{key} must be an integer, got {value!r}")
+                kwargs[key] = value
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        """The :meth:`from_dict`-round-trippable representation."""
+        return {"k": self.k, "base_cells": self.base_cells, "max_workers": self.max_workers}
+
+
+def resolve_config(
+    config: Optional[FastLSAConfig] = None,
+    k: Optional[int] = None,
+    base_cells: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    *,
+    where: str = "align",
+    stacklevel: int = 3,
+) -> AlignConfig:
+    """Normalise the legacy kwargs and ``config=`` into one AlignConfig.
+
+    The single deprecation shim behind every public entry point: passing
+    ``k=`` / ``base_cells=`` / ``max_workers=`` warns (once per call
+    site, per Python's warning machinery) and still works; an explicit
+    ``config`` always wins over the legacy keywords.
+    """
+    legacy = [
+        name
+        for name, value in (("k", k), ("base_cells", base_cells),
+                            ("max_workers", max_workers))
+        if value is not None
+    ]
+    if legacy:
+        warnings.warn(
+            f"{where}: the {', '.join(legacy)} keyword(s) are deprecated; "
+            f"pass config=AlignConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    if config is not None:
+        if isinstance(config, AlignConfig):
+            return config
+        return AlignConfig(
+            k=config.k, base_cells=config.base_cells, max_workers=max_workers
+        )
+    return AlignConfig(
+        k=k if k is not None else DEFAULT_K,
+        base_cells=base_cells if base_cells is not None else DEFAULT_BASE_CELLS,
+        max_workers=max_workers,
+    )

@@ -33,9 +33,10 @@ from ..align.sequence import as_sequence
 from ..kernels.affine import affine_boundaries
 from ..kernels.linear import boundary_vectors
 from ..kernels.ops import KernelInstruments
+from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
 from .basecase import solve_base_case
-from .config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig
+from .config import FastLSAConfig, resolve_config
 from .fillcache import fill_grid
 from .grid import Grid
 from .problem import ColCache, Problem, RowCache
@@ -137,13 +138,25 @@ def _fastlsa_rec(problem: Problem, builder: PathBuilder, ctx: _Ctx, depth: int) 
             ctx.score = score
         return
 
+    with obs.span("fastlsa.recurse", category="recurse", depth=depth, rows=M, cols=N):
+        _general_case(problem, builder, ctx, depth)
+
+
+def _general_case(problem: Problem, builder: PathBuilder, ctx: _Ctx, depth: int) -> None:
     # GENERAL CASE (Figure 2, lines 3-15).
     grid = Grid(problem, ctx.config.k, affine=not ctx.scheme.is_linear, meter=ctx.inst.mem)
     try:
-        ctx.hooks.fill(
-            grid, ctx.a_codes, ctx.b_codes, ctx.scheme, ctx.inst.ops,
-            skip_bottom_right=True,
-        )
+        with obs.span("fastlsa.fillcache", category="fill", depth=depth) as sp:
+            cells_before = ctx.inst.ops.cells
+            ctx.hooks.fill(
+                grid, ctx.a_codes, ctx.b_codes, ctx.scheme, ctx.inst.ops,
+                skip_bottom_right=True,
+            )
+            if sp is not None:
+                filled = ctx.inst.ops.cells - cells_before
+                sp.set(cells=filled, grid_cells=grid.cells_allocated)
+                obs.counter_add("fastlsa.cells_filled", filled)
+                obs.gauge_set("fastlsa.grid_cache_cells", ctx.inst.mem.current)
         # Recurse on the bottom-right block first (Figure 3(d)).
         p_last = len(grid.row_bounds) - 2
         q_last = len(grid.col_bounds) - 2
@@ -216,8 +229,8 @@ def fastlsa(
     seq_a,
     seq_b,
     scheme: ScoringScheme,
-    k: int = DEFAULT_K,
-    base_cells: int = DEFAULT_BASE_CELLS,
+    k: Optional[int] = None,
+    base_cells: Optional[int] = None,
     config: Optional[FastLSAConfig] = None,
     instruments: Optional[KernelInstruments] = None,
     hooks: Optional[FastLSAHooks] = None,
@@ -230,12 +243,13 @@ def fastlsa(
         Sequences or strings; ``seq_a`` indexes DPM rows.
     scheme:
         Scoring scheme (linear or affine gaps).
-    k:
-        Parts per dimension per recursion level (paper's ``k``; default 8).
-    base_cells:
-        Base Case buffer ``BM`` in DP cells.
     config:
-        A pre-built :class:`FastLSAConfig`; overrides ``k``/``base_cells``.
+        An :class:`~repro.core.config.AlignConfig` (or bare
+        :class:`FastLSAConfig`) carrying ``k`` and ``base_cells`` — the
+        one supported way to parameterize the run.
+    k, base_cells:
+        .. deprecated:: 1.1
+           Legacy per-call tunables; pass ``config=AlignConfig(...)``.
     instruments:
         Optional shared counters.
     hooks:
@@ -248,7 +262,7 @@ def fastlsa(
         quadratic space) and ≈ ``1.5·m·n`` (small memory), and
         ``stats.peak_cells_resident`` ≈ ``k·(m+n) + base_cells``.
     """
-    cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
+    cfg = resolve_config(config, k, base_cells, where="fastlsa")
     a = as_sequence(seq_a, "a")
     b = as_sequence(seq_b, "b")
     inst = instruments or KernelInstruments()
@@ -258,7 +272,12 @@ def fastlsa(
     b_codes = scheme.encode(b.text)
     m, n = len(a), len(b)
 
-    result = fastlsa_path(m, n, a_codes, b_codes, scheme, cfg, inst, hooks)
+    with obs.span(
+        "fastlsa.align", category="align", m=m, n=n, k=cfg.k, base_cells=cfg.base_cells
+    ) as sp:
+        result = fastlsa_path(m, n, a_codes, b_codes, scheme, cfg, inst, hooks)
+        if sp is not None:
+            sp.set(score=result.score, subproblems=result.subproblems)
     builder = result.builder
     i, j = builder.head
     while i > 0:
@@ -269,12 +288,15 @@ def fastlsa(
         builder.append((i, j))
     path = builder.finalize()
 
+    wall_time = time.perf_counter() - t0
+    obs.observe("fastlsa.wall_time", wall_time)
+    obs.counter_add("fastlsa.alignments", 1)
     stats = AlignmentStats(
         cells_computed=inst.ops.cells,
         peak_cells_resident=inst.mem.peak,
         base_case_cells=result.base_case_cells,
         recursion_depth=result.max_depth,
         subproblems=result.subproblems,
-        wall_time=time.perf_counter() - t0,
+        wall_time=wall_time,
     )
     return alignment_from_path(a, b, path, result.score, algorithm="fastlsa", stats=stats)

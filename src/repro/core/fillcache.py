@@ -22,6 +22,7 @@ import numpy as np
 from ..kernels.affine import sweep_band_affine, sweep_last_row_col_affine
 from ..kernels.linear import sweep_band, sweep_last_row_col
 from ..kernels.ops import OpCounter
+from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
 from .grid import Grid
 from .problem import ColCache, RowCache
@@ -143,36 +144,39 @@ def fill_grid(
             jend = problem.j1
         if jend <= j0 and not col_splits:
             continue  # nothing to compute in this band
-        top = grid.row_line(p, j0, jend)
-        left = grid.col_line(0, a0, a1)
-        sample = np.asarray(
-            [c - j0 for c in col_splits if c <= jend], dtype=np.int64
-        )
-        sub_a = a_codes[a0:a1]
-        sub_b = b_codes[j0:jend]
-        if scheme.is_linear:
-            last_row, samples = sweep_band(
-                sub_a, sub_b, table, scheme.gap_open, top.h, left.h, sample, counter
+        with obs.span("fastlsa.fill_band", category="fill", band=p) as sp:
+            if sp is not None:
+                sp.set(cells=(a1 - a0) * (jend - j0))
+            top = grid.row_line(p, j0, jend)
+            left = grid.col_line(0, a0, a1)
+            sample = np.asarray(
+                [c - j0 for c in col_splits if c <= jend], dtype=np.int64
             )
-            for t, c in enumerate(col_splits[: len(sample)]):
-                grid.store_col_segment(t + 1, a0, samples[t], None)
-            if p + 1 < interior_rows:
-                grid.store_row_segment(p + 1, j0, last_row, None)
-        else:
-            lr_h, lr_f, samp_h, samp_e = sweep_band_affine(
-                sub_a,
-                sub_b,
-                table,
-                scheme.gap_open,
-                scheme.gap_extend,
-                top.h,
-                top.f,
-                left.h,
-                left.e,
-                sample,
-                counter,
-            )
-            for t, c in enumerate(col_splits[: len(sample)]):
-                grid.store_col_segment(t + 1, a0, samp_h[t], samp_e[t])
-            if p + 1 < interior_rows:
-                grid.store_row_segment(p + 1, j0, lr_h, lr_f)
+            sub_a = a_codes[a0:a1]
+            sub_b = b_codes[j0:jend]
+            if scheme.is_linear:
+                last_row, samples = sweep_band(
+                    sub_a, sub_b, table, scheme.gap_open, top.h, left.h, sample, counter
+                )
+                for t, c in enumerate(col_splits[: len(sample)]):
+                    grid.store_col_segment(t + 1, a0, samples[t], None)
+                if p + 1 < interior_rows:
+                    grid.store_row_segment(p + 1, j0, last_row, None)
+            else:
+                lr_h, lr_f, samp_h, samp_e = sweep_band_affine(
+                    sub_a,
+                    sub_b,
+                    table,
+                    scheme.gap_open,
+                    scheme.gap_extend,
+                    top.h,
+                    top.f,
+                    left.h,
+                    left.e,
+                    sample,
+                    counter,
+                )
+                for t, c in enumerate(col_splits[: len(sample)]):
+                    grid.store_col_segment(t + 1, a0, samp_h[t], samp_e[t])
+                if p + 1 < interior_rows:
+                    grid.store_row_segment(p + 1, j0, lr_h, lr_f)

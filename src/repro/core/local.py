@@ -31,7 +31,7 @@ from ..align.path import AlignmentPath
 from ..kernels.affine import NEG_INF
 from ..kernels.ops import KernelInstruments
 from ..scoring.scheme import ScoringScheme
-from .config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig
+from .config import FastLSAConfig, resolve_config
 from .fastlsa import fastlsa
 
 __all__ = ["fastlsa_local"]
@@ -154,8 +154,8 @@ def fastlsa_local(
     seq_a,
     seq_b,
     scheme: ScoringScheme,
-    k: int = DEFAULT_K,
-    base_cells: int = DEFAULT_BASE_CELLS,
+    k: Optional[int] = None,
+    base_cells: Optional[int] = None,
     config: Optional[FastLSAConfig] = None,
     instruments: Optional[KernelInstruments] = None,
 ) -> LocalAlignment:
@@ -163,9 +163,10 @@ def fastlsa_local(
 
     Returns the same :class:`~repro.baselines.smith_waterman.LocalAlignment`
     structure as the FM Smith–Waterman baseline, but without ever holding a
-    dense ``m × n`` matrix.
+    dense ``m × n`` matrix.  Parameterize via ``config=``; ``k=`` /
+    ``base_cells=`` are deprecated.
     """
-    cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
+    cfg = resolve_config(config, k, base_cells, where="fastlsa_local")
     a = as_sequence(seq_a, "a")
     b = as_sequence(seq_b, "b")
     inst = instruments or KernelInstruments()

@@ -38,7 +38,7 @@ from ..align.sequence import as_sequence
 from ..kernels.affine import NEG_INF
 from ..kernels.ops import KernelInstruments
 from ..scoring.scheme import ScoringScheme
-from .config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig
+from .config import FastLSAConfig, resolve_config
 from .fastlsa import fastlsa
 
 __all__ = [
@@ -237,17 +237,18 @@ def ends_free_align(
     seq_b,
     scheme: ScoringScheme,
     free: EndsFree,
-    k: int = DEFAULT_K,
-    base_cells: int = DEFAULT_BASE_CELLS,
+    k: Optional[int] = None,
+    base_cells: Optional[int] = None,
     config: Optional[FastLSAConfig] = None,
     instruments: Optional[KernelInstruments] = None,
 ) -> EndsFreeAlignment:
     """Align under arbitrary ends-free flags, in linear space.
 
     The aligned core is bracketed by two rolling sweeps and solved
-    exactly with FastLSA under the given ``k`` / ``base_cells`` budget.
+    exactly with FastLSA under the configured budget.  Parameterize via
+    ``config=``; ``k=`` / ``base_cells=`` are deprecated.
     """
-    cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
+    cfg = resolve_config(config, k, base_cells, where="ends_free_align")
     a = as_sequence(seq_a, "a")
     b = as_sequence(seq_b, "b")
     inst = instruments or KernelInstruments()

@@ -28,11 +28,52 @@ from .config import MIN_BASE_CELLS, FastLSAConfig
 
 __all__ = [
     "Plan",
+    "parse_memory",
     "plan_alignment",
     "ops_ratio_bound",
     "grid_cells_bound",
     "fastlsa_peak_cells",
 ]
+
+#: Byte multipliers for :func:`parse_memory` suffixes.
+_SIZE_UNITS = {"K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+
+#: Bytes per DP cell (int64 storage).
+CELL_BYTES = 8
+
+
+def parse_memory(text) -> int:
+    """Parse a memory budget into DP cells.
+
+    Accepts a bare integer (DP **cells** — backward compatible with the
+    CLI's historical argument) or a human-readable **byte** size with a
+    ``K`` / ``M`` / ``G`` / ``T`` suffix, optionally followed by ``B``
+    (``"64M"``, ``"2GB"``); suffixed sizes convert at 8 bytes per int64
+    cell.  Non-positive budgets are rejected.
+    """
+    if isinstance(text, bool):
+        raise ConfigError(f"cannot parse memory budget {text!r}")
+    if isinstance(text, int):
+        cells = text
+    else:
+        s = str(text).strip().upper()
+        if s.endswith("B") and len(s) > 1 and s[-2] in _SIZE_UNITS:
+            s = s[:-1]
+        unit = 0
+        if s and s[-1] in _SIZE_UNITS:
+            unit = _SIZE_UNITS[s[-1]]
+            s = s[:-1]
+        try:
+            value = float(s) if unit else int(s)
+        except ValueError:
+            raise ConfigError(
+                f"cannot parse memory budget {text!r} "
+                f"(expected cells like 500000 or a size like 64M / 2G)"
+            ) from None
+        cells = int(value * unit) // CELL_BYTES if unit else int(value)
+    if cells <= 0:
+        raise ConfigError(f"memory budget must be positive, got {text!r}")
+    return cells
 
 
 def ops_ratio_bound(k: int) -> float:

@@ -1,0 +1,60 @@
+"""Observability: trace spans + metrics, one hook from kernels to service.
+
+Off by default and free when off.  Enable around any library call::
+
+    from repro import obs
+
+    with obs.instrumented() as inst:
+        repro.fastlsa(a, b, scheme)
+
+    inst.metrics.snapshot()                  # counters/gauges/histograms
+    inst.tracer.to_rows()                    # recorder-compatible spans
+    json.dump(inst.tracer.chrome_trace(), f) # chrome://tracing format
+
+Every layer reports through the same hook (:func:`current`): the FastLSA
+recursion and FillCache bands, base-case solves, wavefront tiles (tagged
+with the paper's Figure-13 ramp-up/steady/ramp-down phases), and the
+service's queue → dispatch → batch → cache stages.  The CLI exposes it as
+the global ``--profile`` flag and the ``fastlsa trace`` command; the
+NDJSON protocol surfaces live metrics through the ``stats`` op.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import phase_rows, phase_table
+from .runtime import (
+    NULL_SPAN,
+    Instrumentation,
+    counter_add,
+    current,
+    disable,
+    enable,
+    gauge_add,
+    gauge_set,
+    instrumented,
+    observe,
+    span,
+)
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "counter_add",
+    "current",
+    "disable",
+    "enable",
+    "gauge_add",
+    "gauge_set",
+    "instrumented",
+    "observe",
+    "phase_rows",
+    "phase_table",
+    "span",
+]

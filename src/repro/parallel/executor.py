@@ -12,10 +12,12 @@ figures); on a real multi-core machine it parallelises for free.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Dict, List, Optional
 
 from ..errors import SchedulerError
+from ..obs import runtime as obs
 from .tiles import Tile, TileGrid, TileId
 
 __all__ = ["run_wavefront"]
@@ -44,6 +46,10 @@ def run_wavefront(
     tiles = list(grid.tiles())
     if not tiles:
         return
+    # Capture the instrumentation once: worker threads do not inherit the
+    # caller's context variables, and tile-grain observation must not pay
+    # a context lookup per tile.
+    inst = obs.current()
 
     lock = threading.Lock()
     done = threading.Event()
@@ -56,10 +62,14 @@ def run_wavefront(
     own_pool = pool is None
     executor = pool or ThreadPoolExecutor(max_workers=n_threads)
 
+    ready_at: Dict[TileId, float] = {}
+
     def submit(tid: TileId) -> None:
         with lock:
             if state["error"] is not None:
                 return
+            if inst is not None:
+                ready_at[tid] = time.perf_counter()
             futures.append(executor.submit(run_tile, tid))
 
     def run_tile(tid: TileId) -> None:
@@ -67,6 +77,10 @@ def run_wavefront(
             aborted = state["error"] is not None
         if aborted:
             return
+        if inst is not None:
+            # Dispatch latency: tile became ready → a worker picked it up.
+            waited = time.perf_counter() - ready_at.get(tid, time.perf_counter())
+            inst.metrics.histogram("wavefront.tile_wait").observe(waited)
         try:
             worker(grid[tid])
         except BaseException as exc:  # propagate the first failure
@@ -88,6 +102,12 @@ def run_wavefront(
         if finished_all:
             done.set()
 
+    run_span = None
+    if inst is not None:
+        run_span = inst.tracer.start_span(
+            "wavefront.run", category="wavefront",
+            n_tiles=len(tiles), n_threads=n_threads,
+        )
     try:
         initial = [tid for tid, d in indeg.items() if d == 0]
         if not initial:
@@ -110,5 +130,7 @@ def run_wavefront(
         if int(state["pending"]) != 0:
             raise SchedulerError(f"{state['pending']} tiles never executed")
     finally:
+        if run_span is not None:
+            inst.tracer.end_span(run_span)
         if own_pool:
             executor.shutdown(wait=True)

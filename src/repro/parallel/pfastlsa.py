@@ -28,7 +28,7 @@ import numpy as np
 
 from ..align.alignment import Alignment
 from ..align.sequence import as_sequence
-from ..core.config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig
+from ..core.config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig, resolve_config
 from ..core.fastlsa import FastLSAHooks, fastlsa
 from ..core.fillcache import compute_block, fill_grid
 from ..core.grid import Grid, split_bounds
@@ -38,10 +38,12 @@ from ..kernels.affine import NEG_INF, sweep_matrix_affine
 from ..kernels.fullmatrix import FullMatrices, compute_full
 from ..kernels.linear import sweep_matrix
 from ..kernels.ops import KernelInstruments
+from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
 from .executor import run_wavefront
 from .simmachine import ScheduleReport, simulate_schedule
 from .tiles import Tile, TileGrid, default_uv, refine_bounds
+from .wavefront import line_phases
 
 __all__ = [
     "build_fill_tiles",
@@ -81,6 +83,41 @@ def build_base_tiles(M: int, N: int, k: int, u: int, v: int) -> TileGrid:
     FillCache region; short dimensions degrade to fewer tiles.
     """
     return TileGrid(split_bounds(0, M, k * u), split_bounds(0, N, k * v))
+
+
+# ----------------------------------------------------------------------
+# tile-span instrumentation
+# ----------------------------------------------------------------------
+def _traced_tile_worker(tg: TileGrid, worker, P: int, region: str):
+    """Wrap a tile worker with phase-tagged trace spans.
+
+    Resolved once per region: with instrumentation off the original
+    worker is returned untouched (zero per-tile overhead).  Tile spans
+    parent onto the span open on the *submitting* thread (the FillCache
+    or Base-Case span) because worker threads have no span stack of
+    their own, and each carries its Figure-13 wavefront phase.
+    """
+    inst = obs.current()
+    if inst is None:
+        return worker
+    phases = line_phases(tg, P)
+    parent = inst.tracer.current_span()
+
+    def traced(tile: Tile) -> None:
+        with inst.tracer.span(
+            "wavefront.tile",
+            category="tile",
+            parent=parent,
+            r=tile.r,
+            c=tile.c,
+            cells=tile.cells,
+            region=region,
+            phase=phases[tile.r + tile.c],
+        ):
+            worker(tile)
+        inst.metrics.counter(f"wavefront.{phases[tile.r + tile.c]}_tiles").inc()
+
+    return traced
 
 
 # ----------------------------------------------------------------------
@@ -136,7 +173,7 @@ def _parallel_fill_grid(
         if q is not None:
             grid.store_col_segment(q, tile.a0, right.h, right.e)
 
-    run_wavefront(tg, worker, n_threads=P)
+    run_wavefront(tg, _traced_tile_worker(tg, worker, P, "fill"), n_threads=P)
     if counter is not None:
         counter.add_cells(tg.total_cells())
     if grid.meter is not None:
@@ -200,7 +237,7 @@ def _parallel_base_matrix(
             E[a0 + 1 : a1 + 1, b0 + 1 : b1 + 1] = se[1:, 1:]
             F[a0 + 1 : a1 + 1, b0 + 1 : b1 + 1] = sf[1:, 1:]
 
-    run_wavefront(tg, worker, n_threads=P)
+    run_wavefront(tg, _traced_tile_worker(tg, worker, P, "base"), n_threads=P)
     if counter is not None:
         counter.add_cells(tg.total_cells())
     return FullMatrices(H=H, E=E, F=F)
@@ -214,8 +251,8 @@ def parallel_fastlsa(
     seq_b,
     scheme: ScoringScheme,
     P: int,
-    k: int = DEFAULT_K,
-    base_cells: int = DEFAULT_BASE_CELLS,
+    k: Optional[int] = None,
+    base_cells: Optional[int] = None,
     u: Optional[int] = None,
     v: Optional[int] = None,
     config: Optional[FastLSAConfig] = None,
@@ -224,11 +261,12 @@ def parallel_fastlsa(
     """Threaded Parallel FastLSA; identical output to :func:`fastlsa`.
 
     ``P`` is the worker-thread count; ``u``/``v`` the tiles per grid block
-    (defaults from :func:`repro.parallel.tiles.default_uv`).
+    (defaults from :func:`repro.parallel.tiles.default_uv`).  Parameterize
+    via ``config=``; the ``k=`` / ``base_cells=`` keywords are deprecated.
     """
     if P < 1:
         raise ConfigError(f"P must be >= 1, got {P}")
-    cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
+    cfg = resolve_config(config, k, base_cells, where="parallel_fastlsa")
     if u is None or v is None:
         du, dv = default_uv(P, cfg.k)
         u = u or du
@@ -313,8 +351,8 @@ def simulated_parallel_fastlsa(
     seq_b,
     scheme: ScoringScheme,
     P: int,
-    k: int = DEFAULT_K,
-    base_cells: int = DEFAULT_BASE_CELLS,
+    k: Optional[int] = None,
+    base_cells: Optional[int] = None,
     u: Optional[int] = None,
     v: Optional[int] = None,
     overhead: float = 0.0,
@@ -333,7 +371,12 @@ def simulated_parallel_fastlsa(
     """
     if P < 1:
         raise ConfigError(f"P must be >= 1, got {P}")
-    cfg = config or FastLSAConfig(k=k, base_cells=base_cells)
+    # The simulator keeps plain k/base_cells keywords: it is a modelling
+    # API sweeping parameters, not a serving entry point.
+    cfg = config or FastLSAConfig(
+        k=k if k is not None else DEFAULT_K,
+        base_cells=base_cells if base_cells is not None else DEFAULT_BASE_CELLS,
+    )
     if u is None or v is None:
         du, dv = default_uv(P, cfg.k)
         u = u or du

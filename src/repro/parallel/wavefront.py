@@ -25,7 +25,15 @@ from typing import Callable, List, Optional, Tuple
 
 from .tiles import TileGrid, TileId
 
-__all__ = ["PhaseBreakdown", "three_phases", "wavefront_stage_schedule"]
+__all__ = [
+    "PhaseBreakdown",
+    "line_phases",
+    "three_phases",
+    "wavefront_stage_schedule",
+]
+
+#: Phase tags, in execution order (used on trace spans).
+PHASE_NAMES = ("ramp_up", "steady", "ramp_down")
 
 
 @dataclass
@@ -45,6 +53,38 @@ class PhaseBreakdown:
         return self.ramp_up_tiles + self.steady_tiles + self.ramp_down_tiles
 
 
+def _split_sizes(sizes: List[int], P: int) -> Tuple[List[int], List[int], List[int]]:
+    """Partition wavefront-line sizes into (ramp-up, steady, ramp-down)."""
+    first_full = next((i for i, s in enumerate(sizes) if s >= P), None)
+    if first_full is None:
+        # No steady state: split at the peak.
+        peak = max(range(len(sizes)), key=sizes.__getitem__) if sizes else 0
+        return sizes[: peak + 1], [], sizes[peak + 1 :]
+    last_full = max(i for i, s in enumerate(sizes) if s >= P)
+    return (
+        sizes[:first_full],
+        sizes[first_full : last_full + 1],
+        sizes[last_full + 1 :],
+    )
+
+
+def line_phases(grid: TileGrid, P: int) -> List[str]:
+    """The Figure-13 phase tag of each wavefront line, by line index.
+
+    A tile on wavefront line ``r + c`` executes in
+    ``line_phases(grid, P)[r + c]`` — the tag the tracer attaches to
+    wavefront tile spans so a trace can be cut along the paper's
+    three-phase model.
+    """
+    sizes = [len(line) for line in grid.wavefront_lines()]
+    up, steady, down = _split_sizes(sizes, P)
+    return (
+        [PHASE_NAMES[0]] * len(up)
+        + [PHASE_NAMES[1]] * len(steady)
+        + [PHASE_NAMES[2]] * len(down)
+    )
+
+
 def three_phases(grid: TileGrid, P: int) -> PhaseBreakdown:
     """Split a tile grid's wavefront lines into the paper's three phases.
 
@@ -54,18 +94,8 @@ def three_phases(grid: TileGrid, P: int) -> PhaseBreakdown:
     reaches ``P`` tiles there is no steady state and the split point
     between ramp-up and ramp-down is the widest line.
     """
-    lines = grid.wavefront_lines()
-    sizes = [len(line) for line in lines]
-    first_full = next((i for i, s in enumerate(sizes) if s >= P), None)
-    if first_full is None:
-        # No steady state: split at the peak.
-        peak = max(range(len(sizes)), key=sizes.__getitem__) if sizes else 0
-        up, steady, down = sizes[: peak + 1], [], sizes[peak + 1 :]
-    else:
-        last_full = max(i for i, s in enumerate(sizes) if s >= P)
-        up = sizes[:first_full]
-        steady = sizes[first_full : last_full + 1]
-        down = sizes[last_full + 1 :]
+    sizes = [len(line) for line in grid.wavefront_lines()]
+    up, steady, down = _split_sizes(sizes, P)
     return PhaseBreakdown(
         ramp_up_tiles=sum(up),
         steady_tiles=sum(steady),

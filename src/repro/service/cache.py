@@ -14,6 +14,7 @@ from collections import OrderedDict
 from typing import Dict, Hashable, Optional, TypeVar
 
 from ..errors import ConfigError
+from ..obs import runtime as obs
 
 __all__ = ["ResultCache"]
 
@@ -48,8 +49,10 @@ class ResultCache:
             if key in self._data:
                 self._data.move_to_end(key)
                 self.hits += 1
+                obs.counter_add("service.cache_hits")
                 return self._data[key]
             self.misses += 1
+            obs.counter_add("service.cache_misses")
             return None
 
     def put(self, key: Hashable, value: object) -> None:

@@ -26,10 +26,13 @@ and must only be touched from scheduler coroutines.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Dict, Optional
 
-from ..core.planner import Plan, plan_alignment
+from ..core.config import FastLSAConfig
+from ..core.planner import Plan, fastlsa_peak_cells, ops_ratio_bound, plan_alignment
 from ..errors import ConfigError, JobTimeoutError, MemoryBudgetError
+from ..obs import runtime as obs
 
 __all__ = ["MemoryGovernor"]
 
@@ -62,8 +65,18 @@ class MemoryGovernor:
         self._released = asyncio.Condition()
 
     # -- admission (synchronous) ---------------------------------------
-    def admit(self, m: int, n: int, affine: bool = False) -> Plan:
+    def admit(
+        self,
+        m: int,
+        n: int,
+        affine: bool = False,
+        config: Optional[FastLSAConfig] = None,
+    ) -> Plan:
         """Plan an ``m × n`` job inside the per-job allocation.
+
+        With ``config`` the caller pins the FastLSA parameters instead of
+        letting the planner choose; admission then checks the *pinned*
+        configuration's predicted peak against the per-job share.
 
         Raises
         ------
@@ -71,10 +84,29 @@ class MemoryGovernor:
             If the problem cannot be planned within the per-job share —
             the caller should reject the submission (backpressure).
         """
+        if config is not None:
+            peak = fastlsa_peak_cells(m, n, config.k, config.base_cells, affine)
+            if peak > self.per_job_cells:
+                self.rejections += 1
+                obs.counter_add("service.budget_rejections")
+                raise MemoryBudgetError(
+                    f"pinned config (k={config.k}, base_cells={config.base_cells}) "
+                    f"predicts {peak} peak cells for a {m} x {n} job — over the "
+                    f"per-job allocation of {self.per_job_cells} cells "
+                    f"({self.total_cells} total / {self.max_workers} workers)"
+                )
+            return Plan(
+                method="fastlsa",
+                config=config,
+                memory_cells=self.per_job_cells,
+                predicted_peak_cells=peak,
+                predicted_ops_ratio=ops_ratio_bound(config.k),
+            )
         try:
             return plan_alignment(m, n, self.per_job_cells, affine=affine)
         except ConfigError as exc:
             self.rejections += 1
+            obs.counter_add("service.budget_rejections")
             raise MemoryBudgetError(
                 f"{m} x {n} job does not fit the per-job allocation of "
                 f"{self.per_job_cells} cells "
@@ -97,10 +129,12 @@ class MemoryGovernor:
         """
         if cells > self.total_cells:
             self.rejections += 1
+            obs.counter_add("service.budget_rejections")
             raise MemoryBudgetError(
                 f"reservation of {cells} cells exceeds the process budget "
                 f"of {self.total_cells} cells"
             )
+        t0 = time.perf_counter()
         async with self._released:
             if self.cells_in_flight + cells > self.total_cells:
                 self.waits += 1
@@ -116,7 +150,9 @@ class MemoryGovernor:
                         f"timed out after {timeout}s waiting for {cells} cells "
                         f"({self.cells_in_flight}/{self.total_cells} in flight)"
                     ) from None
+            obs.observe("service.reserve_wait", time.perf_counter() - t0)
             self.cells_in_flight += cells
+            obs.gauge_set("service.cells_in_flight", self.cells_in_flight)
             self.peak_cells_in_flight = max(
                 self.peak_cells_in_flight, self.cells_in_flight
             )
@@ -127,6 +163,7 @@ class MemoryGovernor:
         """Return ``cells`` to the pool and wake waiting reservations."""
         async with self._released:
             self.cells_in_flight = max(0, self.cells_in_flight - cells)
+            obs.gauge_set("service.cells_in_flight", self.cells_in_flight)
             self._released.notify_all()
 
     def stats(self) -> Dict[str, int]:

@@ -8,7 +8,6 @@ batch key used by the micro-batcher to coalesce compatible requests.
 
 from __future__ import annotations
 
-import asyncio
 import enum
 import hashlib
 import itertools
@@ -36,7 +35,6 @@ MODES = ("global", "local", "semiglobal", "overlap")
 
 _job_ids = itertools.count(1)
 
-
 def scheme_digest(scheme: ScoringScheme) -> str:
     """Stable digest of a scoring scheme (matrix content + gap model).
 
@@ -49,7 +47,6 @@ def scheme_digest(scheme: ScoringScheme) -> str:
     h.update(scheme.matrix.table.tobytes())
     h.update(f"{scheme.gap.open}:{scheme.gap.extend}".encode())
     return h.hexdigest()[:16]
-
 
 def sequence_digest(seq: Sequence) -> str:
     """Digest of a sequence's residue text (names do not affect results)."""
@@ -179,6 +176,10 @@ class Job:
     finished_at: float = 0.0
     deadline: Optional[float] = None
     reserved_cells: int = 0
+    # Detached trace spans (repro.obs), populated only while an
+    # Instrumentation is active; None otherwise.
+    span: Optional[object] = None
+    queue_span: Optional[object] = None
 
     @property
     def config(self) -> FastLSAConfig:

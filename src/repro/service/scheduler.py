@@ -28,6 +28,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Deque, Dict, List, Optional, Sequence as Seq, Set
 
 from ..core.batch import _full_alignment, _quick_score, batch_align
+from ..core.config import FastLSAConfig
+from ..obs import runtime as obs
 from ..errors import (
     ConfigError,
     JobTimeoutError,
@@ -161,8 +163,13 @@ class AlignmentService:
         mode: str = "global",
         score_only: bool = False,
         timeout: Optional[float] = None,
+        config: Optional[FastLSAConfig] = None,
     ) -> Job:
         """Admit one alignment job; returns it with a pending future.
+
+        ``config`` pins the FastLSA parameters (an
+        :class:`~repro.core.config.AlignConfig`); by default the governor
+        plans them from the per-job memory allocation.
 
         Raises
         ------
@@ -180,15 +187,25 @@ class AlignmentService:
             )
         request = AlignRequest(a=a, b=b, scheme=scheme, mode=mode, score_only=score_only)
         self.stats_.submitted += 1
+        obs.counter_add("service.submitted")
         # Stage 1 admission: plan inside the per-job allocation.
         plan = self.governor.admit(
-            len(request.a), len(request.b), affine=not scheme.is_linear
+            len(request.a), len(request.b), affine=not scheme.is_linear,
+            config=config,
         )
 
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[JobResult]" = loop.create_future()
         job = Job(request=request, plan=plan, future=future)
         job.submitted_at = loop.time()
+        inst = obs.current()
+        if inst is not None:
+            # Detached spans: service stages interleave across asyncio
+            # tasks, so nothing rides the per-thread span stack.
+            job.span = inst.tracer.start_span(
+                "service.job", category="service", attach=False,
+                job_id=job.job_id, mode=mode, score_only=score_only,
+            )
 
         key = job.cache_key()
         cached = self.cache.get(key)
@@ -199,6 +216,7 @@ class AlignmentService:
             self.stats_.completed += 1
             self.stats_.cache_short_circuits += 1
             self.stats_.record(result)
+            self._end_job_span(job, cached=True)
             return job
 
         # Singleflight: identical work already in flight — piggyback on it
@@ -223,8 +241,28 @@ class AlignmentService:
             job.deadline = job.submitted_at + effective
         self._by_key[key] = job
         self._pending.append(job)
+        if inst is not None:
+            job.queue_span = inst.tracer.start_span(
+                "service.queue", category="service", attach=False,
+                parent=job.span, job_id=job.job_id,
+            )
+            inst.metrics.gauge("service.queue_depth").set(len(self._pending))
         self._work.set()
         return job
+
+    def _end_job_span(self, job: Job, **attrs) -> None:
+        """Close a job's detached trace spans, if instrumentation is on."""
+        inst = obs.current()
+        if inst is None:
+            return
+        if job.queue_span is not None:
+            inst.tracer.end_span(job.queue_span)
+            job.queue_span = None
+        if job.span is not None:
+            if attrs:
+                job.span.set(**attrs)
+            inst.tracer.end_span(job.span)
+            job.span = None
 
     def _mirror(self, job: Job, fut: "asyncio.Future[JobResult]") -> None:
         """Resolve a deduplicated job from its primary's outcome."""
@@ -256,10 +294,11 @@ class AlignmentService:
         mode: str = "global",
         score_only: bool = False,
         timeout: Optional[float] = None,
+        config: Optional[FastLSAConfig] = None,
     ) -> JobResult:
         """Submit and wait: the one-call convenience path."""
-        job = await self.submit(a, b, scheme, mode=mode,
-                                score_only=score_only, timeout=timeout)
+        job = await self.submit(a, b, scheme, mode=mode, score_only=score_only,
+                                timeout=timeout, config=config)
         return await job.future
 
     async def align_many(
@@ -269,11 +308,12 @@ class AlignmentService:
         mode: str = "global",
         score_only: bool = False,
         timeout: Optional[float] = None,
+        config: Optional[FastLSAConfig] = None,
     ) -> List[JobResult]:
         """Submit many ``(a, b)`` pairs and gather their results."""
         jobs = [
-            await self.submit(a, b, scheme, mode=mode,
-                              score_only=score_only, timeout=timeout)
+            await self.submit(a, b, scheme, mode=mode, score_only=score_only,
+                              timeout=timeout, config=config)
             for a, b in pairs
         ]
         return list(await asyncio.gather(*(j.future for j in jobs)))
@@ -288,6 +328,7 @@ class AlignmentService:
                 await self._work.wait()
                 continue
             job = self._pending.popleft()
+            obs.gauge_set("service.queue_depth", len(self._pending))
             if self._expired(job):
                 continue
             group = [job]
@@ -358,9 +399,20 @@ class AlignmentService:
     # -- execution -----------------------------------------------------
     async def _run_group(self, group: List[Job], reservation: int) -> None:
         loop = asyncio.get_running_loop()
+        inst = obs.current()
+        batch_span = None
         for job in group:
             job.state = JobState.RUNNING
             job.started_at = loop.time()
+            if inst is not None and job.queue_span is not None:
+                inst.tracer.end_span(job.queue_span)
+                job.queue_span = None
+        if inst is not None and len(group) > 1:
+            batch_span = inst.tracer.start_span(
+                "service.batch", category="service", attach=False,
+                parent=group[0].span, n_jobs=len(group),
+                reserved_cells=reservation,
+            )
         try:
             results = await loop.run_in_executor(
                 self._executor, self._compute_group, group
@@ -371,9 +423,12 @@ class AlignmentService:
             return
         finally:
             await self.governor.release(reservation)
+            if batch_span is not None:
+                inst.tracer.end_span(batch_span)
         if len(group) > 1:
             self.stats_.batches += 1
             self.stats_.batched_jobs += len(group)
+            obs.counter_add("service.batches")
         for job, result in zip(group, results):
             job.state = JobState.DONE
             job.finished_at = loop.time()
@@ -384,6 +439,10 @@ class AlignmentService:
             self._forget_key(job)
             self.stats_.completed += 1
             self.stats_.record(result)
+            obs.counter_add("service.completed")
+            obs.observe("service.queue_wait", result.queue_wait)
+            obs.observe("service.job_wall_time", job.finished_at - job.submitted_at)
+            self._end_job_span(job, score=result.score, batch_size=len(group))
             if not job.future.done():
                 job.future.set_result(result)
 
@@ -468,6 +527,8 @@ class AlignmentService:
         job.state = JobState.FAILED
         self._forget_key(job)
         self.stats_.failed += 1
+        obs.counter_add("service.failed")
+        self._end_job_span(job, error=type(exc).__name__)
         if not job.future.done():
             job.future.set_exception(exc)
 

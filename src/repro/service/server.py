@@ -9,20 +9,28 @@ Request ops:
 ``align``
     ``{"op": "align", "id": 1, "a": "ACGT", "b": "ACGA",
     "mode": "global", "score_only": false, "matrix": "dna",
-    "gap_open": -6, "gap_extend": null, "timeout": null}``
+    "gap_open": -6, "gap_extend": null, "timeout": null,
+    "config": {"k": 4, "base_cells": 4096}}``
+
+    The optional ``config`` object pins the FastLSA parameters and uses
+    the same schema as :meth:`repro.core.config.AlignConfig.from_dict`;
+    without it the service plans parameters from its memory budget.
 ``batch``
     Like ``align`` but with ``"targets": ["ACGT", ...]`` (or
     ``[{"text": ..., "name": ...}, ...]``) instead of ``b`` — submits one
     job per target (the scheduler coalesces them into a single
     ``batch_align`` call) and responds once with every hit.
 ``stats``
-    The service's merged counter snapshot.
+    The service's merged counter snapshot; when an
+    :class:`repro.obs.Instrumentation` is active the snapshot carries a
+    ``"metrics"`` object with the live registry contents.
 ``ping`` / ``shutdown``
     Liveness probe / graceful drain-and-exit.
 
-Responses: ``{"id": ..., "ok": true, "result": {...}}`` or
-``{"id": ..., "ok": false, "error": {"type": "QueueFullError",
-"message": ..., "backpressure": true}}``.
+Responses: ``{"id": ..., "ok": true, "version": "1.0.0",
+"result": {...}}`` or ``{"id": ..., "ok": false, "version": ...,
+"error": {"type": "QueueFullError", "message": ...,
+"backpressure": true}}``.
 """
 
 from __future__ import annotations
@@ -34,7 +42,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..align.sequence import Sequence
-from ..errors import BackpressureError, ProtocolError, ReproError
+from ..core.config import AlignConfig
+from ..errors import BackpressureError, ConfigError, ProtocolError, ReproError
+from ..obs import runtime as obs
+from ..version import __version__
 from ..scoring import (
     ScoringScheme,
     affine_gap,
@@ -102,6 +113,17 @@ def _parse_sequence(obj, default_name: str) -> Sequence:
     )
 
 
+def _parse_config(req: Dict) -> Optional[AlignConfig]:
+    """The request's optional ``config`` object as an :class:`AlignConfig`."""
+    raw = req.get("config")
+    if raw is None:
+        return None
+    try:
+        return AlignConfig.from_dict(raw)
+    except ConfigError as exc:
+        raise ProtocolError(f"bad 'config' object: {exc}") from exc
+
+
 @dataclass
 class ProtocolHandler:
     """Decodes request dicts, drives the service, encodes responses.
@@ -136,23 +158,41 @@ class ProtocolHandler:
         return self._schemes[key]
 
     async def handle(self, req: Dict) -> Dict:
-        """Process one decoded request; always returns a response dict."""
+        """Process one decoded request; always returns a response dict.
+
+        Every response carries the library ``version`` so clients can
+        detect protocol drift across server upgrades.
+        """
         req_id = req.get("id") if isinstance(req, dict) else None
         try:
             if not isinstance(req, dict):
                 raise ProtocolError(f"request must be a JSON object, got {req!r}")
             op = req.get("op")
             if op == "ping":
-                return {"id": req_id, "ok": True, "result": "pong"}
+                return self._ok(req_id, "pong")
             if op == "stats":
-                return {"id": req_id, "ok": True, "result": self.service.stats()}
+                return self._ok(req_id, self._stats())
             if op == "align":
-                return {"id": req_id, "ok": True, "result": await self._align(req)}
+                return self._ok(req_id, await self._align(req))
             if op == "batch":
-                return {"id": req_id, "ok": True, "result": await self._batch(req)}
+                return self._ok(req_id, await self._batch(req))
             raise ProtocolError(f"unknown op {op!r}")
         except ReproError as exc:
-            return {"id": req_id, "ok": False, "error": _error_to_json(exc)}
+            return {
+                "id": req_id, "ok": False, "version": __version__,
+                "error": _error_to_json(exc),
+            }
+
+    @staticmethod
+    def _ok(req_id, result) -> Dict:
+        return {"id": req_id, "ok": True, "version": __version__, "result": result}
+
+    def _stats(self) -> Dict:
+        snap = self.service.stats()
+        inst = obs.current()
+        if inst is not None:
+            snap["metrics"] = inst.metrics.snapshot()
+        return snap
 
     async def _align(self, req: Dict) -> Dict:
         result = await self.service.align(
@@ -162,6 +202,7 @@ class ProtocolHandler:
             mode=str(req.get("mode", "global")),
             score_only=bool(req.get("score_only", False)),
             timeout=req.get("timeout"),
+            config=_parse_config(req),
         )
         return result_to_json(result)
 
@@ -179,6 +220,7 @@ class ProtocolHandler:
         results = await self.service.align_many(
             [(query, t) for t in seqs], scheme,
             mode=mode, score_only=score_only, timeout=req.get("timeout"),
+            config=_parse_config(req),
         )
         hits = sorted(results, key=lambda r: -r.score)
         return {"query": query.name, "hits": [result_to_json(r) for r in hits]}
@@ -198,11 +240,12 @@ async def _serve_lines(handler: ProtocolHandler, reader, write_line,
         try:
             req = json.loads(line)
         except json.JSONDecodeError as exc:
-            await respond({"id": None, "ok": False,
+            await respond({"id": None, "ok": False, "version": __version__,
                            "error": _error_to_json(ProtocolError(str(exc)))})
             return
         if isinstance(req, dict) and req.get("op") == "shutdown":
-            await respond({"id": req.get("id"), "ok": True, "result": "draining"})
+            await respond({"id": req.get("id"), "ok": True,
+                           "version": __version__, "result": "draining"})
             shutdown.set()
             return
         await respond(await handler.handle(req))

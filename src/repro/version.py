@@ -1,0 +1,8 @@
+"""Single source of the package version (import-cycle free).
+
+Lives in its own leaf module so subpackages (e.g. the service protocol,
+which stamps every response with the version) can import it without
+pulling in the full :mod:`repro` namespace.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,179 @@
+"""Tests for the unified AlignConfig surface and the deprecation shims.
+
+The API-redesign contract: ``config=AlignConfig(...)`` is the one way to
+parameterize alignment across every entry point, the loose ``k=`` /
+``base_cells=`` / ``max_workers=`` keywords still work but warn, and the
+wire-protocol schema (``from_dict``) rejects typos loudly.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import AlignConfig, ConfigError, FastLSAConfig, batch_align, fastlsa
+from repro.core.config import resolve_config
+from repro.core.modes import EndsFree, ends_free_align
+from repro.parallel import parallel_fastlsa
+
+from tests.conftest import random_dna
+
+
+class TestAlignConfig:
+    def test_defaults_and_inheritance(self):
+        cfg = AlignConfig()
+        assert isinstance(cfg, FastLSAConfig)
+        assert cfg.k >= 2 and cfg.max_workers is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AlignConfig(k=1)
+        with pytest.raises(ConfigError):
+            AlignConfig(base_cells=2)
+        with pytest.raises(ConfigError):
+            AlignConfig(max_workers=0)
+        with pytest.raises(ConfigError):
+            AlignConfig(max_workers=-3)
+
+    def test_from_dict_roundtrip(self):
+        cfg = AlignConfig.from_dict({"k": 4, "base_cells": 4096, "max_workers": 2})
+        assert (cfg.k, cfg.base_cells, cfg.max_workers) == (4, 4096, 2)
+        assert AlignConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_partial_and_null(self):
+        cfg = AlignConfig.from_dict({"k": 3, "max_workers": None})
+        assert cfg.k == 3
+        assert cfg.base_cells == AlignConfig().base_cells
+        assert cfg.max_workers is None
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown config keys"):
+            AlignConfig.from_dict({"kay": 4})
+
+    def test_from_dict_rejects_non_mapping_and_bool(self):
+        with pytest.raises(ConfigError):
+            AlignConfig.from_dict([("k", 4)])
+        with pytest.raises(ConfigError, match="must be an integer"):
+            AlignConfig.from_dict({"k": True})
+        with pytest.raises(ConfigError, match="must be an integer"):
+            AlignConfig.from_dict({"base_cells": "big"})
+
+
+class TestResolveConfig:
+    def test_config_wins_over_legacy(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = resolve_config(AlignConfig(k=5), k=9)
+        assert cfg.k == 5
+
+    def test_plain_fastlsa_config_is_wrapped(self):
+        cfg = resolve_config(FastLSAConfig(k=3, base_cells=1024))
+        assert isinstance(cfg, AlignConfig)
+        assert (cfg.k, cfg.base_cells) == (3, 1024)
+
+    def test_no_args_is_silent_defaults(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = resolve_config()
+        assert cfg == AlignConfig()
+
+    def test_warning_names_call_site_and_keywords(self):
+        with pytest.warns(DeprecationWarning, match=r"batch_align: the k"):
+            resolve_config(k=4, where="batch_align")
+
+
+class TestEntryPointsAcceptConfig:
+    """Every FastLSA-backed entry point takes config= without warning,
+    and the legacy keywords produce the same result plus a warning."""
+
+    def test_fastlsa(self, rng, dna_scheme):
+        a, b = random_dna(rng, 120), random_dna(rng, 130)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            via_config = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=512))
+        with pytest.warns(DeprecationWarning, match="fastlsa: the k, base_cells"):
+            via_legacy = fastlsa(a, b, dna_scheme, k=3, base_cells=512)
+        assert via_config.score == via_legacy.score
+        assert via_config.gapped_a == via_legacy.gapped_a
+        assert via_config.stats.cells_computed == via_legacy.stats.cells_computed
+
+    def test_parallel_fastlsa(self, rng, dna_scheme):
+        a, b = random_dna(rng, 150), random_dna(rng, 150)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            via_config = parallel_fastlsa(
+                a, b, dna_scheme, P=2, config=AlignConfig(k=3, base_cells=900)
+            )
+        with pytest.warns(DeprecationWarning, match="parallel_fastlsa"):
+            via_legacy = parallel_fastlsa(a, b, dna_scheme, P=2, k=3, base_cells=900)
+        assert via_config.score == via_legacy.score
+
+    def test_batch_align(self, rng, dna_scheme):
+        q = random_dna(rng, 60)
+        targets = [random_dna(rng, 60) for _ in range(4)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            via_config = batch_align(
+                q, targets, dna_scheme,
+                config=AlignConfig(k=3, base_cells=512, max_workers=2),
+            )
+        with pytest.warns(DeprecationWarning, match="max_workers"):
+            via_legacy = batch_align(
+                q, targets, dna_scheme, k=3, base_cells=512, max_workers=2
+            )
+        assert [h.score for h in via_config] == [h.score for h in via_legacy]
+
+    def test_fastlsa_local(self, rng, dna_scheme):
+        from repro import fastlsa_local
+
+        a, b = random_dna(rng, 100), random_dna(rng, 100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            via_config = fastlsa_local(a, b, dna_scheme, config=AlignConfig(k=3))
+        with pytest.warns(DeprecationWarning, match="fastlsa_local"):
+            via_legacy = fastlsa_local(a, b, dna_scheme, k=3)
+        assert via_config.score == via_legacy.score
+
+    def test_ends_free_align(self, rng, dna_scheme):
+        a, b = random_dna(rng, 90), random_dna(rng, 110)
+        free = EndsFree(a_start=True, a_end=True, b_start=False, b_end=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            via_config = ends_free_align(a, b, dna_scheme, free,
+                                         config=AlignConfig(k=3))
+        with pytest.warns(DeprecationWarning, match="ends_free_align"):
+            via_legacy = ends_free_align(a, b, dna_scheme, free, k=3)
+        assert via_config.score == via_legacy.score
+
+    def test_batch_align_rejects_bad_max_workers(self, dna_scheme):
+        with pytest.raises(ConfigError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                batch_align("ACGT", ["ACGA"], dna_scheme, max_workers=0)
+
+
+class TestTopLevelAlign:
+    def test_align_routes_config_to_fastlsa(self, rng, dna_scheme):
+        a, b = random_dna(rng, 80), random_dna(rng, 80)
+        result = repro.align(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=512))
+        assert result.algorithm == "fastlsa"
+        baseline = repro.align(a, b, dna_scheme, method="needleman-wunsch")
+        assert result.score == baseline.score
+
+    def test_align_rejects_config_for_other_methods(self, dna_scheme):
+        for method in ("needleman-wunsch", "hirschberg"):
+            with pytest.raises(ConfigError, match="takes no alignment config"):
+                repro.align("ACGT", "ACGA", dna_scheme, method=method,
+                            config=AlignConfig())
+
+    def test_simulator_keeps_plain_keywords(self, rng, dna_scheme):
+        # simulated_parallel_fastlsa is a modelling API: its k/base_cells
+        # sweep parameters are not deprecated.
+        a, b = random_dna(rng, 80), random_dna(rng, 80)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result, _report = repro.simulated_parallel_fastlsa(
+                a, b, dna_scheme, P=2, k=3, base_cells=512
+            )
+        assert result.score == fastlsa(
+            a, b, dna_scheme, config=AlignConfig(k=3, base_cells=512)
+        ).score

@@ -1,7 +1,5 @@
 """Tests for the Needleman–Wunsch full-matrix baseline."""
 
-import pytest
-
 from repro.align import check_alignment
 from repro.baselines import needleman_wunsch
 from repro.kernels.reference import ref_score_affine, ref_score_linear

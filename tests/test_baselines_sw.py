@@ -1,12 +1,9 @@
 """Tests for the Smith–Waterman local-alignment baseline."""
 
-import pytest
-
 from repro.align import check_alignment
 from repro.baselines import smith_waterman
 from repro.kernels.reference import ref_score_affine, ref_score_linear
 from tests.conftest import random_dna
-
 
 def brute_force_local(a, b, scheme):
     """Max global score over all substring pairs (floor 0)."""

@@ -134,3 +134,104 @@ class TestSpeedup:
         assert main(["speedup", "200", "--procs", "1", "2"]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out and "efficiency" in out
+
+
+class TestMemorySizes:
+    def test_plan_accepts_human_sizes(self, capsys):
+        assert main(["plan", "10000", "10000", "64M"]) == 0
+        human = capsys.readouterr().out
+        # 64M bytes = 64 * 1024**2 / 8 = 8,388,608 DP cells.
+        assert main(["plan", "10000", "10000", "8388608"]) == 0
+        assert human == capsys.readouterr().out
+
+    def test_plan_bare_cells_still_work(self, capsys):
+        assert main(["plan", "10000", "10000", "500000"]) == 0
+        assert "fastlsa" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("budget", ["0", "-5", "0M"])
+    def test_plan_rejects_non_positive(self, budget, capsys):
+        assert main(["plan", "100", "100", budget]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "positive" in err
+
+    def test_plan_rejects_garbage(self, capsys):
+        assert main(["plan", "100", "100", "lots"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_memory_flag_parses(self):
+        args = build_parser().parse_args(["serve", "--memory", "2G"])
+        assert args.memory == "2G"
+        from repro.core.planner import parse_memory
+
+        assert parse_memory(args.memory) == 2 * 1024**3 // 8
+
+
+class TestTrace:
+    @pytest.fixture
+    def fasta_files(self, tmp_path):
+        fa = tmp_path / "a.fasta"
+        fb = tmp_path / "b.fasta"
+        write_fasta(fa, [Sequence("ACGTACGTAC" * 20, name="a")])
+        write_fasta(fb, [Sequence("ACGTTCGTAC" * 20, name="b")])
+        return str(fa), str(fb)
+
+    def test_trace_writes_chrome_trace(self, fasta_files, tmp_path, capsys):
+        import json
+
+        fa, fb = fasta_files
+        out = tmp_path / "trace.json"
+        rows = tmp_path / "rows.json"
+        assert main(["trace", fa, fb, "--gap-open", "-6", "--k", "3",
+                     "--base-cells", "512", "--out", str(out),
+                     "--rows", str(rows)]) == 0
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert any(e["name"] == "fastlsa.align" for e in events)
+        assert all(e["ph"] == "X" for e in events)
+        flat = json.loads(rows.read_text())
+        assert any(r["name"] == "fastlsa.fillcache" for r in flat)
+
+        printed = capsys.readouterr().out
+        assert "cells_filled=" in printed and "ops_ratio=" in printed
+
+    def test_trace_parallel(self, fasta_files, tmp_path, capsys):
+        import json
+
+        fa, fb = fasta_files
+        out = tmp_path / "ptrace.json"
+        assert main(["trace", fa, fb, "--gap-open", "-6", "--k", "3",
+                     "--base-cells", "512", "--parallel", "2",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert any(e["name"] == "wavefront.tile" for e in doc["traceEvents"])
+
+
+class TestProfile:
+    @pytest.fixture
+    def fasta_files(self, tmp_path):
+        fa = tmp_path / "a.fasta"
+        fb = tmp_path / "b.fasta"
+        write_fasta(fa, [Sequence("ACGTACGTAC" * 10, name="a")])
+        write_fasta(fb, [Sequence("ACGTTCGTAC" * 10, name="b")])
+        return str(fa), str(fb)
+
+    def test_profile_align_prints_phase_table(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["--profile", "align", fa, fb, "--gap-open", "-6"]) == 0
+        captured = capsys.readouterr()
+        assert "score=" in captured.out
+        assert "fastlsa.align" in captured.err
+        assert "total_s" in captured.err
+
+    def test_profile_counter_matches_stats(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["--profile", "align", fa, fb, "--gap-open", "-6",
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        cells = captured.out.split("cells_computed=")[1].split()[0]
+        assert f"cells_filled={cells}" in captured.err
+
+    def test_no_profile_no_table(self, fasta_files, capsys):
+        fa, fb = fasta_files
+        assert main(["align", fa, fb, "--gap-open", "-6"]) == 0
+        assert "fastlsa.align" not in capsys.readouterr().err

@@ -1,8 +1,5 @@
 """Tests for the FastLSAHooks extension points."""
 
-import numpy as np
-import pytest
-
 from repro.core import FastLSAHooks, fastlsa, fill_grid
 from repro.kernels.fullmatrix import compute_full
 from tests.conftest import random_dna

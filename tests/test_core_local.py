@@ -1,7 +1,5 @@
 """Tests for linear-space local alignment (fastlsa_local)."""
 
-import pytest
-
 from repro.align import check_alignment
 from repro.baselines import smith_waterman
 from repro.core.local import fastlsa_local

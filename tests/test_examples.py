@@ -9,10 +9,7 @@ import os
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
-
 
 def run_example(name, env_extra=None, timeout=240):
     env = dict(os.environ)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.align import AlignmentPath, alignment_from_path, format_alignment, format_dpm
 from repro.baselines import needleman_wunsch
-from repro.scoring import paper_scheme
 
 
 class TestFormatAlignment:

@@ -13,7 +13,7 @@ from repro.kernels import (
     trace_from,
     traceback_linear,
 )
-from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+from repro.scoring import ScoringScheme, affine_gap, dna_simple
 from tests.conftest import random_dna
 
 

@@ -12,7 +12,6 @@ import pytest
 from repro.align import check_alignment
 from repro.core import Grid, fastlsa, fill_grid
 from repro.core.fastlsa import initial_problem
-from repro.kernels import affine_boundaries, sweep_matrix_affine
 from repro.parallel import parallel_fastlsa, simulated_parallel_fastlsa
 from repro.parallel.pfastlsa import _parallel_fill_grid
 from tests.conftest import random_protein

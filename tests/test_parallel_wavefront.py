@@ -1,9 +1,6 @@
 """Tests for the three-phase wavefront decomposition."""
 
-import pytest
-
 from repro.parallel import TileGrid, three_phases, wavefront_stage_schedule
-
 
 def uniform_grid(R, C, skip=None):
     return TileGrid(list(range(0, R + 1)), list(range(0, C + 1)), skip=skip)

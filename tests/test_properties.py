@@ -4,21 +4,18 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.align import check_alignment, score_gapped
-from repro.align.path import AlignmentPath
 from repro.baselines import hirschberg, needleman_wunsch, smith_waterman
 from repro.core import fastlsa
 from repro.kernels import boundary_vectors, sweep_last_row_col, sweep_matrix
-from repro.kernels.reference import brute_force_best_score, ref_matrix_linear
+from repro.kernels.reference import brute_force_best_score
 from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
 
 DNA = st.text(alphabet="ACGT", max_size=24)
 DNA_SHORT = st.text(alphabet="ACGT", max_size=5)
 GAPS = st.integers(min_value=-12, max_value=-1)
 
-
 def scheme_for(gap):
     return ScoringScheme(dna_simple(), linear_gap(gap))
-
 
 @st.composite
 def affine_schemes(draw):

@@ -1,7 +1,6 @@
 """Tests for the published scoring tables (BLOSUM62, PAM250, Table 1)."""
 
 import numpy as np
-import pytest
 
 from repro.scoring import (
     blosum62,

@@ -3,10 +3,8 @@
 import asyncio
 import json
 
-import pytest
-
+import repro
 from repro.service import AlignmentService, ProtocolHandler, serve_tcp
-
 
 def run_requests(service_kwargs, requests, handler_kwargs=None, waves=1):
     """Drive request dicts through one in-process service.
@@ -34,7 +32,9 @@ def run_requests(service_kwargs, requests, handler_kwargs=None, waves=1):
 class TestProtocolHandler:
     def test_ping(self):
         responses, _ = run_requests({"memory_cells": 100_000}, [{"op": "ping", "id": 7}])
-        assert responses[0] == {"id": 7, "ok": True, "result": "pong"}
+        assert responses[0] == {
+            "id": 7, "ok": True, "version": repro.__version__, "result": "pong",
+        }
 
     def test_align_roundtrip(self):
         req = {"op": "align", "id": 1, "a": "ACGTACGT", "b": "ACGTTCGT",
@@ -98,6 +98,53 @@ class TestProtocolHandler:
         )
         assert not responses[0]["ok"]
 
+    def test_every_response_carries_version(self):
+        requests = [{"op": "ping", "id": 1},
+                    {"op": "stats", "id": 2},
+                    {"op": "align", "id": 3, "a": "ACGT", "b": "ACGA"},
+                    {"op": "explode", "id": 4}]
+        responses, _ = run_requests({"memory_cells": 100_000}, requests)
+        assert all(r["version"] == repro.__version__ for r in responses)
+
+    def test_align_with_pinned_config(self):
+        req = {"op": "align", "id": 11, "a": "ACGTACGT" * 8, "b": "ACGTTCGT" * 8,
+               "gap_open": -6, "config": {"k": 4, "base_cells": 4096}}
+        responses, _ = run_requests({"memory_cells": 100_000}, [req])
+        resp = responses[0]
+        assert resp["ok"]
+        assert resp["result"]["plan"]["k"] == 4
+        assert resp["result"]["plan"]["base_cells"] == 4096
+
+    def test_batch_with_pinned_config(self):
+        req = {"op": "batch", "id": 12, "a": "ACGTACGTAC",
+               "targets": ["ACGTACGTAC", "ACGTTCGTAC"], "mode": "local",
+               "config": {"k": 3, "base_cells": 2048}}
+        responses, _ = run_requests({"memory_cells": 400_000}, [req])
+        assert responses[0]["ok"]
+        assert all(h["plan"]["k"] == 3 for h in responses[0]["result"]["hits"])
+
+    def test_bad_config_is_protocol_error(self):
+        for bad in ({"kay": 4}, {"k": "four"}, {"k": 1}, "k=4"):
+            responses, _ = run_requests(
+                {"memory_cells": 100_000},
+                [{"op": "align", "id": 13, "a": "AC", "b": "AC", "config": bad}],
+            )
+            resp = responses[0]
+            assert not resp["ok"]
+            assert resp["error"]["type"] == "ProtocolError"
+            assert "config" in resp["error"]["message"]
+
+    def test_over_budget_pinned_config_rejected(self):
+        # k=2, huge base_cells: the pinned config's peak exceeds the
+        # governor's per-job share → typed backpressure, not silent replan.
+        req = {"op": "align", "id": 14, "a": "A" * 400, "b": "C" * 400,
+               "gap_open": -6, "config": {"k": 2, "base_cells": 200_000}}
+        responses, _ = run_requests({"memory_cells": 50_000}, [req])
+        resp = responses[0]
+        assert not resp["ok"]
+        assert resp["error"]["type"] == "MemoryBudgetError"
+        assert resp["error"]["backpressure"] is True
+
     def test_blosum_and_affine_requests(self):
         req = {"op": "align", "id": 10, "a": "HEAGAWGHEE", "b": "PAWHEAE",
                "matrix": "blosum62", "gap_open": -11, "gap_extend": -1}
@@ -137,7 +184,9 @@ class TestTcpServer:
         assert by_id[1]["ok"] and by_id[2]["ok"]
         assert by_id[2]["result"]["cached"]  # same request served from cache
         assert by_id[None]["error"]["type"] == "ProtocolError"
-        assert bye == {"id": 99, "ok": True, "result": "draining"}
+        assert bye == {"id": 99, "ok": True, "version": repro.__version__,
+                       "result": "draining"}
+        assert all(g["version"] == repro.__version__ for g in got)
 
 
 class TestAcceptance:

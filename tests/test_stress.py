@@ -6,14 +6,11 @@ edits at the recursion split points — checked across every algorithm and
 both parallel drivers.
 """
 
-import pytest
-
 from repro.align import check_alignment
 from repro.baselines import hirschberg, needleman_wunsch
 from repro.core import banded_align_auto, fastlsa
 from repro.parallel import parallel_fastlsa
 from tests.conftest import random_dna
-
 
 def adversarial_pairs(rng):
     """Inputs that stress tie-breaking, gap runs and split boundaries."""

@@ -6,7 +6,7 @@ from repro.align import AlignmentPath, score_gapped, check_alignment, check_path
 from repro.align.alignment import Alignment, alignment_from_path
 from repro.align.sequence import Sequence
 from repro.errors import AlignmentError, PathError
-from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+from repro.scoring import ScoringScheme, affine_gap, dna_simple
 
 
 class TestScoreGapped:

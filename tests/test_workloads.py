@@ -1,6 +1,5 @@
 """Tests for workload generation and the benchmark suite."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError
