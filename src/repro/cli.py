@@ -16,8 +16,12 @@ points:
 * ``fastlsa trace A.fasta B.fasta`` — align under instrumentation and
   write a Chrome ``trace_event`` file plus a per-phase breakdown;
 * ``fastlsa serve`` — NDJSON alignment service over stdin/stdout or TCP
-  (job queue, micro-batching, result cache, global memory governor — see
-  ``docs/SERVICE.md``).
+  (job queue, micro-batching, result cache, global memory governor,
+  deadlines/retry/degradation — see ``docs/SERVICE.md`` and
+  ``docs/ROBUSTNESS.md``);
+* ``fastlsa chaos [PLAN]`` — run a seeded fault-injection scenario
+  against the full service stack and verify every completed job still
+  returns the optimal score (exit 1 on any mismatch or hang).
 
 The global ``--profile`` flag runs any command under instrumentation and
 prints a per-phase breakdown table to stderr afterwards (see
@@ -171,11 +175,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds to linger for batchable requests")
     p_serve.add_argument("--timeout", type=float, default=None,
                          help="default per-job deadline in seconds")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="alias of --timeout; deadlines are enforced "
+                              "end to end, including mid-run at tile "
+                              "boundaries (cooperative cancellation)")
+    p_serve.add_argument("--max-retries", type=int, default=2,
+                         help="retries with exponential backoff for "
+                              "transient worker/cache failures")
+    p_serve.add_argument("--no-degrade", action="store_true",
+                         help="fail jobs on memory pressure / repeated "
+                              "failure instead of re-planning them with a "
+                              "degraded configuration")
     p_serve.add_argument("--matrix", default="dna",
                          choices=["dna", "blosum62", "pam250", "table1"],
                          help="default matrix for requests that omit one")
     p_serve.add_argument("--gap-open", type=int, default=-6)
     p_serve.add_argument("--gap-extend", type=int, default=None)
+
+    from .faults import NAMED_PLANS
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a seeded fault-injection scenario against the "
+                      "service stack and verify correctness under it"
+    )
+    p_chaos.add_argument("plan", nargs="?", default="everything",
+                         choices=sorted(NAMED_PLANS),
+                         help="named fault plan (default: everything)")
+    p_chaos.add_argument("--seed", type=int, default=11,
+                         help="fault-plan and jitter seed (deterministic)")
+    p_chaos.add_argument("--jobs", type=int, default=12,
+                         help="number of alignment jobs to push through")
+    p_chaos.add_argument("--length", type=int, default=120,
+                         help="sequence length of each synthetic pair")
+    p_chaos.add_argument("--divergence", type=float, default=0.2,
+                         help="mutation rate between each pair")
+    p_chaos.add_argument("--memory-cells", type=int, default=200_000,
+                         help="service memory budget in DP cells")
+    p_chaos.add_argument("--workers", type=int, default=2)
+    p_chaos.add_argument("--deadline", type=float, default=30.0,
+                         help="per-job deadline in seconds")
+    p_chaos.add_argument("--max-retries", type=int, default=3)
+    p_chaos.add_argument("--list", dest="list_plans", action="store_true",
+                         help="list the named fault plans and exit")
     return parser
 
 
@@ -357,6 +398,7 @@ def _cmd_serve(args) -> int:
     memory_cells = (
         parse_memory(args.memory) if args.memory is not None else args.memory_cells
     )
+    deadline = args.deadline if args.deadline is not None else args.timeout
     service = AlignmentService(
         memory_cells=memory_cells,
         max_workers=args.workers,
@@ -364,7 +406,9 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.queue_depth,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
-        default_timeout=args.timeout,
+        default_timeout=deadline,
+        max_retries=args.max_retries,
+        degrade=not args.no_degrade,
     )
     handler = ProtocolHandler(
         service,
@@ -403,6 +447,89 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from concurrent.futures import TimeoutError as FutureTimeout
+
+    from .faults import NAMED_PLANS, chaos, named_plan
+    from .service import AlignmentClient
+    from .workloads import dna_pair
+
+    say = _info_printer(args)
+    if args.list_plans:
+        for name in sorted(NAMED_PLANS):
+            specs = named_plan(name, seed=args.seed).specs
+            sites = ", ".join(sorted({s.site for s in specs}))
+            print(f"{name}: {len(specs)} fault spec(s) at {sites}")
+        return 0
+
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    pairs = [
+        dna_pair(args.length, divergence=args.divergence,
+                 seed=args.seed * 1000 + i)
+        for i in range(args.jobs)
+    ]
+    # Ground truth computed fault-free, before chaos is switched on.
+    expected = [needleman_wunsch(a, b, scheme).score for a, b in pairs]
+
+    plan = named_plan(args.plan, seed=args.seed)
+    say(f"# chaos plan '{args.plan}' seed={args.seed}: "
+        f"{len(plan.specs)} fault spec(s) armed")
+    rows = []
+    bad = 0
+    with chaos(plan):
+        with AlignmentClient(
+            memory_cells=args.memory_cells,
+            max_workers=args.workers,
+            default_timeout=args.deadline,
+            max_retries=args.max_retries,
+            retry_seed=args.seed,
+        ) as client:
+            futures = [
+                client.submit(a, b, scheme, timeout=args.deadline)
+                for a, b in pairs
+            ]
+            for i, (fut, want) in enumerate(zip(futures, expected)):
+                row = {"job": i, "outcome": "", "score_ok": "-",
+                       "retries": 0, "downgrades": 0}
+                try:
+                    result = fut.result(timeout=args.deadline + 30)
+                except FutureTimeout:
+                    bad += 1
+                    row["outcome"] = "HUNG"
+                    rows.append(row)
+                    continue
+                except ReproError as exc:
+                    # A typed failure is an acceptable outcome: the fault
+                    # surfaced, nothing hung, no wrong answer was served.
+                    row["outcome"] = f"failed:{type(exc).__name__}"
+                    rows.append(row)
+                    continue
+                ok = result.score == want
+                bad += 0 if ok else 1
+                row["outcome"] = (
+                    "degraded" if result.downgrades
+                    else "cached" if result.cached else "ok"
+                )
+                row["score_ok"] = "yes" if ok else f"NO ({result.score}!={want})"
+                row["retries"] = result.retries
+                row["downgrades"] = len(result.downgrades)
+                rows.append(row)
+    print(format_rows(
+        rows, title=f"chaos '{args.plan}' seed={args.seed}, {args.jobs} jobs"
+    ))
+    fired = ", ".join(
+        f"{site}={info['fired']}/{info['hits']}"
+        for site, info in plan.stats().items() if info["fired"]
+    )
+    say(f"# faults fired: {fired or 'none'}")
+    if bad:
+        print(f"error: {bad} job(s) hung or returned a wrong score under chaos",
+              file=sys.stderr)
+        return 1
+    say("# every completed job returned the optimal score")
+    return 0
+
+
 _COMMANDS = {
     "align": _cmd_align,
     "matrix": _cmd_matrix,
@@ -412,6 +539,7 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
 }
 
 

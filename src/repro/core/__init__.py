@@ -8,6 +8,7 @@ from .config import (
     FastLSAConfig,
     resolve_config,
 )
+from .cancel import CancelToken, cancel_scope, checkpoint
 from .problem import ColCache, Problem, RowCache
 from .grid import Grid, split_bounds
 from .fillcache import compute_block, fill_grid
@@ -38,6 +39,9 @@ __all__ = [
     "AlignConfig",
     "FastLSAConfig",
     "resolve_config",
+    "CancelToken",
+    "cancel_scope",
+    "checkpoint",
     "ColCache",
     "Problem",
     "RowCache",

@@ -13,10 +13,13 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..align.path import PathBuilder
+from ..faults import runtime as faults
+from ..faults.plan import SITE_BASE_KERNEL
 from ..kernels.fullmatrix import FullMatrices, compute_full, trace_from
 from ..kernels.ops import KernelInstruments
 from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
+from .cancel import checkpoint
 from .problem import Problem
 
 __all__ = ["solve_base_case", "MatrixFn"]
@@ -44,6 +47,8 @@ def solve_base_case(
     Returns the problem's bottom-right ``H`` value (the score of the
     rectangle given its boundary caches).
     """
+    checkpoint()  # deadline boundary: one base case ≈ one tile
+    faults.inject(SITE_BASE_KERNEL)
     ih, jh = builder.head
     if (ih, jh) != (problem.i1, problem.j1):
         raise ValueError(

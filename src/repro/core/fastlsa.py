@@ -36,6 +36,7 @@ from ..kernels.ops import KernelInstruments
 from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
 from .basecase import solve_base_case
+from .cancel import checkpoint
 from .config import FastLSAConfig, resolve_config
 from .fillcache import fill_grid
 from .grid import Grid
@@ -112,6 +113,7 @@ def initial_problem(m: int, n: int, scheme: ScoringScheme) -> Problem:
 
 def _fastlsa_rec(problem: Problem, builder: PathBuilder, ctx: _Ctx, depth: int) -> None:
     """The FastLSA recursion (Figure 2)."""
+    checkpoint()  # deadline boundary: one sub-problem entry
     ctx.subproblems += 1
     ctx.max_depth = max(ctx.max_depth, depth)
     M, N = problem.nrows, problem.ncols

@@ -24,6 +24,7 @@ from ..kernels.linear import sweep_band, sweep_last_row_col
 from ..kernels.ops import OpCounter
 from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
+from .cancel import checkpoint
 from .grid import Grid
 from .problem import ColCache, RowCache
 
@@ -91,6 +92,7 @@ def fill_grid_blocks(
         for q in range(Q):
             if skip_bottom_right and p == last_p and q == last_q:
                 continue
+            checkpoint()  # deadline boundary: one block ≈ one tile
             a0, b0, a1, b1 = grid.block_extent(p, q)
             top = grid.row_line(p, b0, b1)
             left = grid.col_line(q, a0, a1)
@@ -136,6 +138,7 @@ def fill_grid(
     if len(row_bounds) < 2:
         return  # degenerate: no rows to sweep
     for p in range(P):
+        checkpoint()  # deadline boundary: one band ≈ one tile row
         a0, a1 = row_bounds[p], row_bounds[p + 1]
         last_band = p == P - 1
         if skip_bottom_right and last_band:

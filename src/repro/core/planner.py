@@ -30,6 +30,7 @@ __all__ = [
     "Plan",
     "parse_memory",
     "plan_alignment",
+    "degrade_plan",
     "ops_ratio_bound",
     "grid_cells_bound",
     "fastlsa_peak_cells",
@@ -176,7 +177,6 @@ def plan_alignment(
     if not (0.0 < base_fraction < 1.0):
         raise ConfigError(f"base_fraction must be in (0, 1), got {base_fraction}")
     dense_layers = 3 if affine else 1
-    line_layers = 2 if affine else 1
     dense = (m + 1) * (n + 1) * dense_layers
     if dense <= memory_cells:
         cfg = FastLSAConfig(k=2, base_cells=max(MIN_BASE_CELLS, int(memory_cells)))
@@ -187,7 +187,27 @@ def plan_alignment(
             predicted_peak_cells=dense,
             predicted_ops_ratio=1.0,
         )
+    plan = _plan_fastlsa(m, n, memory_cells, affine, max_k, base_fraction)
+    if plan is not None:
+        return plan
+    line_layers = 2 if affine else 1
+    per_k_unit = ((m + 1) + (n + 1)) * line_layers
+    raise ConfigError(
+        f"cannot align a {m} x {n} problem in {memory_cells} cells: even the "
+        f"k=2 linear-space configuration needs ≈ {2 * per_k_unit + MIN_BASE_CELLS} cells"
+    )
 
+
+def _plan_fastlsa(
+    m: int,
+    n: int,
+    memory_cells: int,
+    affine: bool,
+    max_k: int = 64,
+    base_fraction: float = 0.5,
+) -> "Plan | None":
+    """The linear-space branch of :func:`plan_alignment`; ``None`` if no fit."""
+    line_layers = 2 if affine else 1
     base_cells = max(MIN_BASE_CELLS, int(memory_cells * base_fraction))
     per_k_unit = ((m + 1) + (n + 1)) * line_layers  # ≈ grid cells per unit of k
     while base_cells >= MIN_BASE_CELLS:
@@ -205,7 +225,54 @@ def plan_alignment(
             )
         # Shrink the base buffer and retry with more room for grid lines.
         base_cells //= 2
-    raise ConfigError(
-        f"cannot align a {m} x {n} problem in {memory_cells} cells: even the "
-        f"k=2 linear-space configuration needs ≈ {2 * per_k_unit + MIN_BASE_CELLS} cells"
+    return None
+
+
+#: Smallest Base Case buffer the degradation ladder will plan (below this,
+#: recursion depth explodes and the cure is worse than the disease).
+_DEGRADE_BASE_FLOOR = 1024
+
+
+def degrade_plan(plan: Plan, m: int, n: int, affine: bool = False) -> "Plan | None":
+    """One rung down the graceful-degradation ladder, or ``None`` at the floor.
+
+    Every rung strictly reduces the predicted peak residency, so a job
+    failing under memory pressure makes real progress each time it is
+    re-planned:
+
+    * ``full-matrix`` → the FastLSA linear-space configuration under the
+      same budget (always far smaller than the dense matrix);
+    * ``fastlsa(k, base)`` → ``fastlsa(max(2, k // 2), base // 4)`` — fewer
+      grid lines and a smaller Base Case buffer, down to the
+      ``k = 2`` / :data:`_DEGRADE_BASE_FLOOR` sequential floor.
+
+    The service scheduler walks this ladder on
+    :class:`~repro.errors.MemoryBudgetError` or repeated tile failure,
+    recording each downgrade on the job result (see ``docs/ROBUSTNESS.md``).
+    """
+    if plan.method == "full-matrix":
+        alt = _plan_fastlsa(m, n, plan.memory_cells, affine)
+        if alt is not None and alt.predicted_peak_cells < plan.predicted_peak_cells:
+            return alt
+        # A dense plan only exists because the matrix fit; synthesise the
+        # linear-space floor directly for tiny budgets _plan_fastlsa rejects.
+        cfg = FastLSAConfig(k=2, base_cells=max(MIN_BASE_CELLS, _DEGRADE_BASE_FLOOR))
+        peak = fastlsa_peak_cells(m, n, cfg.k, cfg.base_cells, affine)
+        if peak >= plan.predicted_peak_cells:
+            return None
+        return Plan("fastlsa", cfg, plan.memory_cells, peak, ops_ratio_bound(cfg.k))
+    cfg = plan.config
+    new_k = max(2, cfg.k // 2)
+    new_base = max(
+        MIN_BASE_CELLS, min(_DEGRADE_BASE_FLOOR, cfg.base_cells), cfg.base_cells // 4
+    )
+    if (new_k, new_base) == (cfg.k, cfg.base_cells):
+        return None  # already at the floor
+    peak = fastlsa_peak_cells(m, n, new_k, new_base, affine)
+    return Plan(
+        method="fastlsa",
+        config=FastLSAConfig(k=new_k, base_cells=new_base),
+        memory_cells=plan.memory_cells,
+        predicted_peak_cells=peak,
+        predicted_ops_ratio=ops_ratio_bound(new_k),
     )

@@ -24,6 +24,9 @@ __all__ = [
     "JobTimeoutError",
     "ServiceClosedError",
     "ProtocolError",
+    "InjectedFaultError",
+    "CircuitOpenError",
+    "ConnectionLostError",
 ]
 
 
@@ -117,3 +120,41 @@ class ServiceClosedError(ServiceError):
 
 class ProtocolError(ServiceError):
     """A service request (NDJSON line) is malformed or names an unknown op."""
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A fault deliberately raised by the :mod:`repro.faults` runtime.
+
+    ``site`` names the injection point; ``transient`` marks the fault as
+    retryable (the service retry policy treats transient injected faults
+    like any other transient backend failure).
+    """
+
+    def __init__(self, site: str, message: str = "", transient: bool = True) -> None:
+        super().__init__(message or f"injected fault at {site}")
+        self.site = site
+        self.transient = transient
+
+
+class CircuitOpenError(ServiceError):
+    """A backend kernel's circuit breaker is open: fail fast, don't compute.
+
+    Raised when repeated backend failures opened the breaker and no
+    degraded backend is available for the job.  Clients should back off;
+    the breaker lets a trial request through after its reset interval.
+    """
+
+
+class ConnectionLostError(ServiceError, ConnectionError):
+    """A service connection dropped mid-request after exhausting retries.
+
+    ``partial`` carries whatever response fragment was received before the
+    drop and ``attempts`` the number of connection attempts made, so
+    callers can distinguish "never reached the server" from "the response
+    was cut off".
+    """
+
+    def __init__(self, message: str, partial: str = "", attempts: int = 0) -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.attempts = attempts

@@ -1,0 +1,51 @@
+"""Deterministic fault injection: seeded chaos for the serving stack.
+
+The production counterpart of the obs layer: where :mod:`repro.obs`
+watches the stack, :mod:`repro.faults` breaks it — on purpose, and
+reproducibly.  A seeded :class:`FaultPlan` raises, delays or corrupts at
+named sites (wavefront tile start/finish, the dense base-case kernel,
+result-cache get/put, governor admission, server socket read/write); the
+service's retry, circuit-breaker and degradation machinery is tested
+against it (see ``docs/ROBUSTNESS.md`` and ``fastlsa chaos``).
+
+Free when off: sites cost one context-variable read and a global check.
+"""
+
+from .plan import (
+    NAMED_PLANS,
+    SITE_BASE_KERNEL,
+    SITE_CACHE_GET,
+    SITE_CACHE_PUT,
+    SITE_GOVERNOR_ADMIT,
+    SITE_SERVER_READ,
+    SITE_SERVER_WRITE,
+    SITE_TILE_FINISH,
+    SITE_TILE_START,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    named_plan,
+)
+from .runtime import chaos, corrupt, current, disable, enable, inject
+
+__all__ = [
+    "NAMED_PLANS",
+    "SITES",
+    "SITE_BASE_KERNEL",
+    "SITE_CACHE_GET",
+    "SITE_CACHE_PUT",
+    "SITE_GOVERNOR_ADMIT",
+    "SITE_SERVER_READ",
+    "SITE_SERVER_WRITE",
+    "SITE_TILE_FINISH",
+    "SITE_TILE_START",
+    "FaultPlan",
+    "FaultSpec",
+    "chaos",
+    "corrupt",
+    "current",
+    "disable",
+    "enable",
+    "inject",
+    "named_plan",
+]

@@ -16,7 +16,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Dict, List, Optional
 
+from ..core import cancel
 from ..errors import SchedulerError
+from ..faults import runtime as faults
+from ..faults.plan import SITE_TILE_FINISH, SITE_TILE_START
 from ..obs import runtime as obs
 from .tiles import Tile, TileGrid, TileId
 
@@ -36,6 +39,14 @@ def run_wavefront(
     their dependencies finish.  The first worker exception aborts the run
     and is re-raised.
 
+    Cooperative cancellation: the caller's
+    :class:`~repro.core.cancel.CancelToken` (if any) is captured once at
+    entry and checked before every tile, so a run whose deadline passes
+    stops within one tile-time — no tile starts after expiry, in-flight
+    tiles are drained, and :class:`~repro.errors.JobTimeoutError`
+    propagates like any worker failure.  The :mod:`repro.faults` tile
+    start/finish sites are honoured the same way.
+
     An injected ``pool`` is never shut down, even on failure: after an
     abort no further tiles are submitted, every already-submitted tile is
     drained before this function returns, and the pool is left clean for
@@ -46,10 +57,11 @@ def run_wavefront(
     tiles = list(grid.tiles())
     if not tiles:
         return
-    # Capture the instrumentation once: worker threads do not inherit the
-    # caller's context variables, and tile-grain observation must not pay
-    # a context lookup per tile.
+    # Capture the instrumentation and cancel token once: worker threads do
+    # not inherit the caller's context variables, and tile-grain
+    # observation must not pay a context lookup per tile.
     inst = obs.current()
+    token = cancel.current()
 
     lock = threading.Lock()
     done = threading.Event()
@@ -82,7 +94,11 @@ def run_wavefront(
             waited = time.perf_counter() - ready_at.get(tid, time.perf_counter())
             inst.metrics.histogram("wavefront.tile_wait").observe(waited)
         try:
+            if token is not None:
+                token.check()
+            faults.inject(SITE_TILE_START)
             worker(grid[tid])
+            faults.inject(SITE_TILE_FINISH)
         except BaseException as exc:  # propagate the first failure
             with lock:
                 if state["error"] is None:

@@ -1,19 +1,24 @@
 """Alignment service layer: queue, micro-batching, cache, memory governor.
 
-The serving substrate on top of the core library (see ``docs/SERVICE.md``):
+The serving substrate on top of the core library (see ``docs/SERVICE.md``
+and ``docs/ROBUSTNESS.md``):
 
 * :class:`AlignmentService` — asyncio job queue + worker pool with
-  dynamic micro-batching and a global memory governor;
+  dynamic micro-batching, a global memory governor, per-job deadlines
+  (enforced mid-run at tile boundaries), retry with backoff, per-backend
+  circuit breakers and graceful degradation;
 * :class:`AlignmentClient` — synchronous in-process client (background
   event loop) for tests, examples and notebooks;
-* :class:`MemoryGovernor`, :class:`ResultCache`, :class:`ServiceStats` —
-  the composable parts;
+* :class:`TCPAlignmentClient` — synchronous NDJSON-over-TCP client with
+  transparent reconnect-and-retry;
+* :class:`MemoryGovernor`, :class:`ResultCache`, :class:`ServiceStats`,
+  :class:`RetryPolicy`, :class:`CircuitBreaker` — the composable parts;
 * :func:`serve_stdio` / :func:`serve_tcp` / :class:`ProtocolHandler` —
   the ``fastlsa serve`` NDJSON transports.
 """
 
 from .cache import ResultCache
-from .client import AlignmentClient
+from .client import AlignmentClient, TCPAlignmentClient
 from .governor import MemoryGovernor
 from .jobs import (
     MODES,
@@ -21,9 +26,11 @@ from .jobs import (
     Job,
     JobResult,
     JobState,
+    result_fingerprint,
     scheme_digest,
     sequence_digest,
 )
+from .resilience import CircuitBreaker, RetryPolicy, is_transient
 from .scheduler import AlignmentService
 from .server import ProtocolHandler, result_to_json, serve_stdio, serve_tcp
 from .stats import ServiceStats
@@ -33,13 +40,18 @@ __all__ = [
     "AlignRequest",
     "AlignmentClient",
     "AlignmentService",
+    "CircuitBreaker",
     "Job",
     "JobResult",
     "JobState",
     "MemoryGovernor",
     "ProtocolHandler",
     "ResultCache",
+    "RetryPolicy",
     "ServiceStats",
+    "TCPAlignmentClient",
+    "is_transient",
+    "result_fingerprint",
     "result_to_json",
     "scheme_digest",
     "sequence_digest",

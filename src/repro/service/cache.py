@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, TypeVar
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
 
 from ..errors import ConfigError
+from ..faults import runtime as faults
+from ..faults.plan import SITE_CACHE_GET, SITE_CACHE_PUT
 from ..obs import runtime as obs
 
 __all__ = ["ResultCache"]
@@ -27,42 +29,89 @@ class ResultCache:
     The scheduler touches it from the event loop and worker threads touch
     it when publishing results, hence the lock.  ``capacity == 0`` disables
     caching (every lookup is a miss, nothing is stored).
+
+    ``fingerprint`` enables integrity checking: each entry is stored with
+    a fingerprint of its **authoritative** value (callers may pass one
+    computed before any fault-injection corruption), and :meth:`get`
+    recomputes it on the way out — a mismatch means the stored value
+    rotted, so the entry is dropped and the lookup degrades to a miss
+    (``cache_corruptions`` counts them).  The :mod:`repro.faults`
+    ``service.cache.get`` / ``service.cache.put`` sites fire here, so a
+    chaos plan can take the cache backend down; the scheduler treats
+    those errors as misses.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        fingerprint: Optional[Callable[[object], Hashable]] = None,
+    ) -> None:
         if capacity < 0:
             raise ConfigError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
-        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._fingerprint = fingerprint
+        self._data: "OrderedDict[Hashable, Tuple[object, Optional[Hashable]]]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
 
     def get(self, key: Hashable) -> Optional[object]:
-        """Return the cached value (refreshing recency) or ``None``."""
+        """Return the cached value (refreshing recency) or ``None``.
+
+        Integrity-checked when a fingerprint function is configured: a
+        corrupted entry is evicted and reported as a miss rather than
+        served.  May raise under an active fault plan (backend outage).
+        """
+        faults.inject(SITE_CACHE_GET)
         with self._lock:
             if key in self._data:
+                value, expected = self._data[key]
+                if (
+                    expected is not None
+                    and self._fingerprint is not None
+                    and self._fingerprint(value) != expected
+                ):
+                    del self._data[key]
+                    self.corruptions += 1
+                    self.misses += 1
+                    obs.counter_add("service.cache_corruptions")
+                    obs.counter_add("service.cache_misses")
+                    return None
                 self._data.move_to_end(key)
                 self.hits += 1
                 obs.counter_add("service.cache_hits")
-                return self._data[key]
+                return value
             self.misses += 1
             obs.counter_add("service.cache_misses")
             return None
 
-    def put(self, key: Hashable, value: object) -> None:
-        """Insert/refresh ``key``; evicts the least-recently-used entry."""
+    def put(
+        self, key: Hashable, value: object, fingerprint: Optional[Hashable] = None
+    ) -> None:
+        """Insert/refresh ``key``; evicts the least-recently-used entry.
+
+        ``fingerprint`` overrides the configured fingerprint function for
+        this entry — pass the fingerprint of the authoritative value so
+        later corruption of the stored copy is detectable.  May raise
+        under an active fault plan (backend outage).
+        """
         if self.capacity == 0:
             return
+        faults.inject(SITE_CACHE_PUT)
+        if fingerprint is None and self._fingerprint is not None:
+            fingerprint = self._fingerprint(value)
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
-            self._data[key] = value
+            self._data[key] = (value, fingerprint)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
                 self.evictions += 1
@@ -82,5 +131,6 @@ class ResultCache:
                 "cache_hits": self.hits,
                 "cache_misses": self.misses,
                 "cache_evictions": self.evictions,
+                "cache_corruptions": self.corruptions,
                 "cache_hit_rate": round(self.hits / total, 4) if total else 0.0,
             }

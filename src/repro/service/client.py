@@ -1,4 +1,4 @@
-"""Synchronous in-process client for the alignment service.
+"""Synchronous clients for the alignment service.
 
 :class:`AlignmentClient` owns an event loop on a background thread and a
 private :class:`~repro.service.scheduler.AlignmentService`, so ordinary
@@ -9,22 +9,37 @@ serving stack without writing any asyncio::
         result = client.align("ACGT", "ACGA", scheme)
         print(result.score, client.stats()["cache_hits"])
 
+:class:`TCPAlignmentClient` speaks the ``fastlsa serve`` NDJSON protocol
+over a real socket, with transparent retry: every protocol op is an
+idempotent query, so a connection dropped mid-request is reconnected and
+the request replayed per a
+:class:`~repro.service.resilience.RetryPolicy`; exhausted retries raise
+:class:`~repro.errors.ConnectionLostError` carrying any partial response
+text — never a bare ``ConnectionError``, never a hang.
+
 Async code should use :class:`AlignmentService` directly.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
+import json
+import random
+import socket
 import threading
+import time
 from concurrent.futures import Future
 from typing import Dict, List, Optional, Sequence as Seq
 
-from ..errors import ServiceClosedError
+from .. import errors as errors_mod
+from ..errors import ConnectionLostError, ReproError, ServiceClosedError, ServiceError
 from ..scoring.scheme import ScoringScheme
 from .jobs import JobResult
+from .resilience import RetryPolicy
 from .scheduler import AlignmentService
 
-__all__ = ["AlignmentClient"]
+__all__ = ["AlignmentClient", "TCPAlignmentClient"]
 
 
 class AlignmentClient:
@@ -81,11 +96,12 @@ class AlignmentClient:
         mode: str = "global",
         score_only: bool = False,
         timeout: Optional[float] = None,
+        config=None,
     ) -> JobResult:
         """Blocking submit-and-wait for one alignment."""
         return self._call(
-            self.service.align(a, b, scheme, mode=mode,
-                               score_only=score_only, timeout=timeout)
+            self.service.align(a, b, scheme, mode=mode, score_only=score_only,
+                               timeout=timeout, config=config)
         )
 
     def submit(
@@ -96,6 +112,7 @@ class AlignmentClient:
         mode: str = "global",
         score_only: bool = False,
         timeout: Optional[float] = None,
+        config=None,
     ) -> "Future[JobResult]":
         """Non-blocking submit; returns a concurrent future.
 
@@ -105,7 +122,8 @@ class AlignmentClient:
 
         async def _go() -> JobResult:
             job = await self.service.submit(
-                a, b, scheme, mode=mode, score_only=score_only, timeout=timeout
+                a, b, scheme, mode=mode, score_only=score_only,
+                timeout=timeout, config=config,
             )
             return await job.future
 
@@ -118,11 +136,12 @@ class AlignmentClient:
         mode: str = "global",
         score_only: bool = False,
         timeout: Optional[float] = None,
+        config=None,
     ) -> List[JobResult]:
         """Blocking one-vs-many helper (micro-batched by the scheduler)."""
         return self._call(
-            self.service.align_many(pairs, scheme, mode=mode,
-                                    score_only=score_only, timeout=timeout)
+            self.service.align_many(pairs, scheme, mode=mode, score_only=score_only,
+                                    timeout=timeout, config=config)
         )
 
     def stats(self) -> Dict:
@@ -142,3 +161,208 @@ class AlignmentClient:
 
     def _call(self, coro):
         return self._submit(coro).result()
+
+
+class TCPAlignmentClient:
+    """Synchronous NDJSON-over-TCP client for ``fastlsa serve``.
+
+    Parameters
+    ----------
+    host, port:
+        The server's bound address.
+    timeout:
+        Per-socket-operation timeout in seconds (connect, send, recv) —
+        a stalled server surfaces as a typed error, never a hang.
+    policy:
+        Retry schedule for dropped connections
+        (:class:`~repro.service.resilience.RetryPolicy`; exponential
+        backoff with full jitter).  Every protocol op is an idempotent
+        query, so replaying a request after a drop is always safe.
+    retry_seed:
+        Pins the jitter RNG (the chaos suite uses this).
+
+    Raises :class:`~repro.errors.ConnectionLostError` — carrying any
+    partial response text and the attempt count — once retries are
+    exhausted, and re-raises the server's own typed errors
+    (``QueueFullError``, ``MemoryBudgetError``, ...) from error
+    responses.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.policy = policy or RetryPolicy()
+        self._rng = random.Random(retry_seed)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+        self.retries = 0
+        self.reconnects = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def connect(self) -> "TCPAlignmentClient":
+        """Open the connection eagerly; idempotent (ops auto-connect)."""
+        self._ensure_connected()
+        return self
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "TCPAlignmentClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+            self.reconnects += 1
+
+    def _drop(self) -> None:
+        for closer in (self._file, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:  # pragma: no cover - best-effort teardown
+                    pass
+        self._file = None
+        self._sock = None
+
+    # -- protocol ops --------------------------------------------------
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}) == "pong"
+
+    def stats(self) -> Dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit (idempotent)."""
+        self.request({"op": "shutdown"})
+
+    def align(
+        self,
+        a,
+        b,
+        mode: str = "global",
+        score_only: bool = False,
+        matrix: Optional[str] = None,
+        gap_open: Optional[int] = None,
+        gap_extend: Optional[int] = None,
+        timeout: Optional[float] = None,
+        config: Optional[Dict] = None,
+    ) -> Dict:
+        """One alignment; returns the protocol's result object."""
+        req = {"op": "align", "a": str(a), "b": str(b), "mode": mode,
+               "score_only": score_only}
+        self._scheme_fields(req, matrix, gap_open, gap_extend)
+        if timeout is not None:
+            req["timeout"] = timeout
+        if config is not None:
+            req["config"] = config
+        return self.request(req)
+
+    def batch(
+        self,
+        a,
+        targets: Seq,
+        mode: str = "local",
+        score_only: bool = False,
+        matrix: Optional[str] = None,
+        gap_open: Optional[int] = None,
+        gap_extend: Optional[int] = None,
+        timeout: Optional[float] = None,
+        config: Optional[Dict] = None,
+    ) -> Dict:
+        """One-vs-many; returns ``{"query": ..., "hits": [...]}``."""
+        req = {"op": "batch", "a": str(a), "targets": [str(t) for t in targets],
+               "mode": mode, "score_only": score_only}
+        self._scheme_fields(req, matrix, gap_open, gap_extend)
+        if timeout is not None:
+            req["timeout"] = timeout
+        if config is not None:
+            req["config"] = config
+        return self.request(req)
+
+    @staticmethod
+    def _scheme_fields(req: Dict, matrix, gap_open, gap_extend) -> None:
+        if matrix is not None:
+            req["matrix"] = matrix
+        if gap_open is not None:
+            req["gap_open"] = gap_open
+        if gap_extend is not None:
+            req["gap_extend"] = gap_extend
+
+    # -- transport -----------------------------------------------------
+    def request(self, payload: Dict) -> object:
+        """Send one op, wait for its response, retrying dropped links.
+
+        The request is replayed verbatim (same ``id``) on a fresh
+        connection after a transient drop; backoff follows ``policy``.
+        """
+        if "id" not in payload:
+            payload = {**payload, "id": next(self._ids)}
+        attempt = 0
+        partial = ""
+        while True:
+            try:
+                resp = self._roundtrip(payload)
+                break
+            except (ConnectionError, OSError) as exc:
+                self._drop()
+                partial = getattr(exc, "partial", "") or partial
+                if self.policy.should_retry(exc, attempt):
+                    self.retries += 1
+                    time.sleep(self.policy.delay(attempt, self._rng))
+                    attempt += 1
+                    continue
+                raise ConnectionLostError(
+                    f"connection to {self.host}:{self.port} lost during "
+                    f"{payload.get('op')!r} (after {attempt + 1} attempt(s)): {exc}",
+                    partial=partial,
+                    attempts=attempt + 1,
+                ) from exc
+        if not isinstance(resp, dict):
+            raise ServiceError(f"malformed response: {resp!r}")
+        if resp.get("ok"):
+            return resp.get("result")
+        self._raise_remote(resp)
+
+    def _roundtrip(self, payload: Dict) -> Dict:
+        self._ensure_connected()
+        assert self._file is not None
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw.endswith(b"\n"):
+            # EOF (or a half-written line) before the response terminator:
+            # surface as a reset carrying whatever text did arrive, so the
+            # retry loop can classify it and preserve the partial context.
+            exc = ConnectionResetError(
+                "connection dropped mid-response"
+                if raw else "server closed the connection"
+            )
+            exc.partial = raw.decode(errors="replace")  # type: ignore[attr-defined]
+            raise exc
+        return json.loads(raw.decode())
+
+    @staticmethod
+    def _raise_remote(resp: Dict) -> None:
+        """Re-raise a server error response as its typed ReproError."""
+        err = resp.get("error") or {}
+        name = str(err.get("type", "ServiceError"))
+        exc_type = getattr(errors_mod, name, None)
+        if not (isinstance(exc_type, type) and issubclass(exc_type, ReproError)):
+            exc_type = ServiceError
+        raise exc_type(str(err.get("message", "remote error")))

@@ -32,6 +32,8 @@ from typing import Dict, Optional
 from ..core.config import FastLSAConfig
 from ..core.planner import Plan, fastlsa_peak_cells, ops_ratio_bound, plan_alignment
 from ..errors import ConfigError, JobTimeoutError, MemoryBudgetError
+from ..faults import runtime as faults
+from ..faults.plan import SITE_GOVERNOR_ADMIT
 from ..obs import runtime as obs
 
 __all__ = ["MemoryGovernor"]
@@ -84,6 +86,7 @@ class MemoryGovernor:
             If the problem cannot be planned within the per-job share —
             the caller should reject the submission (backpressure).
         """
+        faults.inject(SITE_GOVERNOR_ADMIT)
         if config is not None:
             peak = fastlsa_peak_cells(m, n, config.k, config.base_cells, affine)
             if peak > self.per_job_cells:

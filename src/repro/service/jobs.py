@@ -12,7 +12,7 @@ import enum
 import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Hashable, List, Optional, Tuple
 
 from ..align.sequence import Sequence, as_sequence
 from ..core.config import FastLSAConfig
@@ -26,6 +26,7 @@ __all__ = [
     "Job",
     "JobResult",
     "JobState",
+    "result_fingerprint",
     "scheme_digest",
     "sequence_digest",
 ]
@@ -143,6 +144,8 @@ class JobResult:
     batch_size: int = 1
     queue_wait: float = 0.0
     run_time: float = 0.0
+    retries: int = 0
+    downgrades: List[str] = field(default_factory=list)
 
     def row(self) -> dict:
         """An :class:`~repro.analysis.recorder.ExperimentRecorder` row."""
@@ -159,7 +162,31 @@ class JobResult:
             "batch_size": self.batch_size,
             "queue_wait": round(self.queue_wait, 6),
             "run_time": round(self.run_time, 6),
+            "retries": self.retries,
+            "downgrades": ";".join(self.downgrades),
         }
+
+
+def result_fingerprint(result: "JobResult") -> Hashable:
+    """Integrity fingerprint of the alignment-defining fields of a result.
+
+    Used by the scheduler's :class:`~repro.service.cache.ResultCache` to
+    detect bit-rot in cached entries: the fingerprint of the authoritative
+    result is stored alongside the value, and a later mismatch means the
+    cached copy was corrupted (e.g. by a chaos plan) and must not be
+    served.  Bookkeeping fields (timings, retries, batch size) are
+    deliberately excluded — they vary between the caching and replaying
+    job without affecting alignment correctness.
+    """
+    return (
+        result.score,
+        result.mode,
+        result.score_only,
+        result.gapped_a,
+        result.gapped_b,
+        result.a_range,
+        result.b_range,
+    )
 
 
 @dataclass
@@ -176,6 +203,11 @@ class Job:
     finished_at: float = 0.0
     deadline: Optional[float] = None
     reserved_cells: int = 0
+    retries: int = 0
+    downgrades: List[str] = field(default_factory=list)
+    # Singleflight registration key captured at submit time (degradation
+    # may change ``plan`` — and with it ``cache_key()`` — mid-run).
+    pending_key: Optional[Tuple] = None
     # Detached trace spans (repro.obs), populated only while an
     # Instrumentation is active; None otherwise.
     span: Optional[object] = None

@@ -1,0 +1,163 @@
+"""Retry policy and per-backend circuit breakers for the service path.
+
+Two small, composable pieces the scheduler hardens itself with:
+
+* :class:`RetryPolicy` — exponential backoff with full jitter for
+  *transient* failures (injected transient faults, dropped connections,
+  flaky cache backends).  Deterministic when given a seeded RNG, which is
+  how the chaos suite pins its schedules.
+* :class:`CircuitBreaker` — classic closed → open → half-open breaker,
+  one per backend kernel (``"full-matrix"`` / ``"fastlsa"``).  Repeated
+  backend failures open the breaker; while open, jobs planned on that
+  backend are immediately degraded to another backend (or failed fast
+  with :class:`~repro.errors.CircuitOpenError`) instead of burning a
+  worker slot on a known-bad path.  After ``reset_after`` seconds one
+  trial request is let through (half-open); success closes the breaker.
+
+Both are clock-injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "is_transient"]
+
+
+#: Exception types always treated as transient (beyond the ``transient``
+#: attribute protocol used by :class:`~repro.errors.InjectedFaultError`).
+_TRANSIENT_TYPES = (ConnectionResetError, BrokenPipeError, ConnectionAbortedError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether a failure is worth retrying.
+
+    An exception is transient when it says so itself (a ``transient``
+    attribute, the :class:`~repro.errors.InjectedFaultError` protocol) or
+    is a connection-reset-shaped OS error.  Everything else — config
+    errors, wrong-input errors, deadline expiry — is permanent.
+    """
+    flagged = getattr(exc, "transient", None)
+    if flagged is not None:
+        return bool(flagged)
+    return isinstance(exc, _TRANSIENT_TYPES)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attempt ``i`` (0-based retry index) sleeps
+    ``uniform(0, min(max_delay, base_delay * multiplier**i))`` — the
+    "full jitter" scheme, which decorrelates retry storms better than
+    fixed-fraction jitter.  ``max_retries == 0`` disables retrying.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delay(self, attempt: int, rng: Optional[Random] = None) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        ceiling = min(self.max_delay, self.base_delay * (self.multiplier ** attempt))
+        if rng is None:
+            rng = Random()
+        return rng.uniform(0.0, ceiling)
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether failure ``exc`` on retry index ``attempt`` is retryable."""
+        return attempt < self.max_retries and is_transient(exc)
+
+
+class CircuitBreaker:
+    """A closed → open → half-open breaker guarding one backend.
+
+    Thread-compatible for the service's use (all transitions happen on
+    the event loop); the clock is injectable so tests can step time.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after < 0:
+            raise ConfigError(f"reset_after must be >= 0, got {reset_after}")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.opens = 0
+        self.fast_fails = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for reset-interval expiry."""
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request use this backend right now?
+
+        Open → ``False`` (callers count a fast-fail); half-open lets one
+        trial through (and re-arms only on its failure).
+        """
+        state = self.state
+        if state == self.OPEN:
+            self.fast_fails += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A backend call succeeded: close the breaker, clear the streak."""
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A backend call failed: maybe trip the breaker."""
+        self._consecutive_failures += 1
+        if (
+            self._state == self.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state != self.OPEN:
+                self.opens += 1
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the service stats surface."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opens": self.opens,
+            "fast_fails": self.fast_fails,
+        }

@@ -23,16 +23,23 @@ Everything observable is counted and exported as
 from __future__ import annotations
 
 import asyncio
+import random
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Deque, Dict, List, Optional, Sequence as Seq, Set
 
+from ..core import cancel
 from ..core.batch import _full_alignment, _quick_score, batch_align
 from ..core.config import FastLSAConfig
+from ..core.planner import degrade_plan
+from ..faults import runtime as faults
+from ..faults.plan import SITE_CACHE_PUT
 from ..obs import runtime as obs
 from ..errors import (
+    CircuitOpenError,
     ConfigError,
     JobTimeoutError,
+    MemoryBudgetError,
     QueueFullError,
     ServiceClosedError,
     ServiceError,
@@ -40,10 +47,23 @@ from ..errors import (
 from ..scoring.scheme import ScoringScheme
 from .cache import ResultCache
 from .governor import MemoryGovernor
-from .jobs import AlignRequest, Job, JobResult, JobState
+from .jobs import AlignRequest, Job, JobResult, JobState, result_fingerprint
+from .resilience import CircuitBreaker, RetryPolicy, is_transient
 from .stats import ServiceStats
 
 __all__ = ["AlignmentService"]
+
+
+def _corrupt_result(result: JobResult) -> JobResult:
+    """Chaos mutator for the cache-put site: a bit-rotted *copy*.
+
+    Never mutates the caller's object — the genuine result has already
+    been handed to the submitting future.
+    """
+    rotten = JobResult(**{**result.__dict__})
+    rotten.downgrades = list(result.downgrades)
+    rotten.score = result.score + 1
+    return rotten
 
 
 class AlignmentService:
@@ -68,9 +88,28 @@ class AlignmentService:
         already queued).
     default_timeout:
         Deadline applied to jobs submitted without an explicit timeout.
+        Deadlines are enforced end to end: while queued, while waiting
+        for a reservation, and *mid-run* at tile boundaries (cooperative
+        cancellation via :mod:`repro.core.cancel`).
     executor:
         Inject a shared :class:`ThreadPoolExecutor` (the service will not
         shut it down); by default the service owns one.
+    max_retries / retry_policy:
+        Transient failures (injected faults, dropped connections, flaky
+        cache backends) are retried with exponential backoff and full
+        jitter; ``retry_policy`` overrides the whole
+        :class:`~repro.service.resilience.RetryPolicy`, ``max_retries``
+        just the attempt count.  ``retry_seed`` pins the jitter RNG.
+    degrade:
+        On :class:`~repro.errors.MemoryBudgetError`, exhausted retries or
+        an open circuit breaker, re-plan the job one rung down the
+        :func:`~repro.core.planner.degrade_plan` ladder instead of
+        failing; every downgrade is recorded on the job result.
+    breaker_threshold / breaker_reset_after:
+        Per-backend-kernel circuit breakers (``"full-matrix"`` /
+        ``"fastlsa"``): ``breaker_threshold`` consecutive failures open a
+        breaker; after ``breaker_reset_after`` seconds one trial request
+        is let through.
 
     Use as an async context manager::
 
@@ -88,6 +127,12 @@ class AlignmentService:
         batch_window: float = 0.0,
         default_timeout: Optional[float] = None,
         executor: Optional[ThreadPoolExecutor] = None,
+        max_retries: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        degrade: bool = True,
+        breaker_threshold: int = 5,
+        breaker_reset_after: float = 30.0,
+        retry_seed: int = 0,
     ) -> None:
         if max_queue_depth < 1:
             raise ConfigError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
@@ -96,8 +141,15 @@ class AlignmentService:
         if batch_window < 0:
             raise ConfigError(f"batch_window must be >= 0, got {batch_window}")
         self.governor = MemoryGovernor(memory_cells, max_workers)
-        self.cache = ResultCache(cache_size)
+        self.cache = ResultCache(cache_size, fingerprint=result_fingerprint)
         self.stats_ = ServiceStats()
+        self.retry_policy = retry_policy or RetryPolicy(max_retries=max_retries)
+        self.degrade = degrade
+        self._retry_rng = random.Random(retry_seed)
+        self.breakers: Dict[str, CircuitBreaker] = {
+            "full-matrix": CircuitBreaker(breaker_threshold, breaker_reset_after),
+            "fastlsa": CircuitBreaker(breaker_threshold, breaker_reset_after),
+        }
         self.max_workers = max_workers
         self.max_queue_depth = max_queue_depth
         self.max_batch = max_batch
@@ -188,15 +240,32 @@ class AlignmentService:
         request = AlignRequest(a=a, b=b, scheme=scheme, mode=mode, score_only=score_only)
         self.stats_.submitted += 1
         obs.counter_add("service.submitted")
-        # Stage 1 admission: plan inside the per-job allocation.
-        plan = self.governor.admit(
-            len(request.a), len(request.b), affine=not scheme.is_linear,
-            config=config,
-        )
+        # Stage 1 admission: plan inside the per-job allocation.  Transient
+        # governor faults are retried with backoff; an over-budget problem
+        # stays a typed MemoryBudgetError (backpressure, never a silent
+        # replan — degradation applies to *runtime* failures only).
+        admit_retries = 0
+        while True:
+            try:
+                plan = self.governor.admit(
+                    len(request.a), len(request.b), affine=not scheme.is_linear,
+                    config=config,
+                )
+                break
+            except MemoryBudgetError:
+                raise
+            except Exception as exc:
+                if not self.retry_policy.should_retry(exc, admit_retries):
+                    raise
+                self.stats_.retries += 1
+                obs.counter_add("service.retries")
+                await asyncio.sleep(self.retry_policy.delay(admit_retries, self._retry_rng))
+                admit_retries += 1
 
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[JobResult]" = loop.create_future()
         job = Job(request=request, plan=plan, future=future)
+        job.retries = admit_retries
         job.submitted_at = loop.time()
         inst = obs.current()
         if inst is not None:
@@ -208,7 +277,14 @@ class AlignmentService:
             )
 
         key = job.cache_key()
-        cached = self.cache.get(key)
+        try:
+            cached = self.cache.get(key)
+        except Exception:
+            # A flaky cache backend must never fail a submission: degrade
+            # the lookup to a miss and count the incident.
+            self.stats_.cache_errors += 1
+            obs.counter_add("service.cache_errors")
+            cached = None
         if cached is not None:
             result = self._replay_cached(job, cached)
             job.state = JobState.DONE
@@ -239,6 +315,7 @@ class AlignmentService:
         effective = timeout if timeout is not None else self.default_timeout
         if effective is not None:
             job.deadline = job.submitted_at + effective
+        job.pending_key = key
         self._by_key[key] = job
         self._pending.append(job)
         if inst is not None:
@@ -282,7 +359,7 @@ class AlignmentService:
 
     def _forget_key(self, job: Job) -> None:
         """Drop the singleflight registration if ``job`` still owns it."""
-        key = job.cache_key()
+        key = job.pending_key if job.pending_key is not None else job.cache_key()
         if self._by_key.get(key) is job:
             del self._by_key[key]
 
@@ -414,10 +491,10 @@ class AlignmentService:
                 reserved_cells=reservation,
             )
         try:
-            results = await loop.run_in_executor(
-                self._executor, self._compute_group, group
-            )
+            results = await self._execute_with_resilience(group)
         except Exception as exc:
+            if isinstance(exc, JobTimeoutError):
+                self.stats_.timeouts += len(group)
             for job in group:
                 self._fail(job, exc)
             return
@@ -435,7 +512,11 @@ class AlignmentService:
             result.queue_wait = job.started_at - job.submitted_at
             result.run_time = job.finished_at - job.started_at
             result.batch_size = len(group)
-            self.cache.put(job.cache_key(), result)
+            result.retries = job.retries
+            result.downgrades = list(job.downgrades)
+            if result.downgrades:
+                self.stats_.degraded_jobs += 1
+            self._cache_put(job, result)
             self._forget_key(job)
             self.stats_.completed += 1
             self.stats_.record(result)
@@ -446,10 +527,142 @@ class AlignmentService:
             if not job.future.done():
                 job.future.set_result(result)
 
+    async def _execute_with_resilience(self, group: List[Job]) -> List[JobResult]:
+        """Run a group with deadline, retry, breaker and degradation logic.
+
+        The group's governor reservation stays fixed across attempts:
+        every :func:`~repro.core.planner.degrade_plan` rung strictly
+        shrinks the predicted peak, so the original reservation always
+        covers a re-planned run.
+        """
+        loop = asyncio.get_running_loop()
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            lead = max(group, key=lambda j: j.plan.predicted_peak_cells)
+            method = lead.plan.method
+            breaker = self.breakers.get(method)
+            if breaker is not None and not breaker.allow():
+                self.stats_.breaker_fast_fails += 1
+                obs.counter_add("service.breaker_fast_fails")
+                if not self._degrade_group(group, f"breaker_open:{method}"):
+                    raise CircuitOpenError(
+                        f"circuit breaker for backend {method!r} is open"
+                    )
+                continue
+            token = self._group_token(group, loop)
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._run_in_scope, token, group
+                )
+            except JobTimeoutError:
+                raise  # deadline expiry is permanent; never retried
+            except Exception as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                if isinstance(exc, MemoryBudgetError):
+                    if self._degrade_group(group, "memory_budget"):
+                        attempt = 0
+                        continue
+                    raise
+                if policy.should_retry(exc, attempt):
+                    for j in group:
+                        j.retries += 1
+                    self.stats_.retries += 1
+                    obs.counter_add("service.retries")
+                    await asyncio.sleep(policy.delay(attempt, self._retry_rng))
+                    attempt += 1
+                    continue
+                # Retries exhausted on a transient fault — repeated tile
+                # failure per the robustness contract: step down the ladder
+                # (a smaller footprint often clears pressure-shaped faults).
+                if is_transient(exc) and self._degrade_group(group, "retries_exhausted"):
+                    attempt = 0
+                    continue
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            return results
+
+    def _degrade_group(self, group: List[Job], reason: str) -> bool:
+        """Step every job one rung down the ladder; ``False`` at the floor.
+
+        Batched groups share one plan config (it is part of the batch
+        key), so the rung is derived from the largest member and applied
+        to all of them.
+        """
+        if not self.degrade:
+            return False
+        lead = max(group, key=lambda j: j.plan.predicted_peak_cells)
+        next_plan = degrade_plan(
+            lead.plan,
+            len(lead.request.a),
+            len(lead.request.b),
+            affine=not lead.request.scheme.is_linear,
+        )
+        if next_plan is None:
+            return False
+        label = (
+            f"{reason}:{lead.plan.method}[k={lead.config.k},"
+            f"base={lead.config.base_cells}]->{next_plan.method}"
+            f"[k={next_plan.config.k},base={next_plan.config.base_cells}]"
+        )
+        for j in group:
+            j.downgrades.append(label)
+            j.plan = next_plan
+        self.stats_.downgrades += 1
+        obs.counter_add("service.downgrades")
+        return True
+
+    def _group_token(
+        self, group: List[Job], loop: asyncio.AbstractEventLoop
+    ) -> Optional[cancel.CancelToken]:
+        """A cancel token at the group's earliest deadline (or ``None``).
+
+        Raises :class:`~repro.errors.JobTimeoutError` when that deadline
+        has already passed (e.g. consumed by retry backoff).
+        """
+        deadlines = [j.deadline for j in group if j.deadline is not None]
+        if not deadlines:
+            return None
+        remaining = min(deadlines) - loop.time()
+        if remaining <= 0:
+            raise JobTimeoutError("deadline passed before the group reached a worker")
+        return cancel.CancelToken.after(remaining)
+
+    def _cache_put(self, job: Job, result: JobResult) -> None:
+        """Store an authoritative result, fingerprinted against future rot."""
+        key = job.pending_key if job.pending_key is not None else job.cache_key()
+        try:
+            self.cache.put(
+                key,
+                faults.corrupt(SITE_CACHE_PUT, result, _corrupt_result),
+                fingerprint=result_fingerprint(result),
+            )
+        except Exception:
+            # A flaky cache backend must never fail a finished job.
+            self.stats_.cache_errors += 1
+            obs.counter_add("service.cache_errors")
+
+    def _run_in_scope(
+        self, token: Optional[cancel.CancelToken], group: List[Job]
+    ) -> List[JobResult]:
+        """Thread-pool entry: scope the group's deadline over the compute.
+
+        ``token`` is installed for the worker thread so the FastLSA
+        recursion's checkpoints (every sub-problem, FillCache band and
+        wavefront tile) can cancel the run cooperatively.
+        """
+        with cancel.cancel_scope(token):
+            return self._compute_group(group)
+
     def _compute_group(self, group: List[Job]) -> List[JobResult]:
         """Thread-pool side: run one job, or one coalesced batch."""
         if len(group) == 1:
             return [self._compute_single(group[0])]
+        return self._compute_batch(group)
+
+    def _compute_batch(self, group: List[Job]) -> List[JobResult]:
         lead = group[0]
         req = lead.request
         targets = [j.request.b for j in group]
@@ -517,6 +730,7 @@ class AlignmentService:
         """A cache hit: clone the stored result under the new job's id."""
         assert isinstance(cached, JobResult)
         result = JobResult(**{**cached.__dict__})
+        result.downgrades = list(cached.downgrades)
         result.job_id = job.job_id
         result.cached = True
         result.queue_wait = 0.0
@@ -550,6 +764,10 @@ class AlignmentService:
         snap.update(self.stats_.counters())
         snap.update(self.cache.stats())
         snap.update(self.governor.stats())
+        for name, breaker in self.breakers.items():
+            prefix = f"breaker_{name.replace('-', '_')}"
+            for key, value in breaker.stats().items():
+                snap[f"{prefix}_{key}"] = value
         return snap
 
     def stats_rows(self) -> List[Dict]:

@@ -43,7 +43,15 @@ from typing import Dict, Optional, Tuple
 
 from ..align.sequence import Sequence
 from ..core.config import AlignConfig
-from ..errors import BackpressureError, ConfigError, ProtocolError, ReproError
+from ..errors import (
+    BackpressureError,
+    ConfigError,
+    InjectedFaultError,
+    ProtocolError,
+    ReproError,
+)
+from ..faults import runtime as faults
+from ..faults.plan import SITE_SERVER_READ, SITE_SERVER_WRITE
 from ..obs import runtime as obs
 from ..version import __version__
 from ..scoring import (
@@ -228,13 +236,28 @@ class ProtocolHandler:
 
 async def _serve_lines(handler: ProtocolHandler, reader, write_line,
                        shutdown: asyncio.Event) -> None:
-    """Shared read→dispatch→respond loop for stdio and TCP transports."""
+    """Shared read→dispatch→respond loop for stdio and TCP transports.
+
+    The :mod:`repro.faults` ``server.read`` / ``server.write`` sites fire
+    here.  A failed write is unrecoverable mid-stream (the client can no
+    longer correlate responses), so it marks the connection dead: the read
+    loop exits promptly — even while blocked on :meth:`readline` — and the
+    transport closes the socket, giving clients a clean EOF to retry
+    against instead of a hang.
+    """
     tasks: set = set()
     lock = asyncio.Lock()
+    dead = asyncio.Event()
 
     async def respond(payload: Dict) -> None:
+        if dead.is_set():
+            return
         async with lock:
-            await write_line(json.dumps(payload))
+            try:
+                faults.inject(SITE_SERVER_WRITE)
+                await write_line(json.dumps(payload))
+            except Exception:
+                dead.set()
 
     async def run_one(line: str) -> None:
         try:
@@ -250,9 +273,24 @@ async def _serve_lines(handler: ProtocolHandler, reader, write_line,
             return
         await respond(await handler.handle(req))
 
-    while not shutdown.is_set():
+    while not shutdown.is_set() and not dead.is_set():
         try:
-            raw = await reader.readline()
+            faults.inject(SITE_SERVER_READ)
+        except InjectedFaultError:
+            break  # injected read failure == dropped connection
+        read_task = asyncio.ensure_future(reader.readline())
+        dead_task = asyncio.ensure_future(dead.wait())
+        try:
+            finished, _ = await asyncio.wait(
+                {read_task, dead_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            dead_task.cancel()
+        if read_task not in finished:
+            read_task.cancel()
+            break
+        try:
+            raw = read_task.result()
         except (asyncio.IncompleteReadError, ConnectionResetError):
             break
         if not raw:

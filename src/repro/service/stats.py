@@ -35,6 +35,11 @@ class ServiceStats:
     cache_short_circuits: int = 0
     dedup_hits: int = 0
     internal_errors: int = 0
+    retries: int = 0
+    downgrades: int = 0
+    degraded_jobs: int = 0
+    cache_errors: int = 0
+    breaker_fast_fails: int = 0
     total_queue_wait: float = 0.0
     total_run_time: float = 0.0
     _rows: Deque[Dict] = field(
@@ -65,6 +70,11 @@ class ServiceStats:
             "cache_short_circuits": self.cache_short_circuits,
             "dedup_hits": self.dedup_hits,
             "internal_errors": self.internal_errors,
+            "retries": self.retries,
+            "downgrades": self.downgrades,
+            "degraded_jobs": self.degraded_jobs,
+            "cache_errors": self.cache_errors,
+            "breaker_fast_fails": self.breaker_fast_fails,
             "mean_queue_wait": round(self.total_queue_wait / done, 6),
             "mean_run_time": round(self.total_run_time / done, 6),
         }

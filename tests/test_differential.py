@@ -1,0 +1,197 @@
+"""Differential correctness harness (the chaos layer's ground truth).
+
+FastLSA is cross-checked against three independent references — the
+full-matrix algorithm (Needleman–Wunsch), Hirschberg's linear-space
+divide-and-conquer, and Myers–Miller's affine-gap variant — over a sweep
+of ``k`` / base-case configurations, on seeded random and mutated-read
+workloads.  Both the optimal **score** and the produced **path** are
+verified: every alignment's gapped strings are independently re-scored
+with :func:`repro.align.validate.score_alignment`, so a path that merely
+claims the optimal score cannot pass.
+
+If a fault-injection bug ever corrupted a computation, this is the suite
+that defines "wrong answer".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.validate import check_alignment, score_alignment, score_gapped
+from repro.baselines import hirschberg, myers_miller, needleman_wunsch
+from repro.core import AlignConfig, fastlsa, overlap_align, semiglobal_align
+from repro.workloads import dna_pair, protein_pair
+from repro.workloads.mutate import evolve
+
+from .conftest import random_dna, random_protein
+
+# The configuration sweep: quadratic-space extreme (huge base buffer →
+# one base case, the full-matrix path inside FastLSA), a mid-size buffer,
+# and tiny buffers that force deep recursion at several branching factors.
+SWEEP = [
+    AlignConfig(k=2, base_cells=1 << 20),
+    AlignConfig(k=2, base_cells=256),
+    AlignConfig(k=3, base_cells=1024),
+    AlignConfig(k=8, base_cells=64),
+]
+
+#: Deep-recursion config vs the quadratic-space config, for mode tests.
+DEEP = AlignConfig(k=3, base_cells=64)
+WIDE = AlignConfig(k=2, base_cells=1 << 20)
+
+
+def _assert_optimal(alignment, scheme, want_score):
+    """Score AND path: the alignment must *earn* the optimal score."""
+    assert alignment.score == want_score
+    assert score_alignment(alignment, scheme) == want_score
+    ok, msg = check_alignment(alignment, scheme)
+    assert ok, msg
+
+
+class TestLinearGapDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("config", SWEEP, ids=lambda c: f"k{c.k}b{c.base_cells}")
+    def test_random_dna_vs_all_references(self, dna_scheme, seed, config):
+        a, b = dna_pair(120, divergence=0.25, seed=seed)
+        want = needleman_wunsch(a, b, dna_scheme).score
+        assert hirschberg(a, b, dna_scheme, base_cells=128).score == want
+        assert myers_miller(a, b, dna_scheme, base_cells=128).score == want
+        _assert_optimal(fastlsa(a, b, dna_scheme, config=config), dna_scheme, want)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_uneven_lengths(self, dna_scheme, rng, seed):
+        local = np.random.default_rng(seed)
+        a = random_dna(local, int(local.integers(40, 180)))
+        b = random_dna(local, int(local.integers(40, 180)))
+        want = needleman_wunsch(a, b, dna_scheme).score
+        for config in SWEEP:
+            _assert_optimal(fastlsa(a, b, dna_scheme, config=config), dna_scheme, want)
+
+    def test_protein_blosum(self, protein_scheme, rng):
+        a = random_protein(rng, 90)
+        b = random_protein(rng, 110)
+        want = needleman_wunsch(a, b, protein_scheme).score
+        assert hirschberg(a, b, protein_scheme, base_cells=64).score == want
+        for config in SWEEP:
+            _assert_optimal(
+                fastlsa(a, b, protein_scheme, config=config), protein_scheme, want
+            )
+
+
+class TestMutatedReadDifferential:
+    """Workloads shaped like the service's traffic: ancestor + descendant."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_evolved_dna(self, dna_scheme, seed):
+        local = np.random.default_rng(seed)
+        ancestor = random_dna(local, 150)
+        descendant = evolve(ancestor, sub_rate=0.15, indel_rate=0.08, rng=local)
+        want = needleman_wunsch(ancestor, descendant, dna_scheme).score
+        assert hirschberg(ancestor, descendant, dna_scheme, base_cells=256).score == want
+        for config in SWEEP:
+            _assert_optimal(
+                fastlsa(ancestor, descendant, dna_scheme, config=config),
+                dna_scheme, want,
+            )
+
+    def test_evolved_protein_affine(self, affine_scheme):
+        local = np.random.default_rng(7)
+        ancestor = random_protein(local, 100)
+        descendant = evolve(ancestor, sub_rate=0.2, indel_rate=0.06, rng=local)
+        want = myers_miller(ancestor, descendant, affine_scheme, base_cells=128).score
+        for config in SWEEP:
+            _assert_optimal(
+                fastlsa(ancestor, descendant, affine_scheme, config=config),
+                affine_scheme, want,
+            )
+
+
+class TestAffineDifferential:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    @pytest.mark.parametrize("config", SWEEP, ids=lambda c: f"k{c.k}b{c.base_cells}")
+    def test_affine_dna_vs_myers_miller(self, affine_dna_scheme, seed, config):
+        a, b = dna_pair(100, divergence=0.3, seed=seed)
+        want = myers_miller(a, b, affine_dna_scheme, base_cells=128).score
+        _assert_optimal(
+            fastlsa(a, b, affine_dna_scheme, config=config), affine_dna_scheme, want
+        )
+
+    def test_affine_gap_runs(self, affine_dna_scheme):
+        # Long indels: the workload affine gaps exist for; path join bugs
+        # between recursion blocks show up here first.
+        a = "ACGTACGTACGTACGTACGTACGTACGT"
+        b = "ACGTACGTACGT" + "ACGTACGTACGTACGT"[:4]
+        want = myers_miller(a, b, affine_dna_scheme, base_cells=64).score
+        for config in SWEEP:
+            _assert_optimal(
+                fastlsa(a, b, affine_dna_scheme, config=config),
+                affine_dna_scheme, want,
+            )
+
+
+class TestEndsFreeDifferential:
+    """No external baseline exists for the ends-free modes, so the
+    quadratic-space configuration (one base case — the full-matrix path
+    inside FastLSA) serves as the reference for deep-recursion configs."""
+
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_semiglobal_config_invariance(self, dna_scheme, seed):
+        local = np.random.default_rng(seed)
+        read = random_dna(local, 60)
+        genome = random_dna(local, 40) + read + random_dna(local, 40)
+        ref = semiglobal_align(read, genome, dna_scheme, config=WIDE)
+        deep = semiglobal_align(read, genome, dna_scheme, config=DEEP)
+        assert deep.score == ref.score
+        # Free end gaps cost zero, so the matched core must earn the score.
+        assert score_gapped(
+            deep.alignment.gapped_a, deep.alignment.gapped_b, dna_scheme
+        ) == deep.score
+
+    @pytest.mark.parametrize("seed", [12, 13])
+    def test_overlap_config_invariance(self, dna_scheme, seed):
+        local = np.random.default_rng(seed)
+        left = random_dna(local, 80)
+        overlap = random_dna(local, 40)
+        right = random_dna(local, 80)
+        a, b = left + overlap, overlap + right
+        ref = overlap_align(a, b, dna_scheme, config=WIDE)
+        deep = overlap_align(a, b, dna_scheme, config=DEEP)
+        assert deep.score == ref.score
+        assert score_gapped(
+            deep.alignment.gapped_a, deep.alignment.gapped_b, dna_scheme
+        ) == deep.score
+
+    def test_semiglobal_affine_config_invariance(self, affine_dna_scheme):
+        local = np.random.default_rng(99)
+        read = random_dna(local, 50)
+        genome = random_dna(local, 30) + read + random_dna(local, 30)
+        ref = semiglobal_align(read, genome, affine_dna_scheme, config=WIDE)
+        deep = semiglobal_align(read, genome, affine_dna_scheme, config=DEEP)
+        assert deep.score == ref.score
+
+
+@pytest.mark.slow
+class TestDifferentialSweepSlow:
+    """The wide sweep: more seeds x longer sequences (CI chaos job only)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_long_pairs_all_configs(self, dna_scheme, seed):
+        a, b = dna_pair(300, divergence=0.2, seed=100 + seed)
+        want = needleman_wunsch(a, b, dna_scheme).score
+        assert hirschberg(a, b, dna_scheme, base_cells=512).score == want
+        assert myers_miller(a, b, dna_scheme, base_cells=512).score == want
+        for config in SWEEP:
+            _assert_optimal(fastlsa(a, b, dna_scheme, config=config), dna_scheme, want)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_long_affine_pairs(self, affine_dna_scheme, seed):
+        a, b = protein_pair(200, divergence=0.25, seed=seed)
+        scheme = affine_dna_scheme
+        # protein_pair emits protein text; use a protein affine scheme.
+        from repro.scoring import ScoringScheme, affine_gap, blosum62
+
+        scheme = ScoringScheme(blosum62(), affine_gap(-11, -2))
+        want = myers_miller(a, b, scheme, base_cells=256).score
+        for config in SWEEP:
+            _assert_optimal(fastlsa(a, b, scheme, config=config), scheme, want)

@@ -1,0 +1,530 @@
+"""Chaos tests: the service stack under injected faults.
+
+Every fault site is driven through the real service path and the outcome
+is checked against the robustness contract: a faulted job must either
+
+* retry to the **correct** answer (scores cross-checked against the
+  full-matrix reference),
+* degrade gracefully with the downgrade recorded on the job result, or
+* surface a **typed** :class:`~repro.errors.ReproError` —
+
+and must never hang, return a wrong alignment, or leak a worker thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+
+import pytest
+
+from repro.baselines import needleman_wunsch
+from repro.core import AlignConfig
+from repro.errors import (
+    CircuitOpenError,
+    ConnectionLostError,
+    InjectedFaultError,
+    JobTimeoutError,
+    MemoryBudgetError,
+    ReproError,
+)
+from repro.faults import runtime as faults
+from repro.faults.plan import (
+    SITE_BASE_KERNEL,
+    SITE_CACHE_GET,
+    SITE_CACHE_PUT,
+    SITE_GOVERNOR_ADMIT,
+    SITE_SERVER_READ,
+    SITE_SERVER_WRITE,
+    FaultPlan,
+    FaultSpec,
+    named_plan,
+)
+from repro.scoring import ScoringScheme, dna_simple, linear_gap
+from repro.service import (
+    AlignmentClient,
+    AlignmentService,
+    JobState,
+    TCPAlignmentClient,
+    serve_tcp,
+)
+from repro.service.resilience import RetryPolicy
+from repro.workloads import dna_pair
+
+CHAOS_SEEDS = [11, 23, 47]
+
+
+@pytest.fixture
+def scheme():
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+@pytest.fixture(autouse=True)
+def _no_global_plan():
+    faults.disable()
+    yield
+    faults.disable()
+
+
+def _svc(**kwargs):
+    defaults = dict(
+        memory_cells=400_000,
+        max_workers=1,
+        max_batch=1,
+        cache_size=32,
+        retry_policy=RetryPolicy(max_retries=3, base_delay=0.001, max_delay=0.01),
+    )
+    defaults.update(kwargs)
+    return AlignmentService(**defaults)
+
+
+def _run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+class TestTransientFaultsRetryToCorrectAnswer:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_base_kernel_fault_retried(self, scheme, seed):
+        a, b = dna_pair(90, seed=seed)
+        want = needleman_wunsch(a, b, scheme).score
+        plan = FaultPlan([FaultSpec(SITE_BASE_KERNEL, max_fires=1)], seed=seed)
+
+        async def go():
+            async with _svc() as svc:
+                with faults.chaos(plan):
+                    result = await svc.align(a, b, scheme)
+                return result, svc.stats()
+
+        result, stats = _run(go())
+        assert result.score == want
+        assert result.retries >= 1
+        assert stats["retries"] >= 1
+        assert not result.downgrades
+
+    def test_governor_admit_fault_retried(self, scheme):
+        a, b = dna_pair(60, seed=1)
+        want = needleman_wunsch(a, b, scheme).score
+        plan = FaultPlan([FaultSpec(SITE_GOVERNOR_ADMIT, max_fires=2)], seed=0)
+
+        async def go():
+            async with _svc() as svc:
+                with faults.chaos(plan):
+                    result = await svc.align(a, b, scheme)
+                return result, svc.stats()
+
+        result, stats = _run(go())
+        assert result.score == want
+        assert result.retries >= 2
+        assert stats["retries"] >= 2
+
+
+class TestDegradation:
+    def test_memory_fault_mid_run_degrades(self, scheme):
+        a, b = dna_pair(90, seed=2)
+        want = needleman_wunsch(a, b, scheme).score
+        plan = FaultPlan(
+            [FaultSpec(SITE_BASE_KERNEL, error="MemoryBudgetError", max_fires=1)],
+            seed=0,
+        )
+
+        async def go():
+            async with _svc() as svc:
+                with faults.chaos(plan):
+                    result = await svc.align(a, b, scheme)
+                return result, svc.stats()
+
+        result, stats = _run(go())
+        assert result.score == want
+        assert result.downgrades and "memory_budget" in result.downgrades[0]
+        assert stats["downgrades"] >= 1
+        assert stats["degraded_jobs"] >= 1
+
+    def test_retries_exhausted_degrades(self, scheme):
+        a, b = dna_pair(90, seed=3)
+        want = needleman_wunsch(a, b, scheme).score
+        # Fires on the first base-case hit of each of the first 3 attempts;
+        # max_retries=2 exhausts the budget, then the ladder steps down and
+        # the 4th (degraded) attempt runs clean.
+        plan = FaultPlan([FaultSpec(SITE_BASE_KERNEL, max_fires=3)], seed=0)
+
+        async def go():
+            async with _svc(
+                retry_policy=RetryPolicy(max_retries=2, base_delay=0.001)
+            ) as svc:
+                with faults.chaos(plan):
+                    result = await svc.align(a, b, scheme)
+                return result, svc.stats()
+
+        result, stats = _run(go())
+        assert result.score == want
+        assert result.retries == 2
+        assert result.downgrades and "retries_exhausted" in result.downgrades[0]
+        assert stats["downgrades"] >= 1
+
+    def test_fatal_fault_surfaces_typed_and_service_survives(self, scheme):
+        a, b = dna_pair(80, seed=4)
+        want = needleman_wunsch(a, b, scheme).score
+        plan = FaultPlan(
+            [FaultSpec(SITE_BASE_KERNEL, transient=False, max_fires=1)], seed=0
+        )
+
+        async def go():
+            async with _svc(degrade=False) as svc:
+                with faults.chaos(plan):
+                    with pytest.raises(InjectedFaultError):
+                        await svc.align(a, b, scheme)
+                    # same service, same fault plan (now exhausted): healthy
+                    result = await svc.align(a, b, scheme)
+                return result, svc.stats()
+
+        result, stats = _run(go())
+        assert result.score == want
+        assert stats["jobs_failed"] == 1 and stats["jobs_completed"] == 1
+
+    def test_admit_backpressure_stays_typed(self, scheme):
+        """An over-budget admit fault is backpressure, never a silent replan."""
+        a, b = dna_pair(60, seed=5)
+        plan = FaultPlan(
+            [FaultSpec(SITE_GOVERNOR_ADMIT, error="MemoryBudgetError", max_fires=1)],
+            seed=0,
+        )
+
+        async def go():
+            async with _svc() as svc:
+                with faults.chaos(plan):
+                    with pytest.raises(MemoryBudgetError):
+                        await svc.align(a, b, scheme)
+                    result = await svc.align(a, b, scheme)
+                return result
+
+        result = _run(go())
+        assert not result.downgrades
+
+
+class TestCacheFaults:
+    def test_cache_outage_degrades_to_misses(self, scheme):
+        a, b = dna_pair(70, seed=6)
+        want = needleman_wunsch(a, b, scheme).score
+        plan = FaultPlan(
+            [
+                FaultSpec(SITE_CACHE_GET, p=1.0, max_fires=None),
+                FaultSpec(SITE_CACHE_PUT, p=1.0, max_fires=None),
+            ],
+            seed=0,
+        )
+
+        async def go():
+            async with _svc() as svc:
+                with faults.chaos(plan):
+                    first = await svc.align(a, b, scheme)
+                    second = await svc.align(a, b, scheme)
+                return first, second, svc.stats()
+
+        first, second, stats = _run(go())
+        assert first.score == want and second.score == want
+        assert not first.cached and not second.cached  # outage: no hits
+        assert stats["cache_errors"] >= 2
+        assert stats["jobs_failed"] == 0
+
+    def test_bitrot_detected_by_fingerprint(self, scheme):
+        a, b = dna_pair(70, seed=7)
+        want = needleman_wunsch(a, b, scheme).score
+        plan = FaultPlan(
+            [FaultSpec(SITE_CACHE_PUT, kind="corrupt", max_fires=1)], seed=0
+        )
+
+        async def go():
+            async with _svc() as svc:
+                with faults.chaos(plan):
+                    first = await svc.align(a, b, scheme)
+                    # the rotten entry must be detected, evicted, recomputed
+                    second = await svc.align(a, b, scheme)
+                return first, second, svc.stats()
+
+        first, second, stats = _run(go())
+        assert first.score == want
+        assert second.score == want  # never serves the corrupted copy
+        assert not second.cached
+        assert stats["cache_corruptions"] >= 1
+
+
+class TestDeadlineMidRun:
+    """Regression for the deadline-only-fires-while-queued bug: a running
+    job must be cancelled cooperatively at the next tile boundary."""
+
+    def test_running_job_cancelled_at_tile_boundary(self, scheme):
+        a, b = dna_pair(200, seed=8)
+        # Straggler base cases: each one sleeps, so completion would take
+        # tens of seconds — only mid-run cancellation can finish fast.
+        plan = FaultPlan(
+            [FaultSpec(SITE_BASE_KERNEL, kind="delay", delay=0.03, p=1.0,
+                       max_fires=None)],
+            seed=0,
+        )
+        deadline = 0.2
+
+        async def go():
+            async with _svc(degrade=False) as svc:
+                with faults.chaos(plan):
+                    job = await svc.submit(
+                        a, b, scheme, timeout=deadline,
+                        config=AlignConfig(k=2, base_cells=64),
+                    )
+                    t0 = asyncio.get_running_loop().time()
+                    with pytest.raises(JobTimeoutError) as excinfo:
+                        await job.future
+                    elapsed = asyncio.get_running_loop().time() - t0
+                return job, excinfo.value, elapsed, svc.stats()
+
+        job, exc, elapsed, stats = _run(go())
+        assert job.state == JobState.FAILED
+        assert job.started_at is not None  # it was RUNNING, not queued
+        # cooperative-cancellation message, not the queue-expiry one
+        assert "deadline exceeded" in str(exc)
+        # stopped within ~one tile of the deadline, nowhere near completion
+        assert elapsed < deadline + 3.0
+        assert stats["jobs_timed_out"] >= 1
+
+    def test_deadline_expiry_is_never_retried(self, scheme):
+        a, b = dna_pair(200, seed=9)
+        plan = FaultPlan(
+            [FaultSpec(SITE_BASE_KERNEL, kind="delay", delay=0.03, p=1.0,
+                       max_fires=None)],
+            seed=0,
+        )
+
+        async def go():
+            async with _svc() as svc:  # retries enabled
+                with faults.chaos(plan):
+                    with pytest.raises(JobTimeoutError):
+                        await svc.align(
+                            a, b, scheme, timeout=0.15,
+                            config=AlignConfig(k=2, base_cells=64),
+                        )
+                return svc.stats()
+
+        stats = _run(go())
+        assert stats["retries"] == 0  # permanent failure: no retry burn
+        assert stats["jobs_timed_out"] >= 1
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_and_fast_fails(self, scheme):
+        a, b = dna_pair(60, seed=10)
+        plan = FaultPlan([FaultSpec(SITE_BASE_KERNEL, max_fires=1)], seed=0)
+
+        async def go():
+            async with _svc(
+                degrade=False, breaker_threshold=1, breaker_reset_after=60.0,
+                retry_policy=RetryPolicy(max_retries=0),
+            ) as svc:
+                with faults.chaos(plan):
+                    with pytest.raises(InjectedFaultError):
+                        await svc.align(a, b, scheme)
+                    # fault budget is spent, but the breaker is now open:
+                    # the job fails fast without touching a worker
+                    with pytest.raises(CircuitOpenError):
+                        await svc.align(a, b, scheme)
+                return svc.stats()
+
+        stats = _run(go())
+        assert stats["breaker_fast_fails"] >= 1
+        assert any(
+            stats[k] == "open" for k in stats if k.endswith("_state")
+        )
+
+    def test_breaker_half_open_recovery(self, scheme):
+        a, b = dna_pair(60, seed=12)
+        want = needleman_wunsch(a, b, scheme).score
+        plan = FaultPlan([FaultSpec(SITE_BASE_KERNEL, max_fires=1)], seed=0)
+
+        async def go():
+            async with _svc(
+                degrade=False, breaker_threshold=1, breaker_reset_after=0.05,
+                retry_policy=RetryPolicy(max_retries=0),
+            ) as svc:
+                with faults.chaos(plan):
+                    with pytest.raises(InjectedFaultError):
+                        await svc.align(a, b, scheme)
+                    await asyncio.sleep(0.1)  # reset interval elapses
+                    result = await svc.align(a, b, scheme)  # half-open trial
+                return result, svc.stats()
+
+        result, stats = _run(go())
+        assert result.score == want
+        assert all(
+            stats[k] == "closed" for k in stats if k.endswith("_state")
+        )
+
+    def test_open_breaker_degrades_when_enabled(self, scheme):
+        a, b = dna_pair(60, seed=13)
+        want = needleman_wunsch(a, b, scheme).score
+
+        async def go():
+            async with _svc(
+                degrade=True, breaker_threshold=1, breaker_reset_after=60.0,
+            ) as svc:
+                # Find the backend this job would run on, and trip it.
+                probe = svc.governor.admit(len(a), len(b), affine=False)
+                svc.breakers[probe.method].record_failure()
+                result = await svc.align(a, b, scheme)
+                return probe.method, result, svc.stats()
+
+        method, result, stats = _run(go())
+        assert result.score == want
+        assert result.downgrades
+        assert f"breaker_open:{method}" in result.downgrades[0]
+        assert stats["breaker_fast_fails"] >= 1
+
+
+class TestEverythingPlanSweep:
+    """The CLI's acceptance loop as a test: N jobs under the everything
+    plan; every outcome is correct, degraded-but-correct, or typed."""
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_no_wrong_answers_no_hangs(self, scheme, seed):
+        pairs = [dna_pair(60, divergence=0.2, seed=seed * 100 + i) for i in range(8)]
+        truth = [needleman_wunsch(a, b, scheme).score for a, b in pairs]
+        plan = named_plan("everything", seed=seed)
+        with faults.chaos(plan):
+            with AlignmentClient(
+                memory_cells=300_000, max_workers=2, max_batch=1,
+                retry_policy=RetryPolicy(max_retries=3, base_delay=0.001),
+                retry_seed=seed,
+            ) as client:
+                futures = [client.submit(a, b, scheme) for a, b in pairs]
+                for want, fut in zip(truth, futures):
+                    try:
+                        result = fut.result(timeout=30)
+                    except FutureTimeout:
+                        pytest.fail("chaos job hung")
+                    except ReproError:
+                        continue  # typed failure: acceptable outcome
+                    assert result.score == want
+
+    def test_no_leaked_worker_threads(self, scheme):
+        before = set(threading.enumerate())
+        plan = named_plan("everything", seed=11)
+        with faults.chaos(plan):
+            with AlignmentClient(
+                memory_cells=300_000, max_workers=2,
+                retry_policy=RetryPolicy(max_retries=2, base_delay=0.001),
+            ) as client:
+                for i in range(4):
+                    a, b = dna_pair(50, seed=500 + i)
+                    try:
+                        client.align(a, b, scheme)
+                    except ReproError:
+                        pass
+        time.sleep(0.05)
+        leaked = [
+            t for t in threading.enumerate()
+            if t not in before and t.is_alive()
+        ]
+        assert not leaked, f"leaked threads: {[t.name for t in leaked]}"
+
+
+# ----------------------------------------------------------------------
+# TCP transport chaos
+# ----------------------------------------------------------------------
+def _start_tcp_server(**service_kwargs):
+    """Run serve_tcp on a background thread; returns (host, port, thread)."""
+    bound = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            svc = AlignmentService(**service_kwargs)
+            ev = asyncio.Event()
+            task = asyncio.get_running_loop().create_task(serve_tcp(svc, ready=ev))
+            await ev.wait()
+            bound["addr"] = serve_tcp.bound
+            ready.set()
+            await task
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, name="chaos-tcp-server", daemon=True)
+    thread.start()
+    assert ready.wait(10), "server failed to start"
+    host, port = bound["addr"]
+    return host, port, thread
+
+
+def _stop_tcp_server(host, port, thread):
+    with TCPAlignmentClient(host, port, timeout=5.0) as client:
+        client.shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "server thread failed to drain"
+
+
+class TestServerChaos:
+    def test_write_fault_client_retries_to_success(self, scheme):
+        a, b = dna_pair(60, seed=14)
+        want = needleman_wunsch(a, b, scheme).score
+        host, port, thread = _start_tcp_server(
+            memory_cells=300_000, max_workers=1
+        )
+        try:
+            plan = FaultPlan([FaultSpec(SITE_SERVER_WRITE, max_fires=1)], seed=0)
+            with faults.chaos(plan):
+                with TCPAlignmentClient(
+                    host, port, timeout=5.0,
+                    policy=RetryPolicy(max_retries=3, base_delay=0.001),
+                ) as client:
+                    result = client.align(a.text, b.text)
+            assert result["score"] == want
+            assert client.retries >= 1
+            assert client.reconnects >= 2  # original + at least one replay
+        finally:
+            _stop_tcp_server(host, port, thread)
+
+    def test_read_fault_storm_raises_connection_lost(self, scheme):
+        host, port, thread = _start_tcp_server(
+            memory_cells=300_000, max_workers=1
+        )
+        try:
+            # Every read on every connection is severed: retries cannot help.
+            plan = FaultPlan(
+                [FaultSpec(SITE_SERVER_READ, p=1.0, max_fires=None)], seed=0
+            )
+            with faults.chaos(plan):
+                client = TCPAlignmentClient(
+                    host, port, timeout=5.0,
+                    policy=RetryPolicy(max_retries=1, base_delay=0.001),
+                )
+                with pytest.raises(ConnectionLostError) as excinfo:
+                    client.ping()
+                client.close()
+            assert excinfo.value.attempts == 2
+            # chaos scope exited: the same server heals without a restart
+            with TCPAlignmentClient(host, port, timeout=5.0) as client:
+                assert client.ping()
+        finally:
+            _stop_tcp_server(host, port, thread)
+
+    def test_dropped_connection_never_hangs_client(self, scheme):
+        """A write fault mid-response must surface as EOF promptly (the
+        dead-connection race in the read loop), not leave the client
+        blocked on a response that will never come."""
+        host, port, thread = _start_tcp_server(
+            memory_cells=300_000, max_workers=1
+        )
+        try:
+            plan = FaultPlan(
+                [FaultSpec(SITE_SERVER_WRITE, p=1.0, max_fires=None)], seed=0
+            )
+            with faults.chaos(plan):
+                client = TCPAlignmentClient(
+                    host, port, timeout=5.0,
+                    policy=RetryPolicy(max_retries=1, base_delay=0.001),
+                )
+                t0 = time.monotonic()
+                with pytest.raises(ConnectionLostError):
+                    client.ping()
+                assert time.monotonic() - t0 < 5.0
+                client.close()
+        finally:
+            _stop_tcp_server(host, port, thread)
