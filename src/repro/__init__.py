@@ -41,6 +41,7 @@ from .errors import (
     SequenceError,
     ServiceClosedError,
     ServiceError,
+    WorkerCrashError,
 )
 from .scoring import (
     AffineGap,
@@ -170,6 +171,7 @@ __all__ = [
     "PathError",
     "FastaError",
     "SchedulerError",
+    "WorkerCrashError",
     "ServiceError",
     "BackpressureError",
     "QueueFullError",

@@ -100,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="affine extension penalty (omit for linear gaps)")
     p_align.add_argument("--k", type=int, default=8, help="FastLSA k parameter")
     p_align.add_argument("--base-cells", type=int, default=256 * 1024)
+    p_align.add_argument("--backend", default=None,
+                         choices=["serial", "threads", "processes"],
+                         help="wavefront backend for the FillCache phase "
+                              "(default: serial)")
+    p_align.add_argument("--workers", type=int, default=None, metavar="P",
+                         help="wavefront workers for --backend threads/processes "
+                              "(default 2)")
     p_align.add_argument("--width", type=int, default=60)
     p_align.add_argument("--score-only", action="store_true",
                          help="print only the optimal score (single sweep)")
@@ -158,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
                          help="listen on TCP instead of stdin/stdout")
+    p_serve.add_argument("--backend", default=None,
+                         choices=["serial", "threads", "processes"],
+                         help="wavefront backend pinned onto jobs without one")
+    p_serve.add_argument("--backend-workers", type=int, default=2, metavar="P",
+                         help="wavefront workers per job for --backend (default 2)")
     p_serve.add_argument("--workers", type=int, default=4,
                          help="concurrent job groups / thread-pool size")
     p_serve.add_argument("--memory-cells", type=int, default=4_000_000,
@@ -240,7 +252,13 @@ def _cmd_align(args) -> int:
         return 0
 
     say = _info_printer(args)
-    config = AlignConfig(k=args.k, base_cells=args.base_cells)
+    workers = args.workers if args.workers is not None else (
+        2 if args.backend in ("threads", "processes") else None
+    )
+    config = AlignConfig(
+        k=args.k, base_cells=args.base_cells,
+        max_workers=workers, backend=args.backend,
+    )
     if args.mode == "local":
         loc = fastlsa_local(rec_a, rec_b, scheme, config=config)
         say(
@@ -409,6 +427,8 @@ def _cmd_serve(args) -> int:
         default_timeout=deadline,
         max_retries=args.max_retries,
         degrade=not args.no_degrade,
+        default_backend=args.backend,
+        backend_workers=args.backend_workers,
     )
     handler = ProtocolHandler(
         service,

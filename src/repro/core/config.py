@@ -88,6 +88,13 @@ class AlignConfig(FastLSAConfig):
     max_workers:
         Thread fan-out for batch scoring sweeps
         (:func:`repro.core.batch.batch_align`); ``None`` stays sequential.
+        Also the worker count for the wavefront backends below.
+    backend:
+        Execution backend for the FillCache wavefront: ``"serial"``
+        (in-process band sweeps, the default), ``"threads"``
+        (ThreadPoolExecutor tile wavefront) or ``"processes"``
+        (persistent worker pool + shared-memory tile arena — see
+        :mod:`repro.parallel.procpool`).  ``None`` means ``"serial"``.
 
     ``repro.align()``, :func:`~repro.core.fastlsa.fastlsa`,
     :func:`~repro.parallel.pfastlsa.parallel_fastlsa` and
@@ -98,6 +105,10 @@ class AlignConfig(FastLSAConfig):
     """
 
     max_workers: Optional[int] = None
+    backend: Optional[str] = None
+
+    #: Accepted ``backend`` values (``None`` resolves to ``"serial"``).
+    BACKENDS = ("serial", "threads", "processes")
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -107,9 +118,13 @@ class AlignConfig(FastLSAConfig):
             raise ConfigError(
                 f"max_workers must be None or an integer >= 1, got {self.max_workers!r}"
             )
+        if self.backend is not None and self.backend not in self.BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {list(self.BACKENDS)}, got {self.backend!r}"
+            )
 
     #: Keys :meth:`from_dict` accepts — also the wire-protocol schema.
-    FIELDS = ("k", "base_cells", "max_workers")
+    FIELDS = ("k", "base_cells", "max_workers", "backend")
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "AlignConfig":
@@ -130,14 +145,24 @@ class AlignConfig(FastLSAConfig):
         for key in cls.FIELDS:
             if key in data and data[key] is not None:
                 value = data[key]
-                if not isinstance(value, int) or isinstance(value, bool):
+                if key == "backend":
+                    if not isinstance(value, str):
+                        raise ConfigError(
+                            f"config.backend must be a string, got {value!r}"
+                        )
+                elif not isinstance(value, int) or isinstance(value, bool):
                     raise ConfigError(f"config.{key} must be an integer, got {value!r}")
                 kwargs[key] = value
         return cls(**kwargs)
 
     def to_dict(self) -> dict:
         """The :meth:`from_dict`-round-trippable representation."""
-        return {"k": self.k, "base_cells": self.base_cells, "max_workers": self.max_workers}
+        return {
+            "k": self.k,
+            "base_cells": self.base_cells,
+            "max_workers": self.max_workers,
+            "backend": self.backend,
+        }
 
 
 def resolve_config(

@@ -274,12 +274,24 @@ def fastlsa(
     b_codes = scheme.encode(b.text)
     m, n = len(a), len(b)
 
-    with obs.span(
-        "fastlsa.align", category="align", m=m, n=n, k=cfg.k, base_cells=cfg.base_cells
-    ) as sp:
-        result = fastlsa_path(m, n, a_codes, b_codes, scheme, cfg, inst, hooks)
-        if sp is not None:
-            sp.set(score=result.score, subproblems=result.subproblems)
+    backend_finish = None
+    if hooks is None and getattr(cfg, "backend", None) in ("threads", "processes"):
+        # Lazy import: core stays importable without the parallel package
+        # loaded; explicit hooks (the parallel drivers) always win.
+        from ..parallel.backends import backend_hooks
+
+        hooks, backend_finish = backend_hooks(cfg, scheme, a_codes, b_codes, m, n)
+
+    try:
+        with obs.span(
+            "fastlsa.align", category="align", m=m, n=n, k=cfg.k, base_cells=cfg.base_cells
+        ) as sp:
+            result = fastlsa_path(m, n, a_codes, b_codes, scheme, cfg, inst, hooks)
+            if sp is not None:
+                sp.set(score=result.score, subproblems=result.subproblems)
+    finally:
+        if backend_finish is not None:
+            backend_finish()
     builder = result.builder
     i, j = builder.head
     while i > 0:

@@ -38,18 +38,24 @@ def compute_block(
     top: RowCache,
     left: ColCache,
     counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
 ) -> Tuple[RowCache, ColCache]:
     """Linear-space sweep of one block: boundary caches in, edge caches out.
 
     ``a_codes`` / ``b_codes`` are the encoded sub-sequences covered by the
     block (lengths ``M`` and ``N``); ``top`` / ``left`` are its boundary
-    caches.  Returns the block's bottom :class:`RowCache` and right
+    caches.  ``profile`` optionally carries the block's slice of a
+    precomputed :func:`~repro.kernels.linear.score_profile` so tiled
+    callers gather the substitution rows once per region, not per tile.
+    Returns the block's bottom :class:`RowCache` and right
     :class:`ColCache`.
     """
     table = scheme.matrix.table
     if scheme.is_linear:
         last_row, last_col = sweep_last_row_col(
-            a_codes, b_codes, table, scheme.gap_open, top.h, left.h, counter
+            a_codes, b_codes, table, scheme.gap_open, top.h, left.h, counter,
+            profile=profile,
         )
         return RowCache(h=last_row), ColCache(h=last_col)
     lr_h, lr_f, lc_h, lc_e = sweep_last_row_col_affine(
@@ -63,6 +69,7 @@ def compute_block(
         left.h,
         left.e,
         counter,
+        profile=profile,
     )
     return RowCache(h=lr_h, f=lr_f), ColCache(h=lc_h, e=lc_e)
 

@@ -30,7 +30,7 @@ from typing import Callable, Optional
 
 from .plan import FaultPlan
 
-__all__ = ["current", "enable", "disable", "chaos", "inject", "corrupt"]
+__all__ = ["current", "enable", "disable", "chaos", "inject", "corrupt", "reset_scope"]
 
 _scoped: ContextVar[Optional[FaultPlan]] = ContextVar("repro_faults", default=None)
 _global: Optional[FaultPlan] = None
@@ -53,6 +53,18 @@ def disable() -> None:
     """Remove the process-global fault plan."""
     global _global
     _global = None
+
+
+def reset_scope() -> None:
+    """Drop any :func:`chaos` scope inherited into this context.
+
+    Forked worker processes copy the parent's context variables; a worker
+    started inside a ``chaos()`` block would keep perturbing from the
+    parent's (copy-on-write) plan even after a session binds a different
+    one.  Workers call this once at startup so only the plan shipped in
+    their :class:`~repro.parallel.procpool.SessionSpec` applies.
+    """
+    _scoped.set(None)
 
 
 @contextmanager

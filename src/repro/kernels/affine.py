@@ -35,6 +35,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .linear import _auto_profile
 from .ops import OpCounter
 
 __all__ = [
@@ -94,6 +95,8 @@ def sweep_last_row_col_affine(
     first_col_h: np.ndarray,
     first_col_e: np.ndarray,
     counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Affine analogue of :func:`repro.kernels.linear.sweep_last_row_col`.
 
@@ -135,28 +138,40 @@ def sweep_last_row_col_affine(
     last_col_h[0] = first_row_h[N]
     last_col_e[0] = NEG_INF  # corner E never read
 
+    profile = _auto_profile(profile, table, b_codes, M)
     prev_h = first_row_h.copy()
     prev_f = first_row_f.copy()
     cur_h = np.empty(N + 1, dtype=np.int64)
     cur_f = np.empty(N + 1, dtype=np.int64)
     t = np.empty(N, dtype=np.int64)
+    v = np.empty(N, dtype=np.int64)
+    e = np.empty(N, dtype=np.int64)
+    w = np.empty(N + 1, dtype=np.int64)
     ej = np.arange(N + 1, dtype=np.int64) * extend  # extend·j slopes
+    ej1 = ej[1:]
+    # Pre-shifted slopes fold the (open−extend) bias into the subtraction.
+    ejs = ej[1:N] - (open_ - extend)
 
     for i in range(1, M + 1):
-        s = table[a_codes[i - 1]][b_codes]
+        a = a_codes[i - 1]
+        s = profile[a] if profile is not None else table[a][b_codes]
+        # Fused E/F/H row pass: every step writes a preallocated buffer.
         # Vertical-gap layer: fully parallel across the row.
-        np.maximum(prev_h + open_, prev_f + extend, out=cur_f)
+        np.add(prev_h, open_, out=w)
+        np.add(prev_f, extend, out=cur_f)
+        np.maximum(w, cur_f, out=cur_f)
         cur_f[0] = NEG_INF  # no DOWN move can land on the boundary column
         # Best arrival without a horizontal gap ending here (j = 1..N).
-        v = np.maximum(prev_h[:-1] + s, cur_f[1:])
+        np.add(prev_h[:-1], s, out=v)
+        np.maximum(v, cur_f[1:], out=v)
         # Horizontal-gap layer via prefix scan (see module doc).
         h0 = first_col_h[i]
         e0 = first_col_e[i]
         t[0] = max(h0 + open_ - extend, e0)
         if N > 1:
-            np.subtract(v[:-1] + (open_ - extend), ej[1:N], out=t[1:])
+            np.subtract(v[:-1], ejs, out=t[1:])
         np.maximum.accumulate(t, out=t)
-        e = t + ej[1:]  # E[i, j] for j = 1..N
+        np.add(t, ej1, out=e)  # E[i, j] for j = 1..N
         # Main layer.
         np.maximum(v, e, out=cur_h[1:])
         cur_h[0] = h0
@@ -180,6 +195,8 @@ def sweep_band_affine(
     first_col_e: np.ndarray,
     sample_cols: np.ndarray,
     counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Affine full-width band sweep with ``(H, E)`` column sampling.
 
@@ -223,24 +240,34 @@ def sweep_band_affine(
             samples_e,
         )
 
+    profile = _auto_profile(profile, table, b_codes, M)
     prev_h = first_row_h.copy()
     prev_f = first_row_f.copy()
     cur_h = np.empty(N + 1, dtype=np.int64)
     cur_f = np.empty(N + 1, dtype=np.int64)
     t = np.empty(N, dtype=np.int64)
+    v = np.empty(N, dtype=np.int64)
+    e = np.empty(N, dtype=np.int64)
+    w = np.empty(N + 1, dtype=np.int64)
     ej = np.arange(N + 1, dtype=np.int64) * extend
+    ej1 = ej[1:]
+    ejs = ej[1:N] - (open_ - extend)
     for i in range(1, M + 1):
-        s = table[a_codes[i - 1]][b_codes]
-        np.maximum(prev_h + open_, prev_f + extend, out=cur_f)
+        a = a_codes[i - 1]
+        s = profile[a] if profile is not None else table[a][b_codes]
+        np.add(prev_h, open_, out=w)
+        np.add(prev_f, extend, out=cur_f)
+        np.maximum(w, cur_f, out=cur_f)
         cur_f[0] = NEG_INF
-        v = np.maximum(prev_h[:-1] + s, cur_f[1:])
+        np.add(prev_h[:-1], s, out=v)
+        np.maximum(v, cur_f[1:], out=v)
         h0 = first_col_h[i]
         e0 = first_col_e[i]
         t[0] = max(h0 + open_ - extend, e0)
         if N > 1:
-            np.subtract(v[:-1] + (open_ - extend), ej[1:N], out=t[1:])
+            np.subtract(v[:-1], ejs, out=t[1:])
         np.maximum.accumulate(t, out=t)
-        e = t + ej[1:]
+        np.add(t, ej1, out=e)
         np.maximum(v, e, out=cur_h[1:])
         cur_h[0] = h0
         if n_s:
@@ -262,6 +289,8 @@ def sweep_matrix_affine(
     first_col_h: np.ndarray,
     first_col_e: np.ndarray,
     counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Full-matrix affine sweep: returns dense ``(H, E, F)`` matrices.
 
@@ -291,21 +320,30 @@ def sweep_matrix_affine(
     if M == 0 or N == 0:
         return H, E, F
 
+    profile = _auto_profile(profile, table, b_codes, M)
     t = np.empty(N, dtype=np.int64)
+    v = np.empty(N, dtype=np.int64)
+    w = np.empty(N + 1, dtype=np.int64)
     ej = np.arange(N + 1, dtype=np.int64) * extend
+    ej1 = ej[1:]
+    ejs = ej[1:N] - (open_ - extend)
     for i in range(1, M + 1):
-        s = table[a_codes[i - 1]][b_codes]
+        a = a_codes[i - 1]
+        s = profile[a] if profile is not None else table[a][b_codes]
         prev_h = H[i - 1]
-        np.maximum(prev_h + open_, F[i - 1] + extend, out=F[i])
+        np.add(prev_h, open_, out=w)
+        np.add(F[i - 1], extend, out=F[i])
+        np.maximum(w, F[i], out=F[i])
         F[i, 0] = NEG_INF
-        v = np.maximum(prev_h[:-1] + s, F[i, 1:])
+        np.add(prev_h[:-1], s, out=v)
+        np.maximum(v, F[i, 1:], out=v)
         h0 = first_col_h[i]
         e0 = first_col_e[i]
         t[0] = max(h0 + open_ - extend, e0)
         if N > 1:
-            np.subtract(v[:-1] + (open_ - extend), ej[1:N], out=t[1:])
+            np.subtract(v[:-1], ejs, out=t[1:])
         np.maximum.accumulate(t, out=t)
-        E[i, 1:] = t + ej[1:]
+        np.add(t, ej1, out=E[i, 1:])
         np.maximum(v, E[i, 1:], out=H[i, 1:])
         H[i, 0] = h0
     return H, E, F

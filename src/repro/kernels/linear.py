@@ -32,7 +32,37 @@ import numpy as np
 
 from .ops import OpCounter
 
-__all__ = ["sweep_last_row_col", "sweep_matrix", "sweep_band", "boundary_vectors"]
+__all__ = [
+    "sweep_last_row_col",
+    "sweep_matrix",
+    "sweep_band",
+    "boundary_vectors",
+    "score_profile",
+]
+
+
+def score_profile(table: np.ndarray, b_codes: np.ndarray) -> np.ndarray:
+    """Per-symbol similarity rows for a column segment, gathered once.
+
+    ``profile[a, j] = table[a, b_codes[j]]`` with shape ``(A, N)``: row
+    ``a`` is the similarity profile a sweep needs for any row whose symbol
+    encodes to ``a``.  Materialising it hoists the per-row fancy-index
+    gather (``table[a_i][b_codes]`` — one full indexed pass per row) out
+    of the sweep's inner loop: after this, fetching a row's profile is a
+    contiguous O(1) view.  Shared by the sequential kernels and both
+    wavefront backends, which slice one full-width profile per region
+    instead of re-gathering per tile.
+    """
+    return np.ascontiguousarray(table[:, b_codes])
+
+
+def _auto_profile(profile, table, b_codes, rows):
+    """Build the score profile unless the sweep is too short to pay it off."""
+    if profile is not None:
+        return profile
+    if rows >= table.shape[0] // 2:
+        return score_profile(table, b_codes)
+    return None
 
 
 def boundary_vectors(m: int, n: int, gap: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -54,6 +84,8 @@ def sweep_last_row_col(
     first_row: np.ndarray,
     first_col: np.ndarray,
     counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Hirschberg-style sweep: compute only the last row and last column.
 
@@ -74,6 +106,10 @@ def sweep_last_row_col(
         ``first_col[0] == first_row[0]``.
     counter:
         Optional cell counter; incremented by ``M·N``.
+    profile:
+        Optional precomputed :func:`score_profile` of ``(table, b_codes)``
+        (possibly a column slice of a wider one); built on the fly when
+        omitted and the sweep is tall enough to amortise it.
 
     Returns
     -------
@@ -105,19 +141,28 @@ def sweep_last_row_col(
     last_col = np.empty(M + 1, dtype=np.int64)
     last_col[0] = first_row[N]
 
+    profile = _auto_profile(profile, table, b_codes, M)
     prev = first_row.copy()
     cur = np.empty(N + 1, dtype=np.int64)
     t = np.empty(N + 1, dtype=np.int64)
+    v = np.empty(N, dtype=np.int64)
+    w = np.empty(N, dtype=np.int64)
     # g·j offsets, reused every row.
     gj = np.arange(N + 1, dtype=np.int64) * gap
+    gj1 = gj[1:]
 
     for i in range(1, M + 1):
-        s = table[a_codes[i - 1]][b_codes]  # similarity profile of row i
-        # V[j] = best arrival at (i, j) via DIAG or DOWN, for j = 1..N.
-        v = np.maximum(prev[:-1] + s, prev[1:] + gap)
+        # Similarity profile of row i: a contiguous view when hoisted.
+        a = a_codes[i - 1]
+        s = profile[a] if profile is not None else table[a][b_codes]
+        # V[j] = best arrival at (i, j) via DIAG or DOWN, for j = 1..N —
+        # fused into preallocated buffers (no per-row temporaries).
+        np.add(prev[:-1], s, out=v)
+        np.add(prev[1:], gap, out=w)
+        np.maximum(v, w, out=v)
         # Collapse the horizontal chain with a prefix max (see module doc).
         t[0] = first_col[i]
-        np.subtract(v, gj[1:], out=t[1:])
+        np.subtract(v, gj1, out=t[1:])
         np.maximum.accumulate(t, out=t)
         np.add(t, gj, out=cur)
         cur[0] = first_col[i]
@@ -136,6 +181,8 @@ def sweep_band(
     first_col: np.ndarray,
     sample_cols: np.ndarray,
     counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Full-width band sweep with column sampling.
 
@@ -175,15 +222,22 @@ def sweep_band(
             samples[:, :] = first_col[np.newaxis, :]
         return first_col[-1:].copy(), samples
 
+    profile = _auto_profile(profile, table, b_codes, M)
     prev = first_row.copy()
     cur = np.empty(N + 1, dtype=np.int64)
     t = np.empty(N + 1, dtype=np.int64)
+    v = np.empty(N, dtype=np.int64)
+    w = np.empty(N, dtype=np.int64)
     gj = np.arange(N + 1, dtype=np.int64) * gap
+    gj1 = gj[1:]
     for i in range(1, M + 1):
-        s = table[a_codes[i - 1]][b_codes]
-        v = np.maximum(prev[:-1] + s, prev[1:] + gap)
+        a = a_codes[i - 1]
+        s = profile[a] if profile is not None else table[a][b_codes]
+        np.add(prev[:-1], s, out=v)
+        np.add(prev[1:], gap, out=w)
+        np.maximum(v, w, out=v)
         t[0] = first_col[i]
-        np.subtract(v, gj[1:], out=t[1:])
+        np.subtract(v, gj1, out=t[1:])
         np.maximum.accumulate(t, out=t)
         np.add(t, gj, out=cur)
         cur[0] = first_col[i]
@@ -201,6 +255,8 @@ def sweep_matrix(
     first_row: np.ndarray,
     first_col: np.ndarray,
     counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Full-matrix sweep: compute and return all ``(M+1) × (N+1)`` H values.
 
@@ -226,14 +282,21 @@ def sweep_matrix(
     if N == 0 or M == 0:
         return H
 
+    profile = _auto_profile(profile, table, b_codes, M)
     t = np.empty(N + 1, dtype=np.int64)
+    v = np.empty(N, dtype=np.int64)
+    w = np.empty(N, dtype=np.int64)
     gj = np.arange(N + 1, dtype=np.int64) * gap
+    gj1 = gj[1:]
     for i in range(1, M + 1):
-        s = table[a_codes[i - 1]][b_codes]
+        a = a_codes[i - 1]
+        s = profile[a] if profile is not None else table[a][b_codes]
         prev = H[i - 1]
-        v = np.maximum(prev[:-1] + s, prev[1:] + gap)
+        np.add(prev[:-1], s, out=v)
+        np.add(prev[1:], gap, out=w)
+        np.maximum(v, w, out=v)
         t[0] = first_col[i]
-        np.subtract(v, gj[1:], out=t[1:])
+        np.subtract(v, gj1, out=t[1:])
         np.maximum.accumulate(t, out=t)
         row = H[i]
         np.add(t, gj, out=row)

@@ -41,6 +41,7 @@ __all__ = [
     "enable",
     "disable",
     "instrumented",
+    "reset_scope",
     "span",
     "counter_add",
     "gauge_set",
@@ -116,6 +117,18 @@ def disable() -> None:
     """Remove the process-global instrumentation."""
     global _global
     _global = None
+
+
+def reset_scope() -> None:
+    """Drop any :func:`instrumented` scope inherited into this context.
+
+    Forked worker processes copy the parent's context variables, so a
+    worker started inside an ``instrumented()`` block would silently
+    record into the parent's (now private, copy-on-write) tracer instead
+    of whatever :func:`enable` installs.  Workers call this once at
+    startup so only their own explicit ``enable`` is observed.
+    """
+    _scoped.set(None)
 
 
 @contextmanager

@@ -21,6 +21,7 @@ from ..errors import SchedulerError
 from ..faults import runtime as faults
 from ..faults.plan import SITE_TILE_FINISH, SITE_TILE_START
 from ..obs import runtime as obs
+from . import lifecycle
 from .tiles import Tile, TileGrid, TileId
 
 __all__ = ["run_wavefront"]
@@ -47,10 +48,16 @@ def run_wavefront(
     propagates like any worker failure.  The :mod:`repro.faults` tile
     start/finish sites are honoured the same way.
 
-    An injected ``pool`` is never shut down, even on failure: after an
-    abort no further tiles are submitted, every already-submitted tile is
-    drained before this function returns, and the pool is left clean for
-    reuse (the service layer shares one pool across many runs).
+    With no injected ``pool`` the shared lifecycle thread pool
+    (:func:`repro.parallel.lifecycle.get_thread_pool`) is borrowed — one
+    pool serves every wavefront run in the process, so service jobs stop
+    paying thread spawn/teardown per region.  In-flight tiles are gated
+    to ``n_threads`` regardless of the pool's actual width, preserving
+    ``P``-limited execution semantics on the shared (possibly wider)
+    pool.  Neither an injected nor the shared pool is ever shut down
+    here, even on failure: after an abort no further tiles are
+    submitted, every already-submitted tile is drained before this
+    function returns, and the pool is left clean for reuse.
     """
     if n_threads < 1:
         raise SchedulerError(f"n_threads must be >= 1, got {n_threads}")
@@ -70,24 +77,28 @@ def run_wavefront(
         (t.r, t.c): len(grid.dependencies((t.r, t.c))) for t in tiles
     }
     futures: List = []
+    ready: List[TileId] = []
+    inflight = [0]  # gated to n_threads even on a wider shared pool
 
-    own_pool = pool is None
-    executor = pool or ThreadPoolExecutor(max_workers=n_threads)
+    executor = pool if pool is not None else lifecycle.get_thread_pool(n_threads)
 
     ready_at: Dict[TileId, float] = {}
 
-    def submit(tid: TileId) -> None:
-        with lock:
-            if state["error"] is not None:
-                return
+    def pump_locked() -> None:
+        """Submit ready tiles while capacity remains (lock held)."""
+        while ready and inflight[0] < n_threads and state["error"] is None:
+            tid = ready.pop()
             if inst is not None:
                 ready_at[tid] = time.perf_counter()
+            inflight[0] += 1
             futures.append(executor.submit(run_tile, tid))
 
     def run_tile(tid: TileId) -> None:
         with lock:
             aborted = state["error"] is not None
         if aborted:
+            with lock:
+                inflight[0] -= 1
             return
         if inst is not None:
             # Dispatch latency: tile became ready → a worker picked it up.
@@ -101,20 +112,20 @@ def run_wavefront(
             faults.inject(SITE_TILE_FINISH)
         except BaseException as exc:  # propagate the first failure
             with lock:
+                inflight[0] -= 1
                 if state["error"] is None:
                     state["error"] = exc
             done.set()
             return
-        newly_ready: List[TileId] = []
         with lock:
+            inflight[0] -= 1
             state["pending"] = int(state["pending"]) - 1
             finished_all = state["pending"] == 0
             for dep in grid.dependents(tid):
                 indeg[dep] -= 1
                 if indeg[dep] == 0:
-                    newly_ready.append(dep)
-        for dep in newly_ready:
-            submit(dep)
+                    ready.append(dep)
+            pump_locked()
         if finished_all:
             done.set()
 
@@ -128,8 +139,9 @@ def run_wavefront(
         initial = [tid for tid, d in indeg.items() if d == 0]
         if not initial:
             raise SchedulerError("tile DAG has no roots: cyclic dependencies")
-        for tid in initial:
-            submit(tid)
+        with lock:
+            ready.extend(initial)
+            pump_locked()
         done.wait()
         # Drain in-flight tiles so a shared pool holds no stray work from
         # this run; submit() refuses new tiles once an error is recorded,
@@ -148,5 +160,3 @@ def run_wavefront(
     finally:
         if run_span is not None:
             inst.tracer.end_span(run_span)
-        if own_pool:
-            executor.shutdown(wait=True)

@@ -28,7 +28,13 @@ import numpy as np
 
 from ..align.alignment import Alignment
 from ..align.sequence import as_sequence
-from ..core.config import DEFAULT_BASE_CELLS, DEFAULT_K, FastLSAConfig, resolve_config
+from ..core.config import (
+    DEFAULT_BASE_CELLS,
+    DEFAULT_K,
+    AlignConfig,
+    FastLSAConfig,
+    resolve_config,
+)
 from ..core.fastlsa import FastLSAHooks, fastlsa
 from ..core.fillcache import compute_block, fill_grid
 from ..core.grid import Grid, split_bounds
@@ -36,7 +42,7 @@ from ..core.problem import ColCache, RowCache
 from ..errors import ConfigError
 from ..kernels.affine import NEG_INF, sweep_matrix_affine
 from ..kernels.fullmatrix import FullMatrices, compute_full
-from ..kernels.linear import sweep_matrix
+from ..kernels.linear import score_profile, sweep_matrix
 from ..kernels.ops import KernelInstruments
 from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
@@ -139,6 +145,13 @@ def _parallel_fill_grid(
     tg = build_fill_tiles(grid, u, v, skip_bottom_right)
     if len(tg) == 0:
         return
+    # One score-profile gather per region; tiles take contiguous slices
+    # instead of re-gathering per tile (shared fast path with the
+    # sequential kernels and the process backend).
+    c0 = tg.col_bounds[0]
+    region_profile = score_profile(
+        scheme.matrix.table, b_codes[c0 : tg.col_bounds[-1]]
+    )
     # Interior grid-line lookup by global coordinate.
     row_index = {grid.row_bounds[p]: p for p in range(1, len(grid.row_bounds) - 1)}
     col_index = {grid.col_bounds[q]: q for q in range(1, len(grid.col_bounds) - 1)}
@@ -162,7 +175,8 @@ def _parallel_fill_grid(
         else:
             left = right_edges[(tile.r, tile.c - 1)]
         bottom, right = compute_block(
-            a_codes[tile.a0 : tile.a1], b_codes[tile.b0 : tile.b1], scheme, top, left
+            a_codes[tile.a0 : tile.a1], b_codes[tile.b0 : tile.b1], scheme, top, left,
+            profile=region_profile[:, tile.b0 - c0 : tile.b1 - c0],
         )
         bottom_edges[(tile.r, tile.c)] = bottom
         right_edges[(tile.r, tile.c)] = right
@@ -215,13 +229,16 @@ def _parallel_base_matrix(
         return FullMatrices(H=H, E=E, F=F)
 
     tg = build_base_tiles(M, N, k, u, v)
+    region_profile = score_profile(table, b_codes)
 
     def worker(tile: Tile) -> None:
         a0, a1, b0, b1 = tile.a0, tile.a1, tile.b0, tile.b1
+        prof = region_profile[:, b0:b1]
         if scheme.is_linear:
             sub = sweep_matrix(
                 a_codes[a0:a1], b_codes[b0:b1], table, scheme.gap_open,
                 H[a0, b0 : b1 + 1], H[a0 : a1 + 1, b0],
+                profile=prof,
             )
             H[a0 + 1 : a1 + 1, b0 + 1 : b1 + 1] = sub[1:, 1:]
             H[a0 + 1 : a1 + 1, b0] = sub[1:, 0]
@@ -232,6 +249,7 @@ def _parallel_base_matrix(
                 scheme.gap_open, scheme.gap_extend,
                 H[a0, b0 : b1 + 1], F[a0, b0 : b1 + 1],
                 H[a0 : a1 + 1, b0], E[a0 : a1 + 1, b0],
+                profile=prof,
             )
             H[a0 + 1 : a1 + 1, b0 + 1 : b1 + 1] = sh[1:, 1:]
             E[a0 + 1 : a1 + 1, b0 + 1 : b1 + 1] = se[1:, 1:]
@@ -257,16 +275,30 @@ def parallel_fastlsa(
     v: Optional[int] = None,
     config: Optional[FastLSAConfig] = None,
     instruments: Optional[KernelInstruments] = None,
+    backend: str = "threads",
 ) -> Alignment:
-    """Threaded Parallel FastLSA; identical output to :func:`fastlsa`.
+    """Wavefront-parallel FastLSA; identical output to :func:`fastlsa`.
 
-    ``P`` is the worker-thread count; ``u``/``v`` the tiles per grid block
-    (defaults from :func:`repro.parallel.tiles.default_uv`).  Parameterize
-    via ``config=``; the ``k=`` / ``base_cells=`` keywords are deprecated.
+    ``P`` is the worker count; ``u``/``v`` the tiles per grid block
+    (defaults from :func:`repro.parallel.tiles.default_uv`).  ``backend``
+    selects ``"threads"`` (in-process pool, this module) or
+    ``"processes"`` (shared-memory worker pool — see
+    :mod:`repro.parallel.procpool`; ``u``/``v`` overrides do not apply).
+    Parameterize via ``config=``; the ``k=`` / ``base_cells=`` keywords
+    are deprecated.
     """
     if P < 1:
         raise ConfigError(f"P must be >= 1, got {P}")
     cfg = resolve_config(config, k, base_cells, where="parallel_fastlsa")
+    if backend != "threads":
+        routed = AlignConfig(
+            k=cfg.k, base_cells=cfg.base_cells, max_workers=P, backend=backend
+        )
+        alignment = fastlsa(
+            seq_a, seq_b, scheme, config=routed, instruments=instruments
+        )
+        alignment.algorithm = f"parallel-fastlsa(P={P}, backend={backend})"
+        return alignment
     if u is None or v is None:
         du, dv = default_uv(P, cfg.k)
         u = u or du

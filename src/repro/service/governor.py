@@ -30,7 +30,14 @@ import time
 from typing import Dict, Optional
 
 from ..core.config import FastLSAConfig
-from ..core.planner import Plan, fastlsa_peak_cells, ops_ratio_bound, plan_alignment
+from ..core.planner import (
+    Plan,
+    arena_cells,
+    fastlsa_peak_cells,
+    ops_ratio_bound,
+    plan_alignment,
+    resolve_backend,
+)
 from ..errors import ConfigError, JobTimeoutError, MemoryBudgetError
 from ..faults import runtime as faults
 from ..faults.plan import SITE_GOVERNOR_ADMIT
@@ -89,11 +96,17 @@ class MemoryGovernor:
         faults.inject(SITE_GOVERNOR_ADMIT)
         if config is not None:
             peak = fastlsa_peak_cells(m, n, config.k, config.base_cells, affine)
+            backend, workers = resolve_backend(config)
+            if backend == "processes":
+                # The shared-memory tile arena is real resident memory on
+                # top of the recursion's grid caches; bill it to the job.
+                peak += arena_cells(m, n, config.k, workers, affine=affine)
             if peak > self.per_job_cells:
                 self.rejections += 1
                 obs.counter_add("service.budget_rejections")
                 raise MemoryBudgetError(
-                    f"pinned config (k={config.k}, base_cells={config.base_cells}) "
+                    f"pinned config (k={config.k}, base_cells={config.base_cells}, "
+                    f"backend={backend}) "
                     f"predicts {peak} peak cells for a {m} x {n} job — over the "
                     f"per-job allocation of {self.per_job_cells} cells "
                     f"({self.total_cells} total / {self.max_workers} workers)"

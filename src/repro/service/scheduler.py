@@ -30,8 +30,8 @@ from typing import Deque, Dict, List, Optional, Sequence as Seq, Set
 
 from ..core import cancel
 from ..core.batch import _full_alignment, _quick_score, batch_align
-from ..core.config import FastLSAConfig
-from ..core.planner import degrade_plan
+from ..core.config import AlignConfig, FastLSAConfig
+from ..core.planner import BACKENDS, degrade_plan, plan_alignment
 from ..faults import runtime as faults
 from ..faults.plan import SITE_CACHE_PUT
 from ..obs import runtime as obs
@@ -110,6 +110,14 @@ class AlignmentService:
         ``"fastlsa"``): ``breaker_threshold`` consecutive failures open a
         breaker; after ``breaker_reset_after`` seconds one trial request
         is let through.
+    default_backend / backend_workers:
+        Wavefront backend (``"serial"`` / ``"threads"`` / ``"processes"``)
+        pinned onto jobs that do not carry one, with ``backend_workers``
+        wavefront workers each.  Pools are shared process-wide via
+        :mod:`repro.parallel.lifecycle`, so consecutive jobs reuse warm
+        workers; worker crashes surface as transient
+        :class:`~repro.errors.WorkerCrashError` and are retried on a
+        fresh pool by the normal retry policy.
 
     Use as an async context manager::
 
@@ -133,9 +141,17 @@ class AlignmentService:
         breaker_threshold: int = 5,
         breaker_reset_after: float = 30.0,
         retry_seed: int = 0,
+        default_backend: Optional[str] = None,
+        backend_workers: int = 2,
     ) -> None:
         if max_queue_depth < 1:
             raise ConfigError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if default_backend is not None and default_backend not in BACKENDS:
+            raise ConfigError(
+                f"default_backend must be one of {BACKENDS}, got {default_backend!r}"
+            )
+        if backend_workers < 1:
+            raise ConfigError(f"backend_workers must be >= 1, got {backend_workers}")
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
         if batch_window < 0:
@@ -151,6 +167,8 @@ class AlignmentService:
             "fastlsa": CircuitBreaker(breaker_threshold, breaker_reset_after),
         }
         self.max_workers = max_workers
+        self.default_backend = default_backend
+        self.backend_workers = backend_workers
         self.max_queue_depth = max_queue_depth
         self.max_batch = max_batch
         self.batch_window = batch_window
@@ -240,6 +258,9 @@ class AlignmentService:
         request = AlignRequest(a=a, b=b, scheme=scheme, mode=mode, score_only=score_only)
         self.stats_.submitted += 1
         obs.counter_add("service.submitted")
+        config = self._apply_default_backend(
+            config, len(request.a), len(request.b), affine=not scheme.is_linear
+        )
         # Stage 1 admission: plan inside the per-job allocation.  Transient
         # governor faults are retried with backoff; an over-budget problem
         # stays a typed MemoryBudgetError (backpressure, never a silent
@@ -326,6 +347,41 @@ class AlignmentService:
             inst.metrics.gauge("service.queue_depth").set(len(self._pending))
         self._work.set()
         return job
+
+    def _apply_default_backend(
+        self,
+        config: Optional[FastLSAConfig],
+        m: int,
+        n: int,
+        affine: bool,
+    ) -> Optional[FastLSAConfig]:
+        """Pin the service's ``default_backend`` onto a job's config.
+
+        Explicit per-job backends always win.  When no config was given,
+        the planner first picks ``k`` / ``base_cells`` for the per-job
+        allocation, then the backend is pinned on top — so the governor's
+        admission sees (and bills) the backend, including the processes
+        backend's shared arena.
+        """
+        if self.default_backend in (None, "serial"):
+            return config
+        if config is not None and getattr(config, "backend", None) is not None:
+            return config
+        if config is None:
+            try:
+                base = plan_alignment(
+                    m, n, self.governor.per_job_cells, affine=affine
+                ).config
+            except ConfigError:
+                return None  # let admit() raise the typed budget error
+        else:
+            base = config
+        return AlignConfig(
+            base.k,
+            base.base_cells,
+            max_workers=getattr(base, "max_workers", None) or self.backend_workers,
+            backend=self.default_backend,
+        )
 
     def _end_job_span(self, job: Job, **attrs) -> None:
         """Close a job's detached trace spans, if instrumentation is on."""
@@ -760,6 +816,7 @@ class AlignmentService:
             "max_workers": self.max_workers,
             "max_queue_depth": self.max_queue_depth,
             "max_batch": self.max_batch,
+            "default_backend": self.default_backend or "serial",
         }
         snap.update(self.stats_.counters())
         snap.update(self.cache.stats())
