@@ -112,6 +112,12 @@ from .msa import (
     build_profile,
     center_star_msa,
 )
+from .search import (
+    CorpusIndex,
+    SearchHit,
+    SearchResult,
+    search,
+)
 from .service import AlignmentClient, AlignmentService, JobResult
 from .version import __version__
 
@@ -236,6 +242,11 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "instrumented",
+    # search
+    "CorpusIndex",
+    "SearchHit",
+    "SearchResult",
+    "search",
     # service
     "AlignmentService",
     "AlignmentClient",

@@ -19,9 +19,14 @@ points:
   (job queue, micro-batching, result cache, global memory governor,
   deadlines/retry/degradation — see ``docs/SERVICE.md`` and
   ``docs/ROBUSTNESS.md``);
+* ``fastlsa index CORPUS.fasta -o corpus.flsa`` — ingest a FASTA corpus
+  into a persisted, fingerprinted search index (see ``docs/SEARCH.md``);
+* ``fastlsa search corpus.flsa QUERY.fasta --top-k 5`` — exact top-K
+  local-alignment search with composition-bound pruning;
 * ``fastlsa chaos [PLAN]`` — run a seeded fault-injection scenario
-  against the full service stack and verify every completed job still
-  returns the optimal score (exit 1 on any mismatch or hang).
+  against the full service stack (or, with ``--scenario search``, the
+  corpus-search stack) and verify every completed job still returns the
+  optimal answer (exit 1 on any mismatch or hang).
 
 The global ``--profile`` flag runs any command under instrumentation and
 prints a per-phase breakdown table to stderr afterwards (see
@@ -204,6 +209,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--gap-open", type=int, default=-6)
     p_serve.add_argument("--gap-extend", type=int, default=None)
 
+    p_index = sub.add_parser(
+        "index", help="ingest a FASTA corpus into a persisted search index"
+    )
+    p_index.add_argument("fasta", help="corpus FASTA file")
+    p_index.add_argument("-o", "--out", required=True,
+                         help="index output path (conventionally .flsa)")
+    p_index.add_argument("--matrix", default="dna",
+                         choices=["dna", "blosum62"],
+                         help="take the alphabet from this matrix "
+                              "(searches must use a matching matrix)")
+    p_index.add_argument("--alphabet", default=None,
+                         help="explicit alphabet (overrides --matrix)")
+
+    p_search = sub.add_parser(
+        "search", help="exact top-K local-alignment search of an index"
+    )
+    p_search.add_argument("index", help="index file built by 'fastlsa index'")
+    p_search.add_argument("query", help="query FASTA file (first record)")
+    p_search.add_argument("--top-k", type=int, default=5)
+    p_search.add_argument("--min-score", type=int, default=1)
+    p_search.add_argument("--matrix", default="dna", choices=["dna", "blosum62"])
+    p_search.add_argument("--matrix-file", default=None,
+                          help="NCBI-format matrix file (overrides --matrix)")
+    p_search.add_argument("--gap-open", type=int, default=-6)
+    p_search.add_argument("--gap-extend", type=int, default=None)
+    p_search.add_argument("--backend", default=None,
+                          choices=["serial", "threads", "processes"],
+                          help="candidate-scoring backend (default: serial)")
+    p_search.add_argument("--workers", type=int, default=None, metavar="P")
+    p_search.add_argument("--deadline", type=float, default=None,
+                          help="whole-search deadline in seconds")
+    p_search.add_argument("--alignments", action="store_true",
+                          help="print the top hits' alignments too")
+    p_search.add_argument("--width", type=int, default=60)
+
     from .faults import NAMED_PLANS
 
     p_chaos = sub.add_parser(
@@ -229,6 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--max-retries", type=int, default=3)
     p_chaos.add_argument("--list", dest="list_plans", action="store_true",
                          help="list the named fault plans and exit")
+    p_chaos.add_argument("--scenario", default="service",
+                         choices=["service", "search"],
+                         help="workload to chaos-test: the alignment "
+                              "service (default) or the corpus-search "
+                              "stack (index load + candidate scoring)")
+    p_chaos.add_argument("--corpus", type=int, default=40,
+                         help="[search scenario] corpus size in sequences")
+    p_chaos.add_argument("--top-k", type=int, default=4,
+                         help="[search scenario] hits per query")
     return parser
 
 
@@ -467,6 +516,164 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_index(args) -> int:
+    from .search import CorpusIndex
+
+    if args.alphabet is not None:
+        alphabet = args.alphabet
+    else:
+        alphabet = {"dna": dna_simple, "blosum62": blosum62}[args.matrix]().alphabet
+    index = CorpusIndex.from_fasta(args.fasta, alphabet)
+    fingerprint = index.save(args.out)
+    say = _info_printer(args)
+    s = index.stats()
+    say(f"# indexed {s['sequences']} sequences / {s['residues']} residues "
+        f"over {s['alphabet']!r} -> {args.out}")
+    say(f"# lengths {s['min_length']}..{s['max_length']}  "
+        f"fingerprint {fingerprint[:16]}…")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from .align import format_alignment
+    from .search import CorpusIndex, search
+
+    scheme = _scheme_from_args(args)
+    index = CorpusIndex.load(args.index)
+    query = read_fasta(args.query)[0]
+    workers = args.workers if args.workers is not None else (
+        2 if args.backend in ("threads", "processes") else None
+    )
+    config = AlignConfig(max_workers=workers, backend=args.backend)
+    result = search(
+        query, index, scheme, top_k=args.top_k, config=config,
+        min_score=args.min_score, deadline=args.deadline,
+    )
+    say = _info_printer(args)
+    st = result.stats
+    say(f"# query {query.name!r} ({len(query.text)} aa/nt) vs "
+        f"{st.candidates} candidates: {st.pruned} pruned "
+        f"({st.prune_rate:.0%}), {st.scored} scored, {st.aligned} aligned "
+        f"in {st.wall_time:.3f}s")
+    rows = [
+        {
+            "rank": rank,
+            "name": hit.name,
+            "score": hit.score,
+            "bound": hit.bound,
+            "a_range": f"{hit.local.a_start}:{hit.local.a_end}",
+            "b_range": f"{hit.local.b_start}:{hit.local.b_end}",
+        }
+        for rank, hit in enumerate(result.hits, start=1)
+    ]
+    if not rows:
+        print(f"no hits with score >= {args.min_score}")
+        return 0
+    print(format_rows(rows, title=f"top {len(rows)} of {st.candidates}"))
+    if args.alignments:
+        for hit in result.hits:
+            print()
+            print(format_alignment(hit.local.alignment, width=args.width,
+                                   scheme=scheme, show_header=not args.quiet))
+    return 0
+
+
+def _chaos_search(args, say) -> int:
+    """Chaos scenario for the corpus-search stack.
+
+    Ground truth is computed fault-free; then every query repeats the
+    full index-load + search path under the armed plan.  Acceptable
+    outcomes are a matching top-K or a *typed* failure
+    (CorruptIndexError, CandidateFailedError, ...) — a wrong answer or a
+    hang fails the run.
+    """
+    import os
+    import random
+    import tempfile
+
+    import numpy as np
+
+    from .faults import chaos, named_plan
+    from .search import CorpusIndex, search
+    from .workloads import evolve
+
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    rng = random.Random(args.seed)
+    queries = [
+        Sequence("".join(rng.choice("ACGT") for _ in range(args.length)),
+                 name=f"query{i}")
+        for i in range(args.jobs)
+    ]
+    corpus = []
+    for i in range(args.corpus):
+        if i < args.corpus // 3:
+            base = queries[i % len(queries)]
+            descendant = evolve(
+                base, sub_rate=args.divergence, indel_rate=0.02,
+                rng=np.random.default_rng(args.seed * 100 + i),
+                alphabet="ACGT", name=f"hom{i}",
+            )
+            corpus.append(descendant)
+        else:
+            n = rng.randrange(max(10, args.length // 6), args.length // 2 + 12)
+            corpus.append(Sequence(
+                "".join(rng.choice("ACGT") for _ in range(n)), name=f"bg{i}"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "corpus.flsa")
+        CorpusIndex.build(corpus, "ACGT").save(path)
+        # Ground truth, fault-free: through the same load path.
+        clean = CorpusIndex.load(path)
+        expected = [
+            [(h.corpus_index, h.score) for h in
+             search(q, clean, scheme, top_k=args.top_k).hits]
+            for q in queries
+        ]
+
+        plan = named_plan(args.plan, seed=args.seed)
+        say(f"# chaos plan '{args.plan}' seed={args.seed}: "
+            f"{len(plan.specs)} fault spec(s) armed, scenario=search")
+        rows = []
+        bad = 0
+        with chaos(plan):
+            for i, (q, want) in enumerate(zip(queries, expected)):
+                row = {"query": i, "outcome": "", "topk_ok": "-", "retries": 0}
+                try:
+                    index = CorpusIndex.load(path)
+                    result = search(
+                        q, index, scheme, top_k=args.top_k,
+                        retries=args.max_retries, deadline=args.deadline,
+                    )
+                except ReproError as exc:
+                    # Typed failure: the fault surfaced, no wrong answer.
+                    row["outcome"] = f"failed:{type(exc).__name__}"
+                    rows.append(row)
+                    continue
+                got = [(h.corpus_index, h.score) for h in result.hits]
+                ok = got == want
+                bad += 0 if ok else 1
+                row["outcome"] = "ok"
+                row["topk_ok"] = "yes" if ok else "NO"
+                row["retries"] = result.stats.retries
+                rows.append(row)
+    print(format_rows(
+        rows,
+        title=f"chaos '{args.plan}' seed={args.seed}, scenario=search, "
+              f"{args.jobs} queries x {args.corpus} candidates",
+    ))
+    fired = ", ".join(
+        f"{site}={info['fired']}/{info['hits']}"
+        for site, info in plan.stats().items() if info["fired"]
+    )
+    say(f"# faults fired: {fired or 'none'}")
+    if bad:
+        print(f"error: {bad} search(es) returned a wrong top-K under chaos",
+              file=sys.stderr)
+        return 1
+    say("# every completed search returned the exact top-K")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from concurrent.futures import TimeoutError as FutureTimeout
 
@@ -481,6 +688,9 @@ def _cmd_chaos(args) -> int:
             sites = ", ".join(sorted({s.site for s in specs}))
             print(f"{name}: {len(specs)} fault spec(s) at {sites}")
         return 0
+
+    if args.scenario == "search":
+        return _chaos_search(args, say)
 
     scheme = ScoringScheme(dna_simple(), linear_gap(-6))
     pairs = [
@@ -559,6 +769,8 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "index": _cmd_index,
+    "search": _cmd_search,
     "chaos": _cmd_chaos,
 }
 

@@ -19,7 +19,7 @@ from ..core.config import AlignConfig, resolve_config
 from ..errors import ConfigError
 from ..scoring.scheme import ScoringScheme
 from .fastlsa import fastlsa
-from .local import fastlsa_local
+from .local import fastlsa_local, local_best_cell
 from .modes import overlap_align, semiglobal_align
 from .score_only import align_score
 
@@ -45,27 +45,38 @@ class BatchHit:
     b_range: Optional[tuple] = None
 
 
-def _full_alignment(query, target, scheme, mode, cfg):
+def _full_alignment(query, target, scheme, mode, cfg, best_cell=None):
     if mode == "global":
         al = fastlsa(query, target, scheme, config=cfg)
         return al, (0, len(query)), (0, len(target)), al.score
     if mode == "local":
-        loc = fastlsa_local(query, target, scheme, config=cfg)
+        loc = fastlsa_local(query, target, scheme, config=cfg, best_cell=best_cell)
         return loc.alignment, (loc.a_start, loc.a_end), (loc.b_start, loc.b_end), loc.score
     fn = semiglobal_align if mode == "semiglobal" else overlap_align
     ef = fn(query, target, scheme, config=cfg)
     return ef.alignment, (ef.a_start, ef.a_end), (ef.b_start, ef.b_end), ef.score
 
 
+def _quick_score_cell(query, target, scheme, mode, cfg):
+    """Cheap score plus (for local mode) the reusable best-cell triple.
+
+    Returns ``(score, cell)``.  ``cell`` is the ``(score, i, j)`` triple
+    from :func:`local_best_cell` in local mode — fed back to
+    :func:`fastlsa_local` via ``best_cell=`` so materialising the full
+    alignment for a kept hit skips the sweep already paid for here —
+    and ``None`` for the other modes.
+    """
+    if mode == "local":
+        cell = local_best_cell(query, target, scheme)
+        return cell[0], cell
+    return _quick_score(query, target, scheme, mode, cfg), None
+
+
 def _quick_score(query, target, scheme, mode, cfg) -> int:
     if mode == "global":
         return align_score(query, target, scheme)
     if mode == "local":
-        from .local import _best_cell_local
-
-        best, _, _ = _best_cell_local(
-            scheme.encode(query.text), scheme.encode(target.text), scheme, None
-        )
+        best, _, _ = local_best_cell(query, target, scheme)
         return best
     from .modes import EndsFree, _sweep_best
 
@@ -83,17 +94,25 @@ def _quick_score(query, target, scheme, mode, cfg) -> int:
     return int(best)
 
 
-def _score_all(q, seqs, scheme, mode, cfg, executor, max_workers) -> List[int]:
-    """Score every target, optionally fanning out on a thread pool."""
+def _score_all(q, seqs, scheme, mode, cfg, executor, max_workers):
+    """Score every target, optionally fanning out on a thread pool.
+
+    Returns ``(scores, cells)``; ``cells[i]`` is the local-mode best-cell
+    hint for target ``i`` (``None`` outside local mode).
+    """
     if executor is None and max_workers is None:
-        return [_quick_score(q, t, scheme, mode, cfg) for t in seqs]
-    own = executor is None
-    pool = executor or ThreadPoolExecutor(max_workers=max_workers)
-    try:
-        return list(pool.map(lambda t: _quick_score(q, t, scheme, mode, cfg), seqs))
-    finally:
-        if own:
-            pool.shutdown(wait=True)
+        pairs = [_quick_score_cell(q, t, scheme, mode, cfg) for t in seqs]
+    else:
+        own = executor is None
+        pool = executor or ThreadPoolExecutor(max_workers=max_workers)
+        try:
+            pairs = list(
+                pool.map(lambda t: _quick_score_cell(q, t, scheme, mode, cfg), seqs)
+            )
+        finally:
+            if own:
+                pool.shutdown(wait=True)
+    return [p[0] for p in pairs], [p[1] for p in pairs]
 
 
 def batch_align(
@@ -142,7 +161,7 @@ def batch_align(
     q = as_sequence(query, "query")
     seqs = [as_sequence(t, f"target{i}") for i, t in enumerate(targets)]
 
-    scores = _score_all(q, seqs, scheme, mode, cfg, executor, cfg.max_workers)
+    scores, cells = _score_all(q, seqs, scheme, mode, cfg, executor, cfg.max_workers)
     scored = sorted(
         ((s, idx) for idx, s in enumerate(scores)), key=lambda t: (-t[0], t[1])
     )
@@ -154,7 +173,7 @@ def batch_align(
         target = seqs[idx]
         if rank <= keep:
             alignment, a_range, b_range, full_score = _full_alignment(
-                q, target, scheme, mode, cfg
+                q, target, scheme, mode, cfg, best_cell=cells[idx]
             )
             if full_score != score:
                 raise AssertionError(

@@ -34,7 +34,24 @@ from ..scoring.scheme import ScoringScheme
 from .config import FastLSAConfig, resolve_config
 from .fastlsa import fastlsa
 
-__all__ = ["fastlsa_local"]
+__all__ = ["fastlsa_local", "local_best_cell"]
+
+
+def local_best_cell(
+    seq_a, seq_b, scheme: ScoringScheme, counter=None
+) -> Tuple[int, int, int]:
+    """Best local score and its end cell, in linear space: ``(score, i, j)``.
+
+    One rolling clamped (Smith–Waterman) sweep — no traceback, no
+    alignment materialisation.  This is the public scoring tier: rankers
+    (:func:`repro.core.batch.batch_align`, :mod:`repro.search`) call it to
+    score candidates cheaply, then feed the triple back to
+    :func:`fastlsa_local` via ``best_cell=`` so the full alignment does
+    not repeat the sweep.
+    """
+    a = as_sequence(seq_a, "a")
+    b = as_sequence(seq_b, "b")
+    return _best_cell_local(scheme.encode(a.text), scheme.encode(b.text), scheme, counter)
 
 
 def _best_cell_local(a_codes, b_codes, scheme: ScoringScheme, counter) -> Tuple[int, int, int]:
@@ -158,6 +175,7 @@ def fastlsa_local(
     base_cells: Optional[int] = None,
     config: Optional[FastLSAConfig] = None,
     instruments: Optional[KernelInstruments] = None,
+    best_cell: Optional[Tuple[int, int, int]] = None,
 ) -> LocalAlignment:
     """Best local alignment in linear space (FastLSA-backed).
 
@@ -165,6 +183,13 @@ def fastlsa_local(
     structure as the FM Smith–Waterman baseline, but without ever holding a
     dense ``m × n`` matrix.  Parameterize via ``config=``; ``k=`` /
     ``base_cells=`` are deprecated.
+
+    ``best_cell`` skips phase 1: pass the ``(score, i, j)`` triple a prior
+    :func:`local_best_cell` sweep produced for this exact pair and scheme
+    (rankers score every candidate before materialising alignments for the
+    top hits, so without the hint the sweep would run twice).  The phase-2
+    reverse sweep still cross-checks the score, so a stale or mismatched
+    hint fails loudly instead of producing a wrong alignment.
     """
     cfg = resolve_config(config, k, base_cells, where="fastlsa_local")
     a = as_sequence(seq_a, "a")
@@ -174,7 +199,14 @@ def fastlsa_local(
     a_codes = scheme.encode(a.text)
     b_codes = scheme.encode(b.text)
 
-    best, bi, bj = _best_cell_local(a_codes, b_codes, scheme, inst.ops)
+    if best_cell is not None:
+        best, bi, bj = best_cell
+        if not (0 <= bi <= len(a_codes) and 0 <= bj <= len(b_codes)):
+            raise AssertionError(
+                f"best_cell {best_cell} outside the {len(a_codes)}x{len(b_codes)} DPM"
+            )
+    else:
+        best, bi, bj = _best_cell_local(a_codes, b_codes, scheme, inst.ops)
     if best == 0:
         empty = alignment_from_path(
             a.slice(0, 0), b.slice(0, 0), AlignmentPath([(0, 0)]), 0,

@@ -28,6 +28,10 @@ __all__ = [
     "InjectedFaultError",
     "CircuitOpenError",
     "ConnectionLostError",
+    "SearchError",
+    "IndexFormatError",
+    "CorruptIndexError",
+    "CandidateFailedError",
 ]
 
 
@@ -160,6 +164,41 @@ class CircuitOpenError(ServiceError):
     degraded backend is available for the job.  Clients should back off;
     the breaker lets a trial request through after its reset interval.
     """
+
+
+class SearchError(ReproError, RuntimeError):
+    """Base class for corpus-search (:mod:`repro.search`) failures."""
+
+
+class IndexFormatError(SearchError, ValueError):
+    """A corpus index file is unreadable: bad magic, unsupported version,
+    or a malformed header.  The file was not produced by ``fastlsa index``
+    (or was truncated so early that not even the header survives)."""
+
+
+class CorruptIndexError(IndexFormatError):
+    """A corpus index failed its integrity check: the stored fingerprint
+    does not match the loaded payload (bitrot, truncation, tampering).
+
+    The loader raises instead of returning a silently-wrong corpus —
+    search results over a rotten index would look plausible but be wrong,
+    which is the one failure mode the search tier must never have.
+    """
+
+
+class CandidateFailedError(SearchError):
+    """A corpus candidate could not be scored after exhausting retries.
+
+    ``candidate`` is the corpus position, ``name`` the sequence id.  In
+    strict mode (the default) the whole search fails with this error; in
+    ``allow_partial`` mode the candidate is recorded on the result and the
+    remaining top-K stays exactly ordered over the scored candidates.
+    """
+
+    def __init__(self, message: str, candidate: int = -1, name: str = "") -> None:
+        super().__init__(message)
+        self.candidate = candidate
+        self.name = name
 
 
 class ConnectionLostError(ServiceError, ConnectionError):

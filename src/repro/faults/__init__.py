@@ -16,7 +16,9 @@ from .plan import (
     SITE_BASE_KERNEL,
     SITE_CACHE_GET,
     SITE_CACHE_PUT,
+    SITE_CANDIDATE_SCORE,
     SITE_GOVERNOR_ADMIT,
+    SITE_INDEX_LOAD,
     SITE_SERVER_READ,
     SITE_SERVER_WRITE,
     SITE_TILE_FINISH,
@@ -34,7 +36,9 @@ __all__ = [
     "SITE_BASE_KERNEL",
     "SITE_CACHE_GET",
     "SITE_CACHE_PUT",
+    "SITE_CANDIDATE_SCORE",
     "SITE_GOVERNOR_ADMIT",
+    "SITE_INDEX_LOAD",
     "SITE_SERVER_READ",
     "SITE_SERVER_WRITE",
     "SITE_TILE_FINISH",

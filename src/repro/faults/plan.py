@@ -48,6 +48,8 @@ __all__ = [
     "SITE_GOVERNOR_ADMIT",
     "SITE_SERVER_READ",
     "SITE_SERVER_WRITE",
+    "SITE_INDEX_LOAD",
+    "SITE_CANDIDATE_SCORE",
     "FaultSpec",
     "FaultPlan",
     "named_plan",
@@ -70,6 +72,11 @@ SITE_GOVERNOR_ADMIT = "service.governor.admit"
 SITE_SERVER_READ = "server.read"
 #: Server socket/pipe write (connection drops mid-response).
 SITE_SERVER_WRITE = "server.write"
+#: Corpus-index load: header/payload read and the payload bytes themselves
+#: (``corrupt`` faults rot the bytes; the fingerprint check must catch it).
+SITE_INDEX_LOAD = "search.index.load"
+#: Corpus-search candidate scoring (one hit per candidate sweep/alignment).
+SITE_CANDIDATE_SCORE = "search.candidate.score"
 
 #: Every site the library instruments, in stack order.
 SITES = (
@@ -81,6 +88,8 @@ SITES = (
     SITE_GOVERNOR_ADMIT,
     SITE_SERVER_READ,
     SITE_SERVER_WRITE,
+    SITE_INDEX_LOAD,
+    SITE_CANDIDATE_SCORE,
 )
 
 _KINDS = ("raise", "delay", "corrupt")
@@ -329,6 +338,25 @@ def _flaky_network(seed: int) -> FaultPlan:
     )
 
 
+def _flaky_search(seed: int) -> FaultPlan:
+    return FaultPlan(
+        [
+            FaultSpec(SITE_CANDIDATE_SCORE, kind="raise", p=0.15, max_fires=None),
+            FaultSpec(SITE_CANDIDATE_SCORE, kind="delay", delay=0.002, p=0.1,
+                      max_fires=None),
+        ],
+        seed=seed, name="flaky-search",
+    )
+
+
+def _index_rot(seed: int) -> FaultPlan:
+    """Rot the corpus-index payload on load; the fingerprint must catch it."""
+    return FaultPlan(
+        [FaultSpec(SITE_INDEX_LOAD, kind="corrupt", p=1.0, max_fires=None)],
+        seed=seed, name="index-rot",
+    )
+
+
 def _everything(seed: int) -> FaultPlan:
     """A little of everything: one plan covering every site."""
     return FaultPlan(
@@ -342,6 +370,7 @@ def _everything(seed: int) -> FaultPlan:
                       p=0.1, max_fires=3),
             FaultSpec(SITE_SERVER_WRITE, kind="raise", error="ConnectionResetError",
                       p=0.05, max_fires=1),
+            FaultSpec(SITE_CANDIDATE_SCORE, kind="raise", p=0.05, max_fires=3),
         ],
         seed=seed, name="everything",
     )
@@ -355,6 +384,8 @@ NAMED_PLANS: Dict[str, Callable[[int], FaultPlan]] = {
     "bitrot": _bitrot,
     "memory-pressure": _memory_pressure,
     "flaky-network": _flaky_network,
+    "flaky-search": _flaky_search,
+    "index-rot": _index_rot,
     "everything": _everything,
 }
 

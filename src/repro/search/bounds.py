@@ -1,0 +1,168 @@
+"""Exact (admissible) upper bounds on local alignment scores.
+
+The pruning tier of :func:`repro.search.engine.search`: before paying an
+``O(m·n)`` DP sweep for a corpus candidate, bound its best possible
+Smith–Waterman score from composition histograms alone, in ``O(|Σ|²)``.
+A candidate whose bound falls below the running top-K floor cannot enter
+the result set and is skipped — *soundly*: every bound here is a true
+upper bound, so pruning never changes the answer (the ALAE property; see
+``docs/SEARCH.md`` for the full argument, and
+``tests/test_search_bounds.py`` for the property test against full SW).
+
+Why the bounds are sound
+------------------------
+
+The library's :class:`~repro.scoring.gaps.GapModel` enforces gap scores
+``≤ 0``, so any local alignment's score is at most the sum of its matched
+(substitution) pairs' *positive* parts: ``score ≤ Σ S⁺[xᵢ, yᵢ]`` where
+``S⁺ = max(S, 0)``.  A local alignment of ``q`` (length ``m``) against
+``t`` (length ``n``) has at most ``L = min(m, n)`` matched pairs, and
+each residue of either side appears in at most one pair.  Three bounds
+follow, each the sum of the ``L`` largest values of a multiset that
+dominates the matched pairs:
+
+* **query-capped** — pair ``(x, y)`` scores at most
+  ``vq[x] = max{S⁺[x, y] : y occurs in t}``; residue ``x`` of the query
+  contributes at most ``count_q(x)`` pairs.
+* **target-capped** — symmetric: ``vt[y] = max{S⁺[x, y] : x occurs in
+  q}``, fixed per query, weighted by the candidate's histogram.
+* **diagonal-refined** — a pair of *equal* symbols ``(x, x)`` scores at
+  most ``S⁺[x, x]`` and there are at most ``min(count_q(x), count_t(x))``
+  of them; every *unequal* pair scores at most
+  ``offmax = max{S⁺[x, y] : x ≠ y}``.  For match/mismatch matrices
+  (DNA: ``offmax = 0``) this collapses to
+  ``match · min(Σ min(count_q, count_t), L)`` — the classic shared-
+  composition bound.
+
+The engine takes the minimum of the three (clamped at 0, since the empty
+local alignment always scores 0).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..scoring.scheme import ScoringScheme
+
+__all__ = [
+    "QueryProfile",
+    "candidate_bounds",
+    "descending_order",
+    "index_bounds",
+    "pair_bound",
+]
+
+
+def _top_sum(values: np.ndarray, counts: np.ndarray, limit: int) -> int:
+    """Sum of the ``limit`` largest elements of the multiset
+    ``{values[i] × counts[i]}`` (values non-negative, counts ≥ 0)."""
+    if limit <= 0:
+        return 0
+    order = np.argsort(values, kind="stable")[::-1]
+    total = 0
+    remaining = limit
+    for i in order:
+        v = int(values[i])
+        if v <= 0 or remaining <= 0:
+            break
+        take = min(int(counts[i]), remaining)
+        total += v * take
+        remaining -= take
+    return total
+
+
+class QueryProfile:
+    """Per-query precomputation shared across every candidate bound.
+
+    Built once per search; each :meth:`bound` call is then ``O(|Σ|²)``
+    with tiny constants (|Σ| is 4 for DNA, ≤ 24 for protein).
+    """
+
+    def __init__(self, query_codes: np.ndarray, scheme: ScoringScheme) -> None:
+        table = np.asarray(scheme.matrix.table, dtype=np.int64)
+        a = len(scheme.alphabet)
+        if table.shape[0] < a or table.shape[1] < a:
+            raise ConfigError(
+                f"scoring table {table.shape} smaller than alphabet size {a}"
+            )
+        self.alphabet_size = a
+        self.s_plus = np.maximum(table[:a, :a], 0)
+        self.m = len(query_codes)
+        self.counts = np.bincount(
+            np.asarray(query_codes, dtype=np.int64), minlength=a
+        )[:a]
+        present = self.counts > 0
+        # target-capped per-symbol ceiling: best positive score any query
+        # residue can reach against target symbol y
+        if present.any():
+            self.vt = self.s_plus[present].max(axis=0)
+        else:
+            self.vt = np.zeros(a, dtype=np.int64)
+        self.diag = np.diagonal(self.s_plus).copy()
+        off = self.s_plus.copy()
+        np.fill_diagonal(off, 0)
+        self.offmax = int(off.max()) if a > 1 else 0
+
+    def bound(self, target_counts: np.ndarray, target_length: int) -> int:
+        """min(query-capped, target-capped, diagonal-refined), clamped at 0."""
+        limit = min(self.m, int(target_length))
+        if limit <= 0:
+            return 0
+        present = target_counts > 0
+        if not present.any():
+            return 0
+        # query-capped: best score of each query symbol vs anything present
+        vq = self.s_plus[:, present].max(axis=1)
+        bound_q = _top_sum(vq, self.counts, limit)
+        bound_t = _top_sum(self.vt, target_counts, limit)
+        # diagonal-refined: equal-symbol pairs are scarce, unequal pairs flat
+        mins = np.minimum(self.counts, target_counts)
+        values = np.concatenate((self.diag, [self.offmax]))
+        counts = np.concatenate((mins, [limit]))
+        bound_d = _top_sum(values, counts, limit)
+        return max(0, min(bound_q, bound_t, bound_d))
+
+
+def candidate_bounds(
+    query_codes: np.ndarray,
+    histograms: np.ndarray,
+    lengths: np.ndarray,
+    scheme: ScoringScheme,
+) -> np.ndarray:
+    """Upper bounds for every candidate: ``int64`` array, one per row of
+    ``histograms``."""
+    profile = QueryProfile(query_codes, scheme)
+    n = len(lengths)
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        out[i] = profile.bound(histograms[i], int(lengths[i]))
+    return out
+
+
+def index_bounds(query, index, scheme: ScoringScheme) -> np.ndarray:
+    """Bounds for every sequence of a :class:`~repro.search.index.CorpusIndex`."""
+    codes = scheme.encode(query.text if hasattr(query, "text") else str(query))
+    return candidate_bounds(codes, index.histograms, index.lengths, scheme)
+
+
+def pair_bound(query_text: str, target_text: str, scheme: ScoringScheme) -> int:
+    """Bound for a single pair (the unit the property tests exercise)."""
+    q = scheme.encode(query_text)
+    t = scheme.encode(target_text)
+    a = len(scheme.alphabet)
+    counts = np.bincount(np.asarray(t, dtype=np.int64), minlength=a)[:a]
+    return QueryProfile(q, scheme).bound(counts, len(t))
+
+
+def descending_order(bounds: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Candidate order for the engine: bound-descending, index-ascending.
+
+    Processing high-bound candidates first establishes the top-K floor
+    early, so one strong homolog prunes the long tail of weak candidates
+    in a single comparison.  Returns ``(order, ordered_bounds)``.
+    """
+    order = np.argsort(-bounds, kind="stable")
+    return order, bounds[order]

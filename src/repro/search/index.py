@@ -1,0 +1,307 @@
+"""Persisted corpus index: encoded sequences + metadata, integrity-checked.
+
+``fastlsa search`` never re-parses FASTA per query: the corpus is ingested
+once into a :class:`CorpusIndex` — one contiguous ``uint8`` code array plus
+per-sequence metadata (id, length, composition histogram) — and persisted
+in a small versioned container:
+
+.. code-block:: text
+
+    #FLSA-INDEX 1\n          magic + format version (ASCII line)
+    {...canonical JSON...}\n  header: alphabet, names, lengths, fingerprint
+    <raw bytes>               payload: the uint8 code array, concatenated
+
+The header's ``fingerprint`` is a SHA-256 over the canonical header (with
+the fingerprint field blanked) and the payload, so bitrot anywhere in the
+file — metadata or residues — is detected at load time and surfaces as a
+typed :class:`~repro.errors.CorruptIndexError` instead of silently wrong
+search results.  Loading is a :mod:`repro.faults` site
+(``search.index.load``), so chaos plans can rot the payload on the way in
+and prove that property.
+
+Composition histograms are **derived** data (one ``bincount`` per
+sequence) and are recomputed on load rather than persisted: fewer bytes on
+disk, and one less thing that can rot independently of the residues.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from ..align.fasta import read_fasta
+from ..align.sequence import Sequence, as_sequence
+from ..errors import AlphabetError, ConfigError, CorruptIndexError, IndexFormatError
+from ..faults import runtime as faults
+from ..faults.plan import SITE_INDEX_LOAD
+from ..obs import runtime as obs
+
+__all__ = ["CorpusIndex", "INDEX_MAGIC", "INDEX_VERSION", "load_index"]
+
+PathLike = Union[str, os.PathLike]
+
+INDEX_MAGIC = "#FLSA-INDEX"
+INDEX_VERSION = 1
+
+_MAX_ALPHABET = 256  # codes are uint8
+
+
+def _flip_middle_byte(payload: bytes) -> bytes:
+    """Deterministic bitrot for the ``search.index.load`` corrupt site."""
+    if not payload:
+        return payload
+    rotten = bytearray(payload)
+    rotten[len(rotten) // 2] ^= 0xFF
+    return bytes(rotten)
+
+
+def _canonical_header(header: dict) -> bytes:
+    """The byte string the fingerprint covers (fingerprint field blanked)."""
+    clean = dict(header)
+    clean["fingerprint"] = ""
+    return json.dumps(clean, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class CorpusIndex:
+    """An encoded, searchable corpus of sequences over one alphabet.
+
+    Attributes
+    ----------
+    alphabet:
+        The ordered symbol set; symbol ``i`` encodes to code ``i``.  A
+        search query's scoring scheme must use the same alphabet.
+    names / descriptions:
+        Per-sequence FASTA metadata, corpus order.
+    lengths / offsets:
+        ``lengths[i]`` residues per sequence; ``offsets`` is the prefix-sum
+        frame (``N + 1`` entries) into ``codes``.
+    codes:
+        All residues, concatenated, as one ``uint8`` array.
+    histograms:
+        ``N × len(alphabet)`` composition counts — the raw material of the
+        :mod:`repro.search.bounds` pruning tier.
+    """
+
+    def __init__(
+        self,
+        alphabet: str,
+        names: List[str],
+        descriptions: List[str],
+        lengths: np.ndarray,
+        codes: np.ndarray,
+    ) -> None:
+        if not alphabet or len(set(alphabet)) != len(alphabet):
+            raise ConfigError(f"index alphabet must be non-empty and duplicate-free, got {alphabet!r}")
+        if len(alphabet) > _MAX_ALPHABET:
+            raise ConfigError(f"index alphabet has {len(alphabet)} symbols; uint8 codes allow {_MAX_ALPHABET}")
+        if not (len(names) == len(descriptions) == len(lengths)):
+            raise ConfigError("names, descriptions and lengths must have equal length")
+        self.alphabet = alphabet
+        self.names = list(names)
+        self.descriptions = list(descriptions)
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        self.offsets = np.concatenate(([0], np.cumsum(self.lengths)))
+        self.codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        if int(self.offsets[-1]) != len(self.codes):
+            raise CorruptIndexError(
+                f"index payload holds {len(self.codes)} residues but metadata "
+                f"promises {int(self.offsets[-1])}"
+            )
+        if len(self.codes) and int(self.codes.max()) >= len(alphabet):
+            raise CorruptIndexError(
+                f"index payload contains code {int(self.codes.max())} outside "
+                f"the {len(alphabet)}-symbol alphabet"
+            )
+        self.histograms = self._histograms()
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(cls, records: Iterable, alphabet: str) -> "CorpusIndex":
+        """Encode ``records`` (Sequence objects or raw strings) over ``alphabet``."""
+        seqs = [as_sequence(r, f"seq{i}") for i, r in enumerate(records)]
+        code_of = {ch: i for i, ch in enumerate(alphabet)}
+        if not alphabet or len(code_of) != len(alphabet):
+            raise ConfigError(
+                f"index alphabet must be non-empty and duplicate-free, got {alphabet!r}"
+            )
+        chunks: List[np.ndarray] = []
+        for seq in seqs:
+            encoded = np.empty(len(seq.text), dtype=np.uint8)
+            try:
+                for i, ch in enumerate(seq.text):
+                    encoded[i] = code_of[ch]
+            except KeyError as exc:
+                raise AlphabetError(
+                    f"sequence {seq.name!r}: symbol {exc.args[0]!r} is not in "
+                    f"the index alphabet {alphabet!r}"
+                ) from None
+            chunks.append(encoded)
+        codes = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint8)
+        return cls(
+            alphabet=alphabet,
+            names=[s.name for s in seqs],
+            descriptions=[s.description for s in seqs],
+            lengths=np.array([len(s.text) for s in seqs], dtype=np.int64),
+            codes=codes,
+        )
+
+    @classmethod
+    def from_fasta(cls, path: PathLike, alphabet: str) -> "CorpusIndex":
+        """Ingest a FASTA file (via :func:`repro.align.fasta.read_fasta`)."""
+        return cls.build(read_fasta(path), alphabet)
+
+    # -- accessors ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def codes_for(self, i: int) -> np.ndarray:
+        """Zero-copy ``uint8`` view of sequence ``i``'s residues."""
+        return self.codes[int(self.offsets[i]):int(self.offsets[i + 1])]
+
+    def sequence(self, i: int) -> Sequence:
+        """Decode sequence ``i`` back into a :class:`Sequence` record."""
+        symbols = np.frombuffer(self.alphabet.encode("latin-1"), dtype=np.uint8)
+        text = symbols[self.codes_for(i)].tobytes().decode("latin-1")
+        return Sequence(text=text, name=self.names[i], description=self.descriptions[i])
+
+    def _histograms(self) -> np.ndarray:
+        a = len(self.alphabet)
+        out = np.zeros((len(self), a), dtype=np.int64)
+        for i in range(len(self)):
+            out[i] = np.bincount(self.codes_for(i), minlength=a)
+        return out
+
+    def stats(self) -> dict:
+        """Shape summary for the CLI / service surface."""
+        lengths = self.lengths
+        return {
+            "sequences": len(self),
+            "residues": int(lengths.sum()),
+            "alphabet": self.alphabet,
+            "min_length": int(lengths.min()) if len(self) else 0,
+            "max_length": int(lengths.max()) if len(self) else 0,
+            "fingerprint": self.fingerprint(),
+        }
+
+    # -- persistence ----------------------------------------------------
+    def _header(self) -> dict:
+        return {
+            "version": INDEX_VERSION,
+            "alphabet": self.alphabet,
+            "names": self.names,
+            "descriptions": self.descriptions,
+            "lengths": [int(n) for n in self.lengths],
+            "payload_bytes": int(len(self.codes)),
+            "fingerprint": "",
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical header + payload (hex)."""
+        header = self._header()
+        h = hashlib.sha256()
+        h.update(_canonical_header(header))
+        h.update(self.codes.tobytes())
+        return h.hexdigest()
+
+    def save(self, path: PathLike) -> str:
+        """Write the versioned container; returns the fingerprint."""
+        header = self._header()
+        header["fingerprint"] = self.fingerprint()
+        with obs.span("search.index.save", records=len(self)):
+            with open(path, "wb") as fh:
+                fh.write(f"{INDEX_MAGIC} {INDEX_VERSION}\n".encode("ascii"))
+                fh.write(json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8"))
+                fh.write(b"\n")
+                fh.write(self.codes.tobytes())
+        return header["fingerprint"]
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CorpusIndex":
+        """Read and integrity-check a container written by :meth:`save`.
+
+        Raises
+        ------
+        IndexFormatError
+            Bad magic, unsupported version, or unparseable header — the
+            file is not a (complete) ``fastlsa index`` product.
+        CorruptIndexError
+            The container parses but its fingerprint does not match the
+            loaded bytes: bitrot, truncation or tampering.  Never returns
+            a silently wrong corpus.
+        """
+        with obs.span("search.index.load", path=str(path)):
+            faults.inject(SITE_INDEX_LOAD)
+            with open(path, "rb") as fh:
+                blob = fh.read()
+            magic_end = blob.find(b"\n")
+            if magic_end < 0 or not blob.startswith(INDEX_MAGIC.encode("ascii")):
+                raise IndexFormatError(f"{path}: not a {INDEX_MAGIC} file")
+            magic_line = blob[:magic_end].decode("ascii", errors="replace").split()
+            if len(magic_line) != 2 or not magic_line[1].isdigit():
+                raise IndexFormatError(f"{path}: malformed magic line {blob[:magic_end]!r}")
+            version = int(magic_line[1])
+            if version != INDEX_VERSION:
+                raise IndexFormatError(
+                    f"{path}: index format version {version} is not supported "
+                    f"(this build reads version {INDEX_VERSION})"
+                )
+            header_end = blob.find(b"\n", magic_end + 1)
+            if header_end < 0:
+                raise IndexFormatError(f"{path}: truncated before the header line")
+            try:
+                header = json.loads(blob[magic_end + 1:header_end].decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise IndexFormatError(f"{path}: unparseable header: {exc}") from exc
+            for key in ("alphabet", "names", "descriptions", "lengths", "payload_bytes", "fingerprint"):
+                if key not in header:
+                    raise IndexFormatError(f"{path}: header is missing {key!r}")
+            payload = blob[header_end + 1:]
+            # chaos plans rot the payload here, between read and verify —
+            # exactly where real bitrot lives
+            payload = faults.corrupt(SITE_INDEX_LOAD, payload, _flip_middle_byte)
+            if len(payload) != header["payload_bytes"]:
+                raise CorruptIndexError(
+                    f"{path}: payload is {len(payload)} bytes, header promises "
+                    f"{header['payload_bytes']} (truncated or padded file)"
+                )
+            h = hashlib.sha256()
+            h.update(_canonical_header({**header, "version": INDEX_VERSION}))
+            h.update(payload)
+            if h.hexdigest() != header["fingerprint"]:
+                raise CorruptIndexError(
+                    f"{path}: fingerprint mismatch — the index file rotted "
+                    f"(expected {header['fingerprint'][:16]}…, got {h.hexdigest()[:16]}…)"
+                )
+            index = cls(
+                alphabet=header["alphabet"],
+                names=list(header["names"]),
+                descriptions=list(header["descriptions"]),
+                lengths=np.array(header["lengths"], dtype=np.int64),
+                codes=np.frombuffer(payload, dtype=np.uint8),
+            )
+            obs.counter_add("search.index.loads")
+            return index
+
+
+def load_index(path: PathLike, cache: Optional[dict] = None) -> CorpusIndex:
+    """Load an index, optionally through a ``{path: (mtime, index)}`` cache.
+
+    The server keeps one such cache per process so repeated ``search`` ops
+    against the same corpus skip re-reading the file; the mtime check
+    reloads when the file changes underneath.
+    """
+    key = os.fspath(path)
+    if cache is None:
+        return CorpusIndex.load(key)
+    mtime = os.stat(key).st_mtime_ns
+    hit = cache.get(key)
+    if hit is not None and hit[0] == mtime:
+        obs.counter_add("search.index.cache_hits")
+        return hit[1]
+    index = CorpusIndex.load(key)
+    cache[key] = (mtime, index)
+    return index

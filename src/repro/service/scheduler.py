@@ -451,6 +451,66 @@ class AlignmentService:
         ]
         return list(await asyncio.gather(*(j.future for j in jobs)))
 
+    async def search(
+        self,
+        query,
+        index,
+        scheme: ScoringScheme,
+        top_k: int = 10,
+        *,
+        min_score: int = 1,
+        timeout: Optional[float] = None,
+        allow_partial: bool = False,
+        config: Optional[FastLSAConfig] = None,
+        on_update=None,
+    ):
+        """Top-K corpus search on the service's worker pool.
+
+        Runs :func:`repro.search.search` in a worker thread under a
+        cancel token at ``timeout`` (falling back to the service default)
+        with the service's per-candidate retry budget, and pins the
+        service's ``default_backend`` when the request does not choose
+        one.  ``index`` is a :class:`~repro.search.CorpusIndex`;
+        ``on_update`` streams top-K snapshots (fired from the worker
+        thread).  Returns a :class:`~repro.search.SearchResult`.
+        """
+        from ..search import search as engine_search
+
+        if self._closing:
+            raise ServiceClosedError("service is shutting down")
+        effective = timeout if timeout is not None else self.default_timeout
+        token = cancel.CancelToken.after(effective)
+        cfg = config
+        if (
+            self.default_backend not in (None, "serial")
+            and getattr(cfg, "backend", None) is None
+        ):
+            base = cfg if cfg is not None else AlignConfig()
+            cfg = AlignConfig(
+                base.k,
+                base.base_cells,
+                max_workers=getattr(base, "max_workers", None) or self.backend_workers,
+                backend=self.default_backend,
+            )
+
+        def run():
+            return engine_search(
+                query, index, scheme, top_k, cfg,
+                min_score=min_score,
+                retries=self.retry_policy.max_retries,
+                allow_partial=allow_partial,
+                token=token,
+                on_update=on_update,
+            )
+
+        result = await asyncio.get_running_loop().run_in_executor(
+            self._executor, run
+        )
+        self.stats_.searches += 1
+        self.stats_.search_candidates += result.stats.candidates
+        self.stats_.search_pruned += result.stats.pruned
+        return result
+
     # -- dispatcher ----------------------------------------------------
     async def _dispatch_loop(self) -> None:
         while True:

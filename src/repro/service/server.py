@@ -20,6 +20,20 @@ Request ops:
     ``[{"text": ..., "name": ...}, ...]``) instead of ``b`` — submits one
     job per target (the scheduler coalesces them into a single
     ``batch_align`` call) and responds once with every hit.
+``search``
+    ``{"op": "search", "id": 2, "a": "ACGT...", "index":
+    "corpus.flsa", "top_k": 5, "min_score": 1, "stream": true,
+    "timeout": null, "allow_partial": false}``
+
+    Top-K local-alignment search of a persisted
+    :class:`~repro.search.CorpusIndex` (built with ``fastlsa index``).
+    Indexes are cached per process and re-validated by mtime.  With
+    ``"stream": true`` the server emits **partial frames** — same ``id``,
+    ``"partial": true``, hits without alignments — every time top-K
+    membership changes, then the final frame (no ``partial`` key) with
+    full alignments and the prune/score accounting.  ``timeout`` is a
+    per-search deadline enforced through the cooperative-cancellation
+    layer.
 ``stats``
     The service's merged counter snapshot; when an
     :class:`repro.obs.Instrumentation` is active the snapshot carries a
@@ -63,6 +77,7 @@ from ..scoring import (
     pam250,
     table1_matrix,
 )
+from ..search.index import load_index
 from .jobs import JobResult
 from .scheduler import AlignmentService
 
@@ -146,6 +161,7 @@ class ProtocolHandler:
     default_gap_open: int = -6
     default_gap_extend: Optional[int] = None
     _schemes: Dict[Tuple, ScoringScheme] = field(default_factory=dict)
+    _indexes: Dict = field(default_factory=dict)  # path -> (mtime, CorpusIndex)
 
     def scheme_for(self, req: Dict) -> ScoringScheme:
         name = str(req.get("matrix", self.default_matrix))
@@ -165,11 +181,13 @@ class ProtocolHandler:
             self._schemes[key] = ScoringScheme(_MATRICES[name](), gap)
         return self._schemes[key]
 
-    async def handle(self, req: Dict) -> Dict:
+    async def handle(self, req: Dict, emit=None) -> Dict:
         """Process one decoded request; always returns a response dict.
 
         Every response carries the library ``version`` so clients can
-        detect protocol drift across server upgrades.
+        detect protocol drift across server upgrades.  ``emit`` is the
+        transport's line writer (an async callable); streaming ops use it
+        for partial frames — the returned dict is always the final frame.
         """
         req_id = req.get("id") if isinstance(req, dict) else None
         try:
@@ -184,6 +202,8 @@ class ProtocolHandler:
                 return self._ok(req_id, await self._align(req))
             if op == "batch":
                 return self._ok(req_id, await self._batch(req))
+            if op == "search":
+                return self._ok(req_id, await self._search(req, req_id, emit))
             raise ProtocolError(f"unknown op {op!r}")
         except ReproError as exc:
             return {
@@ -233,6 +253,49 @@ class ProtocolHandler:
         hits = sorted(results, key=lambda r: -r.score)
         return {"query": query.name, "hits": [result_to_json(r) for r in hits]}
 
+    async def _search(self, req: Dict, req_id, emit) -> Dict:
+        path = req.get("index")
+        if not isinstance(path, str) or not path:
+            raise ProtocolError("'search' needs an 'index' file path")
+        query = _parse_sequence(req.get("a"), "query")
+        scheme = self.scheme_for(req)
+        try:
+            index = load_index(path, self._indexes)
+        except OSError as exc:
+            raise ProtocolError(f"cannot read index {path!r}: {exc}") from exc
+
+        loop = asyncio.get_running_loop()
+        pending_frames = []
+        on_update = None
+        if bool(req.get("stream", False)) and emit is not None:
+            def on_update(hits, stats):
+                # fired from the worker thread: hop back to the event loop
+                frame = {
+                    "id": req_id, "ok": True, "version": __version__,
+                    "partial": True,
+                    "result": {
+                        "hits": [h.to_dict(with_alignment=False) for h in hits],
+                        "stats": stats.to_dict(),
+                    },
+                }
+                pending_frames.append(
+                    asyncio.run_coroutine_threadsafe(emit(frame), loop)
+                )
+
+        result = await self.service.search(
+            query, index, scheme,
+            top_k=int(req.get("top_k", 10)),
+            min_score=int(req.get("min_score", 1)),
+            timeout=req.get("timeout"),
+            allow_partial=bool(req.get("allow_partial", False)),
+            config=_parse_config(req),
+            on_update=on_update,
+        )
+        # partial frames precede the final frame on the wire
+        for frame in pending_frames:
+            await asyncio.wrap_future(frame)
+        return result.to_dict()
+
 
 async def _serve_lines(handler: ProtocolHandler, reader, write_line,
                        shutdown: asyncio.Event) -> None:
@@ -271,7 +334,7 @@ async def _serve_lines(handler: ProtocolHandler, reader, write_line,
                            "version": __version__, "result": "draining"})
             shutdown.set()
             return
-        await respond(await handler.handle(req))
+        await respond(await handler.handle(req, emit=respond))
 
     while not shutdown.is_set() and not dead.is_set():
         try:

@@ -40,6 +40,9 @@ class ServiceStats:
     degraded_jobs: int = 0
     cache_errors: int = 0
     breaker_fast_fails: int = 0
+    searches: int = 0
+    search_candidates: int = 0
+    search_pruned: int = 0
     total_queue_wait: float = 0.0
     total_run_time: float = 0.0
     _rows: Deque[Dict] = field(
@@ -75,6 +78,9 @@ class ServiceStats:
             "degraded_jobs": self.degraded_jobs,
             "cache_errors": self.cache_errors,
             "breaker_fast_fails": self.breaker_fast_fails,
+            "searches": self.searches,
+            "search_candidates": self.search_candidates,
+            "search_pruned": self.search_pruned,
             "mean_queue_wait": round(self.total_queue_wait / done, 6),
             "mean_run_time": round(self.total_run_time / done, 6),
         }

@@ -235,3 +235,71 @@ class TestProfile:
         fa, fb = fasta_files
         assert main(["align", fa, fb, "--gap-open", "-6"]) == 0
         assert "fastlsa.align" not in capsys.readouterr().err
+
+
+class TestIndexSearch:
+    @pytest.fixture
+    def corpus_files(self, tmp_path):
+        corpus = tmp_path / "corpus.fasta"
+        query = tmp_path / "query.fasta"
+        write_fasta(corpus, [
+            Sequence("ACGTACGTACGTACGTACGT", name="self"),
+            Sequence("ACGTACGAACGTACGAACGA", name="near"),
+            Sequence("TTTTGGGGTTTT", name="far"),
+        ])
+        write_fasta(query, [Sequence("ACGTACGTACGTACGTACGT", name="q")])
+        return str(corpus), str(query), str(tmp_path / "corpus.flsa")
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["search", "c.flsa", "q.fa"])
+        assert args.top_k == 5 and args.min_score == 1
+        assert args.gap_open == -6 and args.backend is None
+        args = build_parser().parse_args(["index", "c.fa", "-o", "c.flsa"])
+        assert args.matrix == "dna" and args.alphabet is None
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario == "service" and args.corpus == 40
+
+    def test_index_then_search(self, corpus_files, capsys):
+        corpus, query, idx = corpus_files
+        assert main(["index", corpus, "-o", idx]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 3 sequences" in out and "fingerprint" in out
+
+        assert main(["search", idx, query, "--top-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "self" in out and "near" in out and "far" not in out
+        assert "100" in out  # the exact 20-residue self-hit score
+
+    def test_search_alignments_flag(self, corpus_files, capsys):
+        corpus, query, idx = corpus_files
+        main(["index", corpus, "-o", idx])
+        capsys.readouterr()
+        assert main(["search", idx, query, "--top-k", "1", "--alignments"]) == 0
+        out = capsys.readouterr().out
+        assert "ACGTACGTACGTACGTACGT" in out  # gapped rows printed
+
+    def test_search_no_hits(self, corpus_files, capsys):
+        corpus, query, idx = corpus_files
+        main(["index", corpus, "-o", idx])
+        capsys.readouterr()
+        assert main(["search", idx, query, "--min-score", "999999"]) == 0
+        assert "no hits" in capsys.readouterr().out
+
+    def test_search_missing_index_exits_2(self, corpus_files, capsys):
+        _, query, _ = corpus_files
+        assert main(["search", "does-not-exist.flsa", query]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChaosSearchScenario:
+    def test_index_rot_fails_typed(self, capsys):
+        assert main(["chaos", "index-rot", "--scenario", "search",
+                     "--jobs", "2", "--corpus", "10", "--length", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "failed:CorruptIndexError" in out
+
+    def test_flaky_search_retries_to_exact_topk(self, capsys):
+        assert main(["chaos", "flaky-search", "--scenario", "search",
+                     "--jobs", "2", "--corpus", "10", "--length", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out and "NO" not in out

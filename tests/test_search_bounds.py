@@ -1,0 +1,125 @@
+"""Soundness tests for the composition pruning bounds.
+
+The one property everything rests on: for every pair and scheme,
+``pair_bound(q, t) >= smith_waterman(q, t).score``.  A violated bound
+would let the engine prune a true top-K member — the exactness tests in
+``test_search_engine.py`` would fail too, but this pins the blame."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import smith_waterman
+from repro.search import CorpusIndex
+from repro.search.bounds import (
+    QueryProfile,
+    descending_order,
+    index_bounds,
+    pair_bound,
+)
+from tests.conftest import random_dna, random_protein
+
+LENGTH_PAIRS = [(5, 40), (30, 30), (60, 20), (80, 80), (1, 50), (45, 3)]
+
+
+class TestTopSum:
+    def test_takes_largest_first(self):
+        from repro.search.bounds import _top_sum
+
+        values = np.array([5, 3, 8])
+        counts = np.array([2, 10, 1])
+        # best 4: one 8, two 5s, one 3
+        assert _top_sum(values, counts, 4) == 8 + 5 + 5 + 3
+
+    def test_zero_limit_and_nonpositive_values(self):
+        from repro.search.bounds import _top_sum
+
+        assert _top_sum(np.array([5]), np.array([3]), 0) == 0
+        assert _top_sum(np.array([0, 0]), np.array([9, 9]), 5) == 0
+
+    def test_counts_exhaust_before_limit(self):
+        from repro.search.bounds import _top_sum
+
+        assert _top_sum(np.array([7]), np.array([2]), 100) == 14
+
+
+class TestAdmissibility:
+    """bound >= true SW score, across alphabets, gap models and seeds."""
+
+    @pytest.mark.parametrize("scheme_name", ["dna_scheme", "affine_dna_scheme"])
+    @pytest.mark.parametrize("seed", [1, 9, 23])
+    def test_dna_bound_dominates_score(self, request, scheme_name, seed):
+        scheme = request.getfixturevalue(scheme_name)
+        rng = np.random.default_rng(seed)
+        for m, n in LENGTH_PAIRS:
+            q, t = random_dna(rng, m), random_dna(rng, n)
+            bound = pair_bound(q, t, scheme)
+            score = smith_waterman(q, t, scheme).score
+            assert bound >= score, f"{q!r} vs {t!r}: bound {bound} < SW {score}"
+
+    @pytest.mark.parametrize("scheme_name", ["protein_scheme", "affine_scheme"])
+    @pytest.mark.parametrize("seed", [2, 31])
+    def test_protein_bound_dominates_score(self, request, scheme_name, seed):
+        scheme = request.getfixturevalue(scheme_name)
+        rng = np.random.default_rng(seed)
+        for m, n in LENGTH_PAIRS:
+            q, t = random_protein(rng, m), random_protein(rng, n)
+            bound = pair_bound(q, t, scheme)
+            score = smith_waterman(q, t, scheme).score
+            assert bound >= score, f"{q!r} vs {t!r}: bound {bound} < SW {score}"
+
+    def test_bound_on_related_pairs(self, rng, dna_scheme):
+        """Homologous pairs (high true score) must not slip over the bound."""
+        from repro.workloads import evolve
+
+        base = random_dna(rng, 80)
+        for i in range(10):
+            t = evolve(base, sub_rate=0.1, indel_rate=0.05, rng=rng,
+                       alphabet="ACGT").text
+            assert pair_bound(base, t, dna_scheme) >= \
+                smith_waterman(base, t, dna_scheme).score
+
+
+class TestTightness:
+    def test_self_alignment_bound_is_exact_for_dna(self, dna_scheme):
+        q = "ACGTACGTAACC"
+        assert pair_bound(q, q, dna_scheme) == \
+            smith_waterman(q, q, dna_scheme).score == 5 * len(q)
+
+    def test_disjoint_composition_bounds_to_zero(self, dna_scheme):
+        # +5/−4 matrix: off-diagonal positive part is 0, no shared symbols
+        assert pair_bound("AAAA", "TTTT", dna_scheme) == 0
+
+    def test_empty_sides(self, dna_scheme):
+        assert pair_bound("", "ACGT", dna_scheme) == 0
+        assert pair_bound("ACGT", "", dna_scheme) == 0
+
+    def test_shared_composition_caps_dna_bound(self, dna_scheme):
+        # one shared A: at most one +5 pair, everything else scores <= 0
+        assert pair_bound("ACCC", "AGGG", dna_scheme) == 5
+
+
+class TestIndexBounds:
+    def test_matches_pair_bound_per_candidate(self, rng, dna_scheme):
+        records = [random_dna(rng, int(rng.integers(5, 60))) for _ in range(12)]
+        index = CorpusIndex.build(records, "ACGT")
+        q = random_dna(rng, 40)
+        from repro.align import Sequence
+
+        bounds = index_bounds(Sequence(q, name="q"), index, dna_scheme)
+        assert bounds.tolist() == [pair_bound(q, t, dna_scheme) for t in records]
+
+    def test_query_profile_reused_across_candidates(self, dna_scheme):
+        profile = QueryProfile(dna_scheme.encode("ACGT"), dna_scheme)
+        counts = np.array([1, 1, 1, 1])
+        assert profile.bound(counts, 4) == 20
+        assert profile.bound(np.zeros(4, dtype=int), 0) == 0
+
+
+class TestDescendingOrder:
+    def test_sorts_descending_stable(self):
+        bounds = np.array([3, 7, 7, 1])
+        order, ordered = descending_order(bounds)
+        assert order.tolist() == [1, 2, 0, 3]  # ties keep corpus order
+        assert ordered.tolist() == [7, 7, 3, 1]

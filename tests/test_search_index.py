@@ -1,0 +1,196 @@
+"""Tests for the persisted corpus index: roundtrip, integrity, caching.
+
+The failure-mode matrix matters more than the happy path here: a rotten
+index must surface as a typed error at load time, never as a plausible
+but wrong search corpus."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import AlphabetError, ConfigError, write_fasta
+from repro.align import Sequence
+from repro.errors import CorruptIndexError, IndexFormatError
+from repro.search import CorpusIndex, load_index
+from repro.search.index import INDEX_MAGIC, INDEX_VERSION
+
+RECORDS = [
+    Sequence("ACGTACGTAC", name="s0", description="first"),
+    Sequence("TTTT", name="s1"),
+    Sequence("GATTACA", name="s2", description="movie"),
+]
+
+
+@pytest.fixture
+def index():
+    return CorpusIndex.build(RECORDS, "ACGT")
+
+
+@pytest.fixture
+def index_path(index, tmp_path):
+    path = tmp_path / "corpus.flsa"
+    index.save(path)
+    return path
+
+
+class TestBuild:
+    def test_roundtrips_sequences(self, index):
+        assert len(index) == 3
+        for i, rec in enumerate(RECORDS):
+            got = index.sequence(i)
+            assert (got.text, got.name, got.description) == (
+                rec.text, rec.name, rec.description
+            )
+
+    def test_codes_for_is_a_view(self, index):
+        view = index.codes_for(1)
+        assert view.base is index.codes
+        assert view.tolist() == [3, 3, 3, 3]  # TTTT over ACGT
+
+    def test_histograms_count_composition(self, index):
+        assert index.histograms.shape == (3, 4)
+        assert index.histograms.sum(axis=1).tolist() == index.lengths.tolist()
+        assert index.histograms[1].tolist() == [0, 0, 0, 4]
+
+    def test_from_fasta(self, tmp_path):
+        fa = tmp_path / "corpus.fasta"
+        write_fasta(fa, RECORDS)
+        index = CorpusIndex.from_fasta(fa, "ACGT")
+        assert index.names == ["s0", "s1", "s2"]
+        assert index.sequence(2).text == "GATTACA"
+
+    def test_unknown_symbol_is_alphabet_error(self):
+        with pytest.raises(AlphabetError, match="'X'"):
+            CorpusIndex.build(["ACXT"], "ACGT")
+
+    def test_bad_alphabets_rejected(self):
+        with pytest.raises(ConfigError):
+            CorpusIndex.build(["A"], "")
+        with pytest.raises(ConfigError):
+            CorpusIndex.build(["A"], "AAC")
+
+    def test_metadata_payload_mismatch_is_corrupt(self):
+        with pytest.raises(CorruptIndexError, match="promises"):
+            CorpusIndex("ACGT", ["s"], [""], np.array([5]),
+                        np.zeros(3, dtype=np.uint8))
+
+    def test_out_of_alphabet_code_is_corrupt(self):
+        with pytest.raises(CorruptIndexError, match="outside"):
+            CorpusIndex("ACGT", ["s"], [""], np.array([1]),
+                        np.array([9], dtype=np.uint8))
+
+    def test_empty_corpus(self, tmp_path):
+        index = CorpusIndex.build([], "ACGT")
+        assert len(index) == 0 and index.stats()["residues"] == 0
+        path = tmp_path / "empty.flsa"
+        index.save(path)
+        assert len(CorpusIndex.load(path)) == 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, index, index_path):
+        loaded = CorpusIndex.load(index_path)
+        assert loaded.alphabet == index.alphabet
+        assert loaded.names == index.names
+        assert loaded.descriptions == index.descriptions
+        assert loaded.lengths.tolist() == index.lengths.tolist()
+        assert loaded.codes.tolist() == index.codes.tolist()
+        assert loaded.fingerprint() == index.fingerprint()
+
+    def test_save_returns_fingerprint(self, index, tmp_path):
+        assert index.save(tmp_path / "x.flsa") == index.fingerprint()
+
+    def test_stats_shape(self, index):
+        stats = index.stats()
+        assert stats["sequences"] == 3 and stats["residues"] == 21
+        assert stats["min_length"] == 4 and stats["max_length"] == 10
+        assert len(stats["fingerprint"]) == 64
+
+
+class TestCorruption:
+    """Every byte-level failure mode maps to a typed error."""
+
+    def _blob(self, index_path):
+        return index_path.read_bytes()
+
+    def test_bad_magic(self, index_path):
+        index_path.write_bytes(b"X" + self._blob(index_path)[1:])
+        with pytest.raises(IndexFormatError, match="not a"):
+            CorpusIndex.load(index_path)
+
+    def test_unsupported_version(self, index_path):
+        blob = self._blob(index_path)
+        rewritten = blob.replace(
+            f"{INDEX_MAGIC} {INDEX_VERSION}\n".encode(),
+            f"{INDEX_MAGIC} {INDEX_VERSION + 8}\n".encode(), 1
+        )
+        index_path.write_bytes(rewritten)
+        with pytest.raises(IndexFormatError, match="version"):
+            CorpusIndex.load(index_path)
+
+    def test_malformed_magic_line(self, index_path):
+        index_path.write_bytes(f"{INDEX_MAGIC} one\nrest".encode())
+        with pytest.raises(IndexFormatError, match="malformed"):
+            CorpusIndex.load(index_path)
+
+    def test_unparseable_header(self, index_path):
+        index_path.write_bytes(f"{INDEX_MAGIC} {INDEX_VERSION}\n".encode()
+                               + b"{not json\n" + b"\x00\x01")
+        with pytest.raises(IndexFormatError, match="unparseable"):
+            CorpusIndex.load(index_path)
+
+    def test_header_missing_key(self, index_path):
+        header = json.dumps({"alphabet": "ACGT", "fingerprint": ""})
+        index_path.write_bytes(f"{INDEX_MAGIC} {INDEX_VERSION}\n".encode()
+                               + header.encode() + b"\n")
+        with pytest.raises(IndexFormatError, match="missing"):
+            CorpusIndex.load(index_path)
+
+    def test_truncated_file_no_header(self, index_path):
+        index_path.write_bytes(f"{INDEX_MAGIC} {INDEX_VERSION}\n".encode())
+        with pytest.raises(IndexFormatError, match="truncated"):
+            CorpusIndex.load(index_path)
+
+    def test_truncated_payload(self, index_path):
+        index_path.write_bytes(self._blob(index_path)[:-1])
+        with pytest.raises(CorruptIndexError, match="truncated or padded"):
+            CorpusIndex.load(index_path)
+
+    def test_payload_bitrot_fails_fingerprint(self, index_path):
+        blob = bytearray(self._blob(index_path))
+        blob[-3] ^= 0xFF  # flip one residue byte
+        index_path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptIndexError, match="fingerprint"):
+            CorpusIndex.load(index_path)
+
+    def test_metadata_bitrot_fails_fingerprint(self, index_path):
+        blob = self._blob(index_path)
+        head, header, payload = blob.split(b"\n", 2)
+        assert b'"s1"' in header
+        rotten = head + b"\n" + header.replace(b'"s1"', b'"z1"', 1) + b"\n" + payload
+        index_path.write_bytes(rotten)
+        with pytest.raises(CorruptIndexError, match="fingerprint"):
+            CorpusIndex.load(index_path)
+
+
+class TestLoadCache:
+    def test_cache_hit_returns_same_object(self, index_path):
+        cache = {}
+        first = load_index(index_path, cache)
+        assert load_index(index_path, cache) is first
+
+    def test_mtime_bump_reloads(self, index_path):
+        cache = {}
+        first = load_index(index_path, cache)
+        st = os.stat(index_path)
+        os.utime(index_path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        second = load_index(index_path, cache)
+        assert second is not first
+        assert second.fingerprint() == first.fingerprint()
+
+    def test_no_cache_loads_fresh(self, index_path):
+        assert load_index(index_path) is not load_index(index_path)

@@ -253,3 +253,104 @@ class TestAcceptance:
         # Cached/deduplicated responses carry the flag end-to-end.
         cached = [r for r in ok if r["result"]["cached"]]
         assert len(cached) == stats["cache_hits"] + stats["dedup_hits"]
+
+
+class TestSearchOp:
+    """The NDJSON ``search`` op: index loading, exactness, streaming."""
+
+    @staticmethod
+    def _index_file(tmp_path):
+        from repro.align import Sequence
+        from repro.search import CorpusIndex
+
+        records = [
+            Sequence("ACGTACGTACGTACGT", name="self"),
+            Sequence("ACGTACGAACGTACGA", name="near"),
+            Sequence("TTTTGGGG", name="far"),
+        ]
+        path = tmp_path / "corpus.flsa"
+        CorpusIndex.build(records, "ACGT").save(path)
+        return str(path), records
+
+    def test_search_roundtrip(self, tmp_path):
+        path, records = self._index_file(tmp_path)
+        req = {"op": "search", "id": 21, "a": "ACGTACGTACGTACGT",
+               "index": path, "top_k": 2, "gap_open": -6}
+        responses, svc = run_requests({"memory_cells": 200_000}, [req])
+        resp = responses[0]
+        assert resp["ok"] and resp["id"] == 21
+        result = resp["result"]
+        assert [h["name"] for h in result["hits"]] == ["self", "near"]
+        assert result["hits"][0]["score"] == 5 * 16  # exact self-hit
+        assert result["hits"][0]["a"] == "ACGTACGTACGTACGT"
+        assert result["complete"] is True
+        stats = result["stats"]
+        assert stats["candidates"] == 3
+        assert stats["pruned"] + stats["scored"] == 3
+        assert svc.stats()["searches"] == 1
+        assert svc.stats()["search_candidates"] == 3
+
+    def test_search_repeats_hit_index_cache(self, tmp_path):
+        path, _ = self._index_file(tmp_path)
+        reqs = [{"op": "search", "id": i, "a": "ACGTACGT", "index": path,
+                 "top_k": 1, "gap_open": -6} for i in range(3)]
+        responses, svc = run_requests({"memory_cells": 200_000}, reqs, waves=3)
+        assert all(r["ok"] for r in responses)
+        assert svc.stats()["searches"] == 3
+
+    def test_search_missing_index_key(self):
+        responses, _ = run_requests(
+            {"memory_cells": 100_000},
+            [{"op": "search", "id": 1, "a": "ACGT"}],
+        )
+        assert not responses[0]["ok"]
+        assert responses[0]["error"]["type"] == "ProtocolError"
+        assert "index" in responses[0]["error"]["message"]
+
+    def test_search_unreadable_index_path(self, tmp_path):
+        responses, _ = run_requests(
+            {"memory_cells": 100_000},
+            [{"op": "search", "id": 1, "a": "ACGT",
+              "index": str(tmp_path / "nope.flsa")}],
+        )
+        assert not responses[0]["ok"]
+        assert responses[0]["error"]["type"] == "ProtocolError"
+
+    def test_search_corrupt_index_is_typed(self, tmp_path):
+        path, _ = self._index_file(tmp_path)
+        blob = bytearray((tmp_path / "corpus.flsa").read_bytes())
+        blob[-2] ^= 0xFF
+        (tmp_path / "corpus.flsa").write_bytes(bytes(blob))
+        responses, _ = run_requests(
+            {"memory_cells": 100_000},
+            [{"op": "search", "id": 1, "a": "ACGT", "index": path}],
+        )
+        assert not responses[0]["ok"]
+        assert responses[0]["error"]["type"] == "CorruptIndexError"
+
+    def test_search_streaming_partial_frames(self, tmp_path):
+        path, _ = self._index_file(tmp_path)
+        req = {"op": "search", "id": 33, "a": "ACGTACGTACGTACGT",
+               "index": path, "top_k": 2, "stream": True, "gap_open": -6}
+
+        async def go():
+            svc = AlignmentService(memory_cells=200_000)
+            handler = ProtocolHandler(svc)
+            frames = []
+
+            async def emit(frame):
+                frames.append(frame)
+
+            async with svc:
+                final = await handler.handle(req, emit=emit)
+            return frames, final
+
+        frames, final = asyncio.run(go())
+        assert frames, "top-K membership changed: expected partial frames"
+        for frame in frames:
+            assert frame["id"] == 33 and frame["ok"] and frame["partial"]
+            for hit in frame["result"]["hits"]:
+                assert "a" not in hit  # snapshots carry no alignments
+        assert "partial" not in final
+        assert [h["name"] for h in final["result"]["hits"]] == ["self", "near"]
+        assert "a" in final["result"]["hits"][0]
