@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""PR7 shard-tier benchmark: one service process vs N scheduler shards.
+
+Drives the same burst of distinct ``align`` requests through
+
+* **inproc** — a single :class:`~repro.service.AlignmentService` behind a
+  :class:`~repro.service.ProtocolHandler` (the pre-PR7 serving shape);
+* **shards=N** — a :class:`~repro.service.ShardRouter` in front of N
+  forked scheduler-shard processes (``fastlsa serve --shards N``).
+
+Every response's score is cross-checked against the full-matrix
+Needleman–Wunsch reference; any mismatch makes the script exit non-zero
+(the CI smoke job runs ``--smoke`` for exactly this check).  Alongside
+throughput, the run records how evenly the consistent-hash ring spread
+the burst (``dispatched`` per shard) and the per-tenant admission
+counters.
+
+Results land in ``BENCH_pr7_shards.json`` at the repo root: wall time,
+jobs/s and speedup vs inproc per shard-count point.
+
+Usage::
+
+    python benchmarks/bench_shards.py            # default sweep (1, 2, 4)
+    python benchmarks/bench_shards.py --smoke    # CI-sized correctness run
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.baselines import needleman_wunsch  # noqa: E402
+from repro.scoring import ScoringScheme, dna_simple, linear_gap  # noqa: E402
+from repro.service import (  # noqa: E402
+    AlignmentService,
+    ProtocolHandler,
+    ShardRouter,
+)
+from repro.workloads import dna_pair  # noqa: E402
+
+SEED = 42
+MEMORY_CELLS = 2_000_000
+WORKERS_PER_SHARD = 2
+
+
+def build_burst(n_jobs, length):
+    """Distinct pairs (no cache/singleflight effects) plus reference scores."""
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    pairs = [
+        dna_pair(length, divergence=0.15, seed=SEED * 1000 + i)
+        for i in range(n_jobs)
+    ]
+    expected = [needleman_wunsch(a, b, scheme).score for a, b in pairs]
+    requests = [
+        {"op": "align", "id": i, "a": a.text, "b": b.text, "gap_open": -6,
+         "tenant": f"tenant{i % 3}"}
+        for i, (a, b) in enumerate(pairs)
+    ]
+    return requests, expected
+
+
+async def _drive(handler, requests):
+    t0 = time.perf_counter()
+    responses = await asyncio.gather(
+        *(handler.handle(dict(r)) for r in requests)
+    )
+    wall_s = time.perf_counter() - t0
+    stats = (await handler.handle({"op": "stats", "id": "stats"}))["result"]
+    return responses, wall_s, stats
+
+
+def run_inproc(requests):
+    async def go():
+        handler = ProtocolHandler(AlignmentService(
+            memory_cells=MEMORY_CELLS, max_workers=WORKERS_PER_SHARD,
+        ))
+        async with handler:
+            return await _drive(handler, requests)
+
+    return asyncio.run(go())
+
+
+def run_sharded(requests, shards):
+    async def go():
+        router = ShardRouter(
+            shards=shards,
+            service_kwargs={"memory_cells": MEMORY_CELLS,
+                            "max_workers": WORKERS_PER_SHARD},
+        )
+        async with router:
+            return await _drive(router, requests)
+
+    return asyncio.run(go())
+
+
+def check_scores(label, responses, expected):
+    problems = []
+    for resp, want in zip(responses, expected):
+        if not resp["ok"]:
+            problems.append(
+                f"[{label}] job {resp.get('id')}: {resp['error']['type']}"
+            )
+        elif resp["result"]["score"] != want:
+            problems.append(
+                f"[{label}] job {resp.get('id')}: score "
+                f"{resp['result']['score']} != reference {want}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: correctness is the point")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="burst size (default 48; 16 for --smoke)")
+    parser.add_argument("--length", type=int, default=None,
+                        help="sequence length (default 600; 200 for --smoke)")
+    parser.add_argument("--out",
+                        default=os.path.join(_REPO_ROOT,
+                                             "BENCH_pr7_shards.json"))
+    args = parser.parse_args(argv)
+
+    n_jobs = args.jobs or (16 if args.smoke else 48)
+    length = args.length or (200 if args.smoke else 600)
+    shard_counts = [1, 2] if args.smoke else [1, 2, 4]
+
+    requests, expected = build_burst(n_jobs, length)
+    print(f"# burst: {n_jobs} distinct {length}bp pairs, "
+          f"{WORKERS_PER_SHARD} worker(s) per shard", flush=True)
+
+    failures = []
+    rows = []
+
+    responses, base_wall, _ = run_inproc(requests)
+    failures += check_scores("inproc", responses, expected)
+    rows.append({
+        "config": "inproc", "shards": 0, "jobs": n_jobs,
+        "wall_s": round(base_wall, 6),
+        "jobs_per_s": round(n_jobs / base_wall, 2),
+        "speedup_vs_inproc": 1.0,
+        "exact": not failures,
+    })
+    print(f"  inproc    {base_wall:7.3f}s  {n_jobs / base_wall:7.1f} jobs/s",
+          flush=True)
+
+    for shards in shard_counts:
+        responses, wall_s, stats = run_sharded(requests, shards)
+        problems = check_scores(f"shards={shards}", responses, expected)
+        failures += problems
+        router_stats = stats.get("router", {})
+        per_shard = {
+            sid: snap.get("jobs_submitted", 0)
+            for sid, snap in stats.get("per_shard", {}).items()
+        }
+        rows.append({
+            "config": f"shards={shards}", "shards": shards, "jobs": n_jobs,
+            "wall_s": round(wall_s, 6),
+            "jobs_per_s": round(n_jobs / wall_s, 2),
+            "speedup_vs_inproc": round(base_wall / wall_s, 3),
+            "dispatched_per_shard": per_shard,
+            "shard_deaths": router_stats.get("shard_deaths", 0),
+            "reroutes": router_stats.get("reroutes", 0),
+            "tenants": sorted(router_stats.get("tenants", {})),
+            "exact": not problems,
+        })
+        spread = "/".join(str(v) for v in per_shard.values())
+        print(f"  shards={shards}  {wall_s:7.3f}s  "
+              f"{n_jobs / wall_s:7.1f} jobs/s  "
+              f"{base_wall / wall_s:5.2f}x  spread {spread}", flush=True)
+
+    payload = {
+        "meta": {
+            "bench": "pr7_shards",
+            "smoke": args.smoke,
+            "seed": SEED,
+            "jobs": n_jobs,
+            "length": length,
+            "memory_cells": MEMORY_CELLS,
+            "workers_per_shard": WORKERS_PER_SHARD,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "sweep": rows,
+        "exact": not failures,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"[wrote {args.out}]", flush=True)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr, flush=True)
+        return 1
+    print("exactness: every response matched the full-matrix reference",
+          flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

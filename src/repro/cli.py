@@ -208,6 +208,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="default matrix for requests that omit one")
     p_serve.add_argument("--gap-open", type=int, default=-6)
     p_serve.add_argument("--gap-extend", type=int, default=None)
+    p_serve.add_argument("--shards", type=int, default=0, metavar="N",
+                         help="fork N scheduler-shard processes behind a "
+                              "consistent-hash router (0 = single in-process "
+                              "scheduler); the memory budget is split across "
+                              "shards and the result cache partitions "
+                              "instead of duplicating")
+    p_serve.add_argument("--tenant-inflight", type=int, default=64,
+                         help="[--shards] per-tenant admission quota "
+                              "(concurrent requests; typed QueueFullError "
+                              "beyond it)")
+    p_serve.add_argument("--router-concurrent", type=int, default=None,
+                         metavar="N",
+                         help="[--shards] router-wide concurrency cap; when "
+                              "saturated, tenants drain under weighted fair "
+                              "queueing")
 
     p_index = sub.add_parser(
         "index", help="ingest a FASTA corpus into a persisted search index"
@@ -270,14 +285,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--list", dest="list_plans", action="store_true",
                          help="list the named fault plans and exit")
     p_chaos.add_argument("--scenario", default="service",
-                         choices=["service", "search"],
+                         choices=["service", "search", "shards"],
                          help="workload to chaos-test: the alignment "
-                              "service (default) or the corpus-search "
-                              "stack (index load + candidate scoring)")
+                              "service (default), the corpus-search "
+                              "stack (index load + candidate scoring), or "
+                              "the sharded router (shard-kill, reroute, "
+                              "bit-identity vs the serial reference)")
     p_chaos.add_argument("--corpus", type=int, default=40,
                          help="[search scenario] corpus size in sequences")
     p_chaos.add_argument("--top-k", type=int, default=4,
                          help="[search scenario] hits per query")
+    p_chaos.add_argument("--shards", type=int, default=2,
+                         help="[shards scenario] shard processes to fork")
     return parser
 
 
@@ -460,13 +479,20 @@ def _cmd_trace(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from .service import AlignmentService, ProtocolHandler, serve_stdio, serve_tcp
+    from .service import (
+        AlignmentService,
+        ProtocolHandler,
+        ShardRouter,
+        TenantQuota,
+        serve_stdio,
+        serve_tcp,
+    )
 
     memory_cells = (
         parse_memory(args.memory) if args.memory is not None else args.memory_cells
     )
     deadline = args.deadline if args.deadline is not None else args.timeout
-    service = AlignmentService(
+    service_kwargs = dict(
         memory_cells=memory_cells,
         max_workers=args.workers,
         cache_size=args.cache_size,
@@ -479,13 +505,28 @@ def _cmd_serve(args) -> int:
         default_backend=args.backend,
         backend_workers=args.backend_workers,
     )
-    handler = ProtocolHandler(
-        service,
+    handler_kwargs = dict(
         default_matrix=args.matrix,
         default_gap_open=args.gap_open,
         default_gap_extend=args.gap_extend,
     )
-    budget = f"{memory_cells} cells / {args.workers} workers"
+    if args.shards and args.shards > 0:
+        service = None
+        handler = ShardRouter(
+            shards=args.shards,
+            service_kwargs=service_kwargs,
+            handler_kwargs=handler_kwargs,
+            default_quota=TenantQuota("default", args.tenant_inflight),
+            max_concurrent=args.router_concurrent,
+        )
+        budget = (
+            f"{memory_cells} cells / {args.workers} workers "
+            f"across {args.shards} shards"
+        )
+    else:
+        service = AlignmentService(**service_kwargs)
+        handler = ProtocolHandler(service, **handler_kwargs)
+        budget = f"{memory_cells} cells / {args.workers} workers"
     if args.tcp is None:
         if not args.quiet:
             print(f"# fastlsa serve: NDJSON on stdin/stdout, {budget}",
@@ -674,6 +715,121 @@ def _chaos_search(args, say) -> int:
     return 0
 
 
+def _chaos_shards(args, say) -> int:
+    """Chaos scenario for the sharded router (the differential harness).
+
+    Ground truth is the serial, fault-free service driven through the
+    same protocol requests.  The sharded run then replays those requests
+    through a :class:`~repro.service.ShardRouter` under the armed plan
+    (shipped to shard 0, so e.g. ``shard-kill`` murders it mid-burst and
+    the survivors take over).  Acceptable outcomes are **bit-identical**
+    responses — same score *and* same gapped alignment strings — or a
+    typed failure; a silently wrong answer fails the run.
+    """
+    import asyncio
+
+    from .faults import chaos, named_plan
+    from .service import AlignmentService, ProtocolHandler, ShardRouter
+    from .workloads import dna_pair
+
+    pairs = [
+        dna_pair(args.length, divergence=args.divergence,
+                 seed=args.seed * 1000 + i)
+        for i in range(args.jobs)
+    ]
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    requests = [
+        {"op": "align", "id": i, "a": a.text, "b": b.text, "gap_open": -6,
+         "timeout": args.deadline, "tenant": f"tenant{i % 3}"}
+        for i, (a, b) in enumerate(pairs)
+    ]
+
+    async def reference():
+        handler = ProtocolHandler(AlignmentService(
+            memory_cells=args.memory_cells, max_workers=args.workers,
+        ))
+        async with handler:
+            return [await handler.handle(dict(r)) for r in requests]
+
+    expected = asyncio.run(reference())
+    for (a, b), resp in zip(pairs, expected):
+        if not resp["ok"]:
+            print(f"error: fault-free reference failed: {resp['error']}",
+                  file=sys.stderr)
+            return 2
+        want = needleman_wunsch(a, b, scheme).score
+        if resp["result"]["score"] != want:
+            print("error: fault-free reference is not optimal",
+                  file=sys.stderr)
+            return 2
+
+    plan = named_plan(args.plan, seed=args.seed)
+    say(f"# chaos plan '{args.plan}' seed={args.seed}: "
+        f"{len(plan.specs)} fault spec(s) armed, scenario=shards "
+        f"({args.shards} shard processes, plan shipped to shard 0)")
+
+    async def sharded():
+        # Full budget per shard (split_memory=False) so each shard plans
+        # jobs exactly like the serial reference — bit-identity requires
+        # identical k/base_cells.
+        router = ShardRouter(
+            shards=args.shards,
+            service_kwargs={"memory_cells": args.memory_cells,
+                            "max_workers": args.workers},
+            split_memory=False,
+        )
+        async with router:
+            responses = await asyncio.gather(
+                *(router.handle(dict(r)) for r in requests)
+            )
+            stats = (await router.handle({"op": "stats", "id": "s"}))["result"]
+            return responses, stats
+
+    with chaos(plan):
+        responses, stats = asyncio.run(sharded())
+
+    rows = []
+    bad = 0
+    for i, (resp, want) in enumerate(zip(responses, expected)):
+        row = {"job": i, "outcome": "", "identical": "-"}
+        if not resp["ok"]:
+            row["outcome"] = f"failed:{resp['error']['type']}"
+            rows.append(row)
+            continue
+        got_r, want_r = resp["result"], want["result"]
+        identical = all(
+            got_r.get(field) == want_r.get(field)
+            for field in ("score", "gapped_a", "gapped_b", "a_range", "b_range")
+        )
+        bad += 0 if identical else 1
+        row["outcome"] = "ok"
+        row["identical"] = "yes" if identical else "NO"
+        rows.append(row)
+    print(format_rows(
+        rows,
+        title=f"chaos '{args.plan}' seed={args.seed}, scenario=shards, "
+              f"{args.jobs} jobs over {args.shards} shards",
+    ))
+    router_stats = stats.get("router", {})
+    say(f"# router: {router_stats.get('shards_live')}/"
+        f"{router_stats.get('shards')} shards live, "
+        f"{router_stats.get('shard_deaths')} death(s), "
+        f"{router_stats.get('reroutes')} reroute(s); tenants: "
+        f"{sorted(router_stats.get('tenants', {}))}")
+    fired = ", ".join(
+        f"{site}={info['fired']}/{info['hits']}"
+        for site, info in plan.stats().items() if info["fired"]
+    )
+    say(f"# router-side faults fired: {fired or 'none'} "
+        f"(shard-side faults fire in the shard process)")
+    if bad:
+        print(f"error: {bad} response(s) diverged from the serial reference",
+              file=sys.stderr)
+        return 1
+    say("# every completed response is bit-identical to the serial reference")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from concurrent.futures import TimeoutError as FutureTimeout
 
@@ -691,6 +847,8 @@ def _cmd_chaos(args) -> int:
 
     if args.scenario == "search":
         return _chaos_search(args, say)
+    if args.scenario == "shards":
+        return _chaos_shards(args, say)
 
     scheme = ScoringScheme(dna_simple(), linear_gap(-6))
     pairs = [

@@ -50,6 +50,8 @@ __all__ = [
     "SITE_SERVER_WRITE",
     "SITE_INDEX_LOAD",
     "SITE_CANDIDATE_SCORE",
+    "SITE_SHARD_DISPATCH",
+    "SITE_SHARD_CRASH",
     "FaultSpec",
     "FaultPlan",
     "named_plan",
@@ -77,6 +79,12 @@ SITE_SERVER_WRITE = "server.write"
 SITE_INDEX_LOAD = "search.index.load"
 #: Corpus-search candidate scoring (one hit per candidate sweep/alignment).
 SITE_CANDIDATE_SCORE = "search.candidate.score"
+#: Shard router: a request is about to be written to a shard's pipe
+#: (``delay`` faults model slow pipes; ``raise`` a failed dispatch).
+SITE_SHARD_DISPATCH = "shard.dispatch"
+#: Shard process: request intake in a scheduler shard; a fired fault makes
+#: the shard process exit hard (SIGKILL-shaped) mid-burst.
+SITE_SHARD_CRASH = "shard.crash"
 
 #: Every site the library instruments, in stack order.
 SITES = (
@@ -90,6 +98,8 @@ SITES = (
     SITE_SERVER_WRITE,
     SITE_INDEX_LOAD,
     SITE_CANDIDATE_SCORE,
+    SITE_SHARD_DISPATCH,
+    SITE_SHARD_CRASH,
 )
 
 _KINDS = ("raise", "delay", "corrupt")
@@ -357,6 +367,23 @@ def _index_rot(seed: int) -> FaultPlan:
     )
 
 
+def _shard_kill(seed: int) -> FaultPlan:
+    """Kill one scheduler shard mid-burst, with slow dispatch pipes.
+
+    The crash spec fires once, after the shard has already served a couple
+    of requests — the router must detect the death, reroute the pending
+    requests to the survivors, and still return bit-identical results.
+    """
+    return FaultPlan(
+        [
+            FaultSpec(SITE_SHARD_DISPATCH, kind="delay", delay=0.002, p=0.2,
+                      max_fires=None),
+            FaultSpec(SITE_SHARD_CRASH, kind="raise", after=2, max_fires=1),
+        ],
+        seed=seed, name="shard-kill",
+    )
+
+
 def _everything(seed: int) -> FaultPlan:
     """A little of everything: one plan covering every site."""
     return FaultPlan(
@@ -386,6 +413,7 @@ NAMED_PLANS: Dict[str, Callable[[int], FaultPlan]] = {
     "flaky-network": _flaky_network,
     "flaky-search": _flaky_search,
     "index-rot": _index_rot,
+    "shard-kill": _shard_kill,
     "everything": _everything,
 }
 

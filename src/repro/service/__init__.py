@@ -14,7 +14,12 @@ and ``docs/ROBUSTNESS.md``):
 * :class:`MemoryGovernor`, :class:`ResultCache`, :class:`ServiceStats`,
   :class:`RetryPolicy`, :class:`CircuitBreaker` — the composable parts;
 * :func:`serve_stdio` / :func:`serve_tcp` / :class:`ProtocolHandler` —
-  the ``fastlsa serve`` NDJSON transports.
+  the ``fastlsa serve`` NDJSON transports;
+* :class:`ShardRouter` + :class:`TenantQuota` /
+  :class:`AdmissionController` — the multi-process shard tier
+  (``fastlsa serve --shards N``): consistent-hash routing onto N
+  scheduler-shard processes, per-tenant admission control, and
+  reroute-and-replay on shard death.
 """
 
 from .cache import ResultCache
@@ -31,16 +36,20 @@ from .jobs import (
     sequence_digest,
 )
 from .resilience import CircuitBreaker, RetryPolicy, is_transient
+from .router import HashRing, ShardRouter
 from .scheduler import AlignmentService
 from .server import ProtocolHandler, result_to_json, serve_stdio, serve_tcp
 from .stats import ServiceStats
+from .tenant import AdmissionController, TenantQuota
 
 __all__ = [
     "MODES",
+    "AdmissionController",
     "AlignRequest",
     "AlignmentClient",
     "AlignmentService",
     "CircuitBreaker",
+    "HashRing",
     "Job",
     "JobResult",
     "JobState",
@@ -49,7 +58,9 @@ __all__ = [
     "ResultCache",
     "RetryPolicy",
     "ServiceStats",
+    "ShardRouter",
     "TCPAlignmentClient",
+    "TenantQuota",
     "is_transient",
     "result_fingerprint",
     "result_to_json",

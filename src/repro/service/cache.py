@@ -45,11 +45,20 @@ class ResultCache:
         self,
         capacity: int = 1024,
         fingerprint: Optional[Callable[[object], Hashable]] = None,
+        *,
+        inject_faults: bool = True,
+        observe: bool = True,
     ) -> None:
         if capacity < 0:
             raise ConfigError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._fingerprint = fingerprint
+        # Internal memo uses (scheme/index caches in the protocol handler)
+        # opt out of the chaos sites and the service.cache_* obs counters:
+        # a cache-outage fault plan targets the *result* cache, and memo
+        # traffic must not pollute result-cache hit metrics.
+        self._inject_faults = inject_faults
+        self._observe = observe
         self._data: "OrderedDict[Hashable, Tuple[object, Optional[Hashable]]]" = (
             OrderedDict()
         )
@@ -70,7 +79,8 @@ class ResultCache:
         corrupted entry is evicted and reported as a miss rather than
         served.  May raise under an active fault plan (backend outage).
         """
-        faults.inject(SITE_CACHE_GET)
+        if self._inject_faults:
+            faults.inject(SITE_CACHE_GET)
         with self._lock:
             if key in self._data:
                 value, expected = self._data[key]
@@ -82,15 +92,18 @@ class ResultCache:
                     del self._data[key]
                     self.corruptions += 1
                     self.misses += 1
-                    obs.counter_add("service.cache_corruptions")
-                    obs.counter_add("service.cache_misses")
+                    if self._observe:
+                        obs.counter_add("service.cache_corruptions")
+                        obs.counter_add("service.cache_misses")
                     return None
                 self._data.move_to_end(key)
                 self.hits += 1
-                obs.counter_add("service.cache_hits")
+                if self._observe:
+                    obs.counter_add("service.cache_hits")
                 return value
             self.misses += 1
-            obs.counter_add("service.cache_misses")
+            if self._observe:
+                obs.counter_add("service.cache_misses")
             return None
 
     def put(
@@ -105,7 +118,8 @@ class ResultCache:
         """
         if self.capacity == 0:
             return
-        faults.inject(SITE_CACHE_PUT)
+        if self._inject_faults:
+            faults.inject(SITE_CACHE_PUT)
         if fingerprint is None and self._fingerprint is not None:
             fingerprint = self._fingerprint(value)
         with self._lock:
@@ -115,6 +129,11 @@ class ResultCache:
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
                 self.evictions += 1
+
+    def __setitem__(self, key: Hashable, value: object) -> None:
+        """Dict-style insert, so the cache drops into memo-shaped call
+        sites (e.g. :func:`repro.search.index.load_index`)."""
+        self.put(key, value)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

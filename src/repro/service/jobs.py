@@ -131,7 +131,12 @@ class JobResult:
     mode: str
     a_name: str
     b_name: str
+    #: Served from the LRU result cache (no computation ran at all).
     cached: bool = False
+    #: Singleflight follower: piggybacked on an identical in-flight
+    #: primary's fresh computation — distinct from ``cached``, since the
+    #: work *was* done (once), just not by this job.
+    deduped: bool = False
     score_only: bool = False
     gapped_a: Optional[str] = None
     gapped_b: Optional[str] = None
@@ -154,6 +159,7 @@ class JobResult:
             "mode": self.mode,
             "score": self.score,
             "cached": self.cached,
+            "deduped": self.deduped,
             "score_only": self.score_only,
             "plan_method": self.plan_method,
             "plan_k": self.plan_k,
@@ -208,6 +214,9 @@ class Job:
     # Singleflight registration key captured at submit time (degradation
     # may change ``plan`` — and with it ``cache_key()`` — mid-run).
     pending_key: Optional[Tuple] = None
+    # Singleflight followers: the loop timer enforcing the follower's own
+    # deadline while it waits on the primary (cancelled on resolution).
+    timeout_handle: Optional[object] = None
     # Detached trace spans (repro.obs), populated only while an
     # Instrumentation is active; None otherwise.
     span: Optional[object] = None

@@ -11,8 +11,12 @@ Two small, composable pieces the scheduler hardens itself with:
   backend failures open the breaker; while open, jobs planned on that
   backend are immediately degraded to another backend (or failed fast
   with :class:`~repro.errors.CircuitOpenError`) instead of burning a
-  worker slot on a known-bad path.  After ``reset_after`` seconds one
-  trial request is let through (half-open); success closes the breaker.
+  worker slot on a known-bad path.  After ``reset_after`` seconds
+  **exactly one** trial request is let through (half-open); concurrent
+  callers keep fast-failing until the trial reports back, so a burst
+  never re-hammers a recovering backend.  The trial's success closes the
+  breaker; a stale success (a call admitted before the breaker opened,
+  or a trial that lost a race with a re-opening failure) never does.
 
 Both are clock-injectable for deterministic tests.
 """
@@ -112,6 +116,7 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._trial_inflight = False
         self.opens = 0
         self.fast_fails = 0
 
@@ -127,25 +132,54 @@ class CircuitBreaker:
     def allow(self) -> bool:
         """May a request use this backend right now?
 
-        Open → ``False`` (callers count a fast-fail); half-open lets one
-        trial through (and re-arms only on its failure).
+        Open → ``False`` (callers count a fast-fail).  Half-open admits
+        **exactly one** in-flight trial: the first caller is let through,
+        every concurrent caller fast-fails until the trial reports back
+        via :meth:`record_success` / :meth:`record_failure` (or is
+        released by :meth:`abandon_trial`).
         """
         state = self.state
         if state == self.OPEN:
             self.fast_fails += 1
             return False
+        if state == self.HALF_OPEN:
+            if self._trial_inflight:
+                self.fast_fails += 1
+                return False
+            self._trial_inflight = True
         return True
 
+    def abandon_trial(self) -> None:
+        """The half-open trial ended without a backend verdict.
+
+        Deadline expiry or cancellation says nothing about the backend's
+        health — release the trial slot so the next caller may probe.
+        """
+        self._trial_inflight = False
+
     def record_success(self) -> None:
-        """A backend call succeeded: close the breaker, clear the streak."""
-        self._state = self.CLOSED
+        """A backend call succeeded: maybe close the breaker.
+
+        Only a success observed while the breaker is not open counts —
+        the half-open trial's success closes it, but a stale success
+        (admitted before the breaker opened, or a trial that raced a
+        re-opening failure) leaves an open breaker open.
+        """
         self._consecutive_failures = 0
+        was_trial = self._trial_inflight
+        self._trial_inflight = False
+        if self._state == self.OPEN and not was_trial:
+            return
+        self._state = self.CLOSED
 
     def record_failure(self) -> None:
         """A backend call failed: maybe trip the breaker."""
         self._consecutive_failures += 1
+        was_trial = self._trial_inflight
+        self._trial_inflight = False
         if (
             self._state == self.HALF_OPEN
+            or was_trial
             or self._consecutive_failures >= self.failure_threshold
         ):
             if self._state != self.OPEN:
@@ -160,4 +194,5 @@ class CircuitBreaker:
             "consecutive_failures": self._consecutive_failures,
             "opens": self.opens,
             "fast_fails": self.fast_fails,
+            "trial_inflight": self._trial_inflight,
         }

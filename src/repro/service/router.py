@@ -1,0 +1,522 @@
+"""Shard router: a protocol front end over N scheduler-shard processes.
+
+:class:`ShardRouter` is drop-in compatible with
+:class:`~repro.service.server.ProtocolHandler` (``async handle(req,
+emit)`` + async context manager), so :func:`~repro.service.server.
+serve_stdio` / :func:`~repro.service.server.serve_tcp` can put it behind
+the NDJSON transports unchanged.  Instead of driving one in-process
+:class:`~repro.service.scheduler.AlignmentService`, it:
+
+* forks N **shard processes** (:mod:`repro.service.shardproc`), each a
+  full service stack behind a duplex pipe;
+* **consistent-hashes** each request's job fingerprint (the same fields
+  the scheduler's ``cache_key`` digests) onto the ring of live shards,
+  so the LRU cache and singleflight table *partition* across processes
+  instead of duplicating — identical requests always land on the same
+  shard, and M shards mean M× aggregate cache;
+* runs **per-tenant admission control** in front of the ring
+  (:class:`~repro.service.tenant.AdmissionController`): per-tenant
+  inflight quotas rejected with a typed
+  :class:`~repro.errors.QueueFullError`, and weighted fair queueing when
+  the router's own concurrency cap saturates;
+* tracks **shard liveness** — a dead pipe removes the shard from the
+  ring and every request pending on it is transparently **rerouted and
+  replayed** on the survivors (the same idempotent-query argument as the
+  PR 4 reconnect-replay TCP client, bounded by the router's
+  :class:`~repro.service.resilience.RetryPolicy`);
+* aggregates ``stats`` across shards: counters summed, hit rate
+  recomputed, per-shard snapshots and router/tenant counters attached.
+
+Chaos: the ``shard.dispatch`` site fires in the router just before a
+frame is written to a shard pipe; ``shard.crash`` fires *inside* shard
+processes (the router ships the active fault plan to exactly one shard —
+``fault_shard`` — so a kill leaves survivors to reroute onto).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import multiprocessing as mp
+
+from ..errors import (
+    ConfigError,
+    ConnectionLostError,
+    ProtocolError,
+    ReproError,
+)
+from ..faults import runtime as faults
+from ..faults.plan import SITE_SHARD_DISPATCH
+from ..obs import runtime as obs
+from ..version import __version__
+from .resilience import RetryPolicy
+from .server import _error_to_json
+from .shardproc import shard_main
+from .tenant import DEFAULT_TENANT, AdmissionController, TenantQuota
+
+__all__ = ["ShardRouter", "HashRing"]
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each shard contributes ``replicas`` points on a 64-bit ring; a key is
+    served by the first point clockwise from its hash.  Removing a shard
+    (death) moves only its arcs to the survivors — every other key keeps
+    its shard, so the surviving caches stay warm.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[int] = []        # sorted ring positions
+        self._owners: Dict[int, int] = {}   # position -> shard id
+        self._members: set = set()
+
+    @staticmethod
+    def _position(label: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(label.encode()).digest()[:8], "big"
+        )
+
+    def add(self, shard_id: int) -> None:
+        if shard_id in self._members:
+            return
+        self._members.add(shard_id)
+        for r in range(self.replicas):
+            pos = self._position(f"shard:{shard_id}:{r}")
+            if pos in self._owners:  # pragma: no cover - 2^-64 collision
+                continue
+            bisect.insort(self._points, pos)
+            self._owners[pos] = shard_id
+
+    def remove(self, shard_id: int) -> None:
+        if shard_id not in self._members:
+            return
+        self._members.discard(shard_id)
+        self._points = [p for p in self._points if self._owners[p] != shard_id]
+        self._owners = {
+            p: s for p, s in self._owners.items() if s != shard_id
+        }
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def lookup(self, key) -> int:
+        """The shard id owning ``key`` (raises when the ring is empty)."""
+        if not self._points:
+            raise ConnectionLostError("no live shards remain")
+        if isinstance(key, str):
+            key = key.encode()
+        pos = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+        i = bisect.bisect_left(self._points, pos)
+        if i == len(self._points):
+            i = 0
+        return self._owners[self._points[i]]
+
+
+def _seq_text(obj) -> str:
+    """The residue text of a request's sequence field (name excluded —
+    it does not affect results, so it must not affect routing)."""
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, dict) and isinstance(obj.get("text"), str):
+        return obj["text"]
+    return repr(obj)  # malformed: route it anywhere, the shard rejects it
+
+
+class _ShardLost(Exception):
+    """Internal: the shard serving a pending request died (replay me)."""
+
+
+@dataclass
+class _Shard:
+    shard_id: int
+    process: "mp.process.BaseProcess"
+    conn: object
+    alive: bool = True
+    dispatched: int = 0
+    reader: Optional[threading.Thread] = None
+
+
+@dataclass
+class _Pending:
+    future: "asyncio.Future"
+    shard_id: int
+    orig_id: object
+    emit: Optional[object] = None
+    partials: List[asyncio.Task] = field(default_factory=list)
+
+
+class ShardRouter:
+    """The protocol-level front end over ``shards`` scheduler processes.
+
+    Parameters
+    ----------
+    shards:
+        Number of shard processes to fork.
+    service_kwargs:
+        Forwarded to each shard's :class:`AlignmentService`.  The
+        ``memory_cells`` budget is split evenly across shards (the
+        governor budget is per process); pass ``split_memory=False`` to
+        give every shard the full budget instead (used by the chaos
+        differential run, where per-shard planning must match the serial
+        reference exactly).
+    handler_kwargs:
+        Forwarded to each shard's :class:`ProtocolHandler` (default
+        matrix / gap penalties).
+    quotas / default_quota / max_concurrent:
+        Per-tenant admission control (see
+        :class:`~repro.service.tenant.AdmissionController`).
+    retry_policy:
+        Bounds reroute-and-replay attempts after shard deaths.
+    replicas:
+        Virtual nodes per shard on the consistent-hash ring.
+    fault_shard:
+        When a fault plan is active at router start, ship it to this one
+        shard (default 0) so chaos kills leave survivors.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        service_kwargs: Optional[Dict] = None,
+        *,
+        handler_kwargs: Optional[Dict] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        max_concurrent: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        replicas: int = 64,
+        fault_shard: int = 0,
+        split_memory: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        self.num_shards = shards
+        kwargs = dict(service_kwargs or {})
+        if split_memory and "memory_cells" in kwargs:
+            kwargs["memory_cells"] = max(1, int(kwargs["memory_cells"]) // shards)
+        self.service_kwargs = kwargs
+        self.handler_kwargs = dict(handler_kwargs or {})
+        self.admission = AdmissionController(
+            quotas=quotas, default_quota=default_quota,
+            max_concurrent=max_concurrent,
+        )
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_shard = fault_shard
+        self._ring = HashRing(replicas)
+        self._shards: Dict[int, _Shard] = {}
+        self._pending: Dict[int, _Pending] = {}
+        self._rids = itertools.count(1)
+        self._rr = itertools.count()  # round-robin fallback for keyless ops
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = False
+        self._closing = False
+        # router-level counters for the aggregated stats surface
+        self.shard_deaths = 0
+        self.reroutes = 0
+        self.dispatched = 0
+
+    # -- lifecycle -----------------------------------------------------
+    async def __aenter__(self) -> "ShardRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def start(self) -> "ShardRouter":
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        plan = faults.current()
+        plan_dict = plan.to_dict() if plan is not None else None
+        for shard_id in range(self.num_shards):
+            self._spawn(
+                shard_id,
+                plan_dict if shard_id == self.fault_shard else None,
+            )
+        self._started = True
+        self._closing = False
+        return self
+
+    def _spawn(self, shard_id: int, fault_plan: Optional[Dict]) -> None:
+        ctx = mp.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=shard_main,
+            args=(child_conn, shard_id, self.service_kwargs, fault_plan,
+                  self.handler_kwargs),
+            daemon=True,
+            name=f"fastlsa-shard-{shard_id}",
+        )
+        proc.start()
+        child_conn.close()
+        shard = _Shard(shard_id=shard_id, process=proc, conn=parent_conn)
+        self._shards[shard_id] = shard
+        self._ring.add(shard_id)
+        reader = threading.Thread(
+            target=self._read_loop, args=(shard,), daemon=True,
+            name=f"fastlsa-shard-reader-{shard_id}",
+        )
+        shard.reader = reader
+        reader.start()
+
+    async def close(self) -> None:
+        """Stop every shard (graceful: drain, then join)."""
+        if not self._started:
+            return
+        self._closing = True
+        for shard in self._shards.values():
+            if shard.alive:
+                try:
+                    shard.conn.send_bytes(b'{"op": "__stop__"}')
+                except (BrokenPipeError, OSError):
+                    pass
+        loop = asyncio.get_running_loop()
+        for shard in self._shards.values():
+            await loop.run_in_executor(None, shard.process.join, 10)
+            if shard.process.is_alive():  # pragma: no cover - hung shard
+                shard.process.terminate()
+                await loop.run_in_executor(None, shard.process.join, 5)
+            try:
+                shard.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for shard in self._shards.values():
+            if shard.reader is not None:
+                shard.reader.join(timeout=5)
+        self._started = False
+
+    # -- shard I/O -----------------------------------------------------
+    def _read_loop(self, shard: _Shard) -> None:
+        """Reader thread: pump one shard's frames onto the event loop."""
+        while True:
+            try:
+                raw = shard.conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            self._loop.call_soon_threadsafe(self._on_frame, shard, raw)
+        self._loop.call_soon_threadsafe(self._on_shard_death, shard)
+
+    def _on_frame(self, shard: _Shard, raw: bytes) -> None:
+        try:
+            resp = json.loads(raw.decode())
+        except ValueError:  # pragma: no cover - shard never emits junk
+            return
+        rid = resp.get("id")
+        pending = self._pending.get(rid)
+        if pending is None:
+            return  # replayed elsewhere after a death; late frame is stale
+        resp["id"] = pending.orig_id
+        if resp.pop("partial", False):
+            # streaming ops: forward intermediate frames, keep waiting
+            resp["partial"] = True
+            if pending.emit is not None:
+                pending.partials.append(
+                    asyncio.ensure_future(pending.emit(resp))
+                )
+            return
+        if not pending.future.done():
+            pending.future.set_result(resp)
+
+    def _on_shard_death(self, shard: _Shard) -> None:
+        """Loop-side: take a dead shard out of the ring, fail its pending
+        requests with the internal replay marker."""
+        if not shard.alive:
+            return
+        shard.alive = False
+        self._ring.remove(shard.shard_id)
+        if not self._closing:
+            self.shard_deaths += 1
+            obs.counter_add("service.shard_deaths")
+        for pending in list(self._pending.values()):
+            if pending.shard_id == shard.shard_id and not pending.future.done():
+                pending.future.set_exception(
+                    _ShardLost(f"shard {shard.shard_id} died")
+                )
+
+    # -- routing -------------------------------------------------------
+    def _route_key(self, req: Dict) -> bytes:
+        """The job fingerprint this request is consistent-hashed by.
+
+        Mirrors the fields of the scheduler's ``cache_key`` (sequences,
+        scheme, mode, score-only, pinned config) with the handler's
+        gap normalisation, so identical jobs — however spelled — share a
+        shard.  ``batch`` hashes the query only: all its targets must
+        land on one shard for the micro-batcher to coalesce them.
+        """
+        op = req.get("op")
+        gap_open = req.get("gap_open", -6)
+        gap_extend = req.get("gap_extend")
+        try:
+            gap_open = int(gap_open)
+            gap_extend = None if gap_extend is None else int(gap_extend)
+        except (TypeError, ValueError):
+            pass  # malformed: still route deterministically
+        scheme = f"{req.get('matrix', 'dna')}:{gap_open}:{gap_extend}"
+        config = json.dumps(req.get("config"), sort_keys=True)
+        if op == "align":
+            parts = (
+                "align", _seq_text(req.get("a")), _seq_text(req.get("b")),
+                scheme, str(req.get("mode", "global")),
+                str(bool(req.get("score_only", False))), config,
+            )
+        elif op == "batch":
+            parts = (
+                "batch", _seq_text(req.get("a")), scheme,
+                str(req.get("mode", "local")),
+                str(bool(req.get("score_only", False))), config,
+            )
+        elif op == "search":
+            parts = ("search", str(req.get("index")), _seq_text(req.get("a")))
+        else:
+            # keyless ops (ping forwarded explicitly, unknown ops): spread
+            # round-robin so error shaping still comes from a real shard.
+            parts = ("rr", str(next(self._rr) % max(1, len(self._ring))))
+        return "\x00".join(parts).encode()
+
+    # -- the handler surface -------------------------------------------
+    async def handle(self, req, emit=None) -> Dict:
+        """Process one decoded request; always returns a response dict."""
+        req_id = req.get("id") if isinstance(req, dict) else None
+        try:
+            if not isinstance(req, dict):
+                raise ProtocolError(f"request must be a JSON object, got {req!r}")
+            op = req.get("op")
+            if op == "ping":
+                return self._ok(req_id, "pong")
+            if op == "stats":
+                return self._ok(req_id, await self._stats())
+            tenant = str(req.get("tenant", DEFAULT_TENANT))
+            await self.admission.acquire(tenant)
+            try:
+                return await self._dispatch(req, req_id, emit)
+            finally:
+                self.admission.release(tenant)
+        except ReproError as exc:
+            return {
+                "id": req_id, "ok": False, "version": __version__,
+                "error": _error_to_json(exc),
+            }
+
+    @staticmethod
+    def _ok(req_id, result) -> Dict:
+        return {"id": req_id, "ok": True, "version": __version__, "result": result}
+
+    async def _dispatch(self, req: Dict, req_id, emit) -> Dict:
+        """Send to the owning shard; reroute-and-replay on shard death.
+
+        Every protocol op is an idempotent pure query (the reconnect-
+        replay argument from the TCP client), so replaying one on a
+        survivor after a death is always safe; attempts are bounded by
+        the retry policy.
+        """
+        key = self._route_key(req)
+        attempts = 0
+        while True:
+            shard_id = self._ring.lookup(key)  # ConnectionLostError if empty
+            shard = self._shards[shard_id]
+            rid = next(self._rids)
+            pending = _Pending(
+                future=self._loop.create_future(),
+                shard_id=shard_id, orig_id=req_id, emit=emit,
+            )
+            self._pending[rid] = pending
+            try:
+                faults.inject(SITE_SHARD_DISPATCH)
+                shard.conn.send_bytes(
+                    json.dumps({**req, "id": rid}).encode()
+                )
+                shard.dispatched += 1
+                self.dispatched += 1
+                resp = await pending.future
+            except (_ShardLost, BrokenPipeError, OSError) as exc:
+                # The shard died under this request (mid-flight, or the
+                # pipe broke on send).  Replay on a survivor.
+                if not isinstance(exc, _ShardLost):
+                    self._on_shard_death(shard)  # broken pipe == dead shard
+                if pending.future.done() and not pending.future.cancelled():
+                    pending.future.exception()  # consumed: we are replaying
+                if attempts >= self.retry_policy.max_retries + 1:
+                    raise ConnectionLostError(
+                        f"request replayed {attempts} times across shard "
+                        f"deaths without completing"
+                    ) from None
+                attempts += 1
+                self.reroutes += 1
+                obs.counter_add("service.shard_reroutes")
+                continue
+            finally:
+                self._pending.pop(rid, None)
+            for partial in pending.partials:
+                await partial
+            return resp
+
+    # -- stats ---------------------------------------------------------
+    async def _stats(self) -> Dict:
+        """Aggregate ``stats`` across every live shard."""
+        snaps: Dict[int, Dict] = {}
+        for shard_id, shard in list(self._shards.items()):
+            if not shard.alive:
+                continue
+            try:
+                resp = await self._dispatch_to(shard, {"op": "stats"})
+            except (_ShardLost, BrokenPipeError, OSError):
+                continue  # died mid-probe: aggregate the survivors
+            if resp.get("ok"):
+                snaps[shard_id] = resp["result"]
+        agg = self._aggregate(list(snaps.values()))
+        agg["router"] = {
+            "shards": self.num_shards,
+            "shards_live": len(self._ring),
+            "shard_deaths": self.shard_deaths,
+            "reroutes": self.reroutes,
+            "dispatched": self.dispatched,
+            "admission_active": self.admission.active,
+            "tenants": self.admission.stats(),
+        }
+        agg["per_shard"] = {str(sid): snap for sid, snap in snaps.items()}
+        return agg
+
+    async def _dispatch_to(self, shard: _Shard, req: Dict) -> Dict:
+        """One shard-pinned request (no reroute): used by the stats fan-out."""
+        rid = next(self._rids)
+        pending = _Pending(
+            future=self._loop.create_future(),
+            shard_id=shard.shard_id, orig_id=req.get("id"),
+        )
+        self._pending[rid] = pending
+        try:
+            shard.conn.send_bytes(json.dumps({**req, "id": rid}).encode())
+            return await pending.future
+        finally:
+            self._pending.pop(rid, None)
+
+    @staticmethod
+    def _aggregate(snaps: List[Dict]) -> Dict:
+        """Sum shard counters; recompute derived rates; first-wins strings."""
+        agg: Dict = {}
+        for snap in snaps:
+            for key, value in snap.items():
+                if key == "metrics" or key.startswith("breaker_"):
+                    continue  # per-shard only (see "per_shard")
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    agg.setdefault(key, value)
+                elif key == "cache_hit_rate":
+                    continue  # recomputed below
+                else:
+                    agg[key] = agg.get(key, 0) + value
+        total = agg.get("cache_hits", 0) + agg.get("cache_misses", 0)
+        agg["cache_hit_rate"] = (
+            round(agg.get("cache_hits", 0) / total, 4) if total else 0.0
+        )
+        return agg

@@ -297,6 +297,10 @@ class AlignmentService:
                 job_id=job.job_id, mode=mode, score_only=score_only,
             )
 
+        effective = timeout if timeout is not None else self.default_timeout
+        if effective is not None:
+            job.deadline = job.submitted_at + effective
+
         key = job.cache_key()
         try:
             cached = self.cache.get(key)
@@ -307,7 +311,8 @@ class AlignmentService:
             obs.counter_add("service.cache_errors")
             cached = None
         if cached is not None:
-            result = self._replay_cached(job, cached)
+            result = self._clone_result(job, cached)
+            result.cached = True
             job.state = JobState.DONE
             future.set_result(result)
             self.stats_.completed += 1
@@ -317,10 +322,17 @@ class AlignmentService:
             return job
 
         # Singleflight: identical work already in flight — piggyback on it
-        # instead of queueing a duplicate computation.
+        # instead of queueing a duplicate computation.  The follower keeps
+        # its *own* deadline: a loop timer fails it with JobTimeoutError if
+        # the primary has not resolved in time.
         primary = self._by_key.get(key)
         if primary is not None:
             self.stats_.dedup_hits += 1
+            if job.deadline is not None:
+                job.timeout_handle = loop.call_later(
+                    max(0.0, job.deadline - loop.time()),
+                    self._follower_timeout, job,
+                )
             primary.future.add_done_callback(
                 lambda fut, job=job: self._mirror(job, fut)
             )
@@ -333,9 +345,6 @@ class AlignmentService:
                 f"queue depth limit {self.max_queue_depth} reached "
                 f"({len(self._pending)} pending)"
             )
-        effective = timeout if timeout is not None else self.default_timeout
-        if effective is not None:
-            job.deadline = job.submitted_at + effective
         job.pending_key = key
         self._by_key[key] = job
         self._pending.append(job)
@@ -397,8 +406,29 @@ class AlignmentService:
             inst.tracer.end_span(job.span)
             job.span = None
 
+    def _follower_timeout(self, job: Job) -> None:
+        """A singleflight follower's own deadline fired before the primary
+        resolved: fail *this* job; the primary (and other followers with
+        later deadlines) keep running."""
+        job.timeout_handle = None
+        if job.future.done():
+            return
+        self.stats_.timeouts += 1
+        self._fail(
+            job,
+            JobTimeoutError(
+                f"job {job.job_id} timed out waiting on an identical "
+                f"in-flight request"
+            ),
+        )
+
     def _mirror(self, job: Job, fut: "asyncio.Future[JobResult]") -> None:
         """Resolve a deduplicated job from its primary's outcome."""
+        if job.timeout_handle is not None:
+            job.timeout_handle.cancel()
+            job.timeout_handle = None
+        if job.future.done():
+            return  # the follower's own deadline already failed it
         if fut.cancelled():
             job.future.cancel()
             return
@@ -406,7 +436,8 @@ class AlignmentService:
         if exc is not None:
             self._fail(job, exc)
             return
-        result = self._replay_cached(job, fut.result())
+        result = self._clone_result(job, fut.result())
+        result.deduped = True
         job.state = JobState.DONE
         self.stats_.completed += 1
         self.stats_.record(result)
@@ -532,18 +563,27 @@ class AlignmentService:
             await self._sem.acquire()
             # The slot wait may have outlived some deadlines.
             group = [j for j in group if not self._expired(j)]
+            reservation = 0
+            while group:
+                reservation = max(j.plan.predicted_peak_cells for j in group)
+                try:
+                    # Wait bounded by the *group's* earliest remaining
+                    # deadline — not the lead job's, which may have none.
+                    await self.governor.reserve(
+                        reservation, timeout=self._group_remaining(group)
+                    )
+                    break
+                except JobTimeoutError:
+                    # The earliest deadline lapsed while waiting for
+                    # cells: fail only the members whose own deadline
+                    # passed; survivors keep waiting.
+                    group = [j for j in group if not self._expired(j)]
+                except ServiceError as exc:
+                    for j in group:
+                        self._fail(j, exc)
+                    group = []
             if not group:
                 self._sem.release()
-                continue
-            reservation = max(j.plan.predicted_peak_cells for j in group)
-            try:
-                await self.governor.reserve(reservation, timeout=self._remaining(job))
-            except ServiceError as exc:
-                self._sem.release()
-                if isinstance(exc, JobTimeoutError):
-                    self.stats_.timeouts += len(group)
-                for j in group:
-                    self._fail(j, exc)
                 continue
             for j in group:
                 j.reserved_cells = reservation
@@ -584,10 +624,24 @@ class AlignmentService:
             return True
         return False
 
-    def _remaining(self, job: Job) -> Optional[float]:
-        if job.deadline is None:
+    @staticmethod
+    def _deadline_passed(job: Job, loop: asyncio.AbstractEventLoop) -> bool:
+        return job.deadline is not None and loop.time() >= job.deadline
+
+    def _timeout_job(self, job: Job, phase: str) -> None:
+        """Fail one job with a deadline error, counting the timeout."""
+        self.stats_.timeouts += 1
+        self._fail(
+            job, JobTimeoutError(f"job {job.job_id} deadline passed {phase}")
+        )
+
+    def _group_remaining(self, group: List[Job]) -> Optional[float]:
+        """Seconds until the group's *earliest* deadline (``None`` if no
+        member carries one)."""
+        deadlines = [j.deadline for j in group if j.deadline is not None]
+        if not deadlines:
             return None
-        return max(0.0, job.deadline - asyncio.get_running_loop().time())
+        return max(0.0, min(deadlines) - asyncio.get_running_loop().time())
 
     # -- execution -----------------------------------------------------
     async def _run_group(self, group: List[Job], reservation: int) -> None:
@@ -650,11 +704,29 @@ class AlignmentService:
         every :func:`~repro.core.planner.degrade_plan` rung strictly
         shrinks the predicted peak, so the original reservation always
         covers a re-planned run.
+
+        A coalesced group runs under its *earliest* member deadline (the
+        cancel token must fire for the most urgent job), but deadline
+        expiry never condemns the whole group: only members whose own
+        deadline passed are failed, and the survivors are re-run.  The
+        group list is mutated in place so ``_run_group``'s zip stays
+        aligned with the returned results.
         """
         loop = asyncio.get_running_loop()
         policy = self.retry_policy
         attempt = 0
         while True:
+            # Backoff sleeps, breaker waits and earlier attempts consume
+            # wall clock — fail members whose own deadline has passed and
+            # keep going with the rest.
+            survivors = [j for j in group if not self._deadline_passed(j, loop)]
+            if len(survivors) < len(group):
+                for j in group:
+                    if not any(j is s for s in survivors):
+                        self._timeout_job(j, "before reaching a worker")
+                group[:] = survivors
+            if not group:
+                return []
             lead = max(group, key=lambda j: j.plan.predicted_peak_cells)
             method = lead.plan.method
             breaker = self.breakers.get(method)
@@ -666,13 +738,31 @@ class AlignmentService:
                         f"circuit breaker for backend {method!r} is open"
                     )
                 continue
-            token = self._group_token(group, loop)
             try:
+                token = self._group_token(group, loop)
                 results = await loop.run_in_executor(
                     self._executor, self._run_in_scope, token, group
                 )
             except JobTimeoutError:
-                raise  # deadline expiry is permanent; never retried
+                # The group's earliest deadline fired (mid-run via the
+                # cancel token, or while racing the loop clock).  Deadline
+                # expiry says nothing about backend health: release any
+                # half-open trial slot, fail only the members whose own
+                # deadline passed, and re-run the survivors.
+                if breaker is not None:
+                    breaker.abandon_trial()
+                survivors = [
+                    j for j in group if not self._deadline_passed(j, loop)
+                ]
+                if not survivors:
+                    raise  # every member expired: _run_group fails them all
+                for j in group:
+                    if not any(j is s for s in survivors):
+                        self._timeout_job(
+                            j, "mid-run at the group's earliest deadline"
+                        )
+                group[:] = survivors
+                continue
             except Exception as exc:
                 if breaker is not None:
                     breaker.record_failure()
@@ -842,13 +932,19 @@ class AlignmentService:
             **fields,
         )
 
-    def _replay_cached(self, job: Job, cached: object) -> JobResult:
-        """A cache hit: clone the stored result under the new job's id."""
-        assert isinstance(cached, JobResult)
-        result = JobResult(**{**cached.__dict__})
-        result.downgrades = list(cached.downgrades)
+    def _clone_result(self, job: Job, source: object) -> JobResult:
+        """Clone a shared result under the new job's id.
+
+        Used for both cache hits (``cached=True``) and singleflight
+        followers (``deduped=True``) — the caller sets the flag that says
+        *why* no computation ran for this job.
+        """
+        assert isinstance(source, JobResult)
+        result = JobResult(**{**source.__dict__})
+        result.downgrades = list(source.downgrades)
         result.job_id = job.job_id
-        result.cached = True
+        result.cached = False
+        result.deduped = False
         result.queue_wait = 0.0
         result.run_time = 0.0
         return result

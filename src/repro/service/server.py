@@ -53,7 +53,7 @@ import asyncio
 import json
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..align.sequence import Sequence
 from ..core.config import AlignConfig
@@ -78,6 +78,7 @@ from ..scoring import (
     table1_matrix,
 )
 from ..search.index import load_index
+from .cache import ResultCache
 from .jobs import JobResult
 from .scheduler import AlignmentService
 
@@ -100,6 +101,7 @@ def result_to_json(result: JobResult) -> Dict:
         "a_name": result.a_name,
         "b_name": result.b_name,
         "cached": result.cached,
+        "deduped": result.deduped,
         "batch_size": result.batch_size,
         "plan": {
             "method": result.plan_method,
@@ -147,21 +149,46 @@ def _parse_config(req: Dict) -> Optional[AlignConfig]:
         raise ProtocolError(f"bad 'config' object: {exc}") from exc
 
 
+#: Memo bounds for the protocol handler: schemes are tiny but clients can
+#: sweep gap parameters freely; indexes are large, so keep only a few.
+_SCHEME_MEMO_CAPACITY = 64
+_INDEX_MEMO_CAPACITY = 8
+
+
 @dataclass
 class ProtocolHandler:
     """Decodes request dicts, drives the service, encodes responses.
 
-    Scheme objects are memoised per ``(matrix, gap_open, gap_extend)`` so
-    every request on a connection maps to a shared, cache-key-stable
-    scheme.
+    Scheme objects are memoised per *normalised* ``(matrix, gap_open,
+    gap_extend)`` (``2`` and ``2.0`` map to one entry, hence one cache
+    key) so every request on a connection maps to a shared,
+    cache-key-stable scheme.  Both the scheme and the index memo are
+    small LRUs — a client sweeping gap parameters or index paths recycles
+    entries instead of growing the handler without bound.
     """
 
     service: AlignmentService
     default_matrix: str = "dna"
     default_gap_open: int = -6
     default_gap_extend: Optional[int] = None
-    _schemes: Dict[Tuple, ScoringScheme] = field(default_factory=dict)
-    _indexes: Dict = field(default_factory=dict)  # path -> (mtime, CorpusIndex)
+    _schemes: ResultCache = field(
+        default_factory=lambda: ResultCache(
+            _SCHEME_MEMO_CAPACITY, inject_faults=False, observe=False
+        )
+    )
+    # path -> (mtime, CorpusIndex)
+    _indexes: ResultCache = field(
+        default_factory=lambda: ResultCache(
+            _INDEX_MEMO_CAPACITY, inject_faults=False, observe=False
+        )
+    )
+
+    async def __aenter__(self) -> "ProtocolHandler":
+        await self.service.__aenter__()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.service.__aexit__(*exc_info)
 
     def scheme_for(self, req: Dict) -> ScoringScheme:
         name = str(req.get("matrix", self.default_matrix))
@@ -170,16 +197,19 @@ class ProtocolHandler:
                 f"unknown matrix {name!r}; choose from {sorted(_MATRICES)}"
             )
         gap_open = int(req.get("gap_open", self.default_gap_open))
-        gap_extend = req.get("gap_extend", self.default_gap_extend)
+        raw_extend = req.get("gap_extend", self.default_gap_extend)
+        gap_extend = None if raw_extend is None else int(raw_extend)
         key = (name, gap_open, gap_extend)
-        if key not in self._schemes:
+        scheme = self._schemes.get(key)
+        if scheme is None:
             gap = (
                 linear_gap(gap_open)
                 if gap_extend is None
-                else affine_gap(gap_open, int(gap_extend))
+                else affine_gap(gap_open, gap_extend)
             )
-            self._schemes[key] = ScoringScheme(_MATRICES[name](), gap)
-        return self._schemes[key]
+            scheme = ScoringScheme(_MATRICES[name](), gap)
+            self._schemes.put(key, scheme)
+        return scheme
 
     async def handle(self, req: Dict, emit=None) -> Dict:
         """Process one decoded request; always returns a response dict.
@@ -368,9 +398,15 @@ async def _serve_lines(handler: ProtocolHandler, reader, write_line,
         await asyncio.gather(*tuple(tasks), return_exceptions=True)
 
 
-async def serve_stdio(service: AlignmentService,
-                      handler: Optional[ProtocolHandler] = None) -> None:
-    """Serve NDJSON over stdin/stdout until EOF or a ``shutdown`` op."""
+async def serve_stdio(service: Optional[AlignmentService],
+                      handler=None) -> None:
+    """Serve NDJSON over stdin/stdout until EOF or a ``shutdown`` op.
+
+    ``handler`` may be any async-context-manager exposing
+    ``handle(req, emit)`` — a :class:`ProtocolHandler` (built from
+    ``service`` by default) or a :class:`~repro.service.router.ShardRouter`
+    fronting several shard processes (pass ``service=None``).
+    """
     handler = handler or ProtocolHandler(service)
     loop = asyncio.get_running_loop()
     reader = asyncio.StreamReader()
@@ -383,22 +419,24 @@ async def serve_stdio(service: AlignmentService,
         sys.stdout.flush()
 
     shutdown = asyncio.Event()
-    async with service:
+    async with handler:
         await _serve_lines(handler, reader, write_line, shutdown)
 
 
 async def serve_tcp(
-    service: AlignmentService,
+    service: Optional[AlignmentService],
     host: str = "127.0.0.1",
     port: int = 0,
-    handler: Optional[ProtocolHandler] = None,
+    handler=None,
     ready: Optional[asyncio.Event] = None,
 ) -> None:
     """Serve NDJSON over TCP; one shared service, many connections.
 
     ``port=0`` binds an ephemeral port; the bound address is stored on
     ``serve_tcp.bound`` before ``ready`` (if given) is set — tests use
-    this to connect without racing the bind.
+    this to connect without racing the bind.  As with
+    :func:`serve_stdio`, ``handler`` may be a
+    :class:`~repro.service.router.ShardRouter` (with ``service=None``).
     """
     handler = handler or ProtocolHandler(service)
     shutdown = asyncio.Event()
@@ -420,7 +458,7 @@ async def serve_tcp(
             stopper.set()
 
     stopper = asyncio.Event()
-    async with service:
+    async with handler:
         server = await asyncio.start_server(on_connect, host, port)
         serve_tcp.bound = server.sockets[0].getsockname()
         if ready is not None:

@@ -1,0 +1,127 @@
+"""Scheduler-shard process: one :class:`AlignmentService` behind a pipe.
+
+The shard router (:mod:`repro.service.router`) forks N of these, each
+owning a full service stack — scheduler, governor, LRU cache,
+singleflight table, breakers — and speaking the same NDJSON protocol as
+the TCP server, framed over a :class:`multiprocessing.connection.Pipe`
+(``send_bytes``/``recv_bytes``; the OS pipe gives us message framing for
+free).
+
+Because the router consistent-hashes requests by job fingerprint, each
+shard's cache holds a *partition* of the keyspace rather than a copy —
+M shards mean M× aggregate cache capacity, and singleflight dedup keeps
+working (identical requests land on the same shard).
+
+Chaos: the ``shard.crash`` site fires at request intake; when a fault
+plan makes it fire the process exits hard (``os._exit``) — the
+SIGKILL-shaped failure mode the router's liveness tracking must absorb.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Dict, Optional
+
+from ..errors import InjectedFaultError
+from ..faults import runtime as faults
+from ..faults.plan import SITE_SHARD_CRASH, FaultPlan
+from ..obs import runtime as obs
+from .scheduler import AlignmentService
+from .server import ProtocolHandler
+
+__all__ = ["shard_main", "CRASH_EXIT_CODE"]
+
+#: Exit status a shard uses when the ``shard.crash`` chaos site fires.
+CRASH_EXIT_CODE = 3
+
+
+def shard_main(
+    conn,
+    shard_id: int,
+    service_kwargs: Optional[Dict] = None,
+    fault_plan: Optional[Dict] = None,
+    handler_kwargs: Optional[Dict] = None,
+) -> None:
+    """Entry point of one shard process (target of ``Process(...)``).
+
+    ``conn`` is the child end of a duplex pipe; ``service_kwargs`` are
+    forwarded to :class:`AlignmentService` and ``handler_kwargs`` to
+    :class:`ProtocolHandler` (default matrix / gap penalties);
+    ``fault_plan`` is an optional
+    :meth:`~repro.faults.plan.FaultPlan.to_dict` payload enabled
+    process-globally in this shard (the router ships it to exactly one
+    shard so a chaos run keeps survivors).
+    """
+    # Forked children inherit the parent's contextvar scopes *and* — when
+    # the fork happened on the event-loop thread — the thread-local
+    # "a loop is running" marker, which would break asyncio.run() here.
+    obs.reset_scope()
+    faults.reset_scope()
+    faults.disable()
+    try:
+        asyncio.events._set_running_loop(None)
+    except AttributeError:  # pragma: no cover - private API moved
+        pass
+    asyncio.set_event_loop(None)
+    if fault_plan is not None:
+        faults.enable(FaultPlan.from_dict(fault_plan))
+    try:
+        asyncio.run(
+            _serve_pipe(conn, shard_id, service_kwargs or {}, handler_kwargs or {})
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+async def _serve_pipe(
+    conn, shard_id: int, service_kwargs: Dict, handler_kwargs: Dict
+) -> None:
+    """Read NDJSON frames off the pipe, serve them concurrently, reply.
+
+    Requests are handled as independent tasks (the scheduler's
+    micro-batcher and singleflight need concurrent arrivals); responses
+    are written back from the event loop only, so frames never interleave.
+    """
+    loop = asyncio.get_running_loop()
+    service = AlignmentService(**service_kwargs)
+    handler = ProtocolHandler(service, **handler_kwargs)
+    tasks: set = set()
+
+    async def emit(payload: Dict) -> None:
+        try:
+            conn.send_bytes(json.dumps(payload).encode())
+        except (BrokenPipeError, OSError):  # router died; nothing to tell
+            pass
+
+    async def run_one(req: Dict) -> None:
+        await emit(await handler.handle(req, emit=emit))
+
+    async with handler:
+        while True:
+            try:
+                raw = await loop.run_in_executor(None, conn.recv_bytes)
+            except (EOFError, OSError):
+                break
+            try:
+                faults.inject(SITE_SHARD_CRASH)
+            except InjectedFaultError:
+                # A chaos plan killed this shard: die the hard way — no
+                # drain, no goodbye frame — so the router exercises its
+                # reroute-and-replay path, not a graceful shutdown.
+                conn.close()
+                os._exit(CRASH_EXIT_CODE)
+            req = json.loads(raw.decode())
+            if isinstance(req, dict) and req.get("op") == "__stop__":
+                break
+            task = asyncio.ensure_future(run_one(req))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tuple(tasks), return_exceptions=True)

@@ -1,0 +1,210 @@
+"""Per-tenant admission control for the shard router.
+
+Two cooperating pieces, both running on the router's event loop:
+
+* **Quotas** — each tenant may have at most ``max_inflight`` requests in
+  flight through the router.  The quota check happens *before* anything
+  is dispatched to a shard, so one tenant's burst is rejected with a
+  typed :class:`~repro.errors.QueueFullError` (per tenant, not globally)
+  while every other tenant keeps being served.
+* **Weighted fair queueing** — when the router's total concurrency cap
+  is reached, waiting requests are released in start-time-fair-queueing
+  order: each tenant carries a virtual-time tag that advances by
+  ``1 / weight`` per admitted request, and the earliest tag goes next.
+  A tenant with weight 2 therefore drains twice as fast as a tenant
+  with weight 1, and a backlogged heavy tenant cannot starve a light
+  one — the light tenant's tags stay close to the virtual clock.
+
+The controller is deliberately single-loop (no locks): the router calls
+:meth:`AdmissionController.acquire` / :meth:`~AdmissionController.release`
+from coroutine context only.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import asyncio
+
+from ..errors import ConfigError, QueueFullError
+
+__all__ = ["TenantQuota", "AdmissionController", "DEFAULT_TENANT"]
+
+#: Tenant requests without a ``tenant`` field are billed to this name.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    ``max_inflight`` bounds this tenant's concurrently admitted requests
+    (the quota); ``weight`` is its weighted-fair-queueing share when the
+    router itself is saturated.
+    """
+
+    name: str
+    max_inflight: int = 64
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ConfigError(
+                f"tenant {self.name!r}: max_inflight must be >= 1, "
+                f"got {self.max_inflight}"
+            )
+        if self.weight <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: weight must be > 0, got {self.weight}"
+            )
+
+
+class _TenantState:
+    """Live counters for one tenant (created on first request)."""
+
+    __slots__ = ("quota", "inflight", "admitted", "rejected", "queued", "last_finish")
+
+    def __init__(self, quota: TenantQuota) -> None:
+        self.quota = quota
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.queued = 0
+        self.last_finish = 0.0  # virtual finish tag of the last admission
+
+
+class AdmissionController:
+    """Quota + weighted-fair-queueing gate in front of the shard ring.
+
+    Parameters
+    ----------
+    quotas:
+        Explicit per-tenant quotas.  Unknown tenants get a copy of
+        ``default_quota`` under their own name.
+    default_quota:
+        Template for tenants without an explicit quota.
+    max_concurrent:
+        Router-wide concurrency cap; ``None`` disables the fair queue
+        entirely (quotas still apply).  When the cap is reached, new
+        requests wait and are released in WFQ order.
+    """
+
+    def __init__(
+        self,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        max_concurrent: Optional[int] = None,
+    ) -> None:
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ConfigError(
+                f"max_concurrent must be >= 1 or None, got {max_concurrent}"
+            )
+        self._default = default_quota or TenantQuota(DEFAULT_TENANT)
+        self._tenants: Dict[str, _TenantState] = {}
+        for name, quota in (quotas or {}).items():
+            self._tenants[name] = _TenantState(quota)
+        self.max_concurrent = max_concurrent
+        self._active = 0
+        self._vtime = 0.0
+        self._seq = itertools.count()
+        # (virtual start tag, seq, future, state) — seq breaks tag ties FIFO.
+        self._waiting: List[Tuple[float, int, "asyncio.Future", _TenantState]] = []
+
+    def _state(self, tenant: str) -> _TenantState:
+        st = self._tenants.get(tenant)
+        if st is None:
+            quota = TenantQuota(
+                tenant, self._default.max_inflight, self._default.weight
+            )
+            st = self._tenants[tenant] = _TenantState(quota)
+        return st
+
+    async def acquire(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` (waiting its WFQ turn if the
+        router is saturated).
+
+        Raises
+        ------
+        QueueFullError
+            The tenant is at its ``max_inflight`` quota.  Typed, per
+            tenant: other tenants are unaffected.
+        """
+        st = self._state(tenant)
+        if st.inflight >= st.quota.max_inflight:
+            st.rejected += 1
+            raise QueueFullError(
+                f"tenant {tenant!r} is at its admission quota "
+                f"({st.quota.max_inflight} requests in flight)"
+            )
+        # Reserve the quota slot before any wait, so a tenant cannot
+        # overshoot its quota through the waiting room.
+        st.inflight += 1
+        if self.max_concurrent is not None and self._active >= self.max_concurrent:
+            tag = max(self._vtime, st.last_finish)
+            st.last_finish = tag + 1.0 / st.quota.weight
+            fut = asyncio.get_running_loop().create_future()
+            heapq.heappush(self._waiting, (tag, next(self._seq), fut, st))
+            st.queued += 1
+            try:
+                await fut
+            except asyncio.CancelledError:
+                # Caller gave up while queued: undo the quota reservation.
+                # If the slot had already been granted (the grantor's
+                # decrement stands, ours never happened), re-offer it to
+                # the next waiter without touching the active count.
+                st.inflight -= 1
+                if fut.cancelled():
+                    self._drop_waiter(fut)
+                else:
+                    self._grant_next()
+                raise
+        else:
+            st.last_finish = max(self._vtime, st.last_finish) + 1.0 / st.quota.weight
+        self._active += 1
+        st.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        """One of ``tenant``'s requests finished (success or failure)."""
+        st = self._tenants[tenant]
+        st.inflight -= 1
+        self._release_slot()
+
+    def _release_slot(self) -> None:
+        self._active -= 1
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._waiting:
+            tag, _, fut, _st = heapq.heappop(self._waiting)
+            if fut.done():  # cancelled while queued
+                continue
+            self._vtime = max(self._vtime, tag)
+            fut.set_result(None)
+            return
+
+    def _drop_waiter(self, fut: "asyncio.Future") -> None:
+        self._waiting = [entry for entry in self._waiting if entry[2] is not fut]
+        heapq.heapify(self._waiting)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Requests currently admitted through the controller."""
+        return self._active
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant counters for the aggregated stats surface."""
+        return {
+            name: {
+                "inflight": st.inflight,
+                "admitted": st.admitted,
+                "rejected": st.rejected,
+                "queued": st.queued,
+                "max_inflight": st.quota.max_inflight,
+                "weight": st.quota.weight,
+            }
+            for name, st in sorted(self._tenants.items())
+        }

@@ -393,7 +393,10 @@ class TestCircuitBreaker:
     def test_stats_shape(self):
         breaker, _ = self._make()
         stats = breaker.stats()
-        assert set(stats) == {"state", "consecutive_failures", "opens", "fast_fails"}
+        assert set(stats) == {
+            "state", "consecutive_failures", "opens", "fast_fails",
+            "trial_inflight",
+        }
 
 
 class TestFaultsInCorePaths:

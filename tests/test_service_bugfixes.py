@@ -1,0 +1,223 @@
+"""Regression tests for the PR-7 bugfix sweep.
+
+Four bugs, each pinned by a test that fails on the old behaviour:
+
+1. **Group deadlines** — a coalesced batch used to be failed wholesale at
+   the *earliest* member's deadline; now only the members whose own
+   deadline passed are failed and the survivors keep running.
+2. **Singleflight follower deadlines** — a deduplicated follower used to
+   inherit the primary's lifetime (its own ``timeout`` was ignored), and
+   its result was indistinguishable from a cache hit.  Now the follower's
+   deadline fires independently and shared results are marked
+   ``deduped`` (not ``cached``).
+3. **Half-open breaker** — the half-open state used to admit every
+   concurrent caller at once, re-hammering a recovering backend.  Now it
+   admits exactly one in-flight trial, and a deadline-abandoned trial
+   releases the slot.
+4. **Unbounded protocol memos** — ``ProtocolHandler`` memoised every
+   distinct scheme/index key forever; the memos are now LRU-bounded and
+   the ``gap_extend`` key is normalised to ``int`` like ``gap_open``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.baselines import needleman_wunsch
+from repro.errors import JobTimeoutError
+from repro.scoring import ScoringScheme, dna_simple, linear_gap
+from repro.service import AlignmentService, CircuitBreaker, ProtocolHandler
+from repro.service.server import _INDEX_MEMO_CAPACITY, _SCHEME_MEMO_CAPACITY
+from repro.workloads import dna_pair
+
+
+@pytest.fixture
+def scheme():
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+def _run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+class TestGroupDeadlines:
+    def test_expired_member_dropped_survivors_complete(self, scheme):
+        """In a coalesced batch, only the job whose own deadline passed
+        fails; the other members still run to the correct answer."""
+        blocker_a, blocker_b = dna_pair(6000, seed=3)
+        query = "ACGTACGTACGTACGTACGTACGTACGT"
+        targets = ["ACGTTCGTACGTACGAACGTACGTACGA", "ACGAACGTACGTACGTACGTACGTAGGT"]
+
+        async def go():
+            async with AlignmentService(
+                memory_cells=400_000, max_workers=1, max_batch=8, cache_size=0
+            ) as svc:
+                # Occupy the single worker so the group sits queued long
+                # enough for the short deadline to expire.
+                blocker = await svc.submit(blocker_a, blocker_b, scheme)
+                await asyncio.sleep(0.05)
+                doomed = await svc.submit(
+                    query, targets[0], scheme, timeout=0.02
+                )
+                survivor = await svc.submit(
+                    query, targets[1], scheme, timeout=30.0
+                )
+                outcomes = await asyncio.gather(
+                    doomed.future, survivor.future, blocker.future,
+                    return_exceptions=True,
+                )
+                return outcomes, svc.stats()
+
+        (doomed_out, survivor_out, blocker_out), stats = _run(go())
+        assert isinstance(doomed_out, JobTimeoutError)
+        assert not isinstance(survivor_out, BaseException)
+        assert not isinstance(blocker_out, BaseException)
+        want = needleman_wunsch(query, targets[1], scheme).score
+        assert survivor_out.score == want
+        assert stats["jobs_timed_out"] == 1
+        assert stats["jobs_completed"] == 2
+
+    def test_no_deadline_group_unaffected(self, scheme):
+        """Deadline-free jobs never hit the timeout path."""
+
+        async def go():
+            async with AlignmentService(
+                memory_cells=400_000, max_workers=1, max_batch=4, cache_size=0
+            ) as svc:
+                results = await svc.align_many(
+                    [("ACGTACGTAC", "ACGTTCGTAC"), ("ACGTACGTAC", "ACGAACGTAC")],
+                    scheme,
+                )
+                return results, svc.stats()
+
+        results, stats = _run(go())
+        assert stats["jobs_timed_out"] == 0
+        assert all(r.score is not None for r in results)
+
+
+class TestFollowerDeadlines:
+    def test_follower_times_out_while_primary_completes(self, scheme):
+        """A singleflight follower's own (shorter) deadline fails *it*,
+        not the primary it piggybacks on."""
+        a, b = dna_pair(6000, seed=7)
+
+        async def go():
+            async with AlignmentService(
+                memory_cells=600_000, max_workers=1, max_batch=1, cache_size=8
+            ) as svc:
+                primary = await svc.submit(a.text, b.text, scheme)
+                await asyncio.sleep(0.05)  # let the primary reach a worker
+                follower = await svc.submit(
+                    a.text, b.text, scheme, timeout=0.02
+                )
+                follower_out, primary_out = await asyncio.gather(
+                    follower.future, primary.future, return_exceptions=True
+                )
+                return follower_out, primary_out, svc.stats()
+
+        follower_out, primary_out, stats = _run(go())
+        assert isinstance(follower_out, JobTimeoutError)
+        assert "in-flight" in str(follower_out)
+        assert not isinstance(primary_out, BaseException)
+        assert primary_out.score == needleman_wunsch(a, b, scheme).score
+        assert stats["jobs_timed_out"] == 1
+
+    def test_follower_result_marked_deduped_not_cached(self, scheme):
+        a, b = dna_pair(200, seed=9)
+
+        async def go():
+            async with AlignmentService(
+                memory_cells=400_000, max_workers=1, max_batch=1, cache_size=8
+            ) as svc:
+                primary = await svc.submit(a.text, b.text, scheme)
+                follower = await svc.submit(a.text, b.text, scheme)
+                p, f = await asyncio.gather(primary.future, follower.future)
+                # A later identical request is a *cache* hit, not a dedup.
+                later = await (
+                    await svc.submit(a.text, b.text, scheme)
+                ).future
+                return p, f, later, svc.stats()
+
+        p, f, later, stats = _run(go())
+        assert not p.cached and not p.deduped
+        assert f.deduped and not f.cached
+        assert later.cached and not later.deduped
+        assert stats["dedup_hits"] == 1
+        assert stats["cache_hits"] == 1
+
+
+class TestHalfOpenBreaker:
+    def _tripped(self, clock):
+        br = CircuitBreaker(failure_threshold=1, reset_after=5.0, clock=clock)
+        br.record_failure()
+        assert br.state == CircuitBreaker.OPEN
+        return br
+
+    def test_half_open_admits_exactly_one_trial(self):
+        now = [0.0]
+        br = self._tripped(lambda: now[0])
+        assert not br.allow()  # still open
+        now[0] = 6.0
+        assert br.state == CircuitBreaker.HALF_OPEN
+        assert br.allow()  # the one trial
+        # Concurrent callers fast-fail while the trial is in flight.
+        assert not br.allow()
+        assert not br.allow()
+        assert br.stats()["trial_inflight"] is True
+        br.record_success()
+        assert br.state == CircuitBreaker.CLOSED
+        assert br.allow()
+
+    def test_abandoned_trial_releases_the_slot(self):
+        now = [0.0]
+        br = self._tripped(lambda: now[0])
+        now[0] = 6.0
+        assert br.allow()
+        assert not br.allow()
+        br.abandon_trial()  # deadline expiry: no verdict on the backend
+        assert br.state == CircuitBreaker.HALF_OPEN
+        assert br.allow()  # next caller gets to probe
+        br.record_failure()
+        assert br.state == CircuitBreaker.OPEN
+
+    def test_failed_trial_reopens(self):
+        now = [0.0]
+        br = self._tripped(lambda: now[0])
+        now[0] = 6.0
+        assert br.allow()
+        br.record_failure()
+        assert br.state == CircuitBreaker.OPEN
+        assert not br.allow()
+
+    def test_stale_success_never_closes_open_breaker(self):
+        """A success from a call admitted before the breaker opened must
+        not close it — only the half-open trial's success may."""
+        now = [0.0]
+        br = self._tripped(lambda: now[0])
+        br.record_success()  # stale: no trial in flight
+        assert br.state == CircuitBreaker.OPEN
+
+
+class TestBoundedProtocolMemos:
+    def _handler(self):
+        return ProtocolHandler(AlignmentService(memory_cells=200_000))
+
+    def test_scheme_memo_is_lru_bounded(self):
+        handler = self._handler()
+        for gap in range(1, 3 * _SCHEME_MEMO_CAPACITY):
+            handler.scheme_for({"matrix": "dna", "gap_open": -gap})
+        assert len(handler._schemes) <= _SCHEME_MEMO_CAPACITY
+        assert _INDEX_MEMO_CAPACITY >= 1  # index memo bounded too
+
+    def test_gap_extend_key_normalised_to_int(self):
+        """``gap_extend: -1`` and ``gap_extend: -1.0`` are one memo entry
+        (and one scheme object), like ``gap_open`` always was."""
+        handler = self._handler()
+        s1 = handler.scheme_for({"matrix": "dna", "gap_open": -6, "gap_extend": -1})
+        s2 = handler.scheme_for(
+            {"matrix": "dna", "gap_open": -6.0, "gap_extend": -1.0}
+        )
+        assert s1 is s2
+        assert len(handler._schemes) == 1

@@ -160,7 +160,9 @@ class TestServiceCacheHits:
         results, calls, stats = asyncio.run(go())
         assert calls == [1]  # one real computation for five callers
         assert stats["dedup_hits"] == 4
-        assert sum(1 for r in results if r.cached) == 4
+        # Followers are deduped (piggybacked on fresh work), NOT cached.
+        assert sum(1 for r in results if r.deduped) == 4
+        assert not any(r.cached for r in results)
         assert len({r.score for r in results}) == 1
 
     def test_batched_results_are_cached_per_job(self, scheme, monkeypatch):

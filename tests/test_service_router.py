@@ -1,0 +1,301 @@
+"""Tests for the sharded service tier: ring, admission, router.
+
+The expensive multi-process cases (shard kill, cross-shard stats) fork
+real shard processes; the ring and admission controller are unit-tested
+in-process.  The headline property is the differential one: a shard
+dying mid-burst must never change an answer — rerouted jobs replay on a
+surviving shard and come back bit-identical to the serial reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.baselines import needleman_wunsch
+from repro.errors import ConfigError, ConnectionLostError, QueueFullError
+from repro.faults import runtime as faults
+from repro.faults.plan import named_plan
+from repro.scoring import ScoringScheme, dna_simple, linear_gap
+from repro.service import (
+    AdmissionController,
+    AlignmentService,
+    HashRing,
+    ProtocolHandler,
+    ShardRouter,
+    TenantQuota,
+)
+from repro.workloads import dna_pair
+
+
+@pytest.fixture
+def scheme():
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+@pytest.fixture(autouse=True)
+def _no_global_plan():
+    faults.disable()
+    yield
+    faults.disable()
+
+
+def _run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_and_total(self):
+        ring = HashRing()
+        for shard in range(4):
+            ring.add(shard)
+        keys = [f"key-{i}" for i in range(200)]
+        first = [ring.lookup(k) for k in keys]
+        assert first == [ring.lookup(k) for k in keys]
+        assert set(first) == {0, 1, 2, 3}  # every shard owns some keys
+
+    def test_remove_only_moves_dead_shards_keys(self):
+        """Consistent hashing: removing one shard reassigns only the keys
+        it owned; every other key keeps its shard."""
+        ring = HashRing()
+        for shard in range(4):
+            ring.add(shard)
+        keys = [f"key-{i}" for i in range(300)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(2)
+        after = {k: ring.lookup(k) for k in keys}
+        for k in keys:
+            if before[k] != 2:
+                assert after[k] == before[k]
+            else:
+                assert after[k] != 2
+
+    def test_empty_ring_raises_typed(self):
+        with pytest.raises(ConnectionLostError):
+            HashRing().lookup("anything")
+
+
+class TestAdmissionController:
+    def test_quota_rejection_is_per_tenant(self):
+        async def go():
+            ctrl = AdmissionController(
+                quotas={"small": TenantQuota("small", max_inflight=2)},
+                default_quota=TenantQuota("default", max_inflight=64),
+            )
+            await ctrl.acquire("small")
+            await ctrl.acquire("small")
+            with pytest.raises(QueueFullError):
+                await ctrl.acquire("small")
+            # Another tenant is unaffected by small's saturation.
+            await ctrl.acquire("other")
+            ctrl.release("small")
+            await ctrl.acquire("small")  # slot freed
+            stats = ctrl.stats()
+            assert stats["small"]["rejected"] == 1
+            assert stats["small"]["inflight"] == 2
+            assert stats["other"]["rejected"] == 0
+
+        _run(go())
+
+    def test_wfq_prefers_heavier_tenant(self):
+        """With the router saturated, a weight-2 tenant is admitted twice
+        per weight-1 admission (start-time fair queueing)."""
+
+        async def go():
+            ctrl = AdmissionController(
+                quotas={
+                    "heavy": TenantQuota("heavy", max_inflight=64, weight=2.0),
+                    "light": TenantQuota("light", max_inflight=64, weight=1.0),
+                },
+                max_concurrent=1,
+            )
+            await ctrl.acquire("hog")  # saturate the only slot
+            order = []
+
+            async def worker(tenant):
+                await ctrl.acquire(tenant)
+                order.append(tenant)
+                ctrl.release(tenant)
+
+            tasks = [
+                asyncio.ensure_future(worker(t))
+                for t in ["heavy", "heavy", "heavy", "heavy", "light", "light"]
+            ]
+            await asyncio.sleep(0.01)  # everyone queues behind the hog
+            ctrl.release("hog")
+            await asyncio.gather(*tasks)
+            return order
+
+        order = _run(go())
+        # Tags: heavy 0, .5, 1, 1.5 — light 0, 1.  Interleaved 2:1.
+        assert order == ["heavy", "light", "heavy", "heavy", "light", "heavy"]
+
+    def test_cancelled_waiter_returns_quota(self):
+        async def go():
+            ctrl = AdmissionController(
+                default_quota=TenantQuota("default", max_inflight=8),
+                max_concurrent=1,
+            )
+            await ctrl.acquire("t")
+            waiter = asyncio.ensure_future(ctrl.acquire("t"))
+            await asyncio.sleep(0.01)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            ctrl.release("t")
+            assert ctrl.active == 0
+            assert ctrl.stats()["t"]["inflight"] == 0
+            await ctrl.acquire("t")  # slot and quota both usable again
+            assert ctrl.active == 1
+
+        _run(go())
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TenantQuota("x", max_inflight=0)
+        with pytest.raises(ConfigError):
+            TenantQuota("x", weight=0.0)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_concurrent=0)
+
+
+class TestShardRouter:
+    def test_tenant_quota_isolation_through_router(self, scheme):
+        """One tenant over quota gets typed rejections; the other tenant's
+        requests all succeed, and the rejections show up in stats."""
+        pairs = [dna_pair(120, seed=100 + i) for i in range(6)]
+
+        async def go():
+            async with ShardRouter(
+                shards=2,
+                service_kwargs={"memory_cells": 400_000, "max_workers": 1},
+                quotas={"capped": TenantQuota("capped", max_inflight=1)},
+            ) as router:
+                # Burst 6 concurrent requests for the capped tenant: at
+                # most 1 in flight, so most are rejected (never queued).
+                capped = await asyncio.gather(
+                    *(
+                        router.handle(
+                            {
+                                "op": "align", "id": i, "a": a.text, "b": b.text,
+                                "gap_open": -6, "tenant": "capped",
+                            }
+                        )
+                        for i, (a, b) in enumerate(pairs)
+                    )
+                )
+                free = await asyncio.gather(
+                    *(
+                        router.handle(
+                            {
+                                "op": "align", "id": 10 + i, "a": a.text,
+                                "b": b.text, "gap_open": -6, "tenant": "free",
+                            }
+                        )
+                        for i, (a, b) in enumerate(pairs)
+                    )
+                )
+                stats = (await router.handle({"op": "stats", "id": "s"}))["result"]
+                return capped, free, stats
+
+        capped, free, stats = _run(go())
+        rejected = [r for r in capped if not r["ok"]]
+        assert rejected, "burst should exceed max_inflight=1"
+        assert all(r["error"]["type"] == "QueueFullError" for r in rejected)
+        assert all(r["error"]["backpressure"] for r in rejected)
+        assert all(r["ok"] for r in free)
+        for (a, b), resp in zip(pairs, free):
+            assert resp["result"]["score"] == needleman_wunsch(a, b, scheme).score
+        tenants = stats["router"]["tenants"]
+        assert tenants["capped"]["rejected"] == len(rejected)
+        assert tenants["free"]["rejected"] == 0
+
+    def test_shard_kill_reroute_is_bit_identical(self, scheme):
+        """The acceptance property: kill a shard mid-burst and every
+        completed answer still matches the serial reference exactly."""
+        pairs = [dna_pair(150, divergence=0.2, seed=500 + i) for i in range(10)]
+        requests = [
+            {"op": "align", "id": i, "a": a.text, "b": b.text, "gap_open": -6}
+            for i, (a, b) in enumerate(pairs)
+        ]
+
+        async def reference():
+            handler = ProtocolHandler(
+                AlignmentService(memory_cells=400_000, max_workers=2)
+            )
+            async with handler:
+                return [await handler.handle(dict(r)) for r in requests]
+
+        expected = _run(reference())
+        assert all(r["ok"] for r in expected)
+
+        async def sharded():
+            async with ShardRouter(
+                shards=2,
+                service_kwargs={"memory_cells": 400_000, "max_workers": 2},
+                split_memory=False,  # identical per-shard planning
+            ) as router:
+                responses = await asyncio.gather(
+                    *(router.handle(dict(r)) for r in requests)
+                )
+                stats = (await router.handle({"op": "stats", "id": "s"}))["result"]
+                return responses, stats
+
+        plan = named_plan("shard-kill", seed=11)
+        with faults.chaos(plan):
+            responses, stats = _run(sharded())
+
+        assert stats["router"]["shard_deaths"] == 1
+        assert stats["router"]["shards_live"] == 1
+        assert stats["router"]["reroutes"] >= 1
+        for want, got in zip(expected, responses):
+            assert got["ok"], got  # replay must recover every routed job
+            for field in ("score", "gapped_a", "gapped_b"):
+                assert got["result"][field] == want["result"][field]
+
+    def test_cross_shard_stats_aggregation(self, scheme):
+        """Aggregated stats sum per-shard counters, and singleflight /
+        cache keys partition (identical jobs land on one shard)."""
+        a, b = dna_pair(120, seed=77)
+
+        async def go():
+            async with ShardRouter(
+                shards=3,
+                service_kwargs={"memory_cells": 600_000, "max_workers": 1},
+            ) as router:
+                reqs = [
+                    {"op": "align", "id": i, "a": a.text, "b": b.text,
+                     "gap_open": -6}
+                    for i in range(4)
+                ]
+                first = await router.handle(reqs[0])
+                rest = await asyncio.gather(
+                    *(router.handle(r) for r in reqs[1:])
+                )
+                stats = (await router.handle({"op": "stats", "id": "s"}))["result"]
+                return first, rest, stats
+
+        first, rest, stats = _run(go())
+        assert first["ok"] and all(r["ok"] for r in rest)
+        # Identical fingerprints hash to one shard: every repeat is a
+        # cache hit (or dedup) there, never a recompute on another shard.
+        assert all(
+            r["result"]["cached"] or r["result"]["deduped"] for r in rest
+        )
+        assert stats["cache_hits"] + stats["dedup_hits"] == len(rest)
+        # All four submissions landed on the one shard owning the key.
+        assert stats["jobs_submitted"] == 4
+        router_stats = stats["router"]
+        assert router_stats["shards"] == 3
+        assert router_stats["shards_live"] == 3
+        assert router_stats["shard_deaths"] == 0
+        assert len(stats["per_shard"]) == 3
+        # The aggregate is the sum of the per-shard snapshots.
+        assert stats["jobs_completed"] == sum(
+            s.get("jobs_completed", 0) for s in stats["per_shard"].values()
+        )
+
+    def test_router_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            ShardRouter(shards=0)

@@ -182,7 +182,10 @@ class TestTcpServer:
         got, bye = asyncio.run(go())
         by_id = {g["id"]: g for g in got}
         assert by_id[1]["ok"] and by_id[2]["ok"]
-        assert by_id[2]["result"]["cached"]  # same request served from cache
+        # The identical request never recomputes: served from the cache if
+        # request 1 already finished, deduplicated onto its in-flight
+        # computation otherwise.
+        assert by_id[2]["result"]["cached"] or by_id[2]["result"]["deduped"]
         assert by_id[None]["error"]["type"] == "ProtocolError"
         assert bye == {"id": 99, "ok": True, "version": repro.__version__,
                        "result": "draining"}
@@ -250,9 +253,14 @@ class TestAcceptance:
         assert all(0 < row["reserved_cells"] <= share for row in rows)
         assert svc.governor.peak_cells_in_flight <= 50_000
 
-        # Cached/deduplicated responses carry the flag end-to-end.
+        # Cached and deduplicated responses carry *distinct* flags
+        # end-to-end: "cached" means served from the LRU, "deduped" means
+        # piggybacked on an identical in-flight computation.
         cached = [r for r in ok if r["result"]["cached"]]
-        assert len(cached) == stats["cache_hits"] + stats["dedup_hits"]
+        deduped = [r for r in ok if r["result"]["deduped"]]
+        assert not (set(map(id, cached)) & set(map(id, deduped)))
+        assert len(cached) == stats["cache_hits"]
+        assert len(deduped) == stats["dedup_hits"]
 
 
 class TestSearchOp:
