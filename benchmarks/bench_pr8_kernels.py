@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""PR8 kernel-tier benchmark: numpy vs compiled sweeps, full vs banded.
+
+Two multiplicative raw-speed wins, both required to stay bit-identical:
+
+* **Kernel tiers** — the compiled (cffi/C) providers against the numpy
+  providers, timed on the fused linear and affine last-row/col sweeps at
+  Table-3-scale sizes, plus end-to-end ``fastlsa`` under
+  ``AlignConfig(kernel=...)``.  Target ≥3× per core from the compiled
+  sweeps (enforced in full mode when the extension is built).
+* **Exact band** — ``band="auto"`` (verify-or-widen, certificate-exact)
+  against the plain full-width FastLSA run on ≥90%-identity pairs.
+  Target ≥2× additional (enforced in full mode).
+
+Every timed point is parity-checked as it goes — compiled output must
+equal numpy output array-for-array, and banded alignments must equal the
+full run score *and* gapped strings — and any mismatch exits non-zero
+(the CI ``kernels-compiled`` job runs ``--smoke`` for exactly this).
+
+Results land in ``BENCH_pr8_kernels.json`` at the repo root with honest
+host metadata (``cpu_count``, platform, whether the compiled tier was
+actually available).
+
+Usage::
+
+    python benchmarks/bench_pr8_kernels.py            # default sweep
+    python benchmarks/bench_pr8_kernels.py --smoke    # CI-sized, parity-focused
+    python benchmarks/bench_pr8_kernels.py --full     # larger sizes + the bars
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import AlignConfig, fastlsa  # noqa: E402
+from repro.baselines import needleman_wunsch  # noqa: E402
+from repro.kernels import registry  # noqa: E402
+from repro.kernels.affine import affine_boundaries  # noqa: E402
+from repro.kernels.linear import boundary_vectors  # noqa: E402
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap  # noqa: E402
+from repro.workloads import dna_pair, sequence_pair  # noqa: E402
+
+SEED = 42
+COMPILED_BAR = 3.0   # compiled sweep vs numpy sweep
+BAND_BAR = 2.0       # banded fastlsa vs full fastlsa at >=90% identity
+
+
+def _median_time(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), times
+
+
+def bench_sweeps(lengths, repeats, failures):
+    """numpy vs compiled fused sweeps, linear and affine."""
+    rows = []
+    schemes = {
+        "linear": ScoringScheme(dna_simple(), linear_gap(-6)),
+        "affine": ScoringScheme(dna_simple(), affine_gap(-8, -1)),
+    }
+    compiled = registry.compiled_available()
+    for kind, scheme in schemes.items():
+        for length in lengths:
+            a, b = dna_pair(length, divergence=0.1, seed=SEED)
+            a_codes, b_codes = scheme.encode(a), scheme.encode(b)
+            m, n = len(a_codes), len(b_codes)
+            table = scheme.matrix.table
+            if kind == "linear":
+                fr, fc = boundary_vectors(m, n, scheme.gap_open)
+                sweep_args = (a_codes, b_codes, table, scheme.gap_open,
+                              fr, fc, None)
+            else:
+                rh, rf, ch, ce = affine_boundaries(
+                    m, n, scheme.gap_open, scheme.gap_extend)
+                sweep_args = (a_codes, b_codes, table, scheme.gap_open,
+                              scheme.gap_extend, rh, rf, ch, ce, None)
+            np_prov = registry.get_kernel(kind, "numpy")
+            ref = np_prov.sweep_last_row_col(*sweep_args)
+            np_s, _ = _median_time(
+                lambda: np_prov.sweep_last_row_col(*sweep_args), repeats)
+            row = {
+                "kind": kind, "length": length,
+                "numpy_s": round(np_s, 6),
+                "numpy_cells_per_s": int(m * n / np_s) if np_s else None,
+                "compiled_s": None, "speedup": None, "parity": None,
+                "bar": COMPILED_BAR,
+            }
+            if compiled:
+                c_prov = registry.get_kernel(kind, "compiled")
+                got = c_prov.sweep_last_row_col(*sweep_args)
+                parity = all(np.array_equal(r, g) for r, g in zip(ref, got))
+                if not parity:
+                    failures.append(
+                        f"compiled {kind} sweep differs from numpy at {length}")
+                c_s, _ = _median_time(
+                    lambda: c_prov.sweep_last_row_col(*sweep_args), repeats)
+                row.update({
+                    "compiled_s": round(c_s, 6),
+                    "compiled_cells_per_s": int(m * n / c_s) if c_s else None,
+                    "speedup": round(np_s / c_s, 3) if c_s else None,
+                    "parity": parity,
+                })
+            rows.append(row)
+            sp = f"{row['speedup']}x" if row["speedup"] else "n/a (no compiled tier)"
+            print(f"  {kind:<6} {length:>6}  numpy {np_s:7.4f}s  -> {sp}",
+                  flush=True)
+    return rows
+
+
+def bench_end_to_end(lengths, repeats, failures):
+    """fastlsa under kernel="numpy" vs "compiled" — whole-alignment view."""
+    rows = []
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    if not registry.compiled_available():
+        return rows
+    for length in lengths:
+        a, b = dna_pair(length, divergence=0.1, seed=SEED)
+        cfg_np = AlignConfig(kernel="numpy")
+        cfg_c = AlignConfig(kernel="compiled")
+        ref = fastlsa(a, b, scheme, config=cfg_np)
+        got = fastlsa(a, b, scheme, config=cfg_c)
+        parity = (ref.score == got.score and ref.gapped_a == got.gapped_a
+                  and ref.gapped_b == got.gapped_b)
+        if not parity:
+            failures.append(f"fastlsa kernel=compiled differs at {length}")
+        np_s, _ = _median_time(lambda: fastlsa(a, b, scheme, config=cfg_np),
+                               repeats)
+        c_s, _ = _median_time(lambda: fastlsa(a, b, scheme, config=cfg_c),
+                              repeats)
+        rows.append({
+            "length": length,
+            "numpy_s": round(np_s, 6), "compiled_s": round(c_s, 6),
+            "speedup": round(np_s / c_s, 3) if c_s else None,
+            "score": ref.score, "parity": parity,
+        })
+        print(f"  fastlsa {length:>6}  numpy {np_s:7.4f}s  compiled {c_s:7.4f}s"
+              f"  -> {np_s / c_s:5.2f}x  parity={'ok' if parity else 'FAIL'}",
+              flush=True)
+    return rows
+
+
+def _aligned_identity(alignment) -> float:
+    """Fraction of alignment columns that are exact matches."""
+    same = sum(x == y and x != "-"
+               for x, y in zip(alignment.gapped_a, alignment.gapped_b))
+    return same / max(1, len(alignment.gapped_a))
+
+
+def bench_band(lengths, repeats, failures, check_nw_to=600):
+    """Full-width fastlsa vs band="auto" on >=90%-identity pairs.
+
+    Pairs use a resequencing-style profile — 5% substitutions, 0.2%
+    indel starts — because the certificate's width scales with the total
+    score deficit: heavy indel content (the synthetic default is 5%
+    indel *starts*) legitimately forces wide bands.  The measured
+    aligned identity is recorded per row; every point stays >= 0.90.
+    """
+    rows = []
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    for length in lengths:
+        a, b = sequence_pair(length, divergence=0.05, indel_rate=0.002,
+                             seed=SEED)
+        cfg_full = AlignConfig()
+        cfg_band = AlignConfig(band="auto")
+        ref = fastlsa(a, b, scheme, config=cfg_full)
+        got = fastlsa(a, b, scheme, config=cfg_band)
+        parity = (ref.score == got.score and ref.gapped_a == got.gapped_a
+                  and ref.gapped_b == got.gapped_b)
+        if not parity:
+            failures.append(f"band=auto result differs from full at {length}")
+        if length <= check_nw_to:
+            nw = needleman_wunsch(a, b, scheme)
+            if got.score != nw.score or got.gapped_a != nw.gapped_a:
+                failures.append(f"band=auto differs from dense NW at {length}")
+                parity = False
+        identity = round(_aligned_identity(ref), 4)
+        full_s, _ = _median_time(
+            lambda: fastlsa(a, b, scheme, config=cfg_full), repeats)
+        band_s, _ = _median_time(
+            lambda: fastlsa(a, b, scheme, config=cfg_band), repeats)
+        rows.append({
+            "length": length, "identity": identity,
+            "full_s": round(full_s, 6), "band_s": round(band_s, 6),
+            "band_width": got.stats.band_width,
+            "speedup": round(full_s / band_s, 3) if band_s else None,
+            "score": ref.score, "parity": parity, "bar": BAND_BAR,
+        })
+        print(f"  band    {length:>6}  id={identity:.3f}  full {full_s:7.4f}s  "
+              f"band(w={got.stats.band_width}) {band_s:7.4f}s  "
+              f"-> {full_s / band_s:5.2f}x  parity={'ok' if parity else 'FAIL'}",
+              flush=True)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: tiny problems, parity is the point")
+    parser.add_argument("--full", action="store_true",
+                        help="larger sizes; enforce the speedup bars")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per point (default 5; 2 for --smoke)")
+    parser.add_argument("--out",
+                        default=os.path.join(_REPO_ROOT, "BENCH_pr8_kernels.json"))
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sweep_lengths, e2e_lengths, band_lengths = [400], [400], [600]
+        repeats = args.repeats or 2
+    elif args.full:
+        sweep_lengths = [1000, 2000, 4600]
+        e2e_lengths = [2000, 4600]
+        band_lengths = [4600, 10000, 20000]
+        repeats = args.repeats or 5
+    else:
+        sweep_lengths = [1000, 2000]
+        e2e_lengths = [2000]
+        band_lengths = [4600, 10000]
+        repeats = args.repeats or 5
+
+    failures: list = []
+    parity = registry.parity_report()
+    print(f"# compiled tier: available={parity['compiled_available']} "
+          f"parity_ok={parity['parity_ok']}", flush=True)
+    if parity["compiled_available"] and not parity["parity_ok"]:
+        failures.append("import-time parity check failed")
+
+    print(f"# sweep tier bench: lengths={sweep_lengths} repeats={repeats}",
+          flush=True)
+    sweeps = bench_sweeps(sweep_lengths, repeats, failures)
+    print("# end-to-end fastlsa kernel tiers", flush=True)
+    e2e = bench_end_to_end(e2e_lengths, repeats, failures)
+    print("# full vs exact band (resequencing-style pairs)", flush=True)
+    band = bench_band(band_lengths, repeats, failures)
+
+    payload = {
+        "meta": {
+            "bench": "pr8_kernels",
+            "smoke": args.smoke,
+            "repeats": repeats,
+            "seed": SEED,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "compiled_available": parity["compiled_available"],
+            "parity_ok": parity["parity_ok"],
+            "compiled_bar": COMPILED_BAR,
+            "band_bar": BAND_BAR,
+        },
+        "sweep_tiers": sweeps,
+        "end_to_end": e2e,
+        "band": band,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"[wrote {args.out}]", flush=True)
+
+    enforce_bars = args.full or (not args.smoke)
+    if enforce_bars and parity["compiled_available"]:
+        best = max((r["speedup"] or 0) for r in sweeps if r["speedup"])
+        if best < COMPILED_BAR:
+            failures.append(
+                f"compiled sweep speedup {best}x below the {COMPILED_BAR}x bar")
+    if enforce_bars and band:
+        best = max((r["speedup"] or 0) for r in band)
+        if best < BAND_BAR:
+            failures.append(
+                f"band speedup {best}x below the {BAND_BAR}x bar")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr, flush=True)
+        return 1
+    print("all parity checks passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

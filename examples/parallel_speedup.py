@@ -13,6 +13,7 @@ Run:  python examples/parallel_speedup.py
 """
 
 from repro import ScoringScheme, dna_simple, linear_gap
+from repro import AlignConfig
 from repro.analysis import format_rows
 from repro.core import fastlsa
 from repro.parallel import (
@@ -32,8 +33,8 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 1. Threaded executor: same answer as the sequential algorithm.
     # ------------------------------------------------------------------
-    seq = fastlsa(a, b, scheme, k=k, base_cells=64 * 1024)
-    par = parallel_fastlsa(a, b, scheme, P=4, k=k, base_cells=64 * 1024)
+    seq = fastlsa(a, b, scheme, config=AlignConfig(k=k, base_cells=64 * 1024))
+    par = parallel_fastlsa(a, b, scheme, P=4, config=AlignConfig(k=k, base_cells=64 * 1024))
     assert par.score == seq.score and par.gapped_a == seq.gapped_a
     print(f"Threaded run (P=4): score {par.score} — identical to sequential.\n")
 

@@ -5,6 +5,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
+    AlignConfig,
     ScoringScheme,
     align,
     blosum62,
@@ -30,7 +31,7 @@ def main() -> None:
     # 2. Protein alignment with a standard matrix.
     # ------------------------------------------------------------------
     protein = ScoringScheme(blosum62(), linear_gap(-8))
-    result = align("HEAGAWGHEE", "PAWHEAE", protein, method="fastlsa", k=4)
+    result = align("HEAGAWGHEE", "PAWHEAE", protein, method="fastlsa", config=AlignConfig(k=4))
     print("BLOSUM62 example:")
     print(format_alignment(result, scheme=protein))
     ok, msg = check_alignment(result, protein)

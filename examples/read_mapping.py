@@ -19,6 +19,7 @@ Run:  python examples/read_mapping.py
 import numpy as np
 
 from repro import ScoringScheme, dna_simple, linear_gap
+from repro import AlignConfig
 from repro.core import banded_align_auto, overlap_align, semiglobal_align
 from repro.workloads import random_sequence, sample_reads
 
@@ -40,7 +41,7 @@ def main() -> None:
           f"{'identity':>9} {'banded_cells':>13}")
     placements = []
     for read, true_start in reads:
-        sg = semiglobal_align(read, reference, scheme, k=8)
+        sg = semiglobal_align(read, reference, scheme, config=AlignConfig(k=8))
         mapped = sg.b_start
         placements.append((read, sg))
         # 3. Banded refinement on the placed window (pad by 20 bp).
@@ -63,7 +64,7 @@ def main() -> None:
     ordered = sorted(placements, key=lambda p: p[1].b_start)
     found = 0
     for (r1, p1), (r2, p2) in zip(ordered, ordered[1:]):
-        ov = overlap_align(r1, r2, scheme, k=4)
+        ov = overlap_align(r1, r2, scheme, config=AlignConfig(k=4))
         expected = max(0, (p1.b_end - p2.b_start))
         if ov.score > 300:
             found += 1

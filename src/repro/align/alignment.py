@@ -44,6 +44,12 @@ class AlignmentStats:
         Number of recursive FastLSA invocations.
     wall_time:
         Seconds of wall-clock time, when measured by the driver.
+    kernel:
+        Kernel tier that ran the sweeps (``"numpy"`` / ``"compiled"``;
+        empty when the driver predates the registry or didn't record it).
+    band_width:
+        Half-width of the certified band when the exact banded fast path
+        produced the result; ``0`` when no band was used.
     """
 
     cells_computed: int = 0
@@ -52,6 +58,8 @@ class AlignmentStats:
     recursion_depth: int = 0
     subproblems: int = 0
     wall_time: float = 0.0
+    kernel: str = ""
+    band_width: int = 0
 
     def merge(self, other: "AlignmentStats") -> None:
         """Accumulate counters from ``other`` (max for peaks/depths)."""
@@ -61,6 +69,9 @@ class AlignmentStats:
         self.peak_cells_resident = max(self.peak_cells_resident, other.peak_cells_resident)
         self.recursion_depth = max(self.recursion_depth, other.recursion_depth)
         self.wall_time += other.wall_time
+        if not self.kernel:
+            self.kernel = other.kernel
+        self.band_width = max(self.band_width, other.band_width)
 
 
 @dataclass

@@ -109,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["serial", "threads", "processes"],
                          help="wavefront backend for the FillCache phase "
                               "(default: serial)")
+    p_align.add_argument("--band", default=None, metavar="W",
+                         help="exact banded fast path: an initial half-width "
+                              "or 'auto'; certificate-checked, so results "
+                              "stay bit-identical to full DP")
+    p_align.add_argument("--kernel", default=None,
+                         choices=["auto", "numpy", "compiled"],
+                         help="kernel tier (default auto: compiled when built)")
     p_align.add_argument("--workers", type=int, default=None, metavar="P",
                          help="wavefront workers for --backend threads/processes "
                               "(default 2)")
@@ -119,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_matrix = sub.add_parser("matrix", help="print a built-in matrix in NCBI format")
     p_matrix.add_argument("name", choices=["dna", "blosum62", "pam250", "table1"])
+
+    p_kernels = sub.add_parser(
+        "kernels", help="list kernel providers, tiers and the parity report"
+    )
+    p_kernels.add_argument("--json", action="store_true",
+                           help="machine-readable output")
 
     p_msa = sub.add_parser("msa", help="multiple alignment of all records in a FASTA file")
     p_msa.add_argument("fasta")
@@ -323,9 +336,18 @@ def _cmd_align(args) -> int:
     workers = args.workers if args.workers is not None else (
         2 if args.backend in ("threads", "processes") else None
     )
+    band = args.band
+    if band is not None and band != "auto":
+        try:
+            band = int(band)
+        except ValueError:
+            raise ConfigError(
+                f"--band must be an integer or 'auto', got {band!r}"
+            ) from None
     config = AlignConfig(
         k=args.k, base_cells=args.base_cells,
         max_workers=workers, backend=args.backend,
+        band=band, kernel=args.kernel,
     )
     if args.mode == "local":
         loc = fastlsa_local(rec_a, rec_b, scheme, config=config)
@@ -353,6 +375,8 @@ def _cmd_align(args) -> int:
             f"# cells_computed={s.cells_computed} peak_cells={s.peak_cells_resident} "
             f"subproblems={s.subproblems} depth={s.recursion_depth} "
             f"wall_time={s.wall_time:.3f}s"
+            + (f" kernel={s.kernel}" if s.kernel else "")
+            + (f" band_width={s.band_width}" if s.band_width else "")
         )
     return 0
 
@@ -918,8 +942,42 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_kernels(args) -> int:
+    import json as _json
+
+    from .kernels import registry
+
+    info = registry.describe()
+    if args.json:
+        print(_json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    say = print
+    say(f"tiers available: {', '.join(info['available'])} "
+        f"(default: {info['default']})")
+    if not info["compiled"]["available"] and info["compiled"]["error"]:
+        say(f"compiled tier unavailable: {info['compiled']['error']}")
+    say("")
+    say("providers:")
+    for prov in info["providers"]:
+        say(f"  {prov['name']:18s} scheme={prov['scheme_kind']:6s} "
+            f"compiled={'yes' if prov['compiled'] else 'no'}")
+    say("")
+    parity = info["parity"]
+    if parity["checks"]:
+        status = "ok" if parity["ok"] else "FAILED"
+        say(f"parity self-check ({status}):")
+        for chk in parity["checks"]:
+            say(f"  {'ok ' if chk['ok'] else 'BAD'} {chk['name']}")
+    else:
+        say("parity self-check: not run (compiled tier absent)")
+    return 0 if (info["compiled"]["available"] or not info["parity"]["checks"]) else (
+        0 if info["parity"]["ok"] else 1
+    )
+
+
 _COMMANDS = {
     "align": _cmd_align,
+    "kernels": _cmd_kernels,
     "matrix": _cmd_matrix,
     "msa": _cmd_msa,
     "demo": _cmd_demo,

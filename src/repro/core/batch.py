@@ -17,6 +17,7 @@ from ..align.alignment import Alignment
 from ..align.sequence import Sequence, as_sequence
 from ..core.config import AlignConfig, resolve_config
 from ..errors import ConfigError
+from ..kernels import registry
 from ..scoring.scheme import ScoringScheme
 from .fastlsa import fastlsa
 from .local import fastlsa_local, local_best_cell
@@ -74,6 +75,11 @@ def _quick_score_cell(query, target, scheme, mode, cfg):
 
 def _quick_score(query, target, scheme, mode, cfg) -> int:
     if mode == "global":
+        band = getattr(cfg, "band", None)
+        if band is not None:
+            from .banded import banded_score
+
+            return banded_score(query, target, scheme, band=band).score
         return align_score(query, target, scheme)
     if mode == "local":
         best, _, _ = local_best_cell(query, target, scheme)
@@ -98,17 +104,23 @@ def _score_all(q, seqs, scheme, mode, cfg, executor, max_workers):
     """Score every target, optionally fanning out on a thread pool.
 
     Returns ``(scores, cells)``; ``cells[i]`` is the local-mode best-cell
-    hint for target ``i`` (``None`` outside local mode).
+    hint for target ``i`` (``None`` outside local mode).  The kernel tier
+    is resolved here and re-installed inside pool workers, which do not
+    inherit the caller's registry context.
     """
+    tier = registry.resolve_tier(getattr(cfg, "kernel", None))
+
+    def one(t):
+        with registry.use(tier):
+            return _quick_score_cell(q, t, scheme, mode, cfg)
+
     if executor is None and max_workers is None:
-        pairs = [_quick_score_cell(q, t, scheme, mode, cfg) for t in seqs]
+        pairs = [one(t) for t in seqs]
     else:
         own = executor is None
         pool = executor or ThreadPoolExecutor(max_workers=max_workers)
         try:
-            pairs = list(
-                pool.map(lambda t: _quick_score_cell(q, t, scheme, mode, cfg), seqs)
-            )
+            pairs = list(pool.map(one, seqs))
         finally:
             if own:
                 pool.shutdown(wait=True)
@@ -141,8 +153,9 @@ def batch_align(
         Drop targets scoring below this (after ranking).
     config:
         :class:`~repro.core.config.AlignConfig` carrying ``k``,
-        ``base_cells`` and ``max_workers``; the loose ``k=`` /
-        ``base_cells=`` / ``max_workers=`` keywords are deprecated.
+        ``base_cells``, ``max_workers``, ``band`` and ``kernel``; the
+        loose ``k=`` / ``base_cells=`` / ``max_workers=`` keywords now
+        raise :class:`~repro.errors.ConfigError`.
     executor:
         Score targets concurrently on this shared pool (it is not shut
         down); the service layer passes its worker pool here.

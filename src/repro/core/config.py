@@ -17,9 +17,8 @@ to take advantage of cache memory and main memory sizes" theme is about;
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Union
 
 from ..errors import ConfigError
 
@@ -95,20 +94,38 @@ class AlignConfig(FastLSAConfig):
         (ThreadPoolExecutor tile wavefront) or ``"processes"``
         (persistent worker pool + shared-memory tile arena — see
         :mod:`repro.parallel.procpool`).  ``None`` means ``"serial"``.
+    band:
+        Exact banded fast path (:mod:`repro.core.banded`).  ``None``
+        (default) disables banding; an integer is an initial band
+        half-width; ``"auto"`` starts from a similarity-derived width.
+        Either way the result is certificate-checked and widened until
+        it is *provably* bit-identical to full DP, so this knob only
+        trades work, never correctness.
+    kernel:
+        Kernel tier (:mod:`repro.kernels.registry`): ``"numpy"``,
+        ``"compiled"`` (cffi/C; errors when not built), or ``"auto"``
+        (compiled when available, else numpy).  ``None`` means
+        ``"auto"``.
 
     ``repro.align()``, :func:`~repro.core.fastlsa.fastlsa`,
     :func:`~repro.parallel.pfastlsa.parallel_fastlsa` and
     :func:`~repro.core.batch.batch_align` all take ``config=``; the old
-    ``k=`` / ``base_cells=`` / ``max_workers=`` keywords still work but
-    emit :class:`DeprecationWarning`.  The NDJSON protocol accepts the
-    same shape as a ``"config"`` object (see :meth:`from_dict`).
+    ``k=`` / ``base_cells=`` / ``max_workers=`` keywords were deprecated
+    in the 0.2 line and now raise :class:`~repro.errors.ConfigError`.
+    The NDJSON protocol accepts the same shape as a ``"config"`` object
+    (see :meth:`from_dict`).
     """
 
     max_workers: Optional[int] = None
     backend: Optional[str] = None
+    band: Union[None, int, str] = None
+    kernel: Optional[str] = None
 
     #: Accepted ``backend`` values (``None`` resolves to ``"serial"``).
     BACKENDS = ("serial", "threads", "processes")
+
+    #: Accepted ``kernel`` values (``None`` resolves to ``"auto"``).
+    KERNELS = ("auto", "numpy", "compiled")
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -122,9 +139,21 @@ class AlignConfig(FastLSAConfig):
             raise ConfigError(
                 f"backend must be one of {list(self.BACKENDS)}, got {self.backend!r}"
             )
+        if self.band is not None:
+            if isinstance(self.band, bool) or not (
+                self.band == "auto"
+                or (isinstance(self.band, int) and self.band >= 1)
+            ):
+                raise ConfigError(
+                    f"band must be None, an integer >= 1 or 'auto', got {self.band!r}"
+                )
+        if self.kernel is not None and self.kernel not in self.KERNELS:
+            raise ConfigError(
+                f"kernel must be one of {list(self.KERNELS)}, got {self.kernel!r}"
+            )
 
     #: Keys :meth:`from_dict` accepts — also the wire-protocol schema.
-    FIELDS = ("k", "base_cells", "max_workers", "backend")
+    FIELDS = ("k", "base_cells", "max_workers", "backend", "band", "kernel")
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "AlignConfig":
@@ -145,10 +174,18 @@ class AlignConfig(FastLSAConfig):
         for key in cls.FIELDS:
             if key in data and data[key] is not None:
                 value = data[key]
-                if key == "backend":
+                if key in ("backend", "kernel"):
                     if not isinstance(value, str):
                         raise ConfigError(
-                            f"config.backend must be a string, got {value!r}"
+                            f"config.{key} must be a string, got {value!r}"
+                        )
+                elif key == "band":
+                    if not (
+                        value == "auto"
+                        or (isinstance(value, int) and not isinstance(value, bool))
+                    ):
+                        raise ConfigError(
+                            f"config.band must be an integer or 'auto', got {value!r}"
                         )
                 elif not isinstance(value, int) or isinstance(value, bool):
                     raise ConfigError(f"config.{key} must be an integer, got {value!r}")
@@ -162,6 +199,8 @@ class AlignConfig(FastLSAConfig):
             "base_cells": self.base_cells,
             "max_workers": self.max_workers,
             "backend": self.backend,
+            "band": self.band,
+            "kernel": self.kernel,
         }
 
 
@@ -174,12 +213,13 @@ def resolve_config(
     where: str = "align",
     stacklevel: int = 3,
 ) -> AlignConfig:
-    """Normalise the legacy kwargs and ``config=`` into one AlignConfig.
+    """Normalise ``config=`` into an :class:`AlignConfig`.
 
-    The single deprecation shim behind every public entry point: passing
-    ``k=`` / ``base_cells=`` / ``max_workers=`` warns (once per call
-    site, per Python's warning machinery) and still works; an explicit
-    ``config`` always wins over the legacy keywords.
+    The single config gate behind every public entry point.  The loose
+    ``k=`` / ``base_cells=`` / ``max_workers=`` keywords were deprecated
+    (with a warning) in the 0.2 line; the migration is now complete and
+    passing any of them raises :class:`~repro.errors.ConfigError` naming
+    the :class:`AlignConfig` field to use instead.
     """
     legacy = [
         name
@@ -188,20 +228,13 @@ def resolve_config(
         if value is not None
     ]
     if legacy:
-        warnings.warn(
-            f"{where}: the {', '.join(legacy)} keyword(s) are deprecated; "
-            f"pass config=AlignConfig(...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
+        fields = ", ".join(f"{name}=..." for name in legacy)
+        raise ConfigError(
+            f"{where}: the {', '.join(legacy)} keyword(s) were removed; "
+            f"pass config=AlignConfig({fields}) instead"
         )
     if config is not None:
         if isinstance(config, AlignConfig):
             return config
-        return AlignConfig(
-            k=config.k, base_cells=config.base_cells, max_workers=max_workers
-        )
-    return AlignConfig(
-        k=k if k is not None else DEFAULT_K,
-        base_cells=base_cells if base_cells is not None else DEFAULT_BASE_CELLS,
-        max_workers=max_workers,
-    )
+        return AlignConfig(k=config.k, base_cells=config.base_cells)
+    return AlignConfig()

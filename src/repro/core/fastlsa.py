@@ -30,6 +30,7 @@ import numpy as np
 from ..align.alignment import Alignment, AlignmentStats, alignment_from_path
 from ..align.path import Layer, PathBuilder
 from ..align.sequence import as_sequence
+from ..kernels import registry
 from ..kernels.affine import affine_boundaries
 from ..kernels.linear import boundary_vectors
 from ..kernels.ops import KernelInstruments
@@ -250,8 +251,8 @@ def fastlsa(
         :class:`FastLSAConfig`) carrying ``k`` and ``base_cells`` — the
         one supported way to parameterize the run.
     k, base_cells:
-        .. deprecated:: 1.1
-           Legacy per-call tunables; pass ``config=AlignConfig(...)``.
+        Removed legacy per-call tunables — passing them raises
+        :class:`~repro.errors.ConfigError`; use ``config=AlignConfig(...)``.
     instruments:
         Optional shared counters.
     hooks:
@@ -273,6 +274,31 @@ def fastlsa(
     a_codes = scheme.encode(a.text)
     b_codes = scheme.encode(b.text)
     m, n = len(a), len(b)
+    tier = registry.resolve_tier(getattr(cfg, "kernel", None))
+    band = getattr(cfg, "band", None)
+
+    if band is not None and hooks is None and m > 0 and n > 0:
+        # Exact banded fast path: verify-or-widen with a width cap that
+        # preserves FastLSA's linear-space guarantee — past the cap the
+        # band stops paying off and the normal recursion takes over
+        # (rather than falling back to a dense full-matrix solve).
+        from .banded import banded_align_exact
+
+        with registry.use(tier):
+            banded = banded_align_exact(
+                a, b, scheme, band=band,
+                max_width=max(32, min(m, n) // 4),
+                instruments=inst, on_give_up="none",
+            )
+        if banded is not None and banded.certified and banded.tier == "banded":
+            obs.counter_add("fastlsa.alignments", 1)
+            obs.counter_add("fastlsa.band_hits", 1)
+            alignment = banded.alignment
+            alignment.algorithm = f"fastlsa+banded(w={banded.width})"
+            alignment.stats.kernel = tier
+            alignment.stats.band_width = banded.width
+            alignment.stats.wall_time = time.perf_counter() - t0
+            return alignment
 
     backend_finish = None
     if hooks is None and getattr(cfg, "backend", None) in ("threads", "processes"):
@@ -284,9 +310,11 @@ def fastlsa(
 
     try:
         with obs.span(
-            "fastlsa.align", category="align", m=m, n=n, k=cfg.k, base_cells=cfg.base_cells
+            "fastlsa.align", category="align", m=m, n=n, k=cfg.k,
+            base_cells=cfg.base_cells, kernel=tier,
         ) as sp:
-            result = fastlsa_path(m, n, a_codes, b_codes, scheme, cfg, inst, hooks)
+            with registry.use(tier):
+                result = fastlsa_path(m, n, a_codes, b_codes, scheme, cfg, inst, hooks)
             if sp is not None:
                 sp.set(score=result.score, subproblems=result.subproblems)
     finally:
@@ -312,5 +340,6 @@ def fastlsa(
         recursion_depth=result.max_depth,
         subproblems=result.subproblems,
         wall_time=wall_time,
+        kernel=tier,
     )
     return alignment_from_path(a, b, path, result.score, algorithm="fastlsa", stats=stats)

@@ -19,8 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..kernels.affine import sweep_band_affine, sweep_last_row_col_affine
-from ..kernels.linear import sweep_band, sweep_last_row_col
+from ..kernels import registry
 from ..kernels.ops import OpCounter
 from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
@@ -53,12 +52,12 @@ def compute_block(
     """
     table = scheme.matrix.table
     if scheme.is_linear:
-        last_row, last_col = sweep_last_row_col(
+        last_row, last_col = registry.active("linear").sweep_last_row_col(
             a_codes, b_codes, table, scheme.gap_open, top.h, left.h, counter,
             profile=profile,
         )
         return RowCache(h=last_row), ColCache(h=last_col)
-    lr_h, lr_f, lc_h, lc_e = sweep_last_row_col_affine(
+    lr_h, lr_f, lc_h, lc_e = registry.active("affine").sweep_last_row_col(
         a_codes,
         b_codes,
         table,
@@ -165,7 +164,7 @@ def fill_grid(
             sub_a = a_codes[a0:a1]
             sub_b = b_codes[j0:jend]
             if scheme.is_linear:
-                last_row, samples = sweep_band(
+                last_row, samples = registry.active("linear").sweep_band(
                     sub_a, sub_b, table, scheme.gap_open, top.h, left.h, sample, counter
                 )
                 for t, c in enumerate(col_splits[: len(sample)]):
@@ -173,7 +172,7 @@ def fill_grid(
                 if p + 1 < interior_rows:
                     grid.store_row_segment(p + 1, j0, last_row, None)
             else:
-                lr_h, lr_f, samp_h, samp_e = sweep_band_affine(
+                lr_h, lr_f, samp_h, samp_e = registry.active("affine").sweep_band(
                     sub_a,
                     sub_b,
                     table,

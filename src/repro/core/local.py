@@ -28,6 +28,7 @@ from ..align.sequence import as_sequence
 from ..baselines.smith_waterman import LocalAlignment
 from ..align.alignment import alignment_from_path
 from ..align.path import AlignmentPath
+from ..kernels import registry
 from ..kernels.affine import NEG_INF
 from ..kernels.ops import KernelInstruments
 from ..scoring.scheme import ScoringScheme
@@ -56,57 +57,18 @@ def local_best_cell(
 
 def _best_cell_local(a_codes, b_codes, scheme: ScoringScheme, counter) -> Tuple[int, int, int]:
     """Rolling clamped (Smith–Waterman) sweep; returns ``(score, i, j)``
-    of the best cell, preferring the first row-major maximum."""
+    of the best cell, preferring the first row-major maximum.
+
+    Dispatches to the active kernel tier (:mod:`repro.kernels.registry`).
+    """
     table = scheme.matrix.table
-    M, N = len(a_codes), len(b_codes)
-    if counter is not None:
-        counter.add_cells(M * N)
-    best, bi, bj = 0, 0, 0
-    if M == 0 or N == 0:
-        return best, bi, bj
     if scheme.is_linear:
-        gap = scheme.gap_open
-        gj = np.arange(N + 1, dtype=np.int64) * gap
-        prev = np.zeros(N + 1, dtype=np.int64)
-        t = np.empty(N + 1, dtype=np.int64)
-        for i in range(1, M + 1):
-            s = table[a_codes[i - 1]][b_codes]
-            v = np.maximum(prev[:-1] + s, prev[1:] + gap)
-            np.maximum(v, 0, out=v)
-            t[0] = 0
-            np.subtract(v, gj[1:], out=t[1:])
-            np.maximum.accumulate(t, out=t)
-            cur = t + gj
-            cur[0] = 0
-            rm = int(np.argmax(cur))
-            if cur[rm] > best:
-                best, bi, bj = int(cur[rm]), i, rm
-            prev = cur
-        return best, bi, bj
-    open_, extend = scheme.gap_open, scheme.gap_extend
-    ej = np.arange(N + 1, dtype=np.int64) * extend
-    prev_h = np.zeros(N + 1, dtype=np.int64)
-    prev_f = np.full(N + 1, NEG_INF, dtype=np.int64)
-    t = np.empty(N, dtype=np.int64)
-    for i in range(1, M + 1):
-        s = table[a_codes[i - 1]][b_codes]
-        cur_f = np.maximum(prev_h + open_, prev_f + extend)
-        cur_f[0] = NEG_INF
-        v = np.maximum(prev_h[:-1] + s, cur_f[1:])
-        np.maximum(v, 0, out=v)
-        t[0] = open_ - extend
-        if N > 1:
-            np.subtract(v[:-1] + (open_ - extend), ej[1:N], out=t[1:])
-        np.maximum.accumulate(t, out=t)
-        e = t + ej[1:]
-        cur_h = np.empty(N + 1, dtype=np.int64)
-        np.maximum(v, e, out=cur_h[1:])
-        cur_h[0] = 0
-        rm = int(np.argmax(cur_h))
-        if cur_h[rm] > best:
-            best, bi, bj = int(cur_h[rm]), i, rm
-        prev_h, prev_f = cur_h, cur_f
-    return best, bi, bj
+        return registry.active("linear").best_cell_local(
+            a_codes, b_codes, table, scheme.gap_open, counter
+        )
+    return registry.active("affine").best_cell_local(
+        a_codes, b_codes, table, scheme.gap_open, scheme.gap_extend, counter
+    )
 
 
 def _best_cell_global(a_codes, b_codes, scheme: ScoringScheme, counter) -> Tuple[int, int, int]:
@@ -181,8 +143,8 @@ def fastlsa_local(
 
     Returns the same :class:`~repro.baselines.smith_waterman.LocalAlignment`
     structure as the FM Smith–Waterman baseline, but without ever holding a
-    dense ``m × n`` matrix.  Parameterize via ``config=``; ``k=`` /
-    ``base_cells=`` are deprecated.
+    dense ``m × n`` matrix.  Parameterize via ``config=``; the legacy
+    ``k=`` / ``base_cells=`` keywords now raise ConfigError.
 
     ``best_cell`` skips phase 1: pass the ``(score, i, j)`` triple a prior
     :func:`local_best_cell` sweep produced for this exact pair and scheme
@@ -192,6 +154,7 @@ def fastlsa_local(
     hint fails loudly instead of producing a wrong alignment.
     """
     cfg = resolve_config(config, k, base_cells, where="fastlsa_local")
+    tier = registry.resolve_tier(getattr(cfg, "kernel", None))
     a = as_sequence(seq_a, "a")
     b = as_sequence(seq_b, "b")
     inst = instruments or KernelInstruments()
@@ -206,7 +169,8 @@ def fastlsa_local(
                 f"best_cell {best_cell} outside the {len(a_codes)}x{len(b_codes)} DPM"
             )
     else:
-        best, bi, bj = _best_cell_local(a_codes, b_codes, scheme, inst.ops)
+        with registry.use(tier):
+            best, bi, bj = _best_cell_local(a_codes, b_codes, scheme, inst.ops)
     if best == 0:
         empty = alignment_from_path(
             a.slice(0, 0), b.slice(0, 0), AlignmentPath([(0, 0)]), 0,
@@ -214,9 +178,10 @@ def fastlsa_local(
         )
         return LocalAlignment(empty, 0, 0, 0, 0, 0)
 
-    rbest, ri, rj = _best_cell_global(
-        a_codes[:bi][::-1], b_codes[:bj][::-1], scheme, inst.ops
-    )
+    with registry.use(tier):
+        rbest, ri, rj = _best_cell_global(
+            a_codes[:bi][::-1], b_codes[:bj][::-1], scheme, inst.ops
+        )
     if rbest != best:
         raise AssertionError(
             f"local/global sweep disagreement: {best} != {rbest} (library bug)"

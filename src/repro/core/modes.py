@@ -246,7 +246,9 @@ def ends_free_align(
 
     The aligned core is bracketed by two rolling sweeps and solved
     exactly with FastLSA under the configured budget.  Parameterize via
-    ``config=``; ``k=`` / ``base_cells=`` are deprecated.
+    ``config=`` (including ``band``/``kernel``, which apply to the
+    bracketed core's FastLSA run); the legacy ``k=`` / ``base_cells=``
+    keywords now raise ConfigError.
     """
     cfg = resolve_config(config, k, base_cells, where="ends_free_align")
     a = as_sequence(seq_a, "a")

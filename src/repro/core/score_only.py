@@ -12,8 +12,9 @@ from __future__ import annotations
 from typing import Optional
 
 from ..align.sequence import as_sequence
-from ..kernels.affine import affine_boundaries, sweep_last_row_col_affine
-from ..kernels.linear import boundary_vectors, sweep_last_row_col
+from ..kernels import registry
+from ..kernels.affine import affine_boundaries
+from ..kernels.linear import boundary_vectors
 from ..kernels.ops import KernelInstruments
 from ..scoring.scheme import ScoringScheme
 
@@ -35,12 +36,12 @@ def align_score(
     table = scheme.matrix.table
     if scheme.is_linear:
         fr, fc = boundary_vectors(m, n, scheme.gap_open)
-        last_row, _ = sweep_last_row_col(
+        last_row, _ = registry.active("linear").sweep_last_row_col(
             a_codes, b_codes, table, scheme.gap_open, fr, fc, inst.ops
         )
         return int(last_row[-1])
     rh, rf, ch, ce = affine_boundaries(m, n, scheme.gap_open, scheme.gap_extend)
-    last_row, _, _, _ = sweep_last_row_col_affine(
+    last_row, _, _, _ = registry.active("affine").sweep_last_row_col(
         a_codes, b_codes, table, scheme.gap_open, scheme.gap_extend,
         rh, rf, ch, ce, inst.ops,
     )

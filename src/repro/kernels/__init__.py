@@ -12,21 +12,49 @@ row, no per-cell Python):
   (cross-check / wavefront reference);
 * :mod:`repro.kernels.reference` — pure-Python oracles for tests;
 * :mod:`repro.kernels.ops` — operation & memory accounting.
+
+Tiering (PR 8): hot-path callers go through :mod:`repro.kernels.registry`
+— ``get_kernel(scheme_kind, tier=...)`` returns a capability-flagged
+provider so the optional compiled (cffi/C) tier in
+:mod:`repro.kernels.compiled` is selectable per call and parity-gated in
+one place.  :mod:`repro.kernels.banddp` holds the banded fills behind the
+exact banded fast path.
 """
 
 from .ops import KernelInstruments, MemoryMeter, OpCounter
-from .linear import boundary_vectors, sweep_last_row_col, sweep_matrix
+from .linear import best_cell_local, boundary_vectors, sweep_last_row_col, sweep_matrix
 from .affine import (
     NEG_INF,
     affine_boundaries,
+    best_cell_local_affine,
     sweep_last_row_col_affine,
     sweep_matrix_affine,
 )
 from .antidiag import antidiag_matrix
+from .banddp import band_fill, band_fill_affine, band_range
 from .fullmatrix import FullMatrices, compute_full, trace_from
+from .registry import (
+    KERNEL_TIERS,
+    KernelProvider,
+    available_tiers,
+    compiled_available,
+    get_kernel,
+    parity_report,
+)
 from .traceback import traceback_affine, traceback_linear
 
 __all__ = [
+    "KERNEL_TIERS",
+    "KernelProvider",
+    "available_tiers",
+    "band_fill",
+    "band_fill_affine",
+    "band_range",
+    "best_cell_local",
+    "best_cell_local_affine",
+    "compiled_available",
+    "get_kernel",
+    "parity_report",
     "KernelInstruments",
     "MemoryMeter",
     "OpCounter",

@@ -1,0 +1,422 @@
+"""cffi builder for the compiled kernel tier (``repro.kernels._ckernels``).
+
+Run ``python -m repro.kernels._ckernels_build`` (with ``src`` on
+``PYTHONPATH``) to compile the extension in place next to this file.  The
+registry auto-detects the built module at import and parity-checks it
+against the numpy tier before exposing it; when the build is absent or
+fails the parity gate, everything falls back to numpy silently.
+
+Design notes on bit-identity (the compiled tier must be *exactly* the
+numpy tier, not merely equivalent):
+
+* The full-width sweeps use plain ``int64`` arithmetic with no sentinel
+  guards — the numpy kernels' prefix-max formulation is an exact integer
+  identity of the per-cell recurrence (for affine, given the
+  ``open <= extend`` invariant :class:`repro.scoring.gaps.GapModel`
+  enforces), so a straight per-cell C loop reproduces every output word.
+* The banded fills mirror :mod:`repro.kernels.banddp`'s guard semantics:
+  every impossible state is stored as exactly ``NEG_INF`` and candidates
+  are screened with the same ``> NEG_INF/2`` test, making the band
+  matrices bit-comparable across tiers.
+"""
+
+from __future__ import annotations
+
+import os
+
+CDEF = """
+int flsa_lin_sweep(const int16_t *a, long M, const int16_t *b, long N,
+                   const int64_t *table, long A, int64_t gap,
+                   const int64_t *first_row, const int64_t *first_col,
+                   int64_t *last_row, int64_t *last_col, int64_t *H,
+                   const int64_t *sample_cols, long S, int64_t *samples);
+int flsa_aff_sweep(const int16_t *a, long M, const int16_t *b, long N,
+                   const int64_t *table, long A,
+                   int64_t open_, int64_t extend,
+                   const int64_t *first_row_h, const int64_t *first_row_f,
+                   const int64_t *first_col_h, const int64_t *first_col_e,
+                   int64_t *last_row_h, int64_t *last_row_f,
+                   int64_t *last_col_h, int64_t *last_col_e,
+                   int64_t *H, int64_t *E, int64_t *F,
+                   const int64_t *sample_cols, long S,
+                   int64_t *samples_h, int64_t *samples_e);
+void flsa_lin_best_local(const int16_t *a, long M, const int16_t *b, long N,
+                         const int64_t *table, long A, int64_t gap,
+                         int64_t *out3);
+void flsa_aff_best_local(const int16_t *a, long M, const int16_t *b, long N,
+                         const int64_t *table, long A,
+                         int64_t open_, int64_t extend, int64_t *out3);
+void flsa_lin_band_fill(const int16_t *a, long M, const int16_t *b, long N,
+                        const int64_t *table, long A, int64_t gap,
+                        long dmin, long W, int64_t *B);
+void flsa_aff_band_fill(const int16_t *a, long M, const int16_t *b, long N,
+                        const int64_t *table, long A,
+                        int64_t open_, int64_t extend, long dmin, long W,
+                        int64_t *BH, int64_t *BE, int64_t *BF);
+"""
+
+SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define NEG_INF (-(((int64_t)1) << 62))
+#define HALF (NEG_INF / 2)
+
+static inline int64_t max2(int64_t x, int64_t y) { return x > y ? x : y; }
+
+/* Linear-gap sweep engine: optionally records the last row/column, the
+ * dense H matrix, and per-row samples at the given columns.  Matches
+ * repro.kernels.linear's prefix-max kernels word for word (exact integer
+ * identity of the recurrence). */
+int flsa_lin_sweep(const int16_t *a, long M, const int16_t *b, long N,
+                   const int64_t *table, long A, int64_t gap,
+                   const int64_t *first_row, const int64_t *first_col,
+                   int64_t *last_row, int64_t *last_col, int64_t *H,
+                   const int64_t *sample_cols, long S, int64_t *samples)
+{
+    int64_t *buf = NULL, *prev, *cur;
+    long i, j, s;
+
+    if (H != NULL) {
+        memcpy(H, first_row, (size_t)(N + 1) * sizeof(int64_t));
+        prev = H;
+    } else {
+        buf = (int64_t *)malloc((size_t)(2 * (N + 1)) * sizeof(int64_t));
+        if (buf == NULL)
+            return 1;
+        memcpy(buf, first_row, (size_t)(N + 1) * sizeof(int64_t));
+        prev = buf;
+    }
+    if (last_col != NULL)
+        last_col[0] = first_row[N];
+    for (s = 0; s < S; s++)
+        samples[s * (M + 1)] = first_row[sample_cols[s]];
+
+    for (i = 1; i <= M; i++) {
+        const int64_t *trow = table + (long)a[i - 1] * A;
+        cur = (H != NULL) ? H + i * (N + 1)
+                          : (prev == buf ? buf + (N + 1) : buf);
+        cur[0] = first_col[i];
+        for (j = 1; j <= N; j++) {
+            int64_t v = prev[j - 1] + trow[b[j - 1]];
+            int64_t u = prev[j] + gap;
+            int64_t l = cur[j - 1] + gap;
+            if (u > v) v = u;
+            if (l > v) v = l;
+            cur[j] = v;
+        }
+        if (last_col != NULL)
+            last_col[i] = cur[N];
+        for (s = 0; s < S; s++)
+            samples[s * (M + 1) + i] = cur[sample_cols[s]];
+        prev = cur;
+    }
+    if (last_row != NULL)
+        memcpy(last_row, prev, (size_t)(N + 1) * sizeof(int64_t));
+    free(buf);
+    return 0;
+}
+
+/* Affine (Gotoh) sweep engine.  E uses the direct recurrence
+ * E[i,j] = max(H[i,j-1]+open, E[i,j-1]+extend), which equals the numpy
+ * tier's collapsed prefix scan exactly given open <= extend (re-opening
+ * immediately after closing never beats extending, so the extra
+ * candidates the direct form considers are dominated). */
+int flsa_aff_sweep(const int16_t *a, long M, const int16_t *b, long N,
+                   const int64_t *table, long A,
+                   int64_t open_, int64_t extend,
+                   const int64_t *first_row_h, const int64_t *first_row_f,
+                   const int64_t *first_col_h, const int64_t *first_col_e,
+                   int64_t *last_row_h, int64_t *last_row_f,
+                   int64_t *last_col_h, int64_t *last_col_e,
+                   int64_t *H, int64_t *E, int64_t *F,
+                   const int64_t *sample_cols, long S,
+                   int64_t *samples_h, int64_t *samples_e)
+{
+    int64_t *buf = NULL, *prev_h, *prev_f, *cur_h, *cur_f, *cur_e;
+    long i, j, s;
+    int flip = 0;
+
+    buf = (int64_t *)malloc((size_t)(5 * (N + 1)) * sizeof(int64_t));
+    if (buf == NULL)
+        return 1;
+    prev_h = buf;
+    prev_f = buf + (N + 1);
+    cur_e = buf + 4 * (N + 1);
+    memcpy(prev_h, first_row_h, (size_t)(N + 1) * sizeof(int64_t));
+    memcpy(prev_f, first_row_f, (size_t)(N + 1) * sizeof(int64_t));
+    if (H != NULL) {
+        memcpy(H, first_row_h, (size_t)(N + 1) * sizeof(int64_t));
+        memcpy(F, first_row_f, (size_t)(N + 1) * sizeof(int64_t));
+        for (j = 0; j <= N; j++)
+            E[j] = (j == 0) ? first_col_e[0] : NEG_INF;
+    }
+    if (last_col_h != NULL) {
+        last_col_h[0] = first_row_h[N];
+        last_col_e[0] = NEG_INF; /* corner E never read */
+    }
+    for (s = 0; s < S; s++)
+        samples_h[s * (M + 1)] = first_row_h[sample_cols[s]];
+
+    for (i = 1; i <= M; i++) {
+        const int64_t *trow = table + (long)a[i - 1] * A;
+        int64_t e_prev, h_left;
+        if (H != NULL) {
+            cur_h = H + i * (N + 1);
+            cur_f = F + i * (N + 1);
+        } else {
+            cur_h = buf + (flip ? 0 : 2) * (N + 1);
+            cur_f = buf + (flip ? 1 : 3) * (N + 1);
+        }
+        cur_h[0] = first_col_h[i];
+        cur_f[0] = NEG_INF; /* no DOWN move can land on the boundary column */
+        e_prev = first_col_e[i];
+        h_left = first_col_h[i];
+        if (E != NULL)
+            E[i * (N + 1)] = first_col_e[i];
+        for (j = 1; j <= N; j++) {
+            int64_t f = max2(prev_h[j] + open_, prev_f[j] + extend);
+            int64_t v = prev_h[j - 1] + trow[b[j - 1]];
+            int64_t e = max2(h_left + open_, e_prev + extend);
+            int64_t h;
+            if (f > v) v = f;
+            h = v > e ? v : e;
+            cur_f[j] = f;
+            cur_h[j] = h;
+            cur_e[j] = e;
+            if (E != NULL)
+                E[i * (N + 1) + j] = e;
+            e_prev = e;
+            h_left = h;
+        }
+        if (last_col_h != NULL) {
+            last_col_h[i] = cur_h[N];
+            last_col_e[i] = e_prev;
+        }
+        for (s = 0; s < S; s++) {
+            samples_h[s * (M + 1) + i] = cur_h[sample_cols[s]];
+            samples_e[s * (M + 1) + i] = cur_e[sample_cols[s]];
+        }
+        prev_h = cur_h;
+        prev_f = cur_f;
+        flip = !flip; /* ping-pong the scratch pairs (rolling mode only) */
+    }
+    if (last_row_h != NULL) {
+        memcpy(last_row_h, prev_h, (size_t)(N + 1) * sizeof(int64_t));
+        memcpy(last_row_f, prev_f, (size_t)(N + 1) * sizeof(int64_t));
+    }
+    free(buf);
+    return 0;
+}
+
+/* Clamped Smith-Waterman sweep tracking the first row-major maximum. */
+void flsa_lin_best_local(const int16_t *a, long M, const int16_t *b, long N,
+                         const int64_t *table, long A, int64_t gap,
+                         int64_t *out3)
+{
+    int64_t best = 0;
+    long bi = 0, bj = 0, i, j;
+    int64_t *buf = (int64_t *)calloc((size_t)(2 * (N + 1)), sizeof(int64_t));
+    int64_t *prev = buf, *cur = buf + (N + 1);
+    if (buf == NULL) { out3[0] = -1; out3[1] = -1; out3[2] = -1; return; }
+    for (i = 1; i <= M; i++) {
+        const int64_t *trow = table + (long)a[i - 1] * A;
+        int64_t *tmp;
+        cur[0] = 0;
+        for (j = 1; j <= N; j++) {
+            int64_t v = prev[j - 1] + trow[b[j - 1]];
+            int64_t u = prev[j] + gap;
+            int64_t c = cur[j - 1] + gap;
+            int64_t h;
+            if (u > v) v = u;
+            if (v < 0) v = 0;
+            h = v > c ? v : c;
+            cur[j] = h;
+            if (h > best) { best = h; bi = i; bj = j; }
+        }
+        tmp = prev; prev = cur; cur = tmp;
+    }
+    free(buf);
+    out3[0] = best; out3[1] = bi; out3[2] = bj;
+}
+
+/* Clamped Gotoh sweep; same tie-breaking as the linear variant. */
+void flsa_aff_best_local(const int16_t *a, long M, const int16_t *b, long N,
+                         const int64_t *table, long A,
+                         int64_t open_, int64_t extend, int64_t *out3)
+{
+    int64_t best = 0;
+    long bi = 0, bj = 0, i, j;
+    int64_t *buf = (int64_t *)malloc((size_t)(4 * (N + 1)) * sizeof(int64_t));
+    int64_t *prev_h, *prev_f, *cur_h, *cur_f;
+    if (buf == NULL) { out3[0] = -1; out3[1] = -1; out3[2] = -1; return; }
+    prev_h = buf;
+    prev_f = buf + (N + 1);
+    cur_h = buf + 2 * (N + 1);
+    cur_f = buf + 3 * (N + 1);
+    for (j = 0; j <= N; j++) { prev_h[j] = 0; prev_f[j] = NEG_INF; }
+    for (i = 1; i <= M; i++) {
+        const int64_t *trow = table + (long)a[i - 1] * A;
+        int64_t e_prev = NEG_INF, h_left = 0, *tmp;
+        cur_h[0] = 0;
+        cur_f[0] = NEG_INF;
+        for (j = 1; j <= N; j++) {
+            int64_t f = max2(prev_h[j] + open_, prev_f[j] + extend);
+            int64_t v = prev_h[j - 1] + trow[b[j - 1]];
+            int64_t e = max2(h_left + open_, e_prev + extend);
+            int64_t h;
+            if (f > v) v = f;
+            if (v < 0) v = 0;
+            h = v > e ? v : e;
+            cur_h[j] = h;
+            cur_f[j] = f;
+            if (h > best) { best = h; bi = i; bj = j; }
+            e_prev = e;
+            h_left = h;
+        }
+        tmp = prev_h; prev_h = cur_h; cur_h = tmp;
+        tmp = prev_f; prev_f = cur_f; cur_f = tmp;
+    }
+    free(buf);
+    out3[0] = best; out3[1] = bi; out3[2] = bj;
+}
+
+/* Banded linear fill in band coordinates t = j - i - dmin.  B may be
+ * uninitialised (np.empty): every out-of-range cell is written as
+ * exactly NEG_INF here, mirroring repro.kernels.banddp.band_fill's
+ * convention without a separate full-array pre-fill pass. */
+void flsa_lin_band_fill(const int16_t *a, long M, const int16_t *b, long N,
+                        const int64_t *table, long A, int64_t gap,
+                        long dmin, long W, int64_t *B)
+{
+    long i, t;
+    for (t = 0; t < W; t++) {
+        long j = dmin + t;
+        B[t] = (j >= 0 && j <= N) ? gap * j : NEG_INF;
+    }
+    for (i = 1; i <= M; i++) {
+        int64_t *row = B + i * W;
+        const int64_t *prev = B + (i - 1) * W;
+        const int64_t *trow = table + (long)a[i - 1] * A;
+        /* Hoist the j-range test out of the inner loop: only
+         * t in [t_lo, t_hi] maps to 0 <= j <= N; everything outside is
+         * written NEG_INF directly.  Guard-free candidate arithmetic is
+         * safe: NEG_INF + any score stays far below HALF without
+         * overflowing (NEG_INF = -2^62, int64 min = -2^63), and the
+         * final clamp restores the exact-NEG_INF convention. */
+        long t_lo = -(i + dmin); if (t_lo < 0) t_lo = 0;
+        long t_hi = N - i - dmin; if (t_hi > W - 1) t_hi = W - 1;
+        for (t = 0; t < t_lo; t++) row[t] = NEG_INF;
+        for (t = t_hi + 1; t < W; t++) row[t] = NEG_INF;
+        if (t_lo > t_hi) continue;
+        t = t_lo;
+        int64_t left = NEG_INF;
+        if (i + dmin + t == 0) { /* the j == 0 boundary cell */
+            left = gap * i;
+            row[t] = left;
+            t++;
+        }
+        long j = i + dmin + t;
+        for (; t <= t_hi; t++, j++) {
+            int64_t v = prev[t] + trow[b[j - 1]];
+            int64_t c;
+            if (t + 1 < W) {
+                c = prev[t + 1] + gap;
+                if (c > v) v = c;
+            }
+            c = left + gap;
+            if (c > v) v = c;
+            v = (v > HALF) ? v : NEG_INF;
+            row[t] = v;
+            left = v;
+        }
+    }
+}
+
+/* Banded affine fill; mirrors repro.kernels.banddp.band_fill_affine.
+ * BH/BE/BF must be pre-filled with NEG_INF. */
+void flsa_aff_band_fill(const int16_t *a, long M, const int16_t *b, long N,
+                        const int64_t *table, long A,
+                        int64_t open_, int64_t extend, long dmin, long W,
+                        int64_t *BH, int64_t *BE, int64_t *BF)
+{
+    long i, t;
+    for (t = 0; t < W; t++) {
+        long j = dmin + t;
+        if (j >= 0 && j <= N)
+            BH[t] = (j == 0) ? 0 : open_ + (j - 1) * extend;
+    }
+    for (i = 1; i <= M; i++) {
+        int64_t *rh = BH + i * W, *re = BE + i * W, *rf = BF + i * W;
+        const int64_t *ph = BH + (i - 1) * W, *pf = BF + (i - 1) * W;
+        const int64_t *trow = table + (long)a[i - 1] * A;
+        int64_t bound = open_ + (i - 1) * extend; /* column-0 leading gap */
+        int64_t e_prev = NEG_INF, v_prev = NEG_INF;
+        for (t = 0; t < W; t++) {
+            long j = i + dmin + t;
+            int64_t f = NEG_INF, v = NEG_INF, e = NEG_INF, h;
+            if (j < 0 || j > N) {
+                e_prev = NEG_INF;
+                v_prev = NEG_INF;
+                continue; /* all three stay NEG_INF */
+            }
+            if (j == 0) {
+                rh[t] = bound;
+                rf[t] = bound; /* a column-0 path *is* a gap run */
+                e_prev = NEG_INF;
+                v_prev = bound; /* the boundary cell seeds the E chain */
+                continue;
+            }
+            /* vertical layer: same column is t+1 in the previous row */
+            if (t + 1 < W) {
+                if (ph[t + 1] > HALF) f = ph[t + 1] + open_;
+                if (pf[t + 1] > HALF) {
+                    int64_t c = pf[t + 1] + extend;
+                    if (c > f) f = c;
+                }
+            }
+            if (ph[t] > HALF) {
+                int64_t c = ph[t] + trow[b[j - 1]];
+                if (c > v) v = c;
+            }
+            if (f > v) v = f;
+            /* horizontal layer: chain over in-band v sources (l < t) */
+            if (v_prev > HALF) e = v_prev + open_;
+            if (e_prev > HALF) {
+                int64_t c = e_prev + extend;
+                if (c > e) e = c;
+            }
+            h = v > e ? v : e;
+            rh[t] = (h > HALF) ? h : NEG_INF;
+            re[t] = (e > HALF) ? e : NEG_INF;
+            rf[t] = (f > HALF) ? f : NEG_INF;
+            e_prev = e;
+            v_prev = v;
+        }
+    }
+}
+"""
+
+
+def build(verbose: bool = False) -> str:
+    """Compile the extension in place; returns the built module path."""
+    import cffi
+
+    ffibuilder = cffi.FFI()
+    ffibuilder.cdef(CDEF)
+    ffibuilder.set_source(
+        "repro.kernels._ckernels",
+        SOURCE,
+        extra_compile_args=["-O3"],
+    )
+    here = os.path.dirname(os.path.abspath(__file__))
+    src_root = os.path.dirname(os.path.dirname(here))  # .../src
+    return ffibuilder.compile(tmpdir=src_root, verbose=verbose)
+
+
+if __name__ == "__main__":  # pragma: no cover - build entry point
+    import sys
+
+    path = build(verbose="-v" in sys.argv)
+    print(f"built {path}")

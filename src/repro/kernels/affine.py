@@ -44,6 +44,7 @@ __all__ = [
     "sweep_last_row_col_affine",
     "sweep_band_affine",
     "sweep_matrix_affine",
+    "best_cell_local_affine",
 ]
 
 #: Sentinel for impossible DP states; headroom for repeated penalty adds.
@@ -276,6 +277,50 @@ def sweep_band_affine(
         prev_h, cur_h = cur_h, prev_h
         prev_f, cur_f = cur_f, prev_f
     return prev_h.copy(), prev_f.copy(), samples_h, samples_e
+
+
+def best_cell_local_affine(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[int, int, int]:
+    """Affine analogue of :func:`repro.kernels.linear.best_cell_local`.
+
+    Clamped Gotoh sweep; same first-row-major-maximum tie-breaking.
+    """
+    open_, extend = int(open_), int(extend)
+    M, N = len(a_codes), len(b_codes)
+    if counter is not None:
+        counter.add_cells(M * N)
+    best, bi, bj = 0, 0, 0
+    if M == 0 or N == 0:
+        return best, bi, bj
+    ej = np.arange(N + 1, dtype=np.int64) * extend
+    prev_h = np.zeros(N + 1, dtype=np.int64)
+    prev_f = np.full(N + 1, NEG_INF, dtype=np.int64)
+    t = np.empty(N, dtype=np.int64)
+    for i in range(1, M + 1):
+        s = table[a_codes[i - 1]][b_codes]
+        cur_f = np.maximum(prev_h + open_, prev_f + extend)
+        cur_f[0] = NEG_INF
+        v = np.maximum(prev_h[:-1] + s, cur_f[1:])
+        np.maximum(v, 0, out=v)
+        t[0] = open_ - extend
+        if N > 1:
+            np.subtract(v[:-1] + (open_ - extend), ej[1:N], out=t[1:])
+        np.maximum.accumulate(t, out=t)
+        e = t + ej[1:]
+        cur_h = np.empty(N + 1, dtype=np.int64)
+        np.maximum(v, e, out=cur_h[1:])
+        cur_h[0] = 0
+        rm = int(np.argmax(cur_h))
+        if cur_h[rm] > best:
+            best, bi, bj = int(cur_h[rm]), i, rm
+        prev_h, prev_f = cur_h, cur_f
+    return best, bi, bj
 
 
 def sweep_matrix_affine(

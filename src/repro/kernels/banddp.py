@@ -1,0 +1,169 @@
+"""Banded DP fill kernels (band coordinates ``t = j − i − dmin``).
+
+The band covers diagonals ``d = j − i`` in ``[dmin, dmax]`` with
+``dmin = min(0, n−m) − w`` and ``dmax = max(0, n−m) + w`` for half-width
+``w`` — a range that always contains both DPM corners.  The fill stores
+``B[i, t] = H[i, i + dmin + t]`` for every in-band cell and exactly
+``NEG_INF`` everywhere else, so downstream code (traceback, the
+exactness certificate in :mod:`repro.core.banded`) can distinguish
+"unreachable/out-of-band" with a single ``> NEG_INF // 2`` guard.
+
+Within a row the in-band columns are contiguous, so the horizontal chain
+collapses to the same prefix-max scan as the full-width kernels; the
+vertical neighbour shifts by ``+1`` in ``t`` across rows.
+
+These are registry-tier kernels: the compiled tier provides per-cell C
+loops with identical guard semantics, and the stored matrices are
+normalised (every impossible state is *exactly* ``NEG_INF``) so the two
+tiers are bit-comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .affine import NEG_INF
+from .ops import OpCounter
+
+__all__ = ["band_range", "band_fill", "band_fill_affine"]
+
+_HALF = NEG_INF // 2
+
+
+def band_range(m: int, n: int, width: int) -> Tuple[int, int]:
+    """Inclusive diagonal range ``[dmin, dmax]`` of a half-width band."""
+    return min(0, n - m) - width, max(0, n - m) + width
+
+
+def band_fill(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    width: int,
+    counter: Optional[OpCounter] = None,
+) -> np.ndarray:
+    """Linear-gap banded fill; returns ``B`` of shape ``(m+1, W)``.
+
+    ``B[i, t] = H[i, i + dmin + t]`` over in-band paths; out-of-band and
+    unreachable entries hold exactly ``NEG_INF``.
+    """
+    m, n = len(a_codes), len(b_codes)
+    gap = int(gap)
+    dmin, dmax = band_range(m, n, width)
+    W = dmax - dmin + 1
+    if counter is not None:
+        counter.add_cells(m * W)
+
+    B = np.full((m + 1, W), NEG_INF, dtype=np.int64)
+    # Row 0: in-band prefix of the boundary row.
+    for t in range(W):
+        j = dmin + t
+        if 0 <= j <= n:
+            B[0, t] = gap * j
+
+    gt = np.arange(W, dtype=np.int64) * gap
+    for i in range(1, m + 1):
+        js = i + dmin + np.arange(W)          # global columns of this row
+        valid = (js >= 0) & (js <= n)
+        prev = B[i - 1]
+        # diag: H[i-1, j-1] -> prev[t]; up: H[i-1, j] -> prev[t+1].
+        s = np.full(W, NEG_INF, dtype=np.int64)
+        inb = valid & (js >= 1)
+        if inb.any():
+            s[inb] = table[a_codes[i - 1]][b_codes[js[inb] - 1]]
+        diag = np.where(s > NEG_INF, prev + s, NEG_INF)
+        up = np.full(W, NEG_INF, dtype=np.int64)
+        up[:-1] = prev[1:] + gap
+        # j == 0 boundary cell (column 0 of the DPM) is fixed.
+        v = np.maximum(diag, up)
+        boundary_t = -i - dmin  # t with j == 0, if in range
+        if 0 <= boundary_t < W:
+            v[boundary_t] = gap * i
+        # Horizontal chain via prefix-max over contiguous in-band columns.
+        tarr = np.where(v > _HALF, v - gt, NEG_INF)
+        np.maximum.accumulate(tarr, out=tarr)
+        row = np.where(tarr > _HALF, tarr + gt, NEG_INF)
+        row[~valid] = NEG_INF
+        if 0 <= boundary_t < W:
+            row[boundary_t] = gap * i
+        B[i] = row
+    return B
+
+
+def band_fill_affine(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    width: int,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Affine (Gotoh) banded fill; returns ``(BH, BE, BF)``.
+
+    Same band remapping as :func:`band_fill` with the vertical layer
+    shifting ``+1`` in ``t`` across rows and the horizontal layer
+    collapsing to a prefix scan.  Column-0 boundary cells carry the
+    leading-gap run in both ``H`` and ``F`` so a run may continue off the
+    boundary column without re-opening.  All impossible states are
+    normalised to exactly ``NEG_INF``.
+    """
+    m, n = len(a_codes), len(b_codes)
+    open_, extend = int(open_), int(extend)
+    dmin, dmax = band_range(m, n, width)
+    W = dmax - dmin + 1
+    if counter is not None:
+        counter.add_cells(m * W)
+
+    BH = np.full((m + 1, W), NEG_INF, dtype=np.int64)
+    BE = np.full((m + 1, W), NEG_INF, dtype=np.int64)
+    BF = np.full((m + 1, W), NEG_INF, dtype=np.int64)
+
+    def boundary_h(i: int) -> int:
+        return 0 if i == 0 else open_ + (i - 1) * extend
+
+    for t in range(W):
+        j = dmin + t
+        if 0 <= j <= n:
+            BH[0, t] = 0 if j == 0 else open_ + (j - 1) * extend
+
+    et = np.arange(W, dtype=np.int64) * extend
+    for i in range(1, m + 1):
+        js = i + dmin + np.arange(W)
+        valid = (js >= 0) & (js <= n)
+        prev_h, prev_f = BH[i - 1], BF[i - 1]
+        # Vertical layer: same column is t+1 in the previous row.
+        f = np.full(W, NEG_INF, dtype=np.int64)
+        f[:-1] = np.maximum(prev_h[1:] + open_, prev_f[1:] + extend)
+        f[~valid] = NEG_INF
+        # Diagonal arrivals.
+        s = np.full(W, NEG_INF, dtype=np.int64)
+        inb = valid & (js >= 1)
+        if inb.any():
+            s[inb] = table[a_codes[i - 1]][b_codes[js[inb] - 1]]
+        diag = np.where(s > _HALF, prev_h + s, NEG_INF)
+        v = np.maximum(diag, f)
+        bt = -i - dmin  # band index of the j == 0 boundary cell
+        if 0 <= bt < W:
+            v[bt] = boundary_h(i)
+            f[bt] = boundary_h(i)  # a column-0 path *is* a gap run
+        # Horizontal layer via the prefix-max scan (sources l < t).
+        tarr = np.where(v > _HALF, v + (open_ - extend) - et, NEG_INF)
+        acc = np.maximum.accumulate(tarr)
+        e = np.full(W, NEG_INF, dtype=np.int64)
+        e[1:] = np.where(acc[:-1] > _HALF, acc[:-1] + et[1:], NEG_INF)
+        e[~valid] = NEG_INF
+        h = np.maximum(v, e)
+        if 0 <= bt < W:
+            h[bt] = boundary_h(i)
+            e[bt] = NEG_INF
+        h[~valid] = NEG_INF
+        # Canonicalise impossible states to exactly NEG_INF so matrices are
+        # bit-comparable across kernel tiers.
+        h[h <= _HALF] = NEG_INF
+        f[f <= _HALF] = NEG_INF
+        BH[i], BE[i], BF[i] = h, e, f
+    return BH, BE, BF

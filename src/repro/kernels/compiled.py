@@ -1,0 +1,440 @@
+"""numpy-signature wrappers over the cffi compiled kernels.
+
+Each function mirrors its numpy twin in :mod:`repro.kernels.linear`,
+:mod:`repro.kernels.affine` or :mod:`repro.kernels.banddp` exactly —
+same arguments (``profile`` accepted and ignored; the C loops gather
+scores directly), same return shapes/dtypes, and bit-identical output
+words.  Degenerate sweeps (``M == 0`` or ``N == 0``) delegate to the
+numpy tier, which already owns those edge contracts.
+
+Import of this module raises ``ImportError`` when the extension has not
+been built; the registry treats that as "tier unavailable".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import affine as _aff
+from . import banddp as _banddp
+from . import linear as _lin
+from ._ckernels import ffi, lib  # noqa: F401  (ImportError => tier absent)
+from .affine import NEG_INF
+from .ops import OpCounter
+
+
+def _i16(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x, dtype=np.int16)
+
+
+def _i64(x) -> np.ndarray:
+    return np.ascontiguousarray(x, dtype=np.int64)
+
+
+def _ptr16(x: np.ndarray):
+    return ffi.cast("const int16_t *", ffi.from_buffer(x))
+
+
+def _ptr64(x: np.ndarray):
+    return ffi.cast("const int64_t *", ffi.from_buffer(x))
+
+
+def _out64(x: np.ndarray):
+    return ffi.cast("int64_t *", ffi.from_buffer(x))
+
+
+_NULL = None  # placeholder; real NULL computed lazily from ffi
+
+
+def _null():
+    return ffi.NULL
+
+
+def sweep_last_row_col(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    first_row: np.ndarray,
+    first_col: np.ndarray,
+    counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    M, N = len(a_codes), len(b_codes)
+    if M == 0 or N == 0:
+        return _lin.sweep_last_row_col(
+            a_codes, b_codes, table, gap, first_row, first_col, counter
+        )
+    first_row = _i64(first_row)
+    first_col = _i64(first_col)
+    if first_row.shape != (N + 1,):
+        raise ValueError(f"first_row must have length {N + 1}, got {first_row.shape}")
+    if first_col.shape != (M + 1,):
+        raise ValueError(f"first_col must have length {M + 1}, got {first_col.shape}")
+    if counter is not None:
+        counter.add_cells(M * N)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    last_row = np.empty(N + 1, dtype=np.int64)
+    last_col = np.empty(M + 1, dtype=np.int64)
+    rc = lib.flsa_lin_sweep(
+        _ptr16(a), M, _ptr16(b), N, _ptr64(tbl), tbl.shape[1], int(gap),
+        _ptr64(first_row), _ptr64(first_col),
+        _out64(last_row), _out64(last_col), _null(),
+        _null(), 0, _null(),
+    )
+    if rc:
+        raise MemoryError("flsa_lin_sweep: allocation failed")
+    return last_row, last_col
+
+
+def sweep_band(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    first_row: np.ndarray,
+    first_col: np.ndarray,
+    sample_cols: np.ndarray,
+    counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    M, N = len(a_codes), len(b_codes)
+    sample_cols = _i64(sample_cols)
+    if M == 0 or N == 0:
+        return _lin.sweep_band(
+            a_codes, b_codes, table, gap, first_row, first_col, sample_cols, counter
+        )
+    first_row = _i64(first_row)
+    first_col = _i64(first_col)
+    if first_row.shape != (N + 1,):
+        raise ValueError(f"first_row must have length {N + 1}, got {first_row.shape}")
+    if first_col.shape != (M + 1,):
+        raise ValueError(f"first_col must have length {M + 1}, got {first_col.shape}")
+    if sample_cols.size and (sample_cols.min() < 0 or sample_cols.max() > N):
+        raise ValueError("sample_cols out of range")
+    if counter is not None:
+        counter.add_cells(M * N)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    S = len(sample_cols)
+    last_row = np.empty(N + 1, dtype=np.int64)
+    samples = np.empty((S, M + 1), dtype=np.int64)
+    rc = lib.flsa_lin_sweep(
+        _ptr16(a), M, _ptr16(b), N, _ptr64(tbl), tbl.shape[1], int(gap),
+        _ptr64(first_row), _ptr64(first_col),
+        _out64(last_row), _null(), _null(),
+        _ptr64(sample_cols) if S else _null(), S,
+        _out64(samples) if S else _null(),
+    )
+    if rc:
+        raise MemoryError("flsa_lin_sweep: allocation failed")
+    return last_row, samples
+
+
+def sweep_matrix(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    first_row: np.ndarray,
+    first_col: np.ndarray,
+    counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    M, N = len(a_codes), len(b_codes)
+    if M == 0 or N == 0:
+        return _lin.sweep_matrix(
+            a_codes, b_codes, table, gap, first_row, first_col, counter
+        )
+    first_row = _i64(first_row)
+    first_col = _i64(first_col)
+    if first_row.shape != (N + 1,):
+        raise ValueError(f"first_row must have length {N + 1}, got {first_row.shape}")
+    if first_col.shape != (M + 1,):
+        raise ValueError(f"first_col must have length {M + 1}, got {first_col.shape}")
+    if counter is not None:
+        counter.add_cells(M * N)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    H = np.empty((M + 1, N + 1), dtype=np.int64)
+    rc = lib.flsa_lin_sweep(
+        _ptr16(a), M, _ptr16(b), N, _ptr64(tbl), tbl.shape[1], int(gap),
+        _ptr64(first_row), _ptr64(first_col),
+        _null(), _null(), _out64(H),
+        _null(), 0, _null(),
+    )
+    if rc:
+        raise MemoryError("flsa_lin_sweep: allocation failed")
+    return H
+
+
+def best_cell_local(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[int, int, int]:
+    M, N = len(a_codes), len(b_codes)
+    if M == 0 or N == 0:
+        return 0, 0, 0
+    if counter is not None:
+        counter.add_cells(M * N)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    out = np.empty(3, dtype=np.int64)
+    lib.flsa_lin_best_local(
+        _ptr16(a), M, _ptr16(b), N, _ptr64(tbl), tbl.shape[1], int(gap), _out64(out)
+    )
+    if out[0] < 0:
+        raise MemoryError("flsa_lin_best_local: allocation failed")
+    return int(out[0]), int(out[1]), int(out[2])
+
+
+def band_fill(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    width: int,
+    counter: Optional[OpCounter] = None,
+) -> np.ndarray:
+    m, n = len(a_codes), len(b_codes)
+    if m == 0 or n == 0:
+        return _banddp.band_fill(a_codes, b_codes, table, gap, width, counter)
+    dmin, dmax = _banddp.band_range(m, n, width)
+    W = dmax - dmin + 1
+    if counter is not None:
+        counter.add_cells(m * W)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    # The C fill writes every cell (NEG_INF for out-of-range) — no
+    # pre-fill pass over the whole band needed.
+    B = np.empty((m + 1, W), dtype=np.int64)
+    lib.flsa_lin_band_fill(
+        _ptr16(a), m, _ptr16(b), n, _ptr64(tbl), tbl.shape[1], int(gap),
+        dmin, W, _out64(B),
+    )
+    return B
+
+
+def sweep_last_row_col_affine(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    first_row_h: np.ndarray,
+    first_row_f: np.ndarray,
+    first_col_h: np.ndarray,
+    first_col_e: np.ndarray,
+    counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    M, N = len(a_codes), len(b_codes)
+    if M == 0 or N == 0:
+        return _aff.sweep_last_row_col_affine(
+            a_codes, b_codes, table, open_, extend,
+            first_row_h, first_row_f, first_col_h, first_col_e, counter,
+        )
+    first_row_h = _i64(first_row_h)
+    first_row_f = _i64(first_row_f)
+    first_col_h = _i64(first_col_h)
+    first_col_e = _i64(first_col_e)
+    _aff._check_shapes(M, N, first_row_h, first_row_f, first_col_h, first_col_e)
+    if counter is not None:
+        counter.add_cells(M * N)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    last_row_h = np.empty(N + 1, dtype=np.int64)
+    last_row_f = np.empty(N + 1, dtype=np.int64)
+    last_col_h = np.empty(M + 1, dtype=np.int64)
+    last_col_e = np.empty(M + 1, dtype=np.int64)
+    rc = lib.flsa_aff_sweep(
+        _ptr16(a), M, _ptr16(b), N, _ptr64(tbl), tbl.shape[1],
+        int(open_), int(extend),
+        _ptr64(first_row_h), _ptr64(first_row_f),
+        _ptr64(first_col_h), _ptr64(first_col_e),
+        _out64(last_row_h), _out64(last_row_f),
+        _out64(last_col_h), _out64(last_col_e),
+        _null(), _null(), _null(),
+        _null(), 0, _null(), _null(),
+    )
+    if rc:
+        raise MemoryError("flsa_aff_sweep: allocation failed")
+    return last_row_h, last_row_f, last_col_h, last_col_e
+
+
+def sweep_band_affine(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    first_row_h: np.ndarray,
+    first_row_f: np.ndarray,
+    first_col_h: np.ndarray,
+    first_col_e: np.ndarray,
+    sample_cols: np.ndarray,
+    counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    M, N = len(a_codes), len(b_codes)
+    sample_cols = _i64(sample_cols)
+    if M == 0 or N == 0:
+        return _aff.sweep_band_affine(
+            a_codes, b_codes, table, open_, extend,
+            first_row_h, first_row_f, first_col_h, first_col_e,
+            sample_cols, counter,
+        )
+    first_row_h = _i64(first_row_h)
+    first_row_f = _i64(first_row_f)
+    first_col_h = _i64(first_col_h)
+    first_col_e = _i64(first_col_e)
+    _aff._check_shapes(M, N, first_row_h, first_row_f, first_col_h, first_col_e)
+    if sample_cols.size and (sample_cols.min() < 1 or sample_cols.max() > N):
+        raise ValueError("sample_cols must be interior positions in [1, N]")
+    if counter is not None:
+        counter.add_cells(M * N)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    S = len(sample_cols)
+    last_row_h = np.empty(N + 1, dtype=np.int64)
+    last_row_f = np.empty(N + 1, dtype=np.int64)
+    samples_h = np.empty((S, M + 1), dtype=np.int64)
+    samples_e = np.full((S, M + 1), NEG_INF, dtype=np.int64)
+    rc = lib.flsa_aff_sweep(
+        _ptr16(a), M, _ptr16(b), N, _ptr64(tbl), tbl.shape[1],
+        int(open_), int(extend),
+        _ptr64(first_row_h), _ptr64(first_row_f),
+        _ptr64(first_col_h), _ptr64(first_col_e),
+        _out64(last_row_h), _out64(last_row_f),
+        _null(), _null(),
+        _null(), _null(), _null(),
+        _ptr64(sample_cols) if S else _null(), S,
+        _out64(samples_h) if S else _null(),
+        _out64(samples_e) if S else _null(),
+    )
+    if rc:
+        raise MemoryError("flsa_aff_sweep: allocation failed")
+    return last_row_h, last_row_f, samples_h, samples_e
+
+
+def sweep_matrix_affine(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    first_row_h: np.ndarray,
+    first_row_f: np.ndarray,
+    first_col_h: np.ndarray,
+    first_col_e: np.ndarray,
+    counter: Optional[OpCounter] = None,
+    *,
+    profile: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    M, N = len(a_codes), len(b_codes)
+    if M == 0 or N == 0:
+        return _aff.sweep_matrix_affine(
+            a_codes, b_codes, table, open_, extend,
+            first_row_h, first_row_f, first_col_h, first_col_e, counter,
+        )
+    first_row_h = _i64(first_row_h)
+    first_row_f = _i64(first_row_f)
+    first_col_h = _i64(first_col_h)
+    first_col_e = _i64(first_col_e)
+    _aff._check_shapes(M, N, first_row_h, first_row_f, first_col_h, first_col_e)
+    if counter is not None:
+        counter.add_cells(M * N)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    H = np.empty((M + 1, N + 1), dtype=np.int64)
+    E = np.empty((M + 1, N + 1), dtype=np.int64)
+    F = np.empty((M + 1, N + 1), dtype=np.int64)
+    rc = lib.flsa_aff_sweep(
+        _ptr16(a), M, _ptr16(b), N, _ptr64(tbl), tbl.shape[1],
+        int(open_), int(extend),
+        _ptr64(first_row_h), _ptr64(first_row_f),
+        _ptr64(first_col_h), _ptr64(first_col_e),
+        _null(), _null(), _null(), _null(),
+        _out64(H), _out64(E), _out64(F),
+        _null(), 0, _null(), _null(),
+    )
+    if rc:
+        raise MemoryError("flsa_aff_sweep: allocation failed")
+    return H, E, F
+
+
+def best_cell_local_affine(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[int, int, int]:
+    M, N = len(a_codes), len(b_codes)
+    if M == 0 or N == 0:
+        return 0, 0, 0
+    if counter is not None:
+        counter.add_cells(M * N)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    out = np.empty(3, dtype=np.int64)
+    lib.flsa_aff_best_local(
+        _ptr16(a), M, _ptr16(b), N, _ptr64(tbl), tbl.shape[1],
+        int(open_), int(extend), _out64(out),
+    )
+    if out[0] < 0:
+        raise MemoryError("flsa_aff_best_local: allocation failed")
+    return int(out[0]), int(out[1]), int(out[2])
+
+
+def band_fill_affine(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    width: int,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    m, n = len(a_codes), len(b_codes)
+    if m == 0 or n == 0:
+        return _banddp.band_fill_affine(
+            a_codes, b_codes, table, open_, extend, width, counter
+        )
+    dmin, dmax = _banddp.band_range(m, n, width)
+    W = dmax - dmin + 1
+    if counter is not None:
+        counter.add_cells(m * W)
+    a = _i16(a_codes)
+    b = _i16(b_codes)
+    tbl = _i64(table)
+    BH = np.full((m + 1, W), NEG_INF, dtype=np.int64)
+    BE = np.full((m + 1, W), NEG_INF, dtype=np.int64)
+    BF = np.full((m + 1, W), NEG_INF, dtype=np.int64)
+    lib.flsa_aff_band_fill(
+        _ptr16(a), m, _ptr16(b), n, _ptr64(tbl), tbl.shape[1],
+        int(open_), int(extend), dmin, W,
+        _out64(BH), _out64(BE), _out64(BF),
+    )
+    return BH, BE, BF

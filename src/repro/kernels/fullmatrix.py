@@ -15,8 +15,6 @@ import numpy as np
 
 from ..align.path import Layer
 from ..scoring.scheme import ScoringScheme
-from .affine import sweep_matrix_affine
-from .linear import sweep_matrix
 from .ops import OpCounter
 from .traceback import traceback_affine, traceback_linear
 
@@ -70,15 +68,17 @@ def compute_full(
     (use :func:`repro.kernels.affine.affine_boundaries` for a fresh
     problem); for linear schemes they are ignored.
     """
+    from . import registry  # late import: registry imports compiled wrappers
+
     table = scheme.matrix.table
     if scheme.is_linear:
-        H = sweep_matrix(
+        H = registry.active("linear").sweep_matrix(
             a_codes, b_codes, table, scheme.gap_open, first_row_h, first_col_h, counter
         )
         return FullMatrices(H=H, E=None, F=None)
     if first_row_f is None or first_col_e is None:
         raise ValueError("affine scheme requires first_row_f and first_col_e caches")
-    H, E, F = sweep_matrix_affine(
+    H, E, F = registry.active("affine").sweep_matrix(
         a_codes,
         b_codes,
         table,

@@ -36,6 +36,7 @@ __all__ = [
     "sweep_last_row_col",
     "sweep_matrix",
     "sweep_band",
+    "best_cell_local",
     "boundary_vectors",
     "score_profile",
 ]
@@ -245,6 +246,45 @@ def sweep_band(
             samples[:, i] = cur[sample_cols]
         prev, cur = cur, prev
     return prev.copy(), samples
+
+
+def best_cell_local(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[int, int, int]:
+    """Rolling clamped (Smith–Waterman) sweep; returns ``(score, i, j)``.
+
+    The best local score and its end cell, preferring the first row-major
+    maximum (ties broken by smallest ``i``, then smallest ``j``) — the
+    scoring tier behind :func:`repro.core.local.local_best_cell`.
+    """
+    gap = int(gap)
+    M, N = len(a_codes), len(b_codes)
+    if counter is not None:
+        counter.add_cells(M * N)
+    best, bi, bj = 0, 0, 0
+    if M == 0 or N == 0:
+        return best, bi, bj
+    gj = np.arange(N + 1, dtype=np.int64) * gap
+    prev = np.zeros(N + 1, dtype=np.int64)
+    t = np.empty(N + 1, dtype=np.int64)
+    for i in range(1, M + 1):
+        s = table[a_codes[i - 1]][b_codes]
+        v = np.maximum(prev[:-1] + s, prev[1:] + gap)
+        np.maximum(v, 0, out=v)
+        t[0] = 0
+        np.subtract(v, gj[1:], out=t[1:])
+        np.maximum.accumulate(t, out=t)
+        cur = t + gj
+        cur[0] = 0
+        rm = int(np.argmax(cur))
+        if cur[rm] > best:
+            best, bi, bj = int(cur[rm]), i, rm
+        prev = cur
+    return best, bi, bj
 
 
 def sweep_matrix(

@@ -27,6 +27,7 @@ import numpy as np
 from ..core.fastlsa import FastLSAHooks
 from ..core.planner import arena_cells, resolve_backend
 from ..faults import runtime as faults
+from ..kernels import registry
 from ..kernels.linear import score_profile
 from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
@@ -137,6 +138,7 @@ class ProcessSession:
                     is_linear=scheme.is_linear,
                     fault_plan=plan.to_dict() if plan is not None else None,
                     observe=self._observe,
+                    kernel=registry.current_tier(),
                 )
             )
         except BaseException:

@@ -40,9 +40,10 @@ from ..core.fillcache import compute_block, fill_grid
 from ..core.grid import Grid, split_bounds
 from ..core.problem import ColCache, RowCache
 from ..errors import ConfigError
-from ..kernels.affine import NEG_INF, sweep_matrix_affine
+from ..kernels import registry
+from ..kernels.affine import NEG_INF
 from ..kernels.fullmatrix import FullMatrices, compute_full
-from ..kernels.linear import score_profile, sweep_matrix
+from ..kernels.linear import score_profile
 from ..kernels.ops import KernelInstruments
 from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
@@ -230,12 +231,15 @@ def _parallel_base_matrix(
 
     tg = build_base_tiles(M, N, k, u, v)
     region_profile = score_profile(table, b_codes)
+    # Resolve the kernel provider here: worker threads run in their own
+    # context, so the caller's registry.use(...) would not be visible.
+    provider = registry.active("linear" if scheme.is_linear else "affine")
 
     def worker(tile: Tile) -> None:
         a0, a1, b0, b1 = tile.a0, tile.a1, tile.b0, tile.b1
         prof = region_profile[:, b0:b1]
         if scheme.is_linear:
-            sub = sweep_matrix(
+            sub = provider.sweep_matrix(
                 a_codes[a0:a1], b_codes[b0:b1], table, scheme.gap_open,
                 H[a0, b0 : b1 + 1], H[a0 : a1 + 1, b0],
                 profile=prof,
@@ -244,7 +248,7 @@ def _parallel_base_matrix(
             H[a0 + 1 : a1 + 1, b0] = sub[1:, 0]
             H[a0, b0 + 1 : b1 + 1] = sub[0, 1:]
         else:
-            sh, se, sf = sweep_matrix_affine(
+            sh, se, sf = provider.sweep_matrix(
                 a_codes[a0:a1], b_codes[b0:b1], table,
                 scheme.gap_open, scheme.gap_extend,
                 H[a0, b0 : b1 + 1], F[a0, b0 : b1 + 1],

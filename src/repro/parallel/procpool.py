@@ -38,8 +38,7 @@ from ..core import cancel
 from ..errors import SchedulerError, WorkerCrashError
 from ..faults import runtime as faults
 from ..faults.plan import SITE_TILE_FINISH, SITE_TILE_START, FaultPlan
-from ..kernels.affine import sweep_last_row_col_affine
-from ..kernels.linear import sweep_last_row_col
+from ..kernels import registry
 from ..obs import runtime as obs
 from ..obs.runtime import Instrumentation
 from .shm import SharedArena
@@ -64,6 +63,7 @@ class SessionSpec:
         is_linear: bool,
         fault_plan: Optional[dict] = None,
         observe: bool = False,
+        kernel: str = "numpy",
     ) -> None:
         self.arena_name = arena_name
         self.arena_fields = arena_fields
@@ -73,6 +73,9 @@ class SessionSpec:
         self.is_linear = bool(is_linear)
         self.fault_plan = fault_plan
         self.observe = bool(observe)
+        #: Resolved kernel tier ("numpy"/"compiled"); workers degrade to
+        #: numpy if the compiled extension is unavailable in their process.
+        self.kernel = str(kernel)
 
 
 # ----------------------------------------------------------------------
@@ -92,6 +95,10 @@ class _WorkerState:
         self.cols_h = self.arena["cols_h"]
         self.rows_f = self.arena["rows_f"] if not spec.is_linear else None
         self.cols_e = self.arena["cols_e"] if not spec.is_linear else None
+        tier = spec.kernel if registry.compiled_available() else "numpy"
+        self.provider = registry.get_kernel(
+            "linear" if spec.is_linear else "affine", tier
+        )
         self.inst: Optional[Instrumentation] = None
         if spec.observe:
             self.inst = obs.enable(Instrumentation())
@@ -116,7 +123,7 @@ class _WorkerState:
             top_h = self.rows_h[r, b0 : b1 + 1]
             left_h = self.cols_h[c, a0 : a1 + 1]
             if spec.is_linear:
-                bot_h, right_h = sweep_last_row_col(
+                bot_h, right_h = self.provider.sweep_last_row_col(
                     sub_a, sub_b, spec.table, spec.gap_open, top_h, left_h,
                     profile=prof,
                 )
@@ -125,7 +132,7 @@ class _WorkerState:
             else:
                 top_f = self.rows_f[r, b0 : b1 + 1]
                 left_e = self.cols_e[c, a0 : a1 + 1]
-                bot_h, bot_f, right_h, right_e = sweep_last_row_col_affine(
+                bot_h, bot_f, right_h, right_e = self.provider.sweep_last_row_col(
                     sub_a, sub_b, spec.table, spec.gap_open, spec.gap_extend,
                     top_h, top_f, left_h, left_e, profile=prof,
                 )

@@ -42,6 +42,7 @@ from ..baselines.smith_waterman import LocalAlignment
 from ..core import cancel
 from ..core.config import AlignConfig, resolve_config
 from ..core.local import fastlsa_local, local_best_cell
+from ..kernels import registry
 from ..errors import CandidateFailedError, ConfigError, JobTimeoutError
 from ..faults import runtime as faults
 from ..faults.plan import SITE_CANDIDATE_SCORE
@@ -132,16 +133,22 @@ class SearchResult:
         }
 
 
-def _score_task(query_text: str, target_text: str, scheme: ScoringScheme):
+def _score_task(query_text: str, target_text: str, scheme: ScoringScheme,
+                kernel: str = "auto"):
     """One tier-2 attempt: fault site + linear-space best-cell sweep.
 
-    Module-level so the processes backend can pickle it.  (Fault plans are
-    per-process state: under the processes backend the site fires in
-    workers only if a plan is installed there — chaos tests use the
-    serial/threads backends, which share the parent's plan.)
+    Module-level so the processes backend can pickle it; ``kernel`` is the
+    resolved kernel tier, passed explicitly because pool workers do not
+    inherit the caller's registry context.  (Fault plans are per-process
+    state: under the processes backend the site fires in workers only if a
+    plan is installed there — chaos tests use the serial/threads backends,
+    which share the parent's plan.)
     """
     faults.inject(SITE_CANDIDATE_SCORE)
-    return local_best_cell(query_text, target_text, scheme)
+    if kernel == "compiled" and not registry.compiled_available():
+        kernel = "numpy"  # worker process without the built extension
+    with registry.use(kernel):
+        return local_best_cell(query_text, target_text, scheme)
 
 
 def _make_pool(backend: str, max_workers: Optional[int]) -> Optional[Executor]:
@@ -260,6 +267,7 @@ def _run_search(
     heap: List[Tuple[int, int]] = []
     scored: dict = {}  # corpus_index -> (score, best_cell)
     chunk = 1 if pool is None else _PARALLEL_CHUNK
+    kernel = registry.resolve_tier(getattr(cfg, "kernel", None))
 
     def floor() -> int:
         return heap[0][0] if len(heap) >= top_k else min_score
@@ -292,7 +300,7 @@ def _run_search(
 
             changed = False
             for idx, cell in _score_batch(q, index, scheme, batch, pool, retries,
-                                          allow_partial, token, stats):
+                                          allow_partial, token, stats, kernel):
                 scored[idx] = (cell[0], cell)
                 score = cell[0]
                 if score < min_score:
@@ -325,7 +333,8 @@ def _run_search(
     return SearchResult(query=q, hits=hits, stats=stats, complete=not stats.failed)
 
 
-def _score_batch(q, index, scheme, batch, pool, retries, allow_partial, token, stats):
+def _score_batch(q, index, scheme, batch, pool, retries, allow_partial, token,
+                 stats, kernel="auto"):
     """Score a batch of corpus positions; yields ``(idx, best_cell)``.
 
     First attempts ride the pool (when there is one); retries run inline
@@ -335,11 +344,11 @@ def _score_batch(q, index, scheme, batch, pool, retries, allow_partial, token, s
     if pool is None:
         for idx in batch:
             token.check()
-            results.append(_attempt(q, index, int(idx), scheme))
+            results.append(_attempt(q, index, int(idx), scheme, kernel))
     else:
         token.check()
         texts = [index.sequence(int(idx)).text for idx in batch]
-        futures = [pool.submit(_score_task, q.text, t, scheme) for t in texts]
+        futures = [pool.submit(_score_task, q.text, t, scheme, kernel) for t in texts]
         for idx, fut in zip(batch, futures):
             try:
                 results.append((int(idx), fut.result(), None))
@@ -355,7 +364,7 @@ def _score_batch(q, index, scheme, batch, pool, retries, allow_partial, token, s
             attempts_left -= 1
             stats.retries += 1
             obs.counter_add("search.retries")
-            _, cell, exc = _attempt(q, index, idx, scheme)
+            _, cell, exc = _attempt(q, index, idx, scheme, kernel)
         if cell is None:
             name = index.names[idx]
             if allow_partial:
@@ -371,9 +380,9 @@ def _score_batch(q, index, scheme, batch, pool, retries, allow_partial, token, s
         yield idx, cell
 
 
-def _attempt(q, index, idx, scheme):
+def _attempt(q, index, idx, scheme, kernel="auto"):
     try:
-        return idx, _score_task(q.text, index.sequence(idx).text, scheme), None
+        return idx, _score_task(q.text, index.sequence(idx).text, scheme, kernel), None
     except JobTimeoutError:
         raise
     except BaseException as exc:  # noqa: BLE001 - classified by caller

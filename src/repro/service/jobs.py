@@ -103,6 +103,8 @@ class AlignRequest:
             self.score_only,
             config.k,
             config.base_cells,
+            getattr(config, "band", None),
+            getattr(config, "kernel", None),
         )
 
     def batch_key(self, config: FastLSAConfig) -> Tuple:
@@ -119,6 +121,8 @@ class AlignRequest:
             self.score_only,
             config.k,
             config.base_cells,
+            getattr(config, "band", None),
+            getattr(config, "kernel", None),
         )
 
 
@@ -151,6 +155,11 @@ class JobResult:
     run_time: float = 0.0
     retries: int = 0
     downgrades: List[str] = field(default_factory=list)
+    #: Kernel tier that (would have) run the job ("numpy"/"compiled").
+    kernel: str = ""
+    #: Certified band half-width when the banded fast path produced the
+    #: result; 0 otherwise.
+    band_width: int = 0
 
     def row(self) -> dict:
         """An :class:`~repro.analysis.recorder.ExperimentRecorder` row."""
@@ -169,6 +178,8 @@ class JobResult:
             "queue_wait": round(self.queue_wait, 6),
             "run_time": round(self.run_time, 6),
             "retries": self.retries,
+            "kernel": self.kernel,
+            "band_width": self.band_width,
             "downgrades": ";".join(self.downgrades),
         }
 
@@ -211,6 +222,11 @@ class Job:
     reserved_cells: int = 0
     retries: int = 0
     downgrades: List[str] = field(default_factory=list)
+    #: Kernel tier that (would have) run the job ("numpy"/"compiled").
+    kernel: str = ""
+    #: Certified band half-width when the banded fast path produced the
+    #: result; 0 otherwise.
+    band_width: int = 0
     # Singleflight registration key captured at submit time (degradation
     # may change ``plan`` — and with it ``cache_key()`` — mid-run).
     pending_key: Optional[Tuple] = None

@@ -30,6 +30,7 @@ from typing import Deque, Dict, List, Optional, Sequence as Seq, Set
 
 from ..core import cancel
 from ..core.batch import _full_alignment, _quick_score, batch_align
+from ..kernels import registry
 from ..core.config import AlignConfig, FastLSAConfig
 from ..core.planner import BACKENDS, degrade_plan, plan_alignment
 from ..faults import runtime as faults
@@ -390,6 +391,8 @@ class AlignmentService:
             base.base_cells,
             max_workers=getattr(base, "max_workers", None) or self.backend_workers,
             backend=self.default_backend,
+            band=getattr(base, "band", None),
+            kernel=getattr(base, "kernel", None),
         )
 
     def _end_job_span(self, job: Job, **attrs) -> None:
@@ -916,9 +919,15 @@ class AlignmentService:
             gapped_b=alignment.gapped_b,
             a_range=a_range,
             b_range=b_range,
+            kernel=alignment.stats.kernel
+            or registry.resolve_tier(getattr(job.config, "kernel", None)),
+            band_width=alignment.stats.band_width,
         )
 
     def _result(self, job: Job, **fields) -> JobResult:
+        fields.setdefault(
+            "kernel", registry.resolve_tier(getattr(job.config, "kernel", None))
+        )
         return JobResult(
             job_id=job.job_id,
             mode=job.request.mode,

@@ -111,6 +111,8 @@ def result_to_json(result: JobResult) -> Dict:
         },
         "queue_wait": round(result.queue_wait, 6),
         "run_time": round(result.run_time, 6),
+        "kernel": result.kernel,
+        "band_width": result.band_width,
     }
     if not result.score_only:
         out["gapped_a"] = result.gapped_a

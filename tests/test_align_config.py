@@ -1,9 +1,11 @@
-"""Tests for the unified AlignConfig surface and the deprecation shims.
+"""Tests for the unified AlignConfig surface and the legacy-keyword gate.
 
 The API-redesign contract: ``config=AlignConfig(...)`` is the one way to
-parameterize alignment across every entry point, the loose ``k=`` /
-``base_cells=`` / ``max_workers=`` keywords still work but warn, and the
-wire-protocol schema (``from_dict``) rejects typos loudly.
+parameterize alignment across every entry point.  The loose ``k=`` /
+``base_cells=`` / ``max_workers=`` keywords warned for one release line
+and now raise :class:`~repro.errors.ConfigError` naming the
+:class:`AlignConfig` field to use instead.  The wire-protocol schema
+(``from_dict``) rejects typos loudly.
 """
 
 import warnings
@@ -24,6 +26,7 @@ class TestAlignConfig:
         cfg = AlignConfig()
         assert isinstance(cfg, FastLSAConfig)
         assert cfg.k >= 2 and cfg.max_workers is None
+        assert cfg.band is None and cfg.kernel is None
 
     def test_validation(self):
         with pytest.raises(ConfigError):
@@ -35,9 +38,26 @@ class TestAlignConfig:
         with pytest.raises(ConfigError):
             AlignConfig(max_workers=-3)
 
+    def test_band_validation(self):
+        assert AlignConfig(band=16).band == 16
+        assert AlignConfig(band="auto").band == "auto"
+        for bad in (0, -4, "wide", True, 2.5):
+            with pytest.raises(ConfigError, match="band"):
+                AlignConfig(band=bad)
+
+    def test_kernel_validation(self):
+        assert AlignConfig(kernel="numpy").kernel == "numpy"
+        assert AlignConfig(kernel="auto").kernel == "auto"
+        with pytest.raises(ConfigError, match="kernel"):
+            AlignConfig(kernel="fortran")
+
     def test_from_dict_roundtrip(self):
-        cfg = AlignConfig.from_dict({"k": 4, "base_cells": 4096, "max_workers": 2})
+        cfg = AlignConfig.from_dict(
+            {"k": 4, "base_cells": 4096, "max_workers": 2,
+             "band": 32, "kernel": "numpy"}
+        )
         assert (cfg.k, cfg.base_cells, cfg.max_workers) == (4, 4096, 2)
+        assert (cfg.band, cfg.kernel) == (32, "numpy")
         assert AlignConfig.from_dict(cfg.to_dict()) == cfg
 
     def test_from_dict_partial_and_null(self):
@@ -45,6 +65,13 @@ class TestAlignConfig:
         assert cfg.k == 3
         assert cfg.base_cells == AlignConfig().base_cells
         assert cfg.max_workers is None
+
+    def test_from_dict_band_auto(self):
+        assert AlignConfig.from_dict({"band": "auto"}).band == "auto"
+        with pytest.raises(ConfigError, match="band"):
+            AlignConfig.from_dict({"band": True})
+        with pytest.raises(ConfigError, match="band"):
+            AlignConfig.from_dict({"band": "narrow"})
 
     def test_from_dict_rejects_unknown_keys(self):
         with pytest.raises(ConfigError, match="unknown config keys"):
@@ -57,13 +84,14 @@ class TestAlignConfig:
             AlignConfig.from_dict({"k": True})
         with pytest.raises(ConfigError, match="must be an integer"):
             AlignConfig.from_dict({"base_cells": "big"})
+        with pytest.raises(ConfigError, match="must be a string"):
+            AlignConfig.from_dict({"kernel": 3})
 
 
 class TestResolveConfig:
-    def test_config_wins_over_legacy(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = resolve_config(AlignConfig(k=5), k=9)
-        assert cfg.k == 5
+    def test_legacy_keyword_raises_even_with_config(self):
+        with pytest.raises(ConfigError, match="k keyword"):
+            resolve_config(AlignConfig(k=5), k=9)
 
     def test_plain_fastlsa_config_is_wrapped(self):
         cfg = resolve_config(FastLSAConfig(k=3, base_cells=1024))
@@ -76,25 +104,30 @@ class TestResolveConfig:
             cfg = resolve_config()
         assert cfg == AlignConfig()
 
-    def test_warning_names_call_site_and_keywords(self):
-        with pytest.warns(DeprecationWarning, match=r"batch_align: the k"):
+    def test_error_names_call_site_keywords_and_fields(self):
+        with pytest.raises(
+            ConfigError,
+            match=r"batch_align: the k keyword\(s\) were removed.*AlignConfig\(k=\.\.\.\)",
+        ):
             resolve_config(k=4, where="batch_align")
+        with pytest.raises(
+            ConfigError, match=r"fastlsa: the k, base_cells keyword\(s\) were removed"
+        ):
+            resolve_config(k=4, base_cells=256, where="fastlsa")
 
 
 class TestEntryPointsAcceptConfig:
     """Every FastLSA-backed entry point takes config= without warning,
-    and the legacy keywords produce the same result plus a warning."""
+    and the removed legacy keywords raise ConfigError."""
 
     def test_fastlsa(self, rng, dna_scheme):
         a, b = random_dna(rng, 120), random_dna(rng, 130)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             via_config = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=512))
-        with pytest.warns(DeprecationWarning, match="fastlsa: the k, base_cells"):
-            via_legacy = fastlsa(a, b, dna_scheme, k=3, base_cells=512)
-        assert via_config.score == via_legacy.score
-        assert via_config.gapped_a == via_legacy.gapped_a
-        assert via_config.stats.cells_computed == via_legacy.stats.cells_computed
+        assert via_config.score is not None
+        with pytest.raises(ConfigError, match="fastlsa: the k, base_cells"):
+            fastlsa(a, b, dna_scheme, k=3, base_cells=512)
 
     def test_parallel_fastlsa(self, rng, dna_scheme):
         a, b = random_dna(rng, 150), random_dna(rng, 150)
@@ -103,9 +136,9 @@ class TestEntryPointsAcceptConfig:
             via_config = parallel_fastlsa(
                 a, b, dna_scheme, P=2, config=AlignConfig(k=3, base_cells=900)
             )
-        with pytest.warns(DeprecationWarning, match="parallel_fastlsa"):
-            via_legacy = parallel_fastlsa(a, b, dna_scheme, P=2, k=3, base_cells=900)
-        assert via_config.score == via_legacy.score
+        assert via_config.score is not None
+        with pytest.raises(ConfigError, match="parallel_fastlsa"):
+            parallel_fastlsa(a, b, dna_scheme, P=2, k=3, base_cells=900)
 
     def test_batch_align(self, rng, dna_scheme):
         q = random_dna(rng, 60)
@@ -116,11 +149,9 @@ class TestEntryPointsAcceptConfig:
                 q, targets, dna_scheme,
                 config=AlignConfig(k=3, base_cells=512, max_workers=2),
             )
-        with pytest.warns(DeprecationWarning, match="max_workers"):
-            via_legacy = batch_align(
-                q, targets, dna_scheme, k=3, base_cells=512, max_workers=2
-            )
-        assert [h.score for h in via_config] == [h.score for h in via_legacy]
+        assert [h.score for h in via_config]
+        with pytest.raises(ConfigError, match="max_workers"):
+            batch_align(q, targets, dna_scheme, k=3, base_cells=512, max_workers=2)
 
     def test_fastlsa_local(self, rng, dna_scheme):
         from repro import fastlsa_local
@@ -129,9 +160,9 @@ class TestEntryPointsAcceptConfig:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             via_config = fastlsa_local(a, b, dna_scheme, config=AlignConfig(k=3))
-        with pytest.warns(DeprecationWarning, match="fastlsa_local"):
-            via_legacy = fastlsa_local(a, b, dna_scheme, k=3)
-        assert via_config.score == via_legacy.score
+        assert via_config.score >= 0
+        with pytest.raises(ConfigError, match="fastlsa_local"):
+            fastlsa_local(a, b, dna_scheme, k=3)
 
     def test_ends_free_align(self, rng, dna_scheme):
         a, b = random_dna(rng, 90), random_dna(rng, 110)
@@ -140,15 +171,14 @@ class TestEntryPointsAcceptConfig:
             warnings.simplefilter("error")
             via_config = ends_free_align(a, b, dna_scheme, free,
                                          config=AlignConfig(k=3))
-        with pytest.warns(DeprecationWarning, match="ends_free_align"):
-            via_legacy = ends_free_align(a, b, dna_scheme, free, k=3)
-        assert via_config.score == via_legacy.score
+        assert via_config.score is not None
+        with pytest.raises(ConfigError, match="ends_free_align"):
+            ends_free_align(a, b, dna_scheme, free, k=3)
 
     def test_batch_align_rejects_bad_max_workers(self, dna_scheme):
         with pytest.raises(ConfigError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                batch_align("ACGT", ["ACGA"], dna_scheme, max_workers=0)
+            batch_align("ACGT", ["ACGA"], dna_scheme,
+                        config=AlignConfig(max_workers=0))
 
 
 class TestTopLevelAlign:
@@ -167,7 +197,8 @@ class TestTopLevelAlign:
 
     def test_simulator_keeps_plain_keywords(self, rng, dna_scheme):
         # simulated_parallel_fastlsa is a modelling API: its k/base_cells
-        # sweep parameters are not deprecated.
+        # sweep parameters are plain keywords, not routed through
+        # resolve_config, so they keep working.
         a, b = random_dna(rng, 80), random_dna(rng, 80)
         with warnings.catch_warnings():
             warnings.simplefilter("error")

@@ -1,0 +1,234 @@
+"""Property tests for the exact banded fast path (PR 8 tentpole).
+
+The contract under test: with ``band="auto"`` (or any initial width) the
+result is *bit-identical* to full DP — same score AND same gapped
+strings — because the verify-or-widen loop only accepts a band once the
+escape-bound certificate proves every optimal path stays inside it, and
+in-band traceback uses the same tie-break order as the dense kernels.
+
+Adversarial cases deliberately force the first band(s) to fail so the
+widening loop is exercised, including compensating-indel pairs whose
+optimal path leaves any narrow band.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AlignConfig
+from repro.baselines import needleman_wunsch
+from repro.core import fastlsa
+from repro.core.banded import (
+    banded_align_exact,
+    banded_score,
+    escape_bound,
+)
+from repro.errors import ConfigError
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+from repro.workloads import dna_pair
+
+from tests.conftest import random_dna
+
+
+SCHEMES = {
+    "linear": ScoringScheme(dna_simple(), linear_gap(-6)),
+    "affine": ScoringScheme(dna_simple(), affine_gap(-8, -1)),
+}
+
+
+def _assert_bit_identical(res, a, b, scheme):
+    """res (BandedResult or Alignment-producing) vs dense NW reference."""
+    ref = needleman_wunsch(a, b, scheme)
+    al = res.alignment if hasattr(res, "alignment") else res
+    assert al.score == ref.score
+    assert al.gapped_a == ref.gapped_a
+    assert al.gapped_b == ref.gapped_b
+
+
+class TestCertifiedBandMatchesFullDP:
+    @pytest.mark.parametrize("kind", ["linear", "affine"])
+    def test_similar_pairs_certify_in_band(self, kind):
+        scheme = SCHEMES[kind]
+        a, b = dna_pair(400, divergence=0.05, seed=11)
+        res = banded_align_exact(a.text, b.text, scheme, band="auto")
+        assert res.certified
+        assert res.tier == "banded"
+        _assert_bit_identical(res, a.text, b.text, scheme)
+
+    @pytest.mark.parametrize("kind", ["linear", "affine"])
+    def test_random_pairs_differential(self, rng, kind):
+        scheme = SCHEMES[kind]
+        for _ in range(8):
+            m = int(rng.integers(5, 120))
+            n = int(rng.integers(5, 120))
+            a, b = random_dna(rng, m), random_dna(rng, n)
+            res = banded_align_exact(a, b, scheme, band="auto")
+            assert res.certified
+            _assert_bit_identical(res, a, b, scheme)
+
+    @pytest.mark.parametrize("kind", ["linear", "affine"])
+    def test_low_similarity_pairs_still_exact(self, rng, kind):
+        """Unrelated sequences rarely certify in a narrow band; the loop
+        must widen (or cross over to full DP) and still be exact."""
+        scheme = SCHEMES[kind]
+        for _ in range(4):
+            a, b = random_dna(rng, 90), random_dna(rng, 85)
+            res = banded_align_exact(a, b, scheme, band=4)
+            assert res.certified
+            _assert_bit_identical(res, a, b, scheme)
+
+
+class TestWideningRegression:
+    """First band fails -> widening recovers bit-identical results.
+
+    Equal-length pair with compensating indels: both carry the same
+    50-symbol block, but at position 200 in ``a`` and position 0 in
+    ``b``.  The optimal path must drift ~50 diagonals off the
+    corner-to-corner corridor and back, so no band with half-width < ~50
+    can certify — the loop is forced through several doublings.
+    (A plain insertion would NOT work: the band always covers the
+    diagonal range between the two corners.)
+    """
+
+    @staticmethod
+    def _compensating_pair():
+        base_a, _ = dna_pair(400, divergence=0.03, seed=23)
+        ins = "ACGTACGTAC" * 5  # 50 symbols
+        a = base_a.text[:200] + ins + base_a.text[200:]
+        b = ins + base_a.text
+        return a, b
+
+    @pytest.mark.parametrize("kind", ["linear", "affine"])
+    def test_widening_recovers_exactness(self, kind):
+        scheme = SCHEMES[kind]
+        a, b = self._compensating_pair()
+        res = banded_align_exact(a, b, scheme, band=8)
+        assert res.certified
+        assert res.attempts >= 2, "test must actually exercise widening"
+        assert res.width > 8
+        _assert_bit_identical(res, a, b, scheme)
+
+    @pytest.mark.parametrize("kind", ["linear", "affine"])
+    def test_banded_score_widens_to_exact_score(self, kind):
+        scheme = SCHEMES[kind]
+        a, b = self._compensating_pair()
+        sc = banded_score(a, b, scheme, band=8)
+        assert sc.score == needleman_wunsch(a, b, scheme).score
+        assert sc.attempts >= 2
+
+    def test_uncertified_narrow_band_wrong_then_fixed(self):
+        """Sanity: a fixed narrow band really does miss the optimum here
+        (otherwise the regression above tests nothing)."""
+        from repro.core.banded import banded_align
+
+        scheme = SCHEMES["linear"]
+        a, b = self._compensating_pair()
+        narrow = banded_align(a, b, scheme, width=8)
+        ref = needleman_wunsch(a, b, scheme)
+        assert narrow.alignment.score < ref.score
+        bound = escape_bound(len(a), len(b), 8, scheme)
+        assert bound is not None and narrow.alignment.score <= bound
+
+
+class TestFastLSABandConfig:
+    @pytest.mark.parametrize("kind", ["linear", "affine"])
+    @pytest.mark.parametrize("band", ["auto", 16])
+    def test_band_config_bit_identical_to_default(self, kind, band):
+        scheme = SCHEMES[kind]
+        a, b = dna_pair(300, divergence=0.08, seed=5)
+        plain = fastlsa(a, b, scheme)
+        banded = fastlsa(a, b, scheme, config=AlignConfig(band=band))
+        assert banded.score == plain.score
+        assert banded.gapped_a == plain.gapped_a
+        assert banded.gapped_b == plain.gapped_b
+        ref = needleman_wunsch(a, b, scheme)
+        assert banded.gapped_a == ref.gapped_a
+        assert banded.gapped_b == ref.gapped_b
+
+    def test_band_hit_recorded_in_stats_and_algorithm(self):
+        scheme = SCHEMES["linear"]
+        a, b = dna_pair(500, divergence=0.03, seed=9)
+        al = fastlsa(a, b, scheme, config=AlignConfig(band="auto"))
+        assert al.algorithm.startswith("fastlsa+banded(")
+        assert al.stats.band_width > 0
+        assert al.stats.kernel in ("numpy", "compiled")
+
+    def test_band_give_up_falls_back_to_recursion(self, rng):
+        """Unrelated pair: the in-fastlsa give-up cap stops widening and
+        the normal linear-space recursion still returns the optimum."""
+        scheme = SCHEMES["linear"]
+        a, b = random_dna(rng, 300), random_dna(rng, 300)
+        al = fastlsa(a, b, scheme, config=AlignConfig(band=4))
+        ref = needleman_wunsch(a, b, scheme)
+        assert al.score == ref.score
+        assert al.gapped_a == ref.gapped_a
+
+    def test_band_with_ends_free_core(self):
+        """band/kernel config flows through to the bracketed ends-free
+        core's FastLSA run without changing the result."""
+        from repro.core.modes import EndsFree, ends_free_align
+
+        scheme = SCHEMES["linear"]
+        ref_a, _ = dna_pair(240, divergence=0.05, seed=31)
+        read = ref_a.text[60:180]
+        free = EndsFree(b_start=True, b_end=True)
+        plain = ends_free_align(read, ref_a.text, scheme, free)
+        banded = ends_free_align(read, ref_a.text, scheme, free,
+                                 config=AlignConfig(band="auto"))
+        assert banded.score == plain.score
+        assert banded.alignment.gapped_a == plain.alignment.gapped_a
+        assert (banded.a_start, banded.a_end, banded.b_start, banded.b_end) == \
+            (plain.a_start, plain.a_end, plain.b_start, plain.b_end)
+
+    def test_batch_quick_score_with_band(self, rng):
+        from repro.core.batch import batch_align
+
+        scheme = SCHEMES["linear"]
+        base, _ = dna_pair(200, divergence=0.05, seed=41)
+        targets = [dna_pair(200, divergence=d, seed=43 + i)[1].text
+                   for i, d in enumerate((0.02, 0.1, 0.3))]
+        plain = batch_align(base.text, targets, scheme, mode="global", keep=3)
+        banded = batch_align(base.text, targets, scheme, mode="global", keep=3,
+                             config=AlignConfig(band="auto"))
+        assert [(h.score, h.rank) for h in plain] == \
+            [(h.score, h.rank) for h in banded]
+
+    def test_bad_band_rejected(self):
+        with pytest.raises(ConfigError):
+            AlignConfig(band=0)
+        with pytest.raises(ConfigError):
+            AlignConfig(band="narrow")
+
+
+class TestEscapeBound:
+    def test_trivially_certified_when_band_covers_matrix(self):
+        scheme = SCHEMES["linear"]
+        assert escape_bound(10, 10, 10, scheme) is None
+        assert escape_bound(10, 10, 12, scheme) is None
+
+    def test_bound_is_monotone_in_width(self):
+        scheme = SCHEMES["linear"]
+        bounds = [escape_bound(200, 200, w, scheme) for w in (4, 8, 16, 32)]
+        assert all(b is not None for b in bounds)
+        # wider band -> escaping costs more gap moves -> bound decreases
+        assert bounds == sorted(bounds, reverse=True)
+        assert len(set(bounds)) == len(bounds)
+
+    def test_bound_actually_bounds_escaping_paths(self):
+        """Empirical soundness check: for random pairs, any time full DP
+        beats the bound, the banded result at that width is already
+        optimal (the certificate's contrapositive)."""
+        rng = np.random.default_rng(7)
+        scheme = SCHEMES["linear"]
+        from repro.core.banded import banded_align
+
+        for _ in range(10):
+            m = int(rng.integers(8, 60))
+            n = int(rng.integers(8, 60))
+            a = "".join(rng.choice(list("ACGT"), size=m))
+            b = "".join(rng.choice(list("ACGT"), size=n))
+            w = int(rng.integers(1, 8))
+            bound = escape_bound(m, n, w, scheme)
+            res = banded_align(a, b, scheme, width=w)
+            ref = needleman_wunsch(a, b, scheme)
+            if bound is None or res.alignment.score > bound:
+                assert res.alignment.score == ref.score

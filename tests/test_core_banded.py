@@ -105,6 +105,60 @@ class TestAffine:
             banded_align("AC", "AC", affine_dna_scheme, width=0)
 
 
+class TestWidthClamp:
+    """Widths >= min(m, n) cover the whole matrix: the fill must cross
+    over to the dense full-DP path (tier="full") instead of paying banded
+    bookkeeping for zero pruning — and the result is trivially certified."""
+
+    def test_oversized_width_uses_full_tier(self, rng, dna_scheme):
+        a, b = random_dna(rng, 30), random_dna(rng, 40)
+        for width in (30, 35, 10_000):
+            res = banded_align(a, b, dna_scheme, width=width)
+            assert res.tier == "full"
+            assert res.certified
+            assert not res.touches_edge
+            assert res.alignment.score == needleman_wunsch(a, b, dna_scheme).score
+
+    def test_just_under_clamp_stays_banded(self, rng, dna_scheme):
+        a, b = random_dna(rng, 30), random_dna(rng, 40)
+        res = banded_align(a, b, dna_scheme, width=29)
+        assert res.tier == "banded"
+
+    def test_oversized_width_affine(self, rng, affine_dna_scheme):
+        a, b = random_dna(rng, 25), random_dna(rng, 25)
+        res = banded_align(a, b, affine_dna_scheme, width=25)
+        assert res.tier == "full"
+        assert res.certified
+        assert res.alignment.score == \
+            needleman_wunsch(a, b, affine_dna_scheme).score
+
+    def test_exact_terminates_via_clamp_on_unrelated_pair(self, rng, dna_scheme):
+        # Unrelated sequences never certify in a width-1 band; the
+        # verify-or-widen loop must keep doubling and still terminate —
+        # via the certificate at some wider band, or the full-DP clamp.
+        from repro.core.banded import banded_align_exact
+
+        a, b = random_dna(rng, 64), random_dna(rng, 64)
+        res = banded_align_exact(a, b, dna_scheme, band=1)
+        assert res.certified
+        assert res.attempts > 1
+        assert res.tier in ("banded", "full")
+        assert res.alignment.score == needleman_wunsch(a, b, dna_scheme).score
+
+    def test_auto_with_oversized_initial_width_clamps(self, rng, dna_scheme):
+        a, b = random_dna(rng, 20), random_dna(rng, 20)
+        res = banded_align_auto(a, b, dna_scheme, initial_width=50)
+        assert res.tier == "full"
+        assert res.certified
+        assert res.alignment.score == needleman_wunsch(a, b, dna_scheme).score
+
+    def test_tiny_inputs_always_clamp(self, dna_scheme):
+        res = banded_align("A", "ACGT", dna_scheme, width=5)
+        assert res.tier == "full"
+        assert res.alignment.score == \
+            needleman_wunsch("A", "ACGT", dna_scheme).score
+
+
 class TestValidation:
 
     def test_bad_width_rejected(self, dna_scheme):

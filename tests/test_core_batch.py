@@ -3,6 +3,7 @@
 import pytest
 
 from repro.align import check_alignment
+from repro import AlignConfig
 from repro.core import batch_align
 from repro.errors import ConfigError
 from repro.parallel import TileGrid, list_schedule, render_gantt, schedule_gantt
@@ -79,7 +80,7 @@ class TestBatchAlign:
         targets = related + strangers
         seq = batch_align(query, targets, dna_scheme, mode="local", keep=2)
         par = batch_align(query, targets, dna_scheme, mode="local", keep=2,
-                          max_workers=3)
+                          config=AlignConfig(max_workers=3))
         assert [(h.target.name, h.score, h.rank) for h in seq] == \
                [(h.target.name, h.score, h.rank) for h in par]
 
@@ -98,7 +99,8 @@ class TestBatchAlign:
 
     def test_bad_max_workers_rejected(self, dna_scheme):
         with pytest.raises(ConfigError):
-            batch_align("ACGT", ["ACGT"], dna_scheme, max_workers=0)
+            batch_align("ACGT", ["ACGT"], dna_scheme,
+                        config=AlignConfig(max_workers=0))
 
 
 class TestGantt:

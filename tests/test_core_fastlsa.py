@@ -3,6 +3,7 @@
 import pytest
 
 from repro.align import check_alignment
+from repro import AlignConfig
 from repro.baselines import needleman_wunsch
 from repro.core import FastLSAConfig, fastlsa
 from repro.errors import ConfigError
@@ -12,11 +13,11 @@ from tests.conftest import random_dna, random_protein
 
 class TestPaperExample:
     def test_score_82(self, table1_scheme):
-        al = fastlsa("TDVLKAD", "TLDKLLKD", table1_scheme, k=2, base_cells=16)
+        al = fastlsa("TDVLKAD", "TLDKLLKD", table1_scheme, config=AlignConfig(k=2, base_cells=16))
         assert al.score == 82
 
     def test_valid_alignment(self, table1_scheme):
-        al = fastlsa("TDVLKAD", "TLDKLLKD", table1_scheme, k=3, base_cells=16)
+        al = fastlsa("TDVLKAD", "TLDKLLKD", table1_scheme, config=AlignConfig(k=3, base_cells=16))
         assert check_alignment(al, table1_scheme)[0]
 
 
@@ -44,7 +45,7 @@ class TestCorrectness:
         for _ in range(4):
             a = random_dna(rng, int(rng.integers(0, 90)))
             b = random_dna(rng, int(rng.integers(0, 90)))
-            f = fastlsa(a, b, dna_scheme, k=k, base_cells=base_cells)
+            f = fastlsa(a, b, dna_scheme, config=AlignConfig(k=k, base_cells=base_cells))
             n = needleman_wunsch(a, b, dna_scheme)
             assert f.score == n.score, (a, b, k, base_cells)
             assert check_alignment(f, dna_scheme)[0]
@@ -54,14 +55,14 @@ class TestCorrectness:
         for _ in range(6):
             a = random_protein(rng, int(rng.integers(0, 70)))
             b = random_protein(rng, int(rng.integers(0, 70)))
-            f = fastlsa(a, b, affine_scheme, k=k, base_cells=64)
+            f = fastlsa(a, b, affine_scheme, config=AlignConfig(k=k, base_cells=64))
             n = needleman_wunsch(a, b, affine_scheme)
             assert f.score == n.score, (a, b, k)
             assert check_alignment(f, affine_scheme)[0]
 
     def test_quadratic_space_degenerates_to_one_base_case(self, rng, dna_scheme):
         a, b = random_dna(rng, 30), random_dna(rng, 30)
-        al = fastlsa(a, b, dna_scheme, k=4, base_cells=10**6)
+        al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=10**6))
         assert al.stats.subproblems == 1
         assert al.stats.cells_computed == 900
 
@@ -73,7 +74,7 @@ class TestCorrectness:
     def test_skewed_shapes(self, rng, dna_scheme):
         for m, n in [(1, 200), (200, 1), (3, 150), (150, 3)]:
             a, b = random_dna(rng, m), random_dna(rng, n)
-            f = fastlsa(a, b, dna_scheme, k=4, base_cells=64)
+            f = fastlsa(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=64))
             nw = needleman_wunsch(a, b, dna_scheme)
             assert f.score == nw.score, (m, n)
 
@@ -85,7 +86,7 @@ class TestSpaceTimeTradeoff:
         n = 300
         a, b = random_dna(rng, n), random_dna(rng, n)
         for k in (2, 4, 8):
-            al = fastlsa(a, b, dna_scheme, k=k, base_cells=64)
+            al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=k, base_cells=64))
             ratio = al.stats.cells_computed / (n * n)
             assert 1.0 <= ratio <= (k + 1) / (k - 1) + 0.05, (k, ratio)
 
@@ -94,7 +95,7 @@ class TestSpaceTimeTradeoff:
         approximately 1.5 times the number of operations'."""
         n = 400
         a, b = random_dna(rng, n), random_dna(rng, n)
-        al = fastlsa(a, b, dna_scheme, k=2, base_cells=64)
+        al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=2, base_cells=64))
         ratio = al.stats.cells_computed / (n * n)
         assert 1.3 <= ratio <= 1.7, ratio
 
@@ -103,7 +104,7 @@ class TestSpaceTimeTradeoff:
         a, b = random_dna(rng, n), random_dna(rng, n)
         prev_ops, prev_mem = None, None
         for k in (2, 4, 8):
-            al = fastlsa(a, b, dna_scheme, k=k, base_cells=64)
+            al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=k, base_cells=64))
             if prev_ops is not None:
                 assert al.stats.cells_computed <= prev_ops
                 assert al.stats.peak_cells_resident >= prev_mem
@@ -114,7 +115,7 @@ class TestSpaceTimeTradeoff:
         peaks = []
         for n in (100, 200, 400):
             a, b = random_dna(rng, n), random_dna(rng, n)
-            al = fastlsa(a, b, dna_scheme, k=4, base_cells=64)
+            al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=64))
             peaks.append(al.stats.peak_cells_resident)
         # Peak grows ~linearly: doubling n should far less than 4x it.
         assert peaks[2] < 3.5 * peaks[1]
@@ -124,13 +125,13 @@ class TestSpaceTimeTradeoff:
 class TestStats:
     def test_subproblem_and_depth_counters(self, rng, dna_scheme):
         a, b = random_dna(rng, 120), random_dna(rng, 120)
-        al = fastlsa(a, b, dna_scheme, k=3, base_cells=64)
+        al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=64))
         assert al.stats.subproblems > 1
         assert al.stats.recursion_depth >= 2
 
     def test_shared_instruments(self, dna_scheme):
         inst = KernelInstruments()
-        fastlsa("ACGTACGTAC", "ACGTTACGTA", dna_scheme, k=2, base_cells=16,
+        fastlsa("ACGTACGTAC", "ACGTTACGTA", dna_scheme, config=AlignConfig(k=2, base_cells=16),
                 instruments=inst)
         assert inst.ops.cells > 0
         assert inst.mem.current == 0  # everything freed

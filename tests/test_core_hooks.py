@@ -1,6 +1,7 @@
 """Tests for the FastLSAHooks extension points."""
 
 from repro.core import FastLSAHooks, fastlsa, fill_grid
+from repro import AlignConfig
 from repro.kernels.fullmatrix import compute_full
 from tests.conftest import random_dna
 
@@ -14,9 +15,9 @@ class TestFillHook:
             fill_grid(grid, a_codes, b_codes, scheme, counter, skip_bottom_right)
 
         a, b = random_dna(rng, 120), random_dna(rng, 120)
-        al = fastlsa(a, b, dna_scheme, k=3, base_cells=64,
+        al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=64),
                      hooks=FastLSAHooks(fill=counting_fill))
-        ref = fastlsa(a, b, dna_scheme, k=3, base_cells=64)
+        ref = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=64))
         assert al.score == ref.score
         assert len(calls) > 1                         # recursion reached the hook
         assert calls[0] == (120, 120, True)           # top-level problem first
@@ -31,9 +32,9 @@ class TestFillHook:
                 grid._row_h[p][:] = -999  # sabotage
 
         a, b = random_dna(rng, 80), random_dna(rng, 80)
-        ref = fastlsa(a, b, dna_scheme, k=3, base_cells=64)
+        ref = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=64))
         try:
-            al = fastlsa(a, b, dna_scheme, k=3, base_cells=64,
+            al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=64),
                          hooks=FastLSAHooks(fill=corrupting_fill))
             assert al.score != ref.score
         except Exception:
@@ -49,9 +50,9 @@ class TestBaseMatrixHook:
             return compute_full(*args, **kwargs)
 
         a, b = random_dna(rng, 90), random_dna(rng, 90)
-        al = fastlsa(a, b, dna_scheme, k=3, base_cells=256,
+        al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=256),
                      hooks=FastLSAHooks(base_matrix=counting_base))
-        ref = fastlsa(a, b, dna_scheme, k=3, base_cells=256)
+        ref = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=256))
         assert al.score == ref.score
         assert len(calls) >= 1
 

@@ -1,6 +1,7 @@
 """Tests for linear-space local alignment (fastlsa_local)."""
 
 from repro.align import check_alignment
+from repro import AlignConfig
 from repro.baselines import smith_waterman
 from repro.core.local import fastlsa_local
 from tests.conftest import random_dna, random_protein
@@ -11,7 +12,7 @@ class TestAgainstSmithWaterman:
         for _ in range(15):
             a = random_dna(rng, int(rng.integers(0, 60)))
             b = random_dna(rng, int(rng.integers(0, 60)))
-            fl = fastlsa_local(a, b, dna_scheme, k=3, base_cells=64)
+            fl = fastlsa_local(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=64))
             sw = smith_waterman(a, b, dna_scheme)
             assert fl.score == sw.score, (a, b)
 
@@ -19,14 +20,14 @@ class TestAgainstSmithWaterman:
         for _ in range(10):
             a = random_protein(rng, int(rng.integers(0, 40)))
             b = random_protein(rng, int(rng.integers(0, 40)))
-            fl = fastlsa_local(a, b, affine_scheme, k=3, base_cells=64)
+            fl = fastlsa_local(a, b, affine_scheme, config=AlignConfig(k=3, base_cells=64))
             sw = smith_waterman(a, b, affine_scheme)
             assert fl.score == sw.score, (a, b)
 
     def test_alignment_valid_and_in_range(self, rng, dna_scheme):
         a = random_dna(rng, 80)
         b = random_dna(rng, 80)
-        fl = fastlsa_local(a, b, dna_scheme, k=4, base_cells=256)
+        fl = fastlsa_local(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=256))
         if fl.score > 0:
             ok, msg = check_alignment(fl.alignment, dna_scheme)
             assert ok, msg
@@ -36,7 +37,7 @@ class TestAgainstSmithWaterman:
 
 class TestKnownAnswers:
     def test_embedded_motif(self, dna_scheme):
-        fl = fastlsa_local("TTTTACGTACGTTTTT", "GGGACGTACGTGGG", dna_scheme, k=2, base_cells=64)
+        fl = fastlsa_local("TTTTACGTACGTTTTT", "GGGACGTACGTGGG", dna_scheme, config=AlignConfig(k=2, base_cells=64))
         assert fl.score == 40
         assert fl.alignment.gapped_a == "ACGTACGT"
 
@@ -51,7 +52,7 @@ class TestKnownAnswers:
 
     def test_identical_sequences_full_match(self, rng, dna_scheme):
         s = random_dna(rng, 50)
-        fl = fastlsa_local(s, s, dna_scheme, k=3, base_cells=128)
+        fl = fastlsa_local(s, s, dna_scheme, config=AlignConfig(k=3, base_cells=128))
         assert fl.score == 5 * 50
         assert (fl.a_start, fl.a_end) == (0, 50)
 
@@ -63,5 +64,5 @@ class TestSpace:
         n = 300
         a, b = random_dna(rng, n), random_dna(rng, n)
         inst = KernelInstruments()
-        fastlsa_local(a, b, dna_scheme, k=4, base_cells=256, instruments=inst)
+        fastlsa_local(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=256), instruments=inst)
         assert inst.mem.peak < (n * n) / 20

@@ -5,6 +5,7 @@ import itertools
 import pytest
 
 from repro.align import check_alignment
+from repro import AlignConfig
 from repro.core.modes import (
     EndsFree,
     ends_free_align,
@@ -59,7 +60,7 @@ class TestAllFlagCombinations:
             a = random_dna(rng, int(rng.integers(0, 8)))
             b = random_dna(rng, int(rng.integers(0, 8)))
             for free in ALL_FLAGS:
-                got = ends_free_align(a, b, scheme, free, k=2, base_cells=16)
+                got = ends_free_align(a, b, scheme, free, config=AlignConfig(k=2, base_cells=16))
                 assert got.score == brute_mode(a, b, scheme, free), (a, b, free)
 
     def test_no_flags_is_global(self, rng, dna_scheme):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import fastlsa
+from repro import AlignConfig
 from repro.core.planner import (
     fastlsa_peak_cells,
     grid_cells_bound,
@@ -84,7 +85,7 @@ class TestPlanHonoured:
         assert plan.method == "fastlsa"
         al = fastlsa(a, b, dna_scheme, config=plan.config)
         assert al.stats.peak_cells_resident <= budget
-        assert al.score == fastlsa(a, b, dna_scheme, k=2, base_cells=1024).score
+        assert al.score == fastlsa(a, b, dna_scheme, config=AlignConfig(k=2, base_cells=1024)).score
 
     def test_bound_formulas_positive(self):
         assert grid_cells_bound(100, 100, 4, False) > 0

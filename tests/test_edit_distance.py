@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import AlignConfig
 from repro.align.edit_distance import (
     edit_distance,
     edit_distance_alignment,
@@ -61,7 +62,7 @@ class TestEditScript:
         for _ in range(10):
             a = random_dna(rng, int(rng.integers(1, 25)))
             b = random_dna(rng, int(rng.integers(1, 25)))
-            dist, alignment = edit_distance_alignment(a, b, k=2, base_cells=16)
+            dist, alignment = edit_distance_alignment(a, b, config=AlignConfig(k=2, base_cells=16))
             assert dist == reference_levenshtein(a, b)
             # Count edits directly from the columns.
             edits = sum(
@@ -77,6 +78,6 @@ class TestEditScript:
     def test_linear_space_at_scale(self, rng):
         a = random_dna(rng, 3000)
         b = random_dna(rng, 3000)
-        dist, alignment = edit_distance_alignment(a, b, k=4, base_cells=4096)
+        dist, alignment = edit_distance_alignment(a, b, config=AlignConfig(k=4, base_cells=4096))
         assert alignment.stats.peak_cells_resident < (3000 * 3000) / 100
         assert dist == -alignment.score

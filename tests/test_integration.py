@@ -9,6 +9,7 @@ relies on.
 import pytest
 
 from repro import ALGORITHMS, align
+from repro import AlignConfig
 from repro.align import check_alignment
 from repro.baselines import hirschberg, needleman_wunsch
 from repro.core import fastlsa
@@ -24,9 +25,9 @@ class TestAllAlgorithmsAgree:
         results = {
             "nw": needleman_wunsch(a, b, dna_scheme),
             "hirschberg": hirschberg(a, b, dna_scheme),
-            "fastlsa-k2": fastlsa(a, b, dna_scheme, k=2, base_cells=256),
-            "fastlsa-k8": fastlsa(a, b, dna_scheme, k=8, base_cells=1024),
-            "parallel-p4": parallel_fastlsa(a, b, dna_scheme, P=4, k=4, base_cells=256),
+            "fastlsa-k2": fastlsa(a, b, dna_scheme, config=AlignConfig(k=2, base_cells=256)),
+            "fastlsa-k8": fastlsa(a, b, dna_scheme, config=AlignConfig(k=8, base_cells=1024)),
+            "parallel-p4": parallel_fastlsa(a, b, dna_scheme, P=4, config=AlignConfig(k=4, base_cells=256)),
         }
         scores = {name: r.score for name, r in results.items()}
         assert len(set(scores.values())) == 1, scores
@@ -39,13 +40,13 @@ class TestAllAlgorithmsAgree:
         a, b = protein_pair(250, divergence=0.3, seed=4)
         s1 = needleman_wunsch(a, b, scheme).score
         s2 = hirschberg(a, b, scheme).score
-        s3 = fastlsa(a, b, scheme, k=4, base_cells=512).score
+        s3 = fastlsa(a, b, scheme, config=AlignConfig(k=4, base_cells=512)).score
         assert s1 == s2 == s3
 
     def test_highly_divergent_pair(self, dna_scheme):
         a, b = dna_pair(200, divergence=0.8, seed=13)
         s1 = needleman_wunsch(a, b, dna_scheme).score
-        s2 = fastlsa(a, b, dna_scheme, k=3, base_cells=64)
+        s2 = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=64))
         assert s2.score == s1
 
 
@@ -59,7 +60,7 @@ class TestAlignDispatcher:
         assert r.algorithm == "hirschberg"
 
     def test_kwargs_forwarded(self, dna_scheme):
-        r = align("ACGTACGT", "ACGTTCGT", dna_scheme, method="fastlsa", k=2, base_cells=16)
+        r = align("ACGTACGT", "ACGTTCGT", dna_scheme, method="fastlsa", config=AlignConfig(k=2, base_cells=16))
         assert r.algorithm == "fastlsa"
 
     def test_unknown_method(self, dna_scheme):
@@ -77,15 +78,15 @@ class TestFastaToAlignmentPipeline:
         a, b = dna_pair(120, seed=2)
         write_fasta(tmp_path / "pair.fasta", [a, b])
         ra, rb = read_fasta(tmp_path / "pair.fasta")
-        r1 = fastlsa(ra, rb, dna_scheme, k=4, base_cells=128)
-        r2 = fastlsa(a, b, dna_scheme, k=4, base_cells=128)
+        r1 = fastlsa(ra, rb, dna_scheme, config=AlignConfig(k=4, base_cells=128))
+        r2 = fastlsa(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=128))
         assert r1.score == r2.score
 
 
 class TestStatsConsistency:
     def test_fastlsa_cells_at_least_mn(self, dna_scheme):
         a, b = dna_pair(150, seed=5)
-        al = fastlsa(a, b, dna_scheme, k=3, base_cells=64)
+        al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=64))
         assert al.stats.cells_computed >= len(a) * len(b)
 
     def test_wall_time_recorded(self, dna_scheme):

@@ -1,0 +1,227 @@
+"""Tests for the kernel-provider registry (PR 8 API redesign).
+
+The registry is the one seam between algorithm code and kernels:
+``get_kernel(scheme_kind, tier)`` returns a capability-flagged provider,
+``use``/``active`` carry the tier through serial call paths, and the
+compiled tier only ever becomes visible after passing the import-time
+parity gate.  Numpy-tier behaviour must be identical whether or not the
+compiled extension is built — these tests run in both CI jobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import registry
+from repro.kernels.linear import boundary_vectors
+from repro.kernels.affine import affine_boundaries
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap
+
+pytestmark = []
+
+HAS_COMPILED = registry.compiled_available()
+needs_compiled = pytest.mark.skipif(
+    not HAS_COMPILED, reason="compiled kernel extension not built"
+)
+
+
+@pytest.fixture
+def lin_scheme():
+    return ScoringScheme(dna_simple(), linear_gap(-6))
+
+
+@pytest.fixture
+def aff_scheme():
+    return ScoringScheme(dna_simple(), affine_gap(-8, -1))
+
+
+class TestProviderAPI:
+    def test_numpy_tier_always_available(self):
+        assert "numpy" in registry.available_tiers()
+
+    def test_get_kernel_returns_capability_flagged_provider(self):
+        for kind in ("linear", "affine"):
+            prov = registry.get_kernel(kind, "numpy")
+            assert prov.name == "numpy"
+            assert prov.scheme_kind == kind
+            assert prov.compiled is False
+            for method in ("sweep_last_row_col", "sweep_band", "sweep_matrix",
+                           "best_cell_local", "band_fill"):
+                assert callable(getattr(prov, method))
+
+    def test_describe_shape(self):
+        info = registry.describe()
+        assert set(info) == {"available", "default", "compiled", "providers", "parity"}
+        assert info["default"] in ("numpy", "compiled")
+        names = {(p["name"], p["scheme_kind"]) for p in info["providers"]}
+        assert ("numpy", "linear") in names and ("numpy", "affine") in names
+
+    def test_unknown_scheme_kind_rejected(self):
+        with pytest.raises(ConfigError, match="scheme kind"):
+            registry.get_kernel("semigroup", "numpy")
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigError, match="kernel tier"):
+            registry.resolve_tier("fortran")
+
+    def test_explicit_compiled_raises_when_absent(self):
+        if HAS_COMPILED:
+            assert registry.resolve_tier("compiled") == "compiled"
+        else:
+            with pytest.raises(ConfigError, match="compiled"):
+                registry.resolve_tier("compiled")
+
+    def test_auto_resolution(self):
+        want = "compiled" if HAS_COMPILED else "numpy"
+        assert registry.resolve_tier(None) == want
+        assert registry.resolve_tier("auto") == want
+
+
+class TestAmbientTier:
+    def test_use_sets_and_restores(self):
+        before = registry.current_tier()
+        with registry.use("numpy"):
+            assert registry.current_tier() == "numpy"
+            assert registry.active("linear").name == "numpy"
+        assert registry.current_tier() == before
+
+    def test_use_resolves_eagerly(self):
+        if HAS_COMPILED:
+            with registry.use("compiled"):
+                assert registry.active("affine").compiled
+        else:
+            with pytest.raises(ConfigError):
+                with registry.use("compiled"):
+                    pass  # pragma: no cover
+
+    def test_nested_use(self):
+        with registry.use("numpy"):
+            with registry.use("auto"):
+                assert registry.current_tier() in ("numpy", "compiled")
+            assert registry.current_tier() == "numpy"
+
+
+class TestParityReport:
+    def test_report_is_json_shaped(self):
+        rep = registry.parity_report()
+        assert set(rep) == {"compiled_available", "parity_ok", "checks", "error"}
+        assert isinstance(rep["checks"], list)
+
+    @needs_compiled
+    def test_all_checks_passed(self):
+        rep = registry.parity_report()
+        assert rep["parity_ok"] is True
+        assert len(rep["checks"]) == 10
+        assert all(c["ok"] for c in rep["checks"])
+
+    @needs_compiled
+    def test_compiled_only_visible_after_parity(self):
+        # the invariant the gate enforces: visible => all checks passed
+        assert registry.parity_report()["parity_ok"]
+        assert "compiled" in registry.available_tiers()
+
+
+@needs_compiled
+class TestCompiledParity:
+    """Randomised cross-tier bit-identity over every provider method."""
+
+    def _random_case(self, rng, scheme):
+        m = int(rng.integers(1, 48))
+        n = int(rng.integers(1, 48))
+        nsym = scheme.matrix.table.shape[0]
+        a = rng.integers(0, min(4, nsym), size=m).astype(np.int16)
+        b = rng.integers(0, min(4, nsym), size=n).astype(np.int16)
+        return a, b
+
+    def test_sweep_last_row_col_linear(self, rng, lin_scheme):
+        np_prov = registry.get_kernel("linear", "numpy")
+        c_prov = registry.get_kernel("linear", "compiled")
+        table, gap = lin_scheme.matrix.table, lin_scheme.gap_open
+        for _ in range(25):
+            a, b = self._random_case(rng, lin_scheme)
+            fr, fc = boundary_vectors(len(a), len(b), gap)
+            ref = np_prov.sweep_last_row_col(a, b, table, gap, fr, fc, None)
+            got = c_prov.sweep_last_row_col(a, b, table, gap, fr, fc, None)
+            np.testing.assert_array_equal(ref[0], got[0])
+            np.testing.assert_array_equal(ref[1], got[1])
+
+    def test_sweep_matrix_affine(self, rng, aff_scheme):
+        np_prov = registry.get_kernel("affine", "numpy")
+        c_prov = registry.get_kernel("affine", "compiled")
+        table = aff_scheme.matrix.table
+        o, e = aff_scheme.gap_open, aff_scheme.gap_extend
+        for _ in range(25):
+            a, b = self._random_case(rng, aff_scheme)
+            rh, rf, ch, ce = affine_boundaries(len(a), len(b), o, e)
+            ref = np_prov.sweep_matrix(a, b, table, o, e, rh, rf, ch, ce, None)
+            got = c_prov.sweep_matrix(a, b, table, o, e, rh, rf, ch, ce, None)
+            for r, g in zip(ref, got):
+                np.testing.assert_array_equal(r, g)
+
+    def test_best_cell_local_both_kinds(self, rng, lin_scheme, aff_scheme):
+        for kind, scheme in (("linear", lin_scheme), ("affine", aff_scheme)):
+            np_prov = registry.get_kernel(kind, "numpy")
+            c_prov = registry.get_kernel(kind, "compiled")
+            table = scheme.matrix.table
+            args = (scheme.gap_open,) if kind == "linear" else (
+                scheme.gap_open, scheme.gap_extend)
+            for _ in range(25):
+                a, b = self._random_case(rng, scheme)
+                assert np_prov.best_cell_local(a, b, table, *args, None) == \
+                    c_prov.best_cell_local(a, b, table, *args, None)
+
+    def test_band_fill_both_kinds(self, rng, lin_scheme, aff_scheme):
+        np_lin = registry.get_kernel("linear", "numpy")
+        c_lin = registry.get_kernel("linear", "compiled")
+        np_aff = registry.get_kernel("affine", "numpy")
+        c_aff = registry.get_kernel("affine", "compiled")
+        for _ in range(25):
+            a, b = self._random_case(rng, lin_scheme)
+            width = int(rng.integers(1, max(2, min(len(a), len(b)))))
+            ref = np_lin.band_fill(a, b, lin_scheme.matrix.table,
+                                   lin_scheme.gap_open, width, None)
+            got = c_lin.band_fill(a, b, lin_scheme.matrix.table,
+                                  lin_scheme.gap_open, width, None)
+            np.testing.assert_array_equal(ref, got)
+            refs = np_aff.band_fill(a, b, aff_scheme.matrix.table,
+                                    aff_scheme.gap_open, aff_scheme.gap_extend,
+                                    width, None)
+            gots = c_aff.band_fill(a, b, aff_scheme.matrix.table,
+                                   aff_scheme.gap_open, aff_scheme.gap_extend,
+                                   width, None)
+            for r, g in zip(refs, gots):
+                np.testing.assert_array_equal(r, g)
+
+
+class TestEndToEndTierSelection:
+    def test_fastlsa_records_kernel_in_stats(self, dna_scheme):
+        from repro import AlignConfig
+        from repro.core import fastlsa
+
+        al = fastlsa("ACGTACGTACGT", "ACGTTCGTACGA", dna_scheme,
+                     config=AlignConfig(kernel="numpy"))
+        assert al.stats.kernel == "numpy"
+
+    def test_fastlsa_tiers_bit_identical(self, rng, dna_scheme, affine_dna_scheme):
+        if not HAS_COMPILED:
+            pytest.skip("compiled kernel extension not built")
+        from repro import AlignConfig
+        from repro.core import fastlsa
+        from tests.conftest import random_dna
+
+        for scheme in (dna_scheme, affine_dna_scheme):
+            a, b = random_dna(rng, 200), random_dna(rng, 190)
+            ref = fastlsa(a, b, scheme, config=AlignConfig(k=3, base_cells=256,
+                                                           kernel="numpy"))
+            got = fastlsa(a, b, scheme, config=AlignConfig(k=3, base_cells=256,
+                                                           kernel="compiled"))
+            assert ref.score == got.score
+            assert ref.gapped_a == got.gapped_a
+            assert ref.gapped_b == got.gapped_b
+            assert got.stats.kernel == "compiled"
+
+    def test_bad_kernel_value_rejected_at_config(self):
+        from repro import AlignConfig
+
+        with pytest.raises(ConfigError):
+            AlignConfig(kernel="cuda")

@@ -10,6 +10,7 @@ import pytest
 
 from repro.baselines import hirschberg, needleman_wunsch
 from repro.core import fastlsa
+from repro import AlignConfig
 from repro.core.planner import ops_ratio_bound, plan_alignment
 from repro.parallel import simulated_parallel_fastlsa, wt_bound
 from repro.scoring import paper_scheme
@@ -51,7 +52,7 @@ class TestSection1Claims:
         1.5 times the number of operations required by the FM
         algorithms.'"""
         a, b = pair
-        fl = fastlsa(a, b, scheme, k=2, base_cells=256)
+        fl = fastlsa(a, b, scheme, config=AlignConfig(k=2, base_cells=256))
         ratio = fl.stats.cells_computed / (len(a) * len(b))
         assert 1.3 <= ratio <= 1.7
         # and the space really is linear-ish
@@ -61,7 +62,7 @@ class TestSection1Claims:
         """'At the other extreme, FastLSA uses quadratic space with no
         extra operations.'"""
         a, b = pair
-        fl = fastlsa(a, b, scheme, base_cells=10**7)
+        fl = fastlsa(a, b, scheme, config=AlignConfig(base_cells=10**7))
         assert fl.stats.cells_computed == len(a) * len(b)
 
 
@@ -83,7 +84,7 @@ class TestSection3Claims:
         """Measured operations never exceed the (k+1)/(k-1) analysis."""
         a, b = pair
         for k in (2, 3, 4, 8):
-            fl = fastlsa(a, b, scheme, k=k, base_cells=256)
+            fl = fastlsa(a, b, scheme, config=AlignConfig(k=k, base_cells=256))
             assert fl.stats.cells_computed / (len(a) * len(b)) <= ops_ratio_bound(k) + 0.05
 
 
@@ -123,7 +124,7 @@ class TestSection56Claims:
         scores = {
             needleman_wunsch(a, b, scheme).score,
             hirschberg(a, b, scheme).score,
-            fastlsa(a, b, scheme, k=2, base_cells=256).score,
-            fastlsa(a, b, scheme, k=8, base_cells=4096).score,
+            fastlsa(a, b, scheme, config=AlignConfig(k=2, base_cells=256)).score,
+            fastlsa(a, b, scheme, config=AlignConfig(k=8, base_cells=4096)).score,
         }
         assert len(scores) == 1

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.align import check_alignment
+from repro import AlignConfig
 from repro.core import Grid, fastlsa, fill_grid
 from repro.core.fastlsa import initial_problem
 from repro.parallel import parallel_fastlsa, simulated_parallel_fastlsa
@@ -45,8 +46,8 @@ class TestParallelFillAffine:
         scheme = affine_scheme
         a = "A" * 50  # forces a 40-residue vertical run somewhere
         b = "A" * 10
-        seq = fastlsa(a, b, scheme, k=2, base_cells=36)
-        par = parallel_fastlsa(a, b, scheme, P=3, k=2, base_cells=36, u=3, v=3)
+        seq = fastlsa(a, b, scheme, config=AlignConfig(k=2, base_cells=36))
+        par = parallel_fastlsa(a, b, scheme, P=3, config=AlignConfig(k=2, base_cells=36), u=3, v=3)
         assert par.score == seq.score
         assert par.gapped_a == seq.gapped_a
 
@@ -55,8 +56,8 @@ class TestParallelDriversAffine:
     def test_threaded_multi_level_recursion(self, rng, affine_scheme):
         a = random_protein(rng, 200)
         b = random_protein(rng, 190)
-        seq = fastlsa(a, b, affine_scheme, k=3, base_cells=200)
-        par = parallel_fastlsa(a, b, affine_scheme, P=4, k=3, base_cells=200)
+        seq = fastlsa(a, b, affine_scheme, config=AlignConfig(k=3, base_cells=200))
+        par = parallel_fastlsa(a, b, affine_scheme, P=4, config=AlignConfig(k=3, base_cells=200))
         assert par.score == seq.score
         assert check_alignment(par, affine_scheme)[0]
         assert seq.stats.recursion_depth >= 3  # multi-level exercised
@@ -78,6 +79,6 @@ class TestParallelDriversAffine:
         """Tiles of a few cells stress the corner-sentinel conventions."""
         a = random_protein(rng, 40)
         b = random_protein(rng, 37)
-        seq = fastlsa(a, b, affine_scheme, k=2, base_cells=36)
-        par = parallel_fastlsa(a, b, affine_scheme, P=2, k=2, base_cells=36, u=4, v=4)
+        seq = fastlsa(a, b, affine_scheme, config=AlignConfig(k=2, base_cells=36))
+        par = parallel_fastlsa(a, b, affine_scheme, P=2, config=AlignConfig(k=2, base_cells=36), u=4, v=4)
         assert par.score == seq.score

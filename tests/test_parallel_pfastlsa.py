@@ -3,6 +3,7 @@
 import pytest
 
 from repro.align import check_alignment
+from repro import AlignConfig
 from repro.core import fastlsa
 from repro.errors import ConfigError
 from repro.parallel import parallel_fastlsa, simulated_parallel_fastlsa
@@ -15,8 +16,8 @@ class TestThreaded:
         for _ in range(4):
             a = random_dna(rng, int(rng.integers(0, 120)))
             b = random_dna(rng, int(rng.integers(0, 120)))
-            seq = fastlsa(a, b, dna_scheme, k=4, base_cells=64)
-            par = parallel_fastlsa(a, b, dna_scheme, P=P, k=4, base_cells=64)
+            seq = fastlsa(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=64))
+            par = parallel_fastlsa(a, b, dna_scheme, P=P, config=AlignConfig(k=4, base_cells=64))
             assert par.score == seq.score
             assert par.gapped_a == seq.gapped_a and par.gapped_b == seq.gapped_b
 
@@ -24,15 +25,15 @@ class TestThreaded:
         for _ in range(3):
             a = random_protein(rng, int(rng.integers(10, 90)))
             b = random_protein(rng, int(rng.integers(10, 90)))
-            seq = fastlsa(a, b, affine_scheme, k=3, base_cells=100)
-            par = parallel_fastlsa(a, b, affine_scheme, P=3, k=3, base_cells=100)
+            seq = fastlsa(a, b, affine_scheme, config=AlignConfig(k=3, base_cells=100))
+            par = parallel_fastlsa(a, b, affine_scheme, P=3, config=AlignConfig(k=3, base_cells=100))
             assert par.score == seq.score
             assert check_alignment(par, affine_scheme)[0]
 
     def test_cells_computed_matches_sequential(self, rng, dna_scheme):
         a, b = random_dna(rng, 100), random_dna(rng, 100)
-        seq = fastlsa(a, b, dna_scheme, k=4, base_cells=64)
-        par = parallel_fastlsa(a, b, dna_scheme, P=2, k=4, base_cells=64)
+        seq = fastlsa(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=64))
+        par = parallel_fastlsa(a, b, dna_scheme, P=2, config=AlignConfig(k=4, base_cells=64))
         assert par.stats.cells_computed == seq.stats.cells_computed
 
     def test_invalid_p(self, dna_scheme):
@@ -47,7 +48,7 @@ class TestThreaded:
 class TestSimulated:
     def test_alignment_still_exact(self, rng, dna_scheme):
         a, b = random_dna(rng, 150), random_dna(rng, 150)
-        seq = fastlsa(a, b, dna_scheme, k=4, base_cells=256)
+        seq = fastlsa(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=256))
         al, rep = simulated_parallel_fastlsa(a, b, dna_scheme, P=4, k=4, base_cells=256)
         assert al.score == seq.score
 

@@ -4,6 +4,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.align import check_alignment, score_gapped
+from repro import AlignConfig
 from repro.baselines import hirschberg, needleman_wunsch, smith_waterman
 from repro.core import fastlsa
 from repro.kernels import boundary_vectors, sweep_last_row_col, sweep_matrix
@@ -47,7 +48,7 @@ class TestAlgorithmEquivalence:
            base=st.sampled_from([16, 64, 1024]))
     def test_fastlsa_equals_nw(self, a, b, gap, k, base):
         scheme = scheme_for(gap)
-        f = fastlsa(a, b, scheme, k=k, base_cells=base)
+        f = fastlsa(a, b, scheme, config=AlignConfig(k=k, base_cells=base))
         n = needleman_wunsch(a, b, scheme)
         assert f.score == n.score
         ok, msg = check_alignment(f, scheme)
@@ -64,7 +65,7 @@ class TestAlgorithmEquivalence:
     @settings(max_examples=20, deadline=None)
     @given(a=DNA, b=DNA, scheme=affine_schemes(), k=st.integers(2, 4))
     def test_fastlsa_affine_equals_nw(self, a, b, scheme, k):
-        f = fastlsa(a, b, scheme, k=k, base_cells=36)
+        f = fastlsa(a, b, scheme, config=AlignConfig(k=k, base_cells=36))
         n = needleman_wunsch(a, b, scheme)
         assert f.score == n.score
         assert check_alignment(f, scheme)[0]
@@ -122,7 +123,7 @@ class TestAlignmentInvariants:
     @given(a=DNA, b=DNA, gap=GAPS, k=st.integers(2, 5))
     def test_path_monotone_and_complete(self, a, b, gap, k):
         scheme = scheme_for(gap)
-        al = fastlsa(a, b, scheme, k=k, base_cells=16)
+        al = fastlsa(a, b, scheme, config=AlignConfig(k=k, base_cells=16))
         path = al.path
         assert path.start == (0, 0)
         assert path.end == (len(a), len(b))

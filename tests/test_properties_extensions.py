@@ -7,6 +7,7 @@ alignment, the score-only API and the ambiguity-extended matrices.
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines import needleman_wunsch
+from repro import AlignConfig
 from repro.baselines.myers_miller import myers_miller
 from repro.core import (
     EndsFree,
@@ -64,13 +65,13 @@ class TestModeProperties:
             EndsFree(a_start=True, b_end=True),
             EndsFree(a_start=True, a_end=True),
         ):
-            assert ends_free_align(a, b, scheme, free, k=2, base_cells=16).score >= global_score
+            assert ends_free_align(a, b, scheme, free, config=AlignConfig(k=2, base_cells=16)).score >= global_score
 
     @settings(max_examples=25, deadline=None)
     @given(a=DNA, b=DNA, gap=GAPS)
     def test_semiglobal_consumes_query(self, a, b, gap):
         scheme = linear_scheme(gap)
-        sg = semiglobal_align(a, b, scheme, k=2, base_cells=16)
+        sg = semiglobal_align(a, b, scheme, config=AlignConfig(k=2, base_cells=16))
         assert sg.a_start == 0 and sg.a_end == len(a)
 
     @settings(max_examples=25, deadline=None)
@@ -78,7 +79,7 @@ class TestModeProperties:
     def test_overlap_anchored(self, a, b, gap):
         """Overlap mode anchors a's end and b's start."""
         scheme = linear_scheme(gap)
-        ov = overlap_align(a, b, scheme, k=2, base_cells=16)
+        ov = overlap_align(a, b, scheme, config=AlignConfig(k=2, base_cells=16))
         assert ov.a_end == len(a)
         assert ov.b_start == 0
 
@@ -109,7 +110,7 @@ class TestScoreOnlyProperties:
     @given(a=DNA, b=DNA, gap=GAPS, k=st.integers(2, 5))
     def test_score_matches_fastlsa(self, a, b, gap, k):
         scheme = linear_scheme(gap)
-        assert align_score(a, b, scheme) == fastlsa(a, b, scheme, k=k, base_cells=16).score
+        assert align_score(a, b, scheme) == fastlsa(a, b, scheme, config=AlignConfig(k=k, base_cells=16)).score
 
 
 class TestAmbiguityProperties:
@@ -117,6 +118,6 @@ class TestAmbiguityProperties:
     @given(a=DNA_N, b=DNA_N, gap=GAPS)
     def test_alignment_with_ambiguity_codes(self, a, b, gap):
         scheme = ScoringScheme(dna_with_n(), linear_gap(gap))
-        al = fastlsa(a, b, scheme, k=2, base_cells=16)
+        al = fastlsa(a, b, scheme, config=AlignConfig(k=2, base_cells=16))
         assert check_alignment(al, scheme)[0]
         assert al.score == needleman_wunsch(a, b, scheme).score

@@ -5,6 +5,7 @@ import io
 import pytest
 
 from repro.errors import ScoringError
+from repro import AlignConfig
 from repro.scoring import (
     blosum62,
     dna_simple,
@@ -112,7 +113,7 @@ class TestAmbiguity:
         from repro.scoring import ScoringScheme, linear_gap
 
         scheme = ScoringScheme(dna_with_n(), linear_gap(-6))
-        al = fastlsa("ACGNNACGT", "ACGTTACGT", scheme, k=2, base_cells=16)
+        al = fastlsa("ACGNNACGT", "ACGTTACGT", scheme, config=AlignConfig(k=2, base_cells=16))
         assert al.score > 0
 
     def test_symbol_conflict_rejected(self):

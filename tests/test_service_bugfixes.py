@@ -26,6 +26,7 @@ import asyncio
 import pytest
 
 from repro.baselines import needleman_wunsch
+from repro.core.score_only import align_score
 from repro.errors import JobTimeoutError
 from repro.scoring import ScoringScheme, dna_simple, linear_gap
 from repro.service import AlignmentService, CircuitBreaker, ProtocolHandler
@@ -46,7 +47,9 @@ class TestGroupDeadlines:
     def test_expired_member_dropped_survivors_complete(self, scheme):
         """In a coalesced batch, only the job whose own deadline passed
         fails; the other members still run to the correct answer."""
-        blocker_a, blocker_b = dna_pair(6000, seed=3)
+        # Large enough to hold the single worker for a while even on
+        # the compiled kernel tier (~1 GCell/s).
+        blocker_a, blocker_b = dna_pair(14000, seed=3)
         query = "ACGTACGTACGTACGTACGTACGTACGT"
         targets = ["ACGTTCGTACGTACGAACGTACGTACGA", "ACGAACGTACGTACGTACGTACGTAGGT"]
 
@@ -101,7 +104,9 @@ class TestFollowerDeadlines:
     def test_follower_times_out_while_primary_completes(self, scheme):
         """A singleflight follower's own (shorter) deadline fails *it*,
         not the primary it piggybacks on."""
-        a, b = dna_pair(6000, seed=7)
+        # Sized so the primary is still in flight when the follower's
+        # deadline expires, on either kernel tier.
+        a, b = dna_pair(14000, seed=7)
 
         async def go():
             async with AlignmentService(
@@ -121,7 +126,9 @@ class TestFollowerDeadlines:
         assert isinstance(follower_out, JobTimeoutError)
         assert "in-flight" in str(follower_out)
         assert not isinstance(primary_out, BaseException)
-        assert primary_out.score == needleman_wunsch(a, b, scheme).score
+        # linear-space reference: a dense NW matrix at this size would
+        # need gigabytes.
+        assert primary_out.score == align_score(a, b, scheme)
         assert stats["jobs_timed_out"] == 1
 
     def test_follower_result_marked_deduped_not_cached(self, scheme):

@@ -7,6 +7,7 @@ both parallel drivers.
 """
 
 from repro.align import check_alignment
+from repro import AlignConfig
 from repro.baselines import hirschberg, needleman_wunsch
 from repro.core import banded_align_auto, fastlsa
 from repro.parallel import parallel_fastlsa
@@ -32,14 +33,14 @@ class TestAdversarialInputs:
             scores = {
                 "nw": needleman_wunsch(a, b, dna_scheme).score,
                 "hb": hirschberg(a, b, dna_scheme, base_cells=64).score,
-                "fl2": fastlsa(a, b, dna_scheme, k=2, base_cells=64).score,
-                "fl8": fastlsa(a, b, dna_scheme, k=8, base_cells=256).score,
+                "fl2": fastlsa(a, b, dna_scheme, config=AlignConfig(k=2, base_cells=64)).score,
+                "fl8": fastlsa(a, b, dna_scheme, config=AlignConfig(k=8, base_cells=256)).score,
             }
             assert len(set(scores.values())) == 1, (label, scores)
 
     def test_alignments_all_valid(self, rng, dna_scheme):
         for label, a, b in adversarial_pairs(rng):
-            al = fastlsa(a, b, dna_scheme, k=3, base_cells=128)
+            al = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=128))
             ok, msg = check_alignment(al, dna_scheme)
             assert ok, (label, msg)
 
@@ -51,8 +52,8 @@ class TestAdversarialInputs:
 
     def test_threaded_parity(self, rng, dna_scheme):
         for label, a, b in adversarial_pairs(rng):
-            seq = fastlsa(a, b, dna_scheme, k=3, base_cells=128)
-            par = parallel_fastlsa(a, b, dna_scheme, P=4, k=3, base_cells=128)
+            seq = fastlsa(a, b, dna_scheme, config=AlignConfig(k=3, base_cells=128))
+            par = parallel_fastlsa(a, b, dna_scheme, P=4, config=AlignConfig(k=3, base_cells=128))
             assert par.score == seq.score, label
             assert par.gapped_a == seq.gapped_a, label
 
@@ -61,9 +62,9 @@ class TestThreadedRepeatability:
     def test_many_runs_identical(self, rng, dna_scheme):
         """Races would show up as run-to-run divergence."""
         a, b = random_dna(rng, 400), random_dna(rng, 400)
-        baseline = fastlsa(a, b, dna_scheme, k=4, base_cells=1024)
+        baseline = fastlsa(a, b, dna_scheme, config=AlignConfig(k=4, base_cells=1024))
         for _ in range(5):
-            par = parallel_fastlsa(a, b, dna_scheme, P=8, k=4, base_cells=1024)
+            par = parallel_fastlsa(a, b, dna_scheme, P=8, config=AlignConfig(k=4, base_cells=1024))
             assert par.score == baseline.score
             assert par.gapped_a == baseline.gapped_a
             assert par.gapped_b == baseline.gapped_b
@@ -73,8 +74,8 @@ class TestThreadedRepeatability:
 
         a = random_protein(rng, 250)
         b = random_protein(rng, 260)
-        baseline = fastlsa(a, b, affine_scheme, k=3, base_cells=512)
+        baseline = fastlsa(a, b, affine_scheme, config=AlignConfig(k=3, base_cells=512))
         for _ in range(3):
-            par = parallel_fastlsa(a, b, affine_scheme, P=6, k=3, base_cells=512)
+            par = parallel_fastlsa(a, b, affine_scheme, P=6, config=AlignConfig(k=3, base_cells=512))
             assert par.score == baseline.score
             assert par.gapped_a == baseline.gapped_a

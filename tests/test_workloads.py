@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
+from repro import AlignConfig
 from repro.workloads import (
     SUITE,
     dna_pair,
@@ -80,8 +81,8 @@ class TestPairs:
 
         a_lo, b_lo = dna_pair(200, divergence=0.05, seed=1)
         a_hi, b_hi = dna_pair(200, divergence=0.5, seed=1)
-        s_lo = fastlsa(a_lo, b_lo, dna_scheme, k=2, base_cells=1024).score
-        s_hi = fastlsa(a_hi, b_hi, dna_scheme, k=2, base_cells=1024).score
+        s_lo = fastlsa(a_lo, b_lo, dna_scheme, config=AlignConfig(k=2, base_cells=1024)).score
+        s_hi = fastlsa(a_hi, b_hi, dna_scheme, config=AlignConfig(k=2, base_cells=1024)).score
         assert s_lo > s_hi
 
     def test_protein_pair_alphabet(self):

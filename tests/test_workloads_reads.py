@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
+from repro import AlignConfig
 from repro.workloads import random_sequence, sample_reads
 from repro.workloads.reads import _revcomp
 
@@ -68,7 +69,7 @@ class TestSampleReads:
 
         ref = random_sequence(800, "ACGT", rng)
         for r in sample_reads(ref, 4, 120, sub_rate=0.03, seed=9):
-            sg = semiglobal_align(r.read, ref, dna_scheme, k=4)
+            sg = semiglobal_align(r.read, ref, dna_scheme, config=AlignConfig(k=4))
             assert abs(sg.b_start - r.start) <= 15
 
 
