@@ -116,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_align.add_argument("--kernel", default=None,
                          choices=["auto", "numpy", "compiled"],
                          help="kernel tier (default auto: compiled when built)")
+    p_align.add_argument("--tune", default=None, metavar="MODE",
+                         help="hardware autotuning: 'auto' (use the cached "
+                              "calibration profile), 'off', or a profile "
+                              "path (default: off)")
     p_align.add_argument("--workers", type=int, default=None, metavar="P",
                          help="wavefront workers for --backend threads/processes "
                               "(default 2)")
@@ -132,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_kernels.add_argument("--json", action="store_true",
                            help="machine-readable output")
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measure this host's kernel/backend throughput curves and "
+             "cache them for --tune auto",
+    )
+    p_cal.add_argument("--quick", action="store_true",
+                       help="smaller probes (seconds, not minutes); good "
+                            "enough for backend selection")
+    p_cal.add_argument("--force", action="store_true",
+                       help="re-probe even if a valid cached profile exists")
+    p_cal.add_argument("--out", default=None, metavar="PATH",
+                       help="write the profile here instead of the cache "
+                            "(~/.cache/fastlsa/ or $FASTLSA_CACHE_DIR)")
+    p_cal.add_argument("--json", action="store_true",
+                       help="print the full profile as JSON")
 
     p_msa = sub.add_parser("msa", help="multiple alignment of all records in a FASTA file")
     p_msa.add_argument("fasta")
@@ -186,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--backend", default=None,
                          choices=["serial", "threads", "processes"],
                          help="wavefront backend pinned onto jobs without one")
+    p_serve.add_argument("--tune", default="auto", metavar="MODE",
+                         help="hardware autotuning for unpinned jobs: "
+                              "'auto' (cached calibration profile, the "
+                              "default), 'off', or a profile path")
     p_serve.add_argument("--backend-workers", type=int, default=2, metavar="P",
                          help="wavefront workers per job for --backend (default 2)")
     p_serve.add_argument("--workers", type=int, default=4,
@@ -266,6 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["serial", "threads", "processes"],
                           help="candidate-scoring backend (default: serial)")
     p_search.add_argument("--workers", type=int, default=None, metavar="P")
+    p_search.add_argument("--tune", default=None, metavar="MODE",
+                          help="hardware autotuning: 'auto', 'off', or a "
+                               "profile path (default: off)")
     p_search.add_argument("--deadline", type=float, default=None,
                           help="whole-search deadline in seconds")
     p_search.add_argument("--alignments", action="store_true",
@@ -347,7 +374,7 @@ def _cmd_align(args) -> int:
     config = AlignConfig(
         k=args.k, base_cells=args.base_cells,
         max_workers=workers, backend=args.backend,
-        band=band, kernel=args.kernel,
+        band=band, kernel=args.kernel, tune=args.tune,
     )
     if args.mode == "local":
         loc = fastlsa_local(rec_a, rec_b, scheme, config=config)
@@ -516,6 +543,17 @@ def _cmd_serve(args) -> int:
         parse_memory(args.memory) if args.memory is not None else args.memory_cells
     )
     deadline = args.deadline if args.deadline is not None else args.timeout
+    if args.tune not in (None, "off"):
+        # Pin the fastest calibrated kernel tier process-wide so every
+        # worker (and every shard, which re-runs this resolution) uses it.
+        from .kernels import registry as kernel_registry
+        from .tune import load_profile
+
+        tune_profile = load_profile(args.tune)
+        if tune_profile is not None:
+            best_tier = tune_profile.best_kernel(kernel_registry.available_tiers())
+            if best_tier is not None:
+                kernel_registry.set_preferred_tier(best_tier)
     service_kwargs = dict(
         memory_cells=memory_cells,
         max_workers=args.workers,
@@ -528,6 +566,7 @@ def _cmd_serve(args) -> int:
         degrade=not args.no_degrade,
         default_backend=args.backend,
         backend_workers=args.backend_workers,
+        tune=args.tune,
     )
     handler_kwargs = dict(
         default_matrix=args.matrix,
@@ -609,7 +648,18 @@ def _cmd_search(args) -> int:
     workers = args.workers if args.workers is not None else (
         2 if args.backend in ("threads", "processes") else None
     )
-    config = AlignConfig(max_workers=workers, backend=args.backend)
+    config = AlignConfig(max_workers=workers, backend=args.backend,
+                         tune=args.tune)
+    if args.tune not in (None, "off") and args.backend is None:
+        from .tune import autotune_config, load_profile
+
+        profile = load_profile(args.tune)
+        if profile is not None:
+            qn = max(1, len(query.text))
+            config, _ = autotune_config(
+                config, qn, qn, affine=not scheme.is_linear,
+                profile=profile,
+            )
     result = search(
         query, index, scheme, top_k=args.top_k, config=config,
         min_score=args.min_score, deadline=args.deadline,
@@ -975,8 +1025,45 @@ def _cmd_kernels(args) -> int:
     )
 
 
+def _cmd_calibrate(args) -> int:
+    import json as _json
+
+    from .tune import calibrate, default_cache_path, load_cached
+
+    say = _info_printer(args)
+    out = args.out if args.out is not None else default_cache_path()
+    if not args.force and args.out is None:
+        cached = load_cached(out)
+        if cached is not None:
+            say(f"# valid calibration profile already cached at {out} "
+                f"(use --force to re-probe)")
+            if args.json:
+                print(_json.dumps(cached.to_dict(), indent=2, sort_keys=True))
+            return 0
+    say(f"# probing {'quick ' if args.quick else ''}calibration curves "
+        f"(kernel tiers x backends x workers, handoff, band, BM sweep)…")
+    profile = calibrate(quick=args.quick, progress=say)
+    profile.save(out)
+    say(f"# wrote {out}")
+    if args.json:
+        print(_json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+        return 0
+    serial = profile.serial_cells_per_s()
+    say(f"# serial: {serial / 1e6:.1f} Mcells/s "
+        f"(cpu_count={profile.cpu_count()})")
+    for backend, workers, cps in profile.backend_points():
+        verdict = "beats serial" if cps > serial else "loses to serial"
+        say(f"#   {backend:9s} x{workers}: {cps / 1e6:.1f} Mcells/s "
+            f"({verdict})")
+    best = profile.best_backend()
+    say(f"# auto pick: backend={best[0]}"
+        + (f" workers={best[1]}" if best[0] != "serial" else ""))
+    return 0
+
+
 _COMMANDS = {
     "align": _cmd_align,
+    "calibrate": _cmd_calibrate,
     "kernels": _cmd_kernels,
     "matrix": _cmd_matrix,
     "msa": _cmd_msa,

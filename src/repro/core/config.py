@@ -106,6 +106,16 @@ class AlignConfig(FastLSAConfig):
         ``"compiled"`` (cffi/C; errors when not built), or ``"auto"``
         (compiled when available, else numpy).  ``None`` means
         ``"auto"``.
+    tune:
+        Hardware-adaptive auto-selection (:mod:`repro.tune`).
+        ``"auto"`` consults the host's cached calibration profile
+        (``fastlsa calibrate``) and fills any knobs left unset above —
+        backend + workers, kernel tier, band — from measured curves;
+        with no cached profile it degrades to defaults with a one-line
+        warning.  ``"off"`` / ``None`` disables tuning; a path string
+        loads an explicit profile (strict: missing file or schema
+        mismatch raises).  Explicitly-set knobs always win over tuned
+        values.
 
     ``repro.align()``, :func:`~repro.core.fastlsa.fastlsa`,
     :func:`~repro.parallel.pfastlsa.parallel_fastlsa` and
@@ -120,6 +130,7 @@ class AlignConfig(FastLSAConfig):
     backend: Optional[str] = None
     band: Union[None, int, str] = None
     kernel: Optional[str] = None
+    tune: Optional[str] = None
 
     #: Accepted ``backend`` values (``None`` resolves to ``"serial"``).
     BACKENDS = ("serial", "threads", "processes")
@@ -151,9 +162,16 @@ class AlignConfig(FastLSAConfig):
             raise ConfigError(
                 f"kernel must be one of {list(self.KERNELS)}, got {self.kernel!r}"
             )
+        if self.tune is not None and (
+            not isinstance(self.tune, str) or not self.tune
+        ):
+            raise ConfigError(
+                f"tune must be None, 'auto', 'off' or a profile path, "
+                f"got {self.tune!r}"
+            )
 
     #: Keys :meth:`from_dict` accepts — also the wire-protocol schema.
-    FIELDS = ("k", "base_cells", "max_workers", "backend", "band", "kernel")
+    FIELDS = ("k", "base_cells", "max_workers", "backend", "band", "kernel", "tune")
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "AlignConfig":
@@ -174,7 +192,7 @@ class AlignConfig(FastLSAConfig):
         for key in cls.FIELDS:
             if key in data and data[key] is not None:
                 value = data[key]
-                if key in ("backend", "kernel"):
+                if key in ("backend", "kernel", "tune"):
                     if not isinstance(value, str):
                         raise ConfigError(
                             f"config.{key} must be a string, got {value!r}"
@@ -201,6 +219,7 @@ class AlignConfig(FastLSAConfig):
             "backend": self.backend,
             "band": self.band,
             "kernel": self.kernel,
+            "tune": self.tune,
         }
 
 

@@ -274,6 +274,14 @@ def fastlsa(
     a_codes = scheme.encode(a.text)
     b_codes = scheme.encode(b.text)
     m, n = len(a), len(b)
+    if getattr(cfg, "tune", None) not in (None, "off"):
+        # Hardware-adaptive auto-selection: fill backend/kernel/band from
+        # the host's calibration profile (no-op with a warning when the
+        # host never ran `fastlsa calibrate`).  Lazy import: core stays
+        # importable without repro.tune loaded.
+        from ..tune.decision import autotune_config
+
+        cfg, _ = autotune_config(cfg, m, n, affine=not scheme.is_linear)
     tier = registry.resolve_tier(getattr(cfg, "kernel", None))
     band = getattr(cfg, "band", None)
 

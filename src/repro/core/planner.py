@@ -21,7 +21,9 @@ cache or main memory, matching the paper's performance-tuning story.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..errors import ConfigError
 from .config import MIN_BASE_CELLS, FastLSAConfig
@@ -36,6 +38,7 @@ __all__ = [
     "fastlsa_peak_cells",
     "arena_cells",
     "resolve_backend",
+    "worker_cap",
     "BACKENDS",
 ]
 
@@ -123,13 +126,36 @@ def fastlsa_peak_cells(m: int, n: int, k: int, base_cells: int, affine: bool) ->
 BACKENDS = ("serial", "threads", "processes")
 
 
-def resolve_backend(config=None, workers: "int | None" = None) -> "tuple[str, int]":
+def worker_cap() -> int:
+    """Largest worker count :func:`resolve_backend` will honour.
+
+    ``max(2, cpu_count)``: real oversubscription (more workers than
+    cores) is clamped, but two workers are always allowed so the
+    parallel code paths stay exercisable (tests, wavefront semantics) on
+    single-core machines — where the autotuner, not the clamp, is what
+    steers jobs back to serial.
+    """
+    return max(2, os.cpu_count() or 1)
+
+
+def resolve_backend(
+    config=None,
+    workers: "int | None" = None,
+    *,
+    notes: "Optional[List[str]]" = None,
+) -> "tuple[str, int]":
     """Normalise an :class:`AlignConfig` into ``(backend, workers)``.
 
     ``backend`` falls back to ``"serial"`` when unset; ``workers`` comes
     from the explicit argument, then ``config.max_workers``, then 1.  A
     parallel backend with one worker degrades to ``"serial"`` — a single
     thread or process only adds dispatch overhead.
+
+    Parallel worker counts above :func:`worker_cap` are clamped instead
+    of oversubscribing the machine; when ``notes`` is passed the clamp is
+    recorded there (the governor threads these onto
+    :attr:`Plan.downgrades` so the downgrade is visible on the job
+    result, not silent).
     """
     backend = getattr(config, "backend", None) or "serial"
     if backend not in BACKENDS:
@@ -137,6 +163,12 @@ def resolve_backend(config=None, workers: "int | None" = None) -> "tuple[str, in
     if workers is None:
         workers = getattr(config, "max_workers", None) or 1
     workers = max(1, int(workers))
+    if backend != "serial":
+        cap = worker_cap()
+        if workers > cap:
+            if notes is not None:
+                notes.append(f"workers_clamped:{workers}->{cap}")
+            workers = cap
     if workers <= 1 and backend != "serial":
         backend = "serial"
     return backend, workers
@@ -198,6 +230,11 @@ class Plan:
         Model estimate of peak resident DP cells.
     predicted_ops_ratio:
         Worst-case operations ratio vs FM (1.0 for ``full-matrix``).
+    downgrades:
+        Adjustments recorded while deriving the plan (e.g.
+        ``"workers_clamped:16->8"`` from :func:`resolve_backend`); the
+        scheduler copies them onto the job result so nothing the planner
+        overrode happens silently.
     """
 
     method: str
@@ -205,6 +242,7 @@ class Plan:
     memory_cells: int
     predicted_peak_cells: int
     predicted_ops_ratio: float
+    downgrades: Tuple[str, ...] = ()
 
 
 def plan_alignment(
@@ -214,6 +252,7 @@ def plan_alignment(
     affine: bool = False,
     max_k: int = 64,
     base_fraction: float = 0.5,
+    profile=None,
 ) -> Plan:
     """Derive FastLSA parameters for an ``m × n`` problem in ``memory_cells``.
 
@@ -231,6 +270,13 @@ def plan_alignment(
         grows per-level overhead).
     base_fraction:
         Fraction of the budget reserved for the Base Case buffer ``BM``.
+    profile:
+        Optional :class:`~repro.tune.profile.CalibrationProfile` (duck
+        typed: anything with ``best_base_cells()``).  When the measured
+        Base-Case-buffer sweep found a throughput peak *below* the
+        default ``BM`` reservation, the plan starts from that cache-sized
+        buffer instead — freeing budget for more grid lines (larger
+        ``k``, fewer recomputed cells) at no measured cost.
 
     Raises
     ------
@@ -252,7 +298,8 @@ def plan_alignment(
             predicted_peak_cells=dense,
             predicted_ops_ratio=1.0,
         )
-    plan = _plan_fastlsa(m, n, memory_cells, affine, max_k, base_fraction)
+    plan = _plan_fastlsa(m, n, memory_cells, affine, max_k, base_fraction,
+                         profile=profile)
     if plan is not None:
         return plan
     line_layers = 2 if affine else 1
@@ -270,10 +317,18 @@ def _plan_fastlsa(
     affine: bool,
     max_k: int = 64,
     base_fraction: float = 0.5,
+    profile=None,
 ) -> "Plan | None":
     """The linear-space branch of :func:`plan_alignment`; ``None`` if no fit."""
     line_layers = 2 if affine else 1
     base_cells = max(MIN_BASE_CELLS, int(memory_cells * base_fraction))
+    if profile is not None:
+        # Start from the measured cache-sized BM when it is smaller than
+        # the default reservation; the halving loop below still walks
+        # down from there if grid lines need more room.
+        measured = getattr(profile, "best_base_cells", lambda: None)()
+        if measured:
+            base_cells = max(MIN_BASE_CELLS, min(base_cells, int(measured)))
     per_k_unit = ((m + 1) + (n + 1)) * line_layers  # ≈ grid cells per unit of k
     while base_cells >= MIN_BASE_CELLS:
         budget = memory_cells - base_cells

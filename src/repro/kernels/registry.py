@@ -61,6 +61,8 @@ __all__ = [
     "active",
     "describe",
     "parity_report",
+    "set_preferred_tier",
+    "preferred_tier",
 ]
 
 #: Legal values of ``AlignConfig.kernel`` (``None`` means ``"auto"``).
@@ -329,15 +331,50 @@ def parity_report() -> Dict[str, Any]:
     }
 
 
+#: Process-wide override of what ``auto`` resolves to, set from a
+#: calibration profile (``repro.tune``) when the *measured* ranking of
+#: the tiers disagrees with the static compiled-first preference.
+_PREFERRED_TIER: Optional[str] = None
+
+
+def set_preferred_tier(tier: Optional[str]) -> None:
+    """Override what ``auto``/``None`` resolve to, process-wide.
+
+    Used by calibration-aware entry points (``fastlsa serve --tune``)
+    after measuring the tiers on this host; ``None`` restores the static
+    default (compiled when available).  The tier must be concrete and
+    currently available.
+    """
+    global _PREFERRED_TIER
+    if tier is not None:
+        if tier not in ("numpy", "compiled"):
+            raise ConfigError(
+                f"preferred tier must be 'numpy', 'compiled' or None, got {tier!r}"
+            )
+        if tier == "compiled" and not compiled_available():
+            raise ConfigError(
+                "cannot prefer kernel tier 'compiled': extension unavailable"
+            )
+    _PREFERRED_TIER = tier
+
+
+def preferred_tier() -> Optional[str]:
+    """The current :func:`set_preferred_tier` override (``None`` if unset)."""
+    return _PREFERRED_TIER
+
+
 def resolve_tier(tier: Optional[str]) -> str:
     """Resolve a requested tier to a concrete one (``numpy``/``compiled``).
 
-    ``None`` and ``"auto"`` prefer the compiled tier when available.  An
-    explicit ``"compiled"`` raises :class:`~repro.errors.ConfigError`
-    when the extension is absent or failed parity — silent degradation
-    is reserved for ``auto``.
+    ``None`` and ``"auto"`` prefer the measured
+    :func:`set_preferred_tier` override when one is installed, else the
+    compiled tier when available.  An explicit ``"compiled"`` raises
+    :class:`~repro.errors.ConfigError` when the extension is absent or
+    failed parity — silent degradation is reserved for ``auto``.
     """
     if tier is None or tier == "auto":
+        if _PREFERRED_TIER is not None:
+            return _PREFERRED_TIER
         return "compiled" if compiled_available() else "numpy"
     if tier not in KERNEL_TIERS:
         raise ConfigError(

@@ -56,7 +56,8 @@ def backend_hooks(
     backend, workers = resolve_backend(config)
     if backend == "serial":
         return None, None
-    u, v = default_uv(workers, config.k)
+    u, v = _tile_shape(config, workers, m, n, affine=not scheme.is_linear)
+    kernel_tier = registry.resolve_tier(getattr(config, "kernel", None))
     if backend == "threads":
 
         def fill(grid, a_c, b_c, sch, counter, skip_bottom_right=True):
@@ -69,8 +70,24 @@ def backend_hooks(
 
         return FastLSAHooks(fill=fill, base_matrix=base_matrix), None
 
-    session = ProcessSession(scheme, a_codes, b_codes, m, n, config.k, workers, u, v)
+    session = ProcessSession(
+        scheme, a_codes, b_codes, m, n, config.k, workers, u, v,
+        kernel=kernel_tier,
+    )
     return FastLSAHooks(fill=session.fill, base_matrix=None), session.finish
+
+
+def _tile_shape(config, workers: int, m: int, n: int, affine: bool):
+    """Tile ``(u, v)``: calibration-shaped when the config carries an
+    active ``tune`` profile, else :func:`default_uv`."""
+    if getattr(config, "tune", None) not in (None, "off"):
+        from ..tune.decision import tile_uv
+        from ..tune.profile import load_profile
+
+        profile = load_profile(config.tune)
+        if profile is not None:
+            return tile_uv(profile, workers, config.k, m, n, affine)
+    return default_uv(workers, config.k)
 
 
 class ProcessSession:
@@ -92,12 +109,18 @@ class ProcessSession:
         workers: int,
         u: int,
         v: int,
+        kernel: Optional[str] = None,
     ) -> None:
         self.scheme = scheme
         self.a_codes = a_codes
         self.b_codes = b_codes
         self.m, self.n, self.k = m, n, k
         self.workers, self.u, self.v = workers, u, v
+        # Kernel tier shipped to the workers in the SessionSpec.  Resolved
+        # from the config at hook-build time (so a tuned/explicit
+        # ``config.kernel`` wins); ``None`` falls back to the ambient
+        # contextvar tier at bind time, as before.
+        self.kernel = kernel
         self.arena: Optional[SharedArena] = None
         self.pool = None
         self._observe = False
@@ -138,7 +161,7 @@ class ProcessSession:
                     is_linear=scheme.is_linear,
                     fault_plan=plan.to_dict() if plan is not None else None,
                     observe=self._observe,
-                    kernel=registry.current_tier(),
+                    kernel=self.kernel or registry.current_tier(),
                 )
             )
         except BaseException:

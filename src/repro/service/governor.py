@@ -56,15 +56,22 @@ class MemoryGovernor:
     max_workers:
         Number of jobs that may run concurrently; the per-job allocation
         is ``total_cells // max_workers``.
+    profile:
+        Optional :class:`~repro.tune.profile.CalibrationProfile`; when
+        set, unpinned admissions plan their Base Case buffer from the
+        measured ``BM`` sweep (see :func:`plan_alignment`).
     """
 
-    def __init__(self, total_cells: int, max_workers: int) -> None:
+    def __init__(
+        self, total_cells: int, max_workers: int, profile=None
+    ) -> None:
         if total_cells < 1:
             raise ConfigError(f"total_cells must be >= 1, got {total_cells}")
         if max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
         self.total_cells = total_cells
         self.max_workers = max_workers
+        self.profile = profile
         self.per_job_cells = max(1, total_cells // max_workers)
         self.cells_in_flight = 0
         self.peak_cells_in_flight = 0
@@ -96,7 +103,8 @@ class MemoryGovernor:
         faults.inject(SITE_GOVERNOR_ADMIT)
         if config is not None:
             peak = fastlsa_peak_cells(m, n, config.k, config.base_cells, affine)
-            backend, workers = resolve_backend(config)
+            notes: list = []
+            backend, workers = resolve_backend(config, notes=notes)
             if backend == "processes":
                 # The shared-memory tile arena is real resident memory on
                 # top of the recursion's grid caches; bill it to the job.
@@ -117,9 +125,12 @@ class MemoryGovernor:
                 memory_cells=self.per_job_cells,
                 predicted_peak_cells=peak,
                 predicted_ops_ratio=ops_ratio_bound(config.k),
+                downgrades=tuple(notes),
             )
         try:
-            return plan_alignment(m, n, self.per_job_cells, affine=affine)
+            return plan_alignment(
+                m, n, self.per_job_cells, affine=affine, profile=self.profile
+            )
         except ConfigError as exc:
             self.rejections += 1
             obs.counter_add("service.budget_rejections")

@@ -26,13 +26,22 @@ import asyncio
 import random
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, Dict, List, Optional, Sequence as Seq, Set
+from typing import Deque, Dict, List, Optional, Sequence as Seq, Set, Tuple
 
 from ..core import cancel
 from ..core.batch import _full_alignment, _quick_score, batch_align
 from ..kernels import registry
 from ..core.config import AlignConfig, FastLSAConfig
-from ..core.planner import BACKENDS, degrade_plan, plan_alignment
+from ..core.planner import (
+    BACKENDS,
+    Plan,
+    arena_cells,
+    degrade_plan,
+    plan_alignment,
+    resolve_backend,
+)
+from ..tune.decision import autotune_config, beats_serial
+from ..tune.profile import CalibrationProfile, load_profile
 from ..faults import runtime as faults
 from ..faults.plan import SITE_CACHE_PUT
 from ..obs import runtime as obs
@@ -53,6 +62,12 @@ from .resilience import CircuitBreaker, RetryPolicy, is_transient
 from .stats import ServiceStats
 
 __all__ = ["AlignmentService"]
+
+
+class _AdmitWillReject:
+    """Sentinel: the job cannot be planned under the per-job budget at
+    all — return an unpinned config and let ``admit()`` raise the typed
+    :class:`MemoryBudgetError` instead of guessing here."""
 
 
 def _corrupt_result(result: JobResult) -> JobResult:
@@ -119,6 +134,17 @@ class AlignmentService:
         workers; worker crashes surface as transient
         :class:`~repro.errors.WorkerCrashError` and are retried on a
         fresh pool by the normal retry policy.
+    tune:
+        Hardware-adaptive auto-selection (service default ``"auto"``).
+        ``"auto"`` loads the host's cached calibration profile
+        (``fastlsa calibrate``) — inert, with a one-line warning, when
+        none exists; ``"off"`` / ``None`` disables tuning; a path string
+        or :class:`~repro.tune.profile.CalibrationProfile` pins an
+        explicit profile.  With a profile loaded, jobs that do not choose
+        a backend get the measured-fastest backend/worker/kernel/band
+        combination pinned at admission — never one whose measured curve
+        loses to serial — and degraded plans re-consult the curves.  An
+        explicit ``default_backend`` always wins over the tuned choice.
 
     Use as an async context manager::
 
@@ -144,6 +170,7 @@ class AlignmentService:
         retry_seed: int = 0,
         default_backend: Optional[str] = None,
         backend_workers: int = 2,
+        tune: object = "auto",
     ) -> None:
         if max_queue_depth < 1:
             raise ConfigError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
@@ -157,7 +184,11 @@ class AlignmentService:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
         if batch_window < 0:
             raise ConfigError(f"batch_window must be >= 0, got {batch_window}")
-        self.governor = MemoryGovernor(memory_cells, max_workers)
+        self.tune = tune if isinstance(tune, (str, type(None))) else "profile"
+        self.tune_profile: Optional[CalibrationProfile] = load_profile(tune)
+        self.governor = MemoryGovernor(
+            memory_cells, max_workers, profile=self.tune_profile
+        )
         self.cache = ResultCache(cache_size, fingerprint=result_fingerprint)
         self.stats_ = ServiceStats()
         self.retry_policy = retry_policy or RetryPolicy(max_retries=max_retries)
@@ -288,6 +319,10 @@ class AlignmentService:
         future: "asyncio.Future[JobResult]" = loop.create_future()
         job = Job(request=request, plan=plan, future=future)
         job.retries = admit_retries
+        if plan.downgrades:
+            # Planner-recorded adjustments (e.g. a worker-count clamp)
+            # surface on the JobResult alongside runtime degradations.
+            job.downgrades.extend(plan.downgrades)
         job.submitted_at = loop.time()
         inst = obs.current()
         if inst is not None:
@@ -365,35 +400,89 @@ class AlignmentService:
         n: int,
         affine: bool,
     ) -> Optional[FastLSAConfig]:
-        """Pin the service's ``default_backend`` onto a job's config.
+        """Pin the service's backend policy onto a job's config.
 
-        Explicit per-job backends always win.  When no config was given,
-        the planner first picks ``k`` / ``base_cells`` for the per-job
-        allocation, then the backend is pinned on top — so the governor's
-        admission sees (and bills) the backend, including the processes
-        backend's shared arena.
+        Precedence: an explicit per-job backend always wins; then an
+        operator-pinned ``default_backend``; then the calibrated tuned
+        choice (``tune="auto"`` is the service default).  When no config
+        was given, the planner first picks ``k`` / ``base_cells`` for the
+        per-job allocation, then the backend is pinned on top — so the
+        governor's admission sees (and bills) the backend, including the
+        processes backend's shared arena.
         """
-        if self.default_backend in (None, "serial"):
-            return config
         if config is not None and getattr(config, "backend", None) is not None:
             return config
+        if self.default_backend not in (None, "serial"):
+            if config is None:
+                base = self._pinnable_base(m, n, affine, profile=None)
+                if base is None or isinstance(base, _AdmitWillReject):
+                    return None  # let admit() raise the typed budget error
+            else:
+                base = config
+            return AlignConfig(
+                base.k,
+                base.base_cells,
+                max_workers=getattr(base, "max_workers", None) or self.backend_workers,
+                backend=self.default_backend,
+                band=getattr(base, "band", None),
+                kernel=getattr(base, "kernel", None),
+                tune=getattr(base, "tune", None),
+            )
+        profile = self._job_profile(config)
+        if profile is None:
+            return config
         if config is None:
-            try:
-                base = plan_alignment(
-                    m, n, self.governor.per_job_cells, affine=affine
-                ).config
-            except ConfigError:
+            base = self._pinnable_base(m, n, affine, profile=profile)
+            if isinstance(base, _AdmitWillReject):
                 return None  # let admit() raise the typed budget error
+            if base is None:
+                return config  # micro-job: dense is strictly best, skip
+            base_cfg = AlignConfig(base.k, base.base_cells)
+        elif isinstance(config, AlignConfig):
+            base_cfg = config
         else:
-            base = config
-        return AlignConfig(
-            base.k,
-            base.base_cells,
-            max_workers=getattr(base, "max_workers", None) or self.backend_workers,
-            backend=self.default_backend,
-            band=getattr(base, "band", None),
-            kernel=getattr(base, "kernel", None),
+            base_cfg = AlignConfig(config.k, config.base_cells)
+        tuned, _notes = autotune_config(
+            base_cfg, m, n, affine=affine, profile=profile
         )
+        return tuned
+
+    def _pinnable_base(self, m, n, affine, profile):
+        """A FastLSA ``(k, base_cells)`` safe to *pin* for this job.
+
+        A dense plan's config (base = whole budget) cannot be pinned —
+        admission bills grid lines on top of the base buffer and would
+        reject it — so dense-planable jobs pin the linear-space
+        configuration under the same budget instead.  Returns ``None``
+        for micro-jobs where no linear-space rung beats dense, and
+        :class:`_AdmitWillReject` when the job cannot be planned at all.
+        """
+        try:
+            planned = plan_alignment(
+                m, n, self.governor.per_job_cells, affine=affine,
+                profile=profile,
+            )
+        except ConfigError:
+            return _AdmitWillReject()
+        if planned.method == "full-matrix":
+            planned = degrade_plan(planned, m, n, affine=affine)
+            if planned is None:
+                return None
+        return planned.config
+
+    def _job_profile(self, config) -> Optional[CalibrationProfile]:
+        """The calibration profile governing one job's tuning decisions.
+
+        A per-job ``config.tune`` overrides the service's: ``"off"``
+        disables tuning for that job, a path loads an explicit profile;
+        unset / ``"auto"`` uses the service profile.
+        """
+        job_tune = getattr(config, "tune", None) if config is not None else None
+        if job_tune is None or job_tune == "auto":
+            return self.tune_profile
+        if job_tune == "off":
+            return None
+        return load_profile(job_tune)
 
     def _end_job_span(self, job: Job, **attrs) -> None:
         """Close a job's detached trace spans, if instrumentation is on."""
@@ -526,6 +615,21 @@ class AlignmentService:
                 max_workers=getattr(base, "max_workers", None) or self.backend_workers,
                 backend=self.default_backend,
             )
+        elif (
+            self.default_backend is None
+            and getattr(cfg, "backend", None) is None
+        ):
+            profile = self._job_profile(cfg)
+            if profile is not None:
+                # No operator pin: consult the calibration curves, sizing
+                # the decision by the query (candidate lengths vary).
+                base = cfg if cfg is not None else AlignConfig()
+                qn = max(1, len(query))
+                cfg, _ = autotune_config(
+                    base if isinstance(base, AlignConfig)
+                    else AlignConfig(base.k, base.base_cells),
+                    qn, qn, affine=not scheme.is_linear, profile=profile,
+                )
 
         def run():
             return engine_search(
@@ -816,12 +920,81 @@ class AlignmentService:
             f"base={lead.config.base_cells}]->{next_plan.method}"
             f"[k={next_plan.config.k},base={next_plan.config.base_cells}]"
         )
+        next_plan, dropped = self._carry_config(lead, next_plan)
+        if dropped:
+            label += f";backend:{dropped}->serial"
         for j in group:
             j.downgrades.append(label)
             j.plan = next_plan
         self.stats_.downgrades += 1
         obs.counter_add("service.downgrades")
         return True
+
+    def _carry_config(self, lead: Job, next_plan) -> "Tuple[object, Optional[str]]":
+        """Carry the lead job's AlignConfig knobs onto a degraded plan.
+
+        :func:`degrade_plan` re-plans only ``k`` / ``base_cells``; the
+        job's band / kernel / tune knobs survive the downgrade.  A
+        parallel backend is kept only when (a) the calibration curves
+        still predict it beats serial at the degraded geometry and
+        (b) its peak — including the processes arena — stays within the
+        cells already reserved for the job, so a downgrade never *grows*
+        residency past its reservation.  Returns the (possibly rebuilt)
+        plan and the name of a dropped backend, or ``None``.
+        """
+        cfg0 = lead.config
+        backend0 = getattr(cfg0, "backend", None)
+        knobs = {
+            "max_workers": getattr(cfg0, "max_workers", None),
+            "band": getattr(cfg0, "band", None),
+            "kernel": getattr(cfg0, "kernel", None),
+            "tune": getattr(cfg0, "tune", None),
+        }
+        if backend0 is None and not any(v is not None for v in knobs.values()):
+            return next_plan, None
+        m, n = len(lead.request.a), len(lead.request.b)
+        affine = not lead.request.scheme.is_linear
+        dropped: Optional[str] = None
+        backend = backend0
+        peak = next_plan.predicted_peak_cells
+        if backend0 not in (None, "serial"):
+            resolved, workers = resolve_backend(cfg0)
+            par_peak = peak
+            if resolved == "processes":
+                par_peak += arena_cells(
+                    m, n, next_plan.config.k, workers, affine=affine
+                )
+            cap = lead.reserved_cells or lead.plan.predicted_peak_cells
+            profile = self._job_profile(cfg0)
+            keep = par_peak <= cap and (
+                profile is not None
+                and beats_serial(
+                    profile, resolved, workers, m, n,
+                    next_plan.config.k, affine=affine,
+                )
+            )
+            if keep:
+                peak = par_peak
+            else:
+                dropped, backend = resolved, None
+        new_cfg = AlignConfig(
+            next_plan.config.k,
+            next_plan.config.base_cells,
+            max_workers=knobs["max_workers"] if backend is not None else None,
+            backend=backend,
+            band=knobs["band"],
+            kernel=knobs["kernel"],
+            tune=knobs["tune"],
+        )
+        rebuilt = Plan(
+            method=next_plan.method,
+            config=new_cfg,
+            memory_cells=next_plan.memory_cells,
+            predicted_peak_cells=peak,
+            predicted_ops_ratio=next_plan.predicted_ops_ratio,
+            downgrades=next_plan.downgrades,
+        )
+        return rebuilt, dropped
 
     def _group_token(
         self, group: List[Job], loop: asyncio.AbstractEventLoop
@@ -982,6 +1155,8 @@ class AlignmentService:
             "max_queue_depth": self.max_queue_depth,
             "max_batch": self.max_batch,
             "default_backend": self.default_backend or "serial",
+            "tune": self.tune or "off",
+            "tune_profile_loaded": self.tune_profile is not None,
         }
         snap.update(self.stats_.counters())
         snap.update(self.cache.stats())

@@ -16,6 +16,23 @@ from repro.scoring import (
 
 
 @pytest.fixture(autouse=True)
+def _isolated_calibration_cache(tmp_path, monkeypatch):
+    """Point the tune cache at an empty per-test directory.
+
+    The developer's real ``~/.cache/fastlsa/calibration.json`` (if they
+    ever ran ``fastlsa calibrate``) must not leak into tests: the service
+    defaults to ``tune="auto"``, so a cached profile would silently
+    change backend decisions suite-wide.  The load memo is keyed by
+    path, so no explicit reset is needed.
+    """
+    from repro.tune import profile as tune_profile
+
+    monkeypatch.setenv(tune_profile.CACHE_DIR_ENV, str(tmp_path / "tune-cache"))
+    # Each test gets a fresh shot at the warn-once "no profile" notice.
+    monkeypatch.setattr(tune_profile, "_WARNED_NO_PROFILE", False)
+
+
+@pytest.fixture(autouse=True)
 def _no_shm_leaks():
     """Every test must drain its shared-memory arenas.
 

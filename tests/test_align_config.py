@@ -208,3 +208,19 @@ class TestTopLevelAlign:
         assert result.score == fastlsa(
             a, b, dna_scheme, config=AlignConfig(k=3, base_cells=512)
         ).score
+
+
+class TestTuneField:
+    """PR 9: the ``tune`` knob rides the NDJSON wire schema."""
+
+    def test_tune_roundtrip(self):
+        cfg = AlignConfig.from_dict({"tune": "auto"})
+        assert cfg.tune == "auto"
+        assert AlignConfig.from_dict(cfg.to_dict()) == cfg
+        assert AlignConfig.from_dict({"tune": None}).tune is None
+
+    def test_tune_validation(self):
+        with pytest.raises(ConfigError):
+            AlignConfig(tune="")
+        with pytest.raises(ConfigError):
+            AlignConfig.from_dict({"tune": 7})

@@ -225,3 +225,39 @@ class TestEndToEndTierSelection:
 
         with pytest.raises(ConfigError):
             AlignConfig(kernel="cuda")
+
+
+class TestPreferredTier:
+    """PR 9: the calibration-installed process-wide tier override."""
+
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        yield
+        registry.set_preferred_tier(None)
+
+    def test_auto_resolves_to_preference(self):
+        registry.set_preferred_tier("numpy")
+        assert registry.preferred_tier() == "numpy"
+        assert registry.resolve_tier(None) == "numpy"
+        assert registry.resolve_tier("auto") == "numpy"
+
+    def test_explicit_tier_beats_preference(self):
+        if not HAS_COMPILED:
+            pytest.skip("compiled kernel extension not built")
+        registry.set_preferred_tier("numpy")
+        assert registry.resolve_tier("compiled") == "compiled"
+
+    def test_none_restores_static_default(self):
+        registry.set_preferred_tier("numpy")
+        registry.set_preferred_tier(None)
+        assert registry.preferred_tier() is None
+        expected = "compiled" if HAS_COMPILED else "numpy"
+        assert registry.resolve_tier("auto") == expected
+
+    def test_rejects_bogus_and_unavailable_tiers(self, monkeypatch):
+        with pytest.raises(ConfigError):
+            registry.set_preferred_tier("cuda")
+        monkeypatch.setattr(registry, "compiled_available", lambda: False)
+        with pytest.raises(ConfigError):
+            registry.set_preferred_tier("compiled")
+        assert registry.preferred_tier() is None
