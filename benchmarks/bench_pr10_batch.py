@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""PR10 batch-kernel benchmark: lane-packed many-pair DP vs per-pair.
+
+The lane-packed batch kernels (:mod:`repro.kernels.batchdp`) amortise
+per-pair dispatch overhead by advancing ``B`` alignments per DP step.
+This benchmark measures, with per-lane parity asserted on every timed
+point:
+
+* **Kernel level** — per-pair ``local_best_cell`` loops vs the batch
+  provider at ``B ∈ {8, 16, 32, 64}``, numpy tier always and compiled
+  tier when built, linear and affine.  Bars (enforced in full mode):
+  numpy batch ≥3× numpy per-pair at ``B ≥ 32`` on ≤600 bp pairs, and
+  compiled batch ≥2× numpy batch at the same point.
+* **End to end** — ``search(lanes=0)`` (per-pair tier 2) vs
+  ``search(lanes=32)`` (bucketed lane sweeps) over a mixed corpus; the
+  top-K must be bit-identical and the speedup is reported.
+
+Any parity mismatch exits non-zero; ``--smoke`` additionally fails when
+batch at ``B ≥ 16`` is slower than per-pair (the regression the CI
+``kernels-compiled`` job guards).  Results land in
+``BENCH_pr10_batch.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_pr10_batch.py            # default sweep + JSON
+    python benchmarks/bench_pr10_batch.py --smoke    # CI-sized, gate only
+    python benchmarks/bench_pr10_batch.py --full     # larger sizes + the bars
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import AlignConfig  # noqa: E402
+from repro.core.local import local_best_cell  # noqa: E402
+from repro.kernels import batchdp, registry  # noqa: E402
+from repro.scoring import ScoringScheme, affine_gap, dna_simple, linear_gap  # noqa: E402
+from repro.search.engine import search  # noqa: E402
+from repro.search.index import CorpusIndex  # noqa: E402
+from repro.workloads import dna_pair  # noqa: E402
+
+SEED = 42
+NUMPY_BATCH_BAR = 3.0     # numpy batch vs numpy per-pair at B >= 32
+COMPILED_BATCH_BAR = 2.0  # compiled batch vs numpy batch at B >= 32
+LANE_POINTS = (8, 16, 32, 64)
+
+
+def _median_time(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def _targets(n, length, seed):
+    out = []
+    for i in range(n):
+        a, _ = dna_pair(length, divergence=0.25, seed=seed + i)
+        out.append(a)
+    return out
+
+
+def bench_kernel_level(length, repeats, say):
+    """Per-pair vs batch best-cell sweeps; parity asserted per lane."""
+    lin = ScoringScheme(dna_simple(), linear_gap(-6))
+    aff = ScoringScheme(dna_simple(), affine_gap(-10, -1))
+    query, _ = dna_pair(length, divergence=0.2, seed=SEED)
+    texts = _targets(max(LANE_POINTS), length, SEED + 1)
+    tiers = registry.available_tiers()
+    rows = []
+    for kind, scheme in (("linear", lin), ("affine", aff)):
+        q = scheme.encode(query)
+        codes = [scheme.encode(t) for t in texts]
+        table = scheme.matrix.table
+        expect = [local_best_cell(query, t, scheme) for t in texts]
+
+        for B in LANE_POINTS:
+            pack, lens = batchdp.pack_lanes(codes[:B])
+            cells = float(len(q)) * float(sum(len(c) for c in codes[:B]))
+            row = {"kind": kind, "lanes": B, "length": length, "tiers": {}}
+            for tier in tiers:
+                # per-pair baseline on the SAME tier (the comparison is
+                # dispatch style, not kernel implementation)
+                def per_pair():
+                    with registry.use(tier):
+                        for t in texts[:B]:
+                            local_best_cell(query, t, scheme)
+
+                t_pp = _median_time(per_pair, repeats)
+                provider = registry.get_batch_kernel(tier)
+                if kind == "linear":
+                    run = lambda: provider.best_cell_local(  # noqa: E731
+                        q, pack, lens, table, scheme.gap_open
+                    )
+                else:
+                    run = lambda: provider.best_cell_local_affine(  # noqa: E731
+                        q, pack, lens, table,
+                        scheme.gap_open, scheme.gap_extend,
+                    )
+                s, bi, bj, pruned = run()
+                for lane in range(B):
+                    got = (int(s[lane]), int(bi[lane]), int(bj[lane]))
+                    if pruned[lane] or got != expect[lane]:
+                        print(
+                            f"PARITY MISMATCH: {tier}/{kind} B={B} lane={lane}"
+                            f" got {got} want {expect[lane]}",
+                            file=sys.stderr,
+                        )
+                        raise SystemExit(1)
+                t_b = _median_time(run, repeats)
+                row["tiers"][tier] = {
+                    "per_pair_s": t_pp,
+                    "per_pair_cells_per_s": cells / max(t_pp, 1e-9),
+                    "batch_s": t_b,
+                    "batch_cells_per_s": cells / max(t_b, 1e-9),
+                    "speedup_vs_per_pair": t_pp / max(t_b, 1e-9),
+                }
+            parts = ", ".join(
+                f"{tier} batch {row['tiers'][tier]['speedup_vs_per_pair']:5.2f}x"
+                f" per-pair"
+                for tier in tiers
+            )
+            say(f"#   {kind:6s} B={B:3d}: {parts}")
+            rows.append(row)
+    return rows
+
+
+def bench_search(length, n_decoys, repeats, say):
+    """End-to-end tier-2 sweep: lanes=0 vs lanes=32, identical top-K."""
+    scheme = ScoringScheme(dna_simple(), linear_gap(-6))
+    rng = np.random.default_rng(SEED)
+    texts = []
+    for i in range(n_decoys):
+        n = int(rng.integers(length // 3, length))
+        a, _ = dna_pair(n, divergence=0.3, seed=SEED + 100 + i)
+        texts.append(a)
+    query, hit = dna_pair(length // 2, divergence=0.05, seed=SEED + 7)
+    texts.extend(
+        dna_pair(length // 2, divergence=0.08, seed=SEED + 200 + i)[0]
+        for i in range(4)
+    )
+    texts.append(hit)
+    idx = CorpusIndex.build(texts, "ACGT")
+    out = {}
+    for tier in registry.available_tiers():
+        cfg = AlignConfig(kernel=tier)
+
+        def run(lanes):
+            return search(query, idx, scheme, top_k=8, config=cfg, lanes=lanes)
+
+        r0, r1 = run(0), run(32)
+        k0 = [(h.name, h.corpus_index, h.score) for h in r0.hits]
+        k1 = [(h.name, h.corpus_index, h.score) for h in r1.hits]
+        if k0 != k1:
+            print(f"SEARCH PARITY MISMATCH ({tier}): {k0} != {k1}",
+                  file=sys.stderr)
+            raise SystemExit(1)
+        t0 = _median_time(lambda: run(0), repeats)
+        t1 = _median_time(lambda: run(32), repeats)
+        say(
+            f"#   search/{tier} ({len(texts)} candidates): per-pair "
+            f"{t0 * 1e3:.1f} ms, batched {t1 * 1e3:.1f} ms "
+            f"({t0 / max(t1, 1e-9):.2f}x), top-K bit-identical"
+        )
+        out[tier] = {
+            "candidates": len(texts),
+            "scored": r1.stats.scored,
+            "pruned": r1.stats.pruned,
+            "per_pair_s": t0,
+            "batched_s": t1,
+            "speedup": t0 / max(t1, 1e-9),
+            "topk_identical": True,
+        }
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI gate: small sizes, parity + no-slower check")
+    ap.add_argument("--full", action="store_true",
+                    help="larger sizes and enforce the speedup bars")
+    ap.add_argument("--out", default=os.path.join(_REPO_ROOT, "BENCH_pr10_batch.json"))
+    args = ap.parse_args(argv)
+    say = print
+
+    length = 150 if args.smoke else (240 if args.full else 200)
+    repeats = 3 if args.smoke else 5
+    say(f"# lane-packed batch kernels vs per-pair (length={length}, "
+        f"tiers={', '.join(registry.available_tiers())})")
+    kernel_rows = bench_kernel_level(length, repeats, say)
+    search_row = bench_search(length * 2, 120 if args.smoke else 200,
+                              2 if args.smoke else 3, say)
+
+    failures = []
+    for row in kernel_rows:
+        if args.smoke and row["lanes"] >= 16:
+            for tier, t in row["tiers"].items():
+                if t["speedup_vs_per_pair"] < 1.0:
+                    failures.append(
+                        f"{tier}/{row['kind']} batch at B={row['lanes']} is "
+                        f"slower than per-pair "
+                        f"({t['speedup_vs_per_pair']:.2f}x)"
+                    )
+        if args.full and row["lanes"] >= 32 and row["kind"] == "linear":
+            nb = row["tiers"]["numpy"]["speedup_vs_per_pair"]
+            if nb < NUMPY_BATCH_BAR:
+                failures.append(
+                    f"numpy batch at B={row['lanes']} is {nb:.2f}x per-pair "
+                    f"(bar: {NUMPY_BATCH_BAR}x)"
+                )
+            if "compiled" in row["tiers"]:
+                rel = (
+                    row["tiers"]["compiled"]["batch_cells_per_s"]
+                    / max(row["tiers"]["numpy"]["batch_cells_per_s"], 1e-9)
+                )
+                if rel < COMPILED_BATCH_BAR:
+                    failures.append(
+                        f"compiled batch at B={row['lanes']} is {rel:.2f}x "
+                        f"numpy batch (bar: {COMPILED_BATCH_BAR}x)"
+                    )
+
+    payload = {
+        "bench": "pr10_batch",
+        "seed": SEED,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.system(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "compiled_tier": "compiled" in registry.available_tiers(),
+        },
+        "mode": "smoke" if args.smoke else ("full" if args.full else "default"),
+        "length": length,
+        "kernel_level": kernel_rows,
+        "search_tier2": search_row,
+        "bars": {
+            "numpy_batch_vs_per_pair_at_32": NUMPY_BATCH_BAR,
+            "compiled_batch_vs_numpy_batch_at_32": COMPILED_BATCH_BAR,
+            "enforced": bool(args.full),
+        },
+        "failures": failures,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    say(f"# wrote {args.out}")
+
+    if failures:
+        for f in failures:
+            print(f"BAR FAILED: {f}", file=sys.stderr)
+        return 1
+    say("# parity: every timed batch point matched per-pair lane-for-lane")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -992,14 +992,49 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _batch_kernel_report() -> dict:
+    """Per-tier batch kernel status for ``fastlsa kernels``: availability,
+    plus — when a calibration is cached — the measured lanes→cells/s
+    curve and the lane count the decision layer would auto-select."""
+    from .kernels import registry
+    from .tune import decision
+    from .tune.profile import load_cached
+
+    profile = load_cached()
+    report: dict = {"calibrated": profile is not None}
+    tiers = {}
+    for tier in registry.available_tiers():
+        try:
+            provider = registry.get_batch_kernel(tier)
+        except Exception:  # pragma: no cover - defensive
+            continue
+        entry: dict = {"available": True, "compiled": provider.compiled}
+        for kind in ("linear", "affine"):
+            curve = profile.batch_curve(tier, kind) if profile else {}
+            entry[kind] = {
+                "calibrated_cells_per_s": {
+                    str(b): v for b, v in sorted(curve.items())
+                },
+                "auto_lanes": decision.batch_lanes(profile, tier, kind),
+            }
+        tiers[tier] = entry
+    report["tiers"] = tiers
+    return report
+
+
 def _cmd_kernels(args) -> int:
     import json as _json
 
     from .kernels import registry
 
     info = registry.describe()
+    batch = _batch_kernel_report()
     if args.json:
-        print(_json.dumps(info, indent=2, sort_keys=True))
+        # Augment a *copy* for CLI output; registry.describe()'s own
+        # shape is part of the library API and stays untouched.
+        payload = dict(info)
+        payload["batch"] = batch
+        print(_json.dumps(payload, indent=2, sort_keys=True))
         return 0
     say = print
     say(f"tiers available: {', '.join(info['available'])} "
@@ -1011,6 +1046,21 @@ def _cmd_kernels(args) -> int:
     for prov in info["providers"]:
         say(f"  {prov['name']:18s} scheme={prov['scheme_kind']:6s} "
             f"compiled={'yes' if prov['compiled'] else 'no'}")
+    say("")
+    say("batch kernels (lane-packed many-pair DP):")
+    for tier, entry in batch["tiers"].items():
+        for kind in ("linear", "affine"):
+            curve = entry[kind]["calibrated_cells_per_s"]
+            lanes = entry[kind]["auto_lanes"]
+            if curve:
+                pts = ", ".join(
+                    f"B={b}: {v / 1e6:.0f}M" for b, v in curve.items()
+                )
+                detail = f"measured [{pts}] cells/s"
+            else:
+                detail = "not calibrated (run `fastlsa calibrate`)"
+            pick = f"auto_lanes={lanes}" + ("" if lanes else " (per-pair wins)")
+            say(f"  {tier:9s} {kind:6s} {pick:18s} {detail}")
     say("")
     parity = info["parity"]
     if parity["checks"]:

@@ -17,7 +17,8 @@ from ..align.alignment import Alignment
 from ..align.sequence import Sequence, as_sequence
 from ..core.config import AlignConfig, resolve_config
 from ..errors import ConfigError
-from ..kernels import registry
+from ..kernels import batchdp, registry
+from ..obs import runtime as obs
 from ..scoring.scheme import ScoringScheme
 from .fastlsa import fastlsa
 from .local import fastlsa_local, local_best_cell
@@ -27,6 +28,10 @@ from .score_only import align_score
 __all__ = ["BatchHit", "batch_align"]
 
 _MODES = ("global", "local", "semiglobal", "overlap")
+
+#: A lane group never mixes targets shorter than this fraction of its
+#: longest member (padding waste would exceed the dispatch savings).
+_LANE_LENGTH_RATIO = 0.5
 
 
 @dataclass
@@ -100,15 +105,114 @@ def _quick_score(query, target, scheme, mode, cfg) -> int:
     return int(best)
 
 
-def _score_all(q, seqs, scheme, mode, cfg, executor, max_workers):
+def _resolve_lanes(lanes, cfg, scheme, tier) -> int:
+    """Lane count for the batch route: explicit ``lanes`` wins; ``None``
+    consults the calibration curves (default 32 when never calibrated,
+    0 — per-pair — where the measured curve shows batch losing)."""
+    if lanes is not None:
+        if lanes < 0:
+            raise ConfigError(f"lanes must be >= 0, got {lanes}")
+        return 0 if lanes == 1 else lanes
+    from ..tune import decision
+    from ..tune.profile import load_profile
+
+    profile = load_profile(getattr(cfg, "tune", None))
+    kind = "linear" if scheme.is_linear else "affine"
+    return decision.batch_lanes(profile, tier, kind)
+
+
+def _lane_groups(lengths, lanes):
+    """Length-compatible lane groups (indices), longest first.
+
+    A new group starts when the next (shorter) target drops below
+    :data:`_LANE_LENGTH_RATIO` of the group's longest member, or the
+    group reaches ``lanes`` members.
+    """
+    order = sorted(range(len(lengths)), key=lambda i: (-lengths[i], i))
+    groups: List[List[int]] = []
+    for idx in order:
+        if (
+            groups
+            and len(groups[-1]) < lanes
+            and lengths[idx] >= _LANE_LENGTH_RATIO * lengths[groups[-1][0]]
+        ):
+            groups[-1].append(idx)
+        else:
+            groups.append([idx])
+    return groups
+
+
+def _score_lanes(q, seqs, scheme, mode, cfg, tier, lanes):
+    """Lane-packed scoring sweep: all targets, ``lanes`` at a time.
+
+    Bit-identical to the per-pair loop in :func:`_score_all` — the batch
+    kernels are parity-gated against the per-pair providers, and the
+    local-mode best-cell triple (fed to :func:`fastlsa_local` as a hint)
+    carries the same tie-breaking.
+    """
+    q_codes = scheme.encode(q.text)
+    t_codes = [scheme.encode(s.text) for s in seqs]
+    table = scheme.matrix.table
+    provider = registry.get_batch_kernel(tier)
+    scores: List[int] = [0] * len(seqs)
+    cells: List[Optional[tuple]] = [None] * len(seqs)
+    for group in _lane_groups([len(t) for t in t_codes], lanes):
+        pack, lens = batchdp.pack_lanes([t_codes[i] for i in group])
+        B, Np = pack.shape
+        obs.counter_add("batch.sweeps")
+        obs.observe("batch.lane_occupancy", B / max(lanes, 1))
+        obs.observe(
+            "batch.pad_waste", 1.0 - float(lens.sum()) / max(B * Np, 1)
+        )
+        if mode == "local":
+            if scheme.is_linear:
+                s, bi, bj, _ = provider.best_cell_local(
+                    q_codes, pack, lens, table, scheme.gap_open
+                )
+            else:
+                s, bi, bj, _ = provider.best_cell_local_affine(
+                    q_codes, pack, lens, table,
+                    scheme.gap_open, scheme.gap_extend,
+                )
+            for lane, idx in enumerate(group):
+                cell = (int(s[lane]), int(bi[lane]), int(bj[lane]))
+                scores[idx], cells[idx] = cell[0], cell
+        else:
+            if scheme.is_linear:
+                s = provider.score_global(q_codes, pack, lens, table, scheme.gap_open)
+            else:
+                s = provider.score_global_affine(
+                    q_codes, pack, lens, table,
+                    scheme.gap_open, scheme.gap_extend,
+                )
+            for lane, idx in enumerate(group):
+                scores[idx] = int(s[lane])
+    return scores, cells
+
+
+def _score_all(q, seqs, scheme, mode, cfg, executor, max_workers, lanes=None):
     """Score every target, optionally fanning out on a thread pool.
 
     Returns ``(scores, cells)``; ``cells[i]`` is the local-mode best-cell
     hint for target ``i`` (``None`` outside local mode).  The kernel tier
     is resolved here and re-installed inside pool workers, which do not
     inherit the caller's registry context.
+
+    Sequential homogeneous workloads — ``local`` mode, or ``global`` with
+    no band — route through the lane-packed batch kernels when the
+    decision layer (or an explicit ``lanes=``) says batching pays; the
+    other modes and all pool paths keep the per-pair loop.
     """
     tier = registry.resolve_tier(getattr(cfg, "kernel", None))
+
+    if executor is None and max_workers is None and len(seqs) > 1:
+        batchable = mode == "local" or (
+            mode == "global" and getattr(cfg, "band", None) is None
+        )
+        if batchable:
+            n_lanes = _resolve_lanes(lanes, cfg, scheme, tier)
+            if n_lanes > 1:
+                return _score_lanes(q, seqs, scheme, mode, cfg, tier, n_lanes)
 
     def one(t):
         with registry.use(tier):
@@ -139,6 +243,7 @@ def batch_align(
     config: Optional[AlignConfig] = None,
     executor: Optional[ThreadPoolExecutor] = None,
     max_workers: Optional[int] = None,
+    lanes: Optional[int] = None,
 ) -> List[BatchHit]:
     """Rank ``targets`` by alignment score against ``query``.
 
@@ -159,6 +264,12 @@ def batch_align(
     executor:
         Score targets concurrently on this shared pool (it is not shut
         down); the service layer passes its worker pool here.
+    lanes:
+        Lane width for the vectorised batch scoring kernels on the
+        sequential path (``local`` mode, or ``global`` without a band).
+        ``None`` (default) consults the calibration profile; ``0`` or
+        ``1`` forces the per-pair loop; ``N >= 2`` forces ``N``-lane
+        packing.  Scores and hits are bit-identical either way.
 
     Without ``executor``, ``config.max_workers`` sizes a private pool for
     the scoring sweep; ``None`` stays sequential.
@@ -174,7 +285,9 @@ def batch_align(
     q = as_sequence(query, "query")
     seqs = [as_sequence(t, f"target{i}") for i, t in enumerate(targets)]
 
-    scores, cells = _score_all(q, seqs, scheme, mode, cfg, executor, cfg.max_workers)
+    scores, cells = _score_all(
+        q, seqs, scheme, mode, cfg, executor, cfg.max_workers, lanes=lanes
+    )
     scored = sorted(
         ((s, idx) for idx, s in enumerate(scores)), key=lambda t: (-t[0], t[1])
     )

@@ -53,6 +53,32 @@ void flsa_aff_band_fill(const int16_t *a, long M, const int16_t *b, long N,
                         const int64_t *table, long A,
                         int64_t open_, int64_t extend, long dmin, long W,
                         int64_t *BH, int64_t *BE, int64_t *BF);
+int flsa_lin_batch_best_local(const int16_t *a, long M,
+                              const int16_t *bp, long B, long Np,
+                              const int64_t *lens,
+                              const int64_t *table, long A, int64_t gap,
+                              int has_floor, int64_t floor_, int64_t maxs,
+                              int64_t *out_score, int64_t *out_bi,
+                              int64_t *out_bj, int64_t *out_pruned);
+int flsa_aff_batch_best_local(const int16_t *a, long M,
+                              const int16_t *bp, long B, long Np,
+                              const int64_t *lens,
+                              const int64_t *table, long A,
+                              int64_t open_, int64_t extend,
+                              int has_floor, int64_t floor_, int64_t maxs,
+                              int64_t *out_score, int64_t *out_bi,
+                              int64_t *out_bj, int64_t *out_pruned);
+int flsa_lin_batch_score_global(const int16_t *a, long M,
+                                const int16_t *bp, long B, long Np,
+                                const int64_t *lens,
+                                const int64_t *table, long A, int64_t gap,
+                                int64_t *out_score);
+int flsa_aff_batch_score_global(const int16_t *a, long M,
+                                const int16_t *bp, long B, long Np,
+                                const int64_t *lens,
+                                const int64_t *table, long A,
+                                int64_t open_, int64_t extend,
+                                int64_t *out_score);
 """
 
 SOURCE = r"""
@@ -395,6 +421,222 @@ void flsa_aff_band_fill(const int16_t *a, long M, const int16_t *b, long N,
             v_prev = v;
         }
     }
+}
+
+/* ---- lane-packed batch kernels -----------------------------------------
+ * One query against B targets packed as bp (B rows of Np int16 codes,
+ * right-padded; lens[lane] gives the valid prefix).  Each lane runs the
+ * existing per-pair loop serially — the win over the per-pair entry
+ * points is amortising the Python/cffi call and buffer setup across the
+ * whole pack.  Bit-identity with repro.kernels.batchdp's numpy lanes:
+ *
+ * - pads are simply never visited (the inner loop stops at lens[lane]),
+ *   mirroring the numpy tier's pad-masked argmax / per-lane score gather;
+ * - the best-local floor check is evaluated after every row i < M for
+ *   every lane — including lens == 0 lanes, whose empty rows still leave
+ *   rowmax at the clamped-boundary value 0 — with the same admissible cap
+ *   max(best, rowmax + (M-i)*maxs) and the same *strict* cap < floor
+ *   retirement, so the per-lane (score, bi, bj, pruned) quadruple matches
+ *   the numpy batch kernel word for word regardless of its lane
+ *   compaction schedule (the floor is fixed per call).
+ */
+
+int flsa_lin_batch_best_local(const int16_t *a, long M,
+                              const int16_t *bp, long B, long Np,
+                              const int64_t *lens,
+                              const int64_t *table, long A, int64_t gap,
+                              int has_floor, int64_t floor_, int64_t maxs,
+                              int64_t *out_score, int64_t *out_bi,
+                              int64_t *out_bj, int64_t *out_pruned)
+{
+    int64_t *buf;
+    long lane, i, j;
+    buf = (int64_t *)malloc((size_t)(2 * (Np + 1)) * sizeof(int64_t));
+    if (buf == NULL)
+        return 1;
+    for (lane = 0; lane < B; lane++) {
+        const int16_t *b = bp + lane * Np;
+        long N = (long)lens[lane];
+        int64_t *prev = buf, *cur = buf + (Np + 1), *tmp;
+        int64_t best = 0;
+        long bi = 0, bj = 0;
+        int pruned = 0;
+        for (j = 0; j <= N; j++) prev[j] = 0;
+        for (i = 1; i <= M; i++) {
+            const int64_t *trow = table + (long)a[i - 1] * A;
+            int64_t rowmax = 0; /* column 0 of a clamped row is always 0 */
+            cur[0] = 0;
+            for (j = 1; j <= N; j++) {
+                int64_t v = prev[j - 1] + trow[b[j - 1]];
+                int64_t u = prev[j] + gap;
+                int64_t c = cur[j - 1] + gap;
+                int64_t h;
+                if (u > v) v = u;
+                if (v < 0) v = 0;
+                h = v > c ? v : c;
+                cur[j] = h;
+                if (h > best) { best = h; bi = i; bj = j; }
+                if (h > rowmax) rowmax = h;
+            }
+            tmp = prev; prev = cur; cur = tmp;
+            if (has_floor && i < M) {
+                int64_t cap = rowmax + (int64_t)(M - i) * maxs;
+                if (best > cap) cap = best;
+                if (cap < floor_) { pruned = 1; break; }
+            }
+        }
+        out_score[lane] = best;
+        out_bi[lane] = bi;
+        out_bj[lane] = bj;
+        out_pruned[lane] = pruned;
+    }
+    free(buf);
+    return 0;
+}
+
+int flsa_aff_batch_best_local(const int16_t *a, long M,
+                              const int16_t *bp, long B, long Np,
+                              const int64_t *lens,
+                              const int64_t *table, long A,
+                              int64_t open_, int64_t extend,
+                              int has_floor, int64_t floor_, int64_t maxs,
+                              int64_t *out_score, int64_t *out_bi,
+                              int64_t *out_bj, int64_t *out_pruned)
+{
+    int64_t *buf;
+    long lane, i, j;
+    buf = (int64_t *)malloc((size_t)(4 * (Np + 1)) * sizeof(int64_t));
+    if (buf == NULL)
+        return 1;
+    for (lane = 0; lane < B; lane++) {
+        const int16_t *b = bp + lane * Np;
+        long N = (long)lens[lane];
+        int64_t *prev_h = buf, *prev_f = buf + (Np + 1);
+        int64_t *cur_h = buf + 2 * (Np + 1), *cur_f = buf + 3 * (Np + 1);
+        int64_t best = 0;
+        long bi = 0, bj = 0;
+        int pruned = 0;
+        for (j = 0; j <= N; j++) { prev_h[j] = 0; prev_f[j] = NEG_INF; }
+        for (i = 1; i <= M; i++) {
+            const int64_t *trow = table + (long)a[i - 1] * A;
+            int64_t e_prev = NEG_INF, h_left = 0, rowmax = 0, *tmp;
+            cur_h[0] = 0;
+            cur_f[0] = NEG_INF;
+            for (j = 1; j <= N; j++) {
+                int64_t f = max2(prev_h[j] + open_, prev_f[j] + extend);
+                int64_t v = prev_h[j - 1] + trow[b[j - 1]];
+                int64_t e = max2(h_left + open_, e_prev + extend);
+                int64_t h;
+                if (f > v) v = f;
+                if (v < 0) v = 0;
+                h = v > e ? v : e;
+                cur_h[j] = h;
+                cur_f[j] = f;
+                if (h > best) { best = h; bi = i; bj = j; }
+                if (h > rowmax) rowmax = h;
+                e_prev = e;
+                h_left = h;
+            }
+            tmp = prev_h; prev_h = cur_h; cur_h = tmp;
+            tmp = prev_f; prev_f = cur_f; cur_f = tmp;
+            if (has_floor && i < M) {
+                int64_t cap = rowmax + (int64_t)(M - i) * maxs;
+                if (best > cap) cap = best;
+                if (cap < floor_) { pruned = 1; break; }
+            }
+        }
+        out_score[lane] = best;
+        out_bi[lane] = bi;
+        out_bj[lane] = bj;
+        out_pruned[lane] = pruned;
+    }
+    free(buf);
+    return 0;
+}
+
+int flsa_lin_batch_score_global(const int16_t *a, long M,
+                                const int16_t *bp, long B, long Np,
+                                const int64_t *lens,
+                                const int64_t *table, long A, int64_t gap,
+                                int64_t *out_score)
+{
+    int64_t *buf;
+    long lane, i, j;
+    buf = (int64_t *)malloc((size_t)(2 * (Np + 1)) * sizeof(int64_t));
+    if (buf == NULL)
+        return 1;
+    for (lane = 0; lane < B; lane++) {
+        const int16_t *b = bp + lane * Np;
+        long N = (long)lens[lane];
+        int64_t *prev = buf, *cur = buf + (Np + 1), *tmp;
+        for (j = 0; j <= N; j++) prev[j] = gap * j;
+        for (i = 1; i <= M; i++) {
+            const int64_t *trow = table + (long)a[i - 1] * A;
+            cur[0] = gap * i;
+            for (j = 1; j <= N; j++) {
+                int64_t v = prev[j - 1] + trow[b[j - 1]];
+                int64_t u = prev[j] + gap;
+                int64_t c = cur[j - 1] + gap;
+                if (u > v) v = u;
+                if (c > v) v = c;
+                cur[j] = v;
+            }
+            tmp = prev; prev = cur; cur = tmp;
+        }
+        out_score[lane] = prev[N];
+    }
+    free(buf);
+    return 0;
+}
+
+int flsa_aff_batch_score_global(const int16_t *a, long M,
+                                const int16_t *bp, long B, long Np,
+                                const int64_t *lens,
+                                const int64_t *table, long A,
+                                int64_t open_, int64_t extend,
+                                int64_t *out_score)
+{
+    int64_t *buf;
+    long lane, i, j;
+    buf = (int64_t *)malloc((size_t)(4 * (Np + 1)) * sizeof(int64_t));
+    if (buf == NULL)
+        return 1;
+    for (lane = 0; lane < B; lane++) {
+        const int16_t *b = bp + lane * Np;
+        long N = (long)lens[lane];
+        int64_t *prev_h = buf, *prev_f = buf + (Np + 1);
+        int64_t *cur_h = buf + 2 * (Np + 1), *cur_f = buf + 3 * (Np + 1);
+        prev_h[0] = 0;
+        for (j = 1; j <= N; j++) {
+            prev_h[j] = open_ + (j - 1) * extend;
+            prev_f[j] = NEG_INF;
+        }
+        prev_f[0] = NEG_INF;
+        for (i = 1; i <= M; i++) {
+            const int64_t *trow = table + (long)a[i - 1] * A;
+            int64_t h0 = open_ + (i - 1) * extend;
+            int64_t e_prev = NEG_INF, h_left = h0, *tmp;
+            cur_h[0] = h0;
+            cur_f[0] = NEG_INF;
+            for (j = 1; j <= N; j++) {
+                int64_t f = max2(prev_h[j] + open_, prev_f[j] + extend);
+                int64_t v = prev_h[j - 1] + trow[b[j - 1]];
+                int64_t e = max2(h_left + open_, e_prev + extend);
+                int64_t h;
+                if (f > v) v = f;
+                h = v > e ? v : e;
+                cur_h[j] = h;
+                cur_f[j] = f;
+                e_prev = e;
+                h_left = h;
+            }
+            tmp = prev_h; prev_h = cur_h; cur_h = tmp;
+            tmp = prev_f; prev_f = cur_f; cur_f = tmp;
+        }
+        out_score[lane] = prev_h[N];
+    }
+    free(buf);
+    return 0;
 }
 """
 

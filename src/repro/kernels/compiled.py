@@ -19,6 +19,7 @@ import numpy as np
 
 from . import affine as _aff
 from . import banddp as _banddp
+from . import batchdp as _batch
 from . import linear as _lin
 from ._ckernels import ffi, lib  # noqa: F401  (ImportError => tier absent)
 from .affine import NEG_INF
@@ -438,3 +439,143 @@ def band_fill_affine(
         _out64(BH), _out64(BE), _out64(BF),
     )
     return BH, BE, BF
+
+
+# ---------------------------------------------------------------------------
+# Lane-packed batch kernels (numpy twins in repro.kernels.batchdp).
+# ---------------------------------------------------------------------------
+
+def _batch_args(a_codes, b_pack, b_lens, table):
+    a = _i16(a_codes)
+    bp = _i16(b_pack)
+    lens = _i64(b_lens)
+    tbl = _i64(table)
+    B, Np = bp.shape
+    return a, bp, lens, tbl, B, Np
+
+
+def batch_best_cell_local(
+    a_codes: np.ndarray,
+    b_pack: np.ndarray,
+    b_lens: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    *,
+    floor: Optional[int] = None,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    a, bp, lens, tbl, B, Np = _batch_args(a_codes, b_pack, b_lens, table)
+    M = len(a)
+    if B == 0 or M == 0 or Np == 0:
+        return _batch.batch_best_cell_local(
+            a_codes, b_pack, b_lens, table, gap, floor=floor, counter=counter
+        )
+    if counter is not None:
+        # Ceiling: the C loop breaks out of floor-pruned lanes early, so
+        # the true cell count can be lower.  Matches the per-pair tier's
+        # "problem size" accounting rather than numpy batch's exact
+        # alive-lane sum.
+        counter.add_cells(int(M * lens.sum()))
+    maxs = max(0, int(tbl.max()))
+    score = np.empty(B, dtype=np.int64)
+    bi = np.empty(B, dtype=np.int64)
+    bj = np.empty(B, dtype=np.int64)
+    pruned = np.empty(B, dtype=np.int64)
+    rc = lib.flsa_lin_batch_best_local(
+        _ptr16(a), M, _ptr16(bp), B, Np, _ptr64(lens),
+        _ptr64(tbl), tbl.shape[1], int(gap),
+        int(floor is not None), int(floor or 0), maxs,
+        _out64(score), _out64(bi), _out64(bj), _out64(pruned),
+    )
+    if rc:
+        raise MemoryError("flsa_lin_batch_best_local: allocation failed")
+    return score, bi, bj, pruned.astype(bool)
+
+
+def batch_best_cell_local_affine(
+    a_codes: np.ndarray,
+    b_pack: np.ndarray,
+    b_lens: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    *,
+    floor: Optional[int] = None,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    a, bp, lens, tbl, B, Np = _batch_args(a_codes, b_pack, b_lens, table)
+    M = len(a)
+    if B == 0 or M == 0 or Np == 0:
+        return _batch.batch_best_cell_local_affine(
+            a_codes, b_pack, b_lens, table, open_, extend,
+            floor=floor, counter=counter,
+        )
+    if counter is not None:
+        counter.add_cells(int(M * lens.sum()))
+    maxs = max(0, int(tbl.max()))
+    score = np.empty(B, dtype=np.int64)
+    bi = np.empty(B, dtype=np.int64)
+    bj = np.empty(B, dtype=np.int64)
+    pruned = np.empty(B, dtype=np.int64)
+    rc = lib.flsa_aff_batch_best_local(
+        _ptr16(a), M, _ptr16(bp), B, Np, _ptr64(lens),
+        _ptr64(tbl), tbl.shape[1], int(open_), int(extend),
+        int(floor is not None), int(floor or 0), maxs,
+        _out64(score), _out64(bi), _out64(bj), _out64(pruned),
+    )
+    if rc:
+        raise MemoryError("flsa_aff_batch_best_local: allocation failed")
+    return score, bi, bj, pruned.astype(bool)
+
+
+def batch_score_global(
+    a_codes: np.ndarray,
+    b_pack: np.ndarray,
+    b_lens: np.ndarray,
+    table: np.ndarray,
+    gap: int,
+    counter: Optional[OpCounter] = None,
+) -> np.ndarray:
+    a, bp, lens, tbl, B, Np = _batch_args(a_codes, b_pack, b_lens, table)
+    M = len(a)
+    if B == 0 or M == 0 or Np == 0:
+        return _batch.batch_score_global(
+            a_codes, b_pack, b_lens, table, gap, counter
+        )
+    if counter is not None:
+        counter.add_cells(int(M * lens.sum()))
+    score = np.empty(B, dtype=np.int64)
+    rc = lib.flsa_lin_batch_score_global(
+        _ptr16(a), M, _ptr16(bp), B, Np, _ptr64(lens),
+        _ptr64(tbl), tbl.shape[1], int(gap), _out64(score),
+    )
+    if rc:
+        raise MemoryError("flsa_lin_batch_score_global: allocation failed")
+    return score
+
+
+def batch_score_global_affine(
+    a_codes: np.ndarray,
+    b_pack: np.ndarray,
+    b_lens: np.ndarray,
+    table: np.ndarray,
+    open_: int,
+    extend: int,
+    counter: Optional[OpCounter] = None,
+) -> np.ndarray:
+    a, bp, lens, tbl, B, Np = _batch_args(a_codes, b_pack, b_lens, table)
+    M = len(a)
+    if B == 0 or M == 0 or Np == 0:
+        return _batch.batch_score_global_affine(
+            a_codes, b_pack, b_lens, table, open_, extend, counter
+        )
+    if counter is not None:
+        counter.add_cells(int(M * lens.sum()))
+    score = np.empty(B, dtype=np.int64)
+    rc = lib.flsa_aff_batch_score_global(
+        _ptr16(a), M, _ptr16(bp), B, Np, _ptr64(lens),
+        _ptr64(tbl), tbl.shape[1], int(open_), int(extend), _out64(score),
+    )
+    if rc:
+        raise MemoryError("flsa_aff_batch_score_global: allocation failed")
+    return score

@@ -46,13 +46,17 @@ import numpy as np
 from ..errors import ConfigError
 from . import affine as _aff
 from . import banddp as _banddp
+from . import batchdp as _batch
 from . import linear as _lin
 
 __all__ = [
     "KernelProvider",
+    "BatchKernelProvider",
     "KERNEL_TIERS",
     "SCHEME_KINDS",
     "get_kernel",
+    "get_batch_kernel",
+    "active_batch",
     "available_tiers",
     "compiled_available",
     "resolve_tier",
@@ -128,6 +132,51 @@ _NUMPY_AFFINE = KernelProvider(
 _PROVIDERS: Dict[str, Dict[str, KernelProvider]] = {
     "numpy": {"linear": _NUMPY_LINEAR, "affine": _NUMPY_AFFINE},
 }
+
+
+@dataclass(frozen=True)
+class BatchKernelProvider:
+    """Lane-packed many-pair kernels (:mod:`repro.kernels.batchdp` API).
+
+    One provider spans both scheme kinds: linear methods take ``gap``,
+    affine methods ``(open_, extend)``, all over a ``pack_lanes``-packed
+    ``(b_pack, b_lens)`` target set.  Outputs are bit-identical to the
+    per-pair providers lane by lane (enforced by the same parity gate
+    that guards the per-pair compiled tier).
+    """
+
+    name: str                 # tier name: "numpy" | "compiled"
+    compiled: bool
+    best_cell_local: Callable = field(repr=False)
+    best_cell_local_affine: Callable = field(repr=False)
+    score_global: Callable = field(repr=False)
+    score_global_affine: Callable = field(repr=False)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "scheme_kind": "batch",
+            "compiled": self.compiled,
+            "methods": [
+                "best_cell_local",
+                "best_cell_local_affine",
+                "score_global",
+                "score_global_affine",
+            ],
+        }
+
+
+_NUMPY_BATCH = BatchKernelProvider(
+    name="numpy",
+    compiled=False,
+    best_cell_local=_batch.batch_best_cell_local,
+    best_cell_local_affine=_batch.batch_best_cell_local_affine,
+    score_global=_batch.batch_score_global,
+    score_global_affine=_batch.batch_score_global_affine,
+)
+
+# tier -> batch provider; "compiled" entry added by _detect().
+_BATCH_PROVIDERS: Dict[str, BatchKernelProvider] = {"numpy": _NUMPY_BATCH}
 
 #: Import-time detection/parity record, surfaced via parity_report().
 _PARITY: Dict[str, Any] = {
@@ -254,6 +303,73 @@ def _parity_cases() -> List[Tuple[str, Callable[[Any], bool]]]:
             ),
         ),
     ]
+
+    # Lane-packed batch kernels: ragged lanes (including an empty one)
+    # cut from the same fixed target, checked with and without a floor so
+    # the early-exit path is parity-gated too.
+    lanes = [rng_b, rng_b[:13], rng_b[5:17], rng_b[:0], rng_b[2:9]]
+    b_pack, b_lens = _batch.pack_lanes(lanes)
+    floor = 30
+    cases += [
+        (
+            "batch.best_cell_local",
+            lambda: eq(
+                _batch.batch_best_cell_local(rng_a, b_pack, b_lens, table, gap),
+                comp.batch_best_cell_local(rng_a, b_pack, b_lens, table, gap),
+            ),
+        ),
+        (
+            "batch.best_cell_local.floor",
+            lambda: eq(
+                _batch.batch_best_cell_local(
+                    rng_a, b_pack, b_lens, table, gap, floor=floor
+                ),
+                comp.batch_best_cell_local(
+                    rng_a, b_pack, b_lens, table, gap, floor=floor
+                ),
+            ),
+        ),
+        (
+            "batch.best_cell_local_affine",
+            lambda: eq(
+                _batch.batch_best_cell_local_affine(
+                    rng_a, b_pack, b_lens, table, open_, extend
+                ),
+                comp.batch_best_cell_local_affine(
+                    rng_a, b_pack, b_lens, table, open_, extend
+                ),
+            ),
+        ),
+        (
+            "batch.best_cell_local_affine.floor",
+            lambda: eq(
+                _batch.batch_best_cell_local_affine(
+                    rng_a, b_pack, b_lens, table, open_, extend, floor=floor
+                ),
+                comp.batch_best_cell_local_affine(
+                    rng_a, b_pack, b_lens, table, open_, extend, floor=floor
+                ),
+            ),
+        ),
+        (
+            "batch.score_global",
+            lambda: eq(
+                _batch.batch_score_global(rng_a, b_pack, b_lens, table, gap),
+                comp.batch_score_global(rng_a, b_pack, b_lens, table, gap),
+            ),
+        ),
+        (
+            "batch.score_global_affine",
+            lambda: eq(
+                _batch.batch_score_global_affine(
+                    rng_a, b_pack, b_lens, table, open_, extend
+                ),
+                comp.batch_score_global_affine(
+                    rng_a, b_pack, b_lens, table, open_, extend
+                ),
+            ),
+        ),
+    ]
     return cases
 
 
@@ -263,6 +379,17 @@ def _detect() -> None:
         from . import compiled as comp
     except Exception as exc:  # extension not built (or broken build)
         _PARITY["error"] = f"{type(exc).__name__}: {exc}"
+        return
+
+    if not hasattr(comp.lib, "flsa_lin_batch_best_local"):
+        # A .so from before the batch kernels: treat the whole tier as
+        # unavailable (same gate semantics as a parity failure) rather
+        # than exposing a half-populated registry.
+        _PARITY["parity_ok"] = False
+        _PARITY["error"] = (
+            "extension predates the batch kernels; rebuild with "
+            "`python -m repro.kernels._ckernels_build`"
+        )
         return
 
     checks: List[Dict[str, Any]] = []
@@ -306,6 +433,14 @@ def _detect() -> None:
             band_fill=comp.band_fill_affine,
         ),
     }
+    _BATCH_PROVIDERS["compiled"] = BatchKernelProvider(
+        name="compiled",
+        compiled=True,
+        best_cell_local=comp.batch_best_cell_local,
+        best_cell_local_affine=comp.batch_best_cell_local_affine,
+        score_global=comp.batch_score_global,
+        score_global_affine=comp.batch_score_global_affine,
+    )
 
 
 _detect()
@@ -399,6 +534,11 @@ def get_kernel(scheme_kind: str, tier: Optional[str] = "auto") -> KernelProvider
     return _PROVIDERS[resolve_tier(tier)][scheme_kind]
 
 
+def get_batch_kernel(tier: Optional[str] = "auto") -> BatchKernelProvider:
+    """Return the lane-packed batch provider at the requested tier."""
+    return _BATCH_PROVIDERS[resolve_tier(tier)]
+
+
 # ---------------------------------------------------------------------------
 # Ambient tier selection (serial call paths).
 # ---------------------------------------------------------------------------
@@ -434,6 +574,11 @@ def active(scheme_kind: str) -> KernelProvider:
     return get_kernel(scheme_kind, _ACTIVE_TIER.get())
 
 
+def active_batch() -> BatchKernelProvider:
+    """Lane-packed batch provider at the ambient tier."""
+    return get_batch_kernel(_ACTIVE_TIER.get())
+
+
 def describe() -> Dict[str, Any]:
     """Registry inventory for ``fastlsa kernels`` (JSON-serialisable)."""
     providers: List[Dict[str, Any]] = []
@@ -443,6 +588,8 @@ def describe() -> Dict[str, Any]:
             continue
         for kind in SCHEME_KINDS:
             providers.append(kinds[kind].describe())
+        if tier in _BATCH_PROVIDERS:
+            providers.append(_BATCH_PROVIDERS[tier].describe())
     parity = parity_report()
     return {
         "available": list(available_tiers()),

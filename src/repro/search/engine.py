@@ -41,7 +41,8 @@ from ..align.sequence import Sequence, as_sequence
 from ..baselines.smith_waterman import LocalAlignment
 from ..core import cancel
 from ..core.config import AlignConfig, resolve_config
-from ..core.local import fastlsa_local, local_best_cell
+from ..core.local import _best_cell_local, fastlsa_local, local_best_cell
+from ..kernels import batchdp as _batchdp
 from ..kernels import registry
 from ..errors import CandidateFailedError, ConfigError, JobTimeoutError
 from ..faults import runtime as faults
@@ -55,6 +56,10 @@ __all__ = ["SearchHit", "SearchResult", "SearchStats", "search"]
 
 #: Candidates scored per pool round-trip when a parallel backend is on.
 _PARALLEL_CHUNK = 32
+
+#: A lane-packed sub-bucket never mixes targets shorter than this
+#: fraction of the longest lane — bounds padding waste at 50%.
+_LANE_LENGTH_RATIO = 0.5
 
 
 @dataclass
@@ -151,6 +156,20 @@ def _score_task(query_text: str, target_text: str, scheme: ScoringScheme,
         return local_best_cell(query_text, target_text, scheme)
 
 
+def _score_task_codes(q_codes, t_codes, scheme: ScoringScheme, kernel: str = "auto"):
+    """Pre-encoded tier-2 attempt for the serial path.
+
+    The query is encoded once per search (it was already needed for the
+    bounds tier) and targets come straight from the index's code arrays
+    (:meth:`CorpusIndex.codes_for`), so per-candidate attempts skip the
+    text decode + re-encode round trip ``_score_task`` pays.  Same fault
+    site, same kernel dispatch, bit-identical result.
+    """
+    faults.inject(SITE_CANDIDATE_SCORE)
+    with registry.use(kernel):
+        return _best_cell_local(q_codes, t_codes, scheme, None)
+
+
 def _make_pool(backend: str, max_workers: Optional[int]) -> Optional[Executor]:
     if backend == "threads":
         return ThreadPoolExecutor(max_workers=max_workers or min(32, os.cpu_count() or 1))
@@ -173,6 +192,7 @@ def search(
     token: Optional[cancel.CancelToken] = None,
     on_update: Optional[Callable[[List[SearchHit], SearchStats], None]] = None,
     executor: Optional[Executor] = None,
+    lanes: Optional[int] = None,
 ) -> SearchResult:
     """Exact top-``top_k`` local alignment of ``query`` against an index.
 
@@ -213,6 +233,19 @@ def search(
         Use this pool for tier 2 instead of building one from
         ``config.backend`` (it is not shut down — the service passes its
         worker pool here).
+    lanes:
+        Tier-2 lane width for the serial backend: survivors are swept
+        through the lane-packed batch kernel in bound-descending,
+        length-compatible buckets of up to this many targets, with lanes
+        whose admissible score cap drops below the running top-K floor
+        retired mid-sweep (still bit-identical results — the cap is a
+        true upper bound and retirement is strict).  ``None`` (default)
+        consults the calibration profile via
+        :func:`repro.tune.decision.batch_lanes` — batch is never chosen
+        where its measured curve loses to per-pair dispatch — falling
+        back to a fixed default width when uncalibrated; ``0`` forces
+        per-pair scoring; ``N >= 2`` forces that width.  Parallel
+        backends ignore this (the pool path stays per-pair).
     """
     if top_k < 1:
         raise ConfigError(f"top_k must be >= 1, got {top_k}")
@@ -238,7 +271,7 @@ def search(
         with obs.span("search.query", query=q.name, candidates=len(index), top_k=top_k):
             result = _run_search(
                 q, index, scheme, top_k, cfg, min_score, retries,
-                allow_partial, token, on_update, pool, stats,
+                allow_partial, token, on_update, pool, stats, lanes,
             )
     finally:
         if own_pool and pool is not None:
@@ -252,9 +285,32 @@ def search(
     return result
 
 
+def _resolve_lanes(lanes, cfg, scheme, pool) -> int:
+    """Tier-2 lane width: explicit request > measured curves > default.
+
+    Returns 0 (per-pair scoring) for parallel backends — the batch path
+    is the *serial* fast path; pools already amortise dispatch their own
+    way — and whenever the calibration profile's measured batch curve
+    never beats per-pair dispatch on this host.
+    """
+    if pool is not None:
+        return 0
+    if lanes is not None:
+        if lanes < 0:
+            raise ConfigError(f"lanes must be >= 0, got {lanes}")
+        return 0 if lanes == 1 else int(lanes)
+    from ..tune import decision as _decision
+    from ..tune.profile import load_profile
+
+    profile = load_profile(getattr(cfg, "tune", None))
+    tier = registry.resolve_tier(getattr(cfg, "kernel", None))
+    kind = "linear" if scheme.is_linear else "affine"
+    return _decision.batch_lanes(profile, tier, kind)
+
+
 def _run_search(
     q, index, scheme, top_k, cfg, min_score, retries,
-    allow_partial, token, on_update, pool, stats,
+    allow_partial, token, on_update, pool, stats, lanes=None,
 ):
     with obs.span("search.bounds", candidates=len(index)):
         q_codes = scheme.encode(q.text)
@@ -266,7 +322,8 @@ def _run_search(
     # the entry a better-ranked newcomer should displace.
     heap: List[Tuple[int, int]] = []
     scored: dict = {}  # corpus_index -> (score, best_cell)
-    chunk = 1 if pool is None else _PARALLEL_CHUNK
+    lanes = _resolve_lanes(lanes, cfg, scheme, pool)
+    chunk = (lanes if lanes > 1 else 1) if pool is None else _PARALLEL_CHUNK
     kernel = registry.resolve_tier(getattr(cfg, "kernel", None))
 
     def floor() -> int:
@@ -300,7 +357,8 @@ def _run_search(
 
             changed = False
             for idx, cell in _score_batch(q, index, scheme, batch, pool, retries,
-                                          allow_partial, token, stats, kernel):
+                                          allow_partial, token, stats, kernel,
+                                          q_codes=q_codes, lanes=lanes, cut=cut):
                 scored[idx] = (cell[0], cell)
                 score = cell[0]
                 if score < min_score:
@@ -333,18 +391,95 @@ def _run_search(
     return SearchResult(query=q, hits=hits, stats=stats, complete=not stats.failed)
 
 
+def _sweep_lanes(q_codes, index, scheme, batch, token, stats, kernel, cut):
+    """Lane-packed tier-2 sweep: one batch-kernel call per length bucket.
+
+    Returns per-pair-shaped ``(idx, cell, exc)`` triples for candidates
+    that scored (or whose fault injection failed — those flow into the
+    shared retry machinery); lanes the kernel retired against the floor
+    ``cut`` are counted straight into ``stats.pruned`` (their true score
+    is provably below the floor, so skipping them cannot change the
+    top-K, ties included).
+    """
+    results: List[Tuple[int, Optional[tuple], Optional[BaseException]]] = []
+    ok: List[int] = []
+    for idx in batch:
+        token.check()
+        try:
+            faults.inject(SITE_CANDIDATE_SCORE)
+        except JobTimeoutError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - retried/reported by caller
+            results.append((int(idx), None, exc))
+            continue
+        ok.append(int(idx))
+    if not ok:
+        return results
+
+    provider = registry.get_batch_kernel(kernel)
+    table = scheme.matrix.table
+    # Length-compatible sub-buckets: longest-first, cut when the next
+    # target is under half the bucket's longest lane.
+    order = sorted(ok, key=lambda i: -int(index.lengths[i]))
+    groups: List[List[int]] = []
+    for idx in order:
+        n = int(index.lengths[idx])
+        if groups and n >= _LANE_LENGTH_RATIO * int(index.lengths[groups[-1][0]]):
+            groups[-1].append(idx)
+        else:
+            groups.append([idx])
+
+    lanes_pruned = 0
+    for group in groups:
+        pack, lens = _batchdp.pack_lanes([index.codes_for(i) for i in group])
+        B, Np = pack.shape
+        with registry.use(kernel):
+            if scheme.is_linear:
+                s, bi, bj, pr = provider.best_cell_local(
+                    q_codes, pack, lens, table, scheme.gap_open, floor=cut
+                )
+            else:
+                s, bi, bj, pr = provider.best_cell_local_affine(
+                    q_codes, pack, lens, table, scheme.gap_open,
+                    scheme.gap_extend, floor=cut,
+                )
+        obs.counter_add("search.batch.sweeps")
+        obs.observe("search.batch.lane_occupancy", B / max(len(batch), 1))
+        obs.observe(
+            "search.batch.pad_waste",
+            1.0 - int(lens.sum()) / max(B * Np, 1),
+        )
+        for lane, idx in enumerate(group):
+            if pr[lane]:
+                stats.pruned += 1
+                lanes_pruned += 1
+            else:
+                results.append(
+                    (idx, (int(s[lane]), int(bi[lane]), int(bj[lane])), None)
+                )
+    if lanes_pruned:
+        obs.counter_add("search.batch.lanes_pruned", lanes_pruned)
+    return results
+
+
 def _score_batch(q, index, scheme, batch, pool, retries, allow_partial, token,
-                 stats, kernel="auto"):
+                 stats, kernel="auto", *, q_codes=None, lanes=0, cut=None):
     """Score a batch of corpus positions; yields ``(idx, best_cell)``.
 
-    First attempts ride the pool (when there is one); retries run inline
-    so the retry path is identical across backends.
+    First attempts ride the pool (when there is one) or the lane-packed
+    batch kernel (serial backend, ``lanes > 1``); retries run inline
+    per-pair so the retry path is identical across backends.
     """
     results: List[Tuple[int, Optional[tuple], Optional[BaseException]]] = []
     if pool is None:
-        for idx in batch:
-            token.check()
-            results.append(_attempt(q, index, int(idx), scheme, kernel))
+        if lanes > 1 and len(batch) > 1:
+            results = _sweep_lanes(
+                q_codes, index, scheme, batch, token, stats, kernel, cut
+            )
+        else:
+            for idx in batch:
+                token.check()
+                results.append(_attempt_codes(q_codes, index, int(idx), scheme, kernel))
     else:
         token.check()
         texts = [index.sequence(int(idx)).text for idx in batch]
@@ -364,7 +499,7 @@ def _score_batch(q, index, scheme, batch, pool, retries, allow_partial, token,
             attempts_left -= 1
             stats.retries += 1
             obs.counter_add("search.retries")
-            _, cell, exc = _attempt(q, index, idx, scheme, kernel)
+            _, cell, exc = _attempt_codes(q_codes, index, idx, scheme, kernel)
         if cell is None:
             name = index.names[idx]
             if allow_partial:
@@ -383,6 +518,15 @@ def _score_batch(q, index, scheme, batch, pool, retries, allow_partial, token,
 def _attempt(q, index, idx, scheme, kernel="auto"):
     try:
         return idx, _score_task(q.text, index.sequence(idx).text, scheme, kernel), None
+    except JobTimeoutError:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - classified by caller
+        return idx, None, exc
+
+
+def _attempt_codes(q_codes, index, idx, scheme, kernel="auto"):
+    try:
+        return idx, _score_task_codes(q_codes, index.codes_for(idx), scheme, kernel), None
     except JobTimeoutError:
         raise
     except BaseException as exc:  # noqa: BLE001 - classified by caller

@@ -111,7 +111,8 @@ class TestParityReport:
     def test_all_checks_passed(self):
         rep = registry.parity_report()
         assert rep["parity_ok"] is True
-        assert len(rep["checks"]) == 10
+        # 10 per-pair checks + 6 batch-kernel checks (PR 10).
+        assert len(rep["checks"]) == 16
         assert all(c["ok"] for c in rep["checks"])
 
     @needs_compiled
